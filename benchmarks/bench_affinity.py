@@ -1,0 +1,44 @@
+"""Affinity extension: planned vs lottery vs adversarial placement.
+
+The paper's conclusion claims the physical layout is "critical" and
+asks for an affinity API; this bench quantifies what such an API would
+buy on both 8-SPE workloads.
+"""
+
+import statistics
+
+from repro.analysis.affinity import (
+    CommunicationPattern,
+    measure_mapping,
+    plan_mapping,
+)
+from repro.cell import SpeMapping
+
+
+def test_affinity_gain(run_once):
+    def study():
+        rows = {}
+        for name, pattern in (
+            ("couples", CommunicationPattern.couples(8)),
+            ("cycle", CommunicationPattern.cycle(8)),
+        ):
+            planned = measure_mapping(pattern, plan_mapping(pattern))
+            adversarial = measure_mapping(
+                pattern, plan_mapping(pattern, objective="worst")
+            )
+            lottery = statistics.fmean(
+                measure_mapping(pattern, SpeMapping.random(seed))
+                for seed in range(6)
+            )
+            rows[name] = (planned, lottery, adversarial)
+        return rows
+
+    rows = run_once(study)
+    print()
+    print(f"{'pattern':<10} {'planned':>9} {'lottery':>9} {'adversarial':>12}")
+    for name, (planned, lottery, adversarial) in rows.items():
+        print(f"{name:<10} {planned:9.1f} {lottery:9.1f} {adversarial:12.1f}")
+    for name, (planned, lottery, adversarial) in rows.items():
+        assert planned > lottery > adversarial
+    # Planned couples recover essentially the whole peak.
+    assert rows["couples"][0] > 0.9 * 134.4

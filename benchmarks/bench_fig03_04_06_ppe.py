@@ -1,0 +1,41 @@
+"""Figures 3, 4 and 6: PPE load/store/copy bandwidth to L1, L2, memory.
+
+Regenerates all three figures' series (op x threads x element size) and
+asserts the prose anchors: half-peak L1 loads from 8 B, no 16 B gain on
+loads, proportional scaling below 8 B, L2 far below L1, stores ~2x loads
+at L2 for one thread, memory loads == L2 loads, everything to memory
+under 6 GB/s.
+"""
+
+import pytest
+
+from repro.core import PpeBandwidthExperiment
+from repro.core import validation
+from repro.core.report import render_result
+
+
+@pytest.mark.parametrize("level", ["l1", "l2", "mem"])
+def test_ppe_figure(run_once, level):
+    experiment = PpeBandwidthExperiment(level)
+    result = run_once(experiment.run)
+    print()
+    print(render_result(result))
+    table = result.table("bandwidth")
+    if level == "l1":
+        assert table.mean("load", 1, 8) == pytest.approx(16.8)
+        assert table.mean("load", 1, 16) == pytest.approx(16.8)
+    if level == "mem":
+        assert max(stats.mean for _key, stats in table.rows()) < 6.0
+
+
+def test_ppe_claims(run_once):
+    results = run_once(
+        lambda: {
+            level: PpeBandwidthExperiment(level).run()
+            for level in ("l1", "l2", "mem")
+        }
+    )
+    checks = validation.check_ppe(results)
+    print()
+    print(validation.summarize(checks))
+    assert all(check.passed for check in checks)

@@ -1,0 +1,25 @@
+"""Figure 8: SPE <-> main memory DMA-elem bandwidth, weak scaling.
+
+Regenerates all three panels (GET, PUT, GET+PUT) over 1/2/4/8 SPEs and
+the element sweep, then asserts the section-4.2.1 anchors: ~10 GB/s for
+one SPE regardless of operation, ~20 GB/s for two, copy peaking near 23,
+a rise from 2 to 4 SPEs, and the drop with all 8 active.
+"""
+
+from repro.core import SpeMemoryExperiment
+from repro.core import validation
+from repro.core.report import render_result
+
+
+def test_fig08_spe_memory(run_once, bench_params):
+    experiment = SpeMemoryExperiment(
+        element_sizes=bench_params["element_sizes"],
+        repetitions=min(3, bench_params["repetitions"]),
+        bytes_per_spe=bench_params["bytes_per_spe"],
+    )
+    result = run_once(experiment.run)
+    print()
+    print(render_result(result))
+    checks = validation.check_spe_memory(result)
+    print(validation.summarize(checks))
+    assert all(check.passed for check in checks)

@@ -1,0 +1,47 @@
+"""Figures 9 and 10: single SPE pair — distance and sync-delay effects.
+
+Figure 9's setup (logical SPE 0 against each other logical SPE, random
+placements) shows the small (<2 GB/s) distance dependence; Figure 10
+sweeps how often the SPU waits for its tags: after every command, every
+2, every 4, ... or only once at the end, against the element size.
+"""
+
+from repro.core import PairDistanceExperiment, PairSyncExperiment
+from repro.core import validation
+from repro.core.report import render_result
+from repro.core.spe_pairs import SYNC_AFTER_ALL
+
+
+def test_fig09_pair_distance(run_once, bench_params):
+    experiment = PairDistanceExperiment(
+        element_sizes=(16384,),
+        repetitions=bench_params["repetitions"],
+        bytes_per_spe=bench_params["bytes_per_spe"],
+    )
+    result = run_once(experiment.run)
+    print()
+    print(render_result(result))
+    checks = validation.check_pair_distance(result)
+    print(validation.summarize(checks))
+    assert all(check.passed for check in checks)
+
+
+def test_fig10_sync_delay(run_once, bench_params):
+    experiment = PairSyncExperiment(
+        sync_policies=(1, 2, 4, 16, SYNC_AFTER_ALL),
+        element_sizes=bench_params["element_sizes"],
+        repetitions=2,
+        bytes_per_spe=bench_params["bytes_per_spe"],
+    )
+    result = run_once(experiment.run)
+    print()
+    print(render_result(result))
+    checks = validation.check_pair_sync(result)
+    print(validation.summarize(checks))
+    assert all(check.passed for check in checks)
+    table = result.table("sync")
+    # Monotone (up to noise) in the sync delay at every element size.
+    for element in experiment.element_sizes:
+        series = [table.mean(policy, element) for policy in (1, 2, 4, 16, SYNC_AFTER_ALL)]
+        for earlier, later in zip(series, series[1:]):
+            assert later >= earlier - 0.1

@@ -1,0 +1,41 @@
+"""Figures 12 and 13: couples of SPEs, DMA-elem and DMA-list.
+
+Figure 12: mean bandwidth for 1/2/4 pairs over the element sweep, both
+command modes.  Figure 13: the min/median/mean/max placement statistics
+at 8 SPEs.  Anchors: pairs near peak at small team sizes, a 60-75%-of-
+134.4 average with a wide placement spread at four pairs, DMA-elem
+degradation below 1 KiB, and flat DMA-list bandwidth.
+"""
+
+from repro.core import CouplesExperiment
+from repro.core import validation
+from repro.core.report import format_placement_statistics, render_result
+
+
+def test_fig12_13_couples(run_once, bench_params):
+    experiment = CouplesExperiment(
+        element_sizes=bench_params["element_sizes"],
+        repetitions=bench_params["repetitions"],
+        bytes_per_spe=bench_params["bytes_per_spe"],
+    )
+    result = run_once(experiment.run)
+    print()
+    print(render_result(result))
+    for mode in ("elem", "list"):
+        print(
+            format_placement_statistics(
+                result.table(mode),
+                fixed_key=(8,),
+                title=f"Figure 13 ({mode}): 8 SPEs over placements",
+            )
+        )
+    checks = validation.check_couples(result)
+    print(validation.summarize(checks))
+    assert all(check.passed for check in checks)
+
+    # DMA-elem degrades below 1 KiB; DMA-list stays flat (paper: "DMA-list
+    # transfers show constant bandwidth performance").
+    elem = result.table("elem")
+    lists = result.table("list")
+    assert elem.mean(2, 128) < 0.5 * elem.mean(2, 16384)
+    assert lists.mean(2, 128) > 0.9 * lists.mean(2, 16384)

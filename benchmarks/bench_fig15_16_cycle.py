@@ -1,0 +1,44 @@
+"""Figures 15 and 16: cycles of SPEs — the saturated-EIB streaming shape.
+
+Figure 15: mean bandwidth for 2/4/8-SPE cycles over the element sweep,
+both modes.  Figure 16: placement statistics at 8 SPEs.  Anchors: peak
+at 2 SPEs, ~50 of 67.2 at 4, ~70-90 of 134.4 at 8 — and, the paper's
+point, *lower* than the couples experiment despite twice the active
+transfers: saturating the EIB is counterproductive.
+"""
+
+from repro.core import CouplesExperiment, CycleExperiment
+from repro.core import validation
+from repro.core.report import format_placement_statistics, render_result
+
+
+def test_fig15_16_cycle(run_once, bench_params):
+    def run_both():
+        cycle = CycleExperiment(
+            element_sizes=bench_params["element_sizes"],
+            repetitions=bench_params["repetitions"],
+            bytes_per_spe=bench_params["bytes_per_spe"],
+        ).run()
+        couples = CouplesExperiment(
+            spe_counts=(8,),
+            element_sizes=(16384,),
+            modes=("elem",),
+            repetitions=bench_params["repetitions"],
+            bytes_per_spe=bench_params["bytes_per_spe"],
+        ).run()
+        return cycle, couples
+
+    cycle_result, couples_result = run_once(run_both)
+    print()
+    print(render_result(cycle_result))
+    for mode in ("elem", "list"):
+        print(
+            format_placement_statistics(
+                cycle_result.table(mode),
+                fixed_key=(8,),
+                title=f"Figure 16 ({mode}): 8-SPE cycle over placements",
+            )
+        )
+    checks = validation.check_cycle(cycle_result, couples_result)
+    print(validation.summarize(checks))
+    assert all(check.passed for check in checks)

@@ -1,0 +1,20 @@
+"""The section-1/5 guideline: two 4-SPE streams vs one 8-SPE stream.
+
+Not a figure in the paper, but its most-quoted sentence.  Runs the
+streaming-pipeline comparison (mailbox flow control, double buffering)
+and asserts the two-stream configuration wins on the same data volume.
+"""
+
+from repro.analysis import StreamingComparison
+
+
+def test_guideline_two_streams(run_once):
+    comparison = StreamingComparison(chunk_bytes=16384, chunks_per_stream_unit=48)
+    results = run_once(comparison.run)
+    single, double = results["single"], results["double"]
+    print()
+    print(f"{single.label}: {single.gbps:.2f} GB/s")
+    print(f"{double.label}: {double.gbps:.2f} GB/s")
+    print(f"advantage: {double.gbps / single.gbps:.2f}x")
+    assert double.total_bytes == single.total_bytes
+    assert double.gbps > 1.4 * single.gbps

@@ -1,0 +1,54 @@
+"""Section 5 future work: small kernels against the roofline.
+
+Not a figure in the paper (it promises this evaluation as future work);
+included because the bandwidth results exist to inform exactly these
+kernels.  Asserts the roofline's classifications and the headline
+numbers: bandwidth-bound kernels pinned at the Figure-8 memory ceiling,
+SP matmul at ~99% of compute peak, DP matmul ~14x slower.
+"""
+
+import pytest
+
+from repro.kernels import (
+    Precision,
+    RooflineModel,
+    dot_product,
+    matrix_multiply,
+    matrix_vector,
+    stream_triad,
+)
+
+
+def test_kernel_roofline(run_once):
+    roofline = RooflineModel()
+    n_spes = 4
+    kernels = [
+        dot_product(),
+        stream_triad(),
+        matrix_vector(),
+        matrix_multiply(block=64),
+        matrix_multiply(block=64, precision=Precision.DOUBLE),
+    ]
+    points = run_once(
+        lambda: [roofline.verify(spec, n_spes, iterations_per_spe=48) for spec in kernels]
+    )
+    print()
+    print(RooflineModel.format(points))
+
+    by_name = {point.spec.name: point for point in points}
+    assert by_name["dot-product-single"].bound == "bandwidth"
+    assert by_name["stream-triad-single"].bound == "bandwidth"
+    assert by_name["matmul-b64-single"].bound == "compute"
+
+    # Bandwidth-bound kernels inherit the Figure-8 memory ceiling.
+    dot = by_name["dot-product-single"].measured
+    assert dot.gbps == pytest.approx(roofline.bandwidth_roof(n_spes), rel=0.15)
+
+    # SP matmul sits at the compute roof; DP collapses by ~14x.
+    sp = by_name["matmul-b64-single"].measured
+    dp = by_name["matmul-b64-double"].measured
+    assert sp.gflops > 0.9 * roofline.compute_roof(Precision.SINGLE, n_spes)
+    assert 10.0 < sp.gflops / dp.gflops < 15.0
+
+    # The roofline predicts every kernel within 15%.
+    assert all(point.model_error < 0.15 for point in points)

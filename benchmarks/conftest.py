@@ -1,0 +1,52 @@
+"""Shared benchmark knobs and fixtures.
+
+Every benchmark regenerates one of the paper's figures: it runs the
+corresponding experiment once inside ``benchmark.pedantic`` (simulations
+are deterministic; repeated timing rounds would only re-measure the
+host), prints the figure's rows, and asserts the figure's headline
+anchors so a silent regression fails loudly.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+Add --paper-scale for the complete 128 B-16 KiB sweep at 10 repetitions.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the full 128 B-16 KiB sweep with 10 repetitions "
+        "(slow; matches the paper's protocol exactly)",
+    )
+
+
+@pytest.fixture
+def bench_params(request):
+    """Sweep parameters: a representative subset by default, the paper's
+    full protocol under --paper-scale.  Volume-invariance of sustained
+    bandwidth (asserted by tests/test_core_experiments.py) justifies the
+    reduced per-SPE volume."""
+    if request.config.getoption("--paper-scale"):
+        return {
+            "element_sizes": (128, 256, 512, 1024, 2048, 4096, 8192, 16384),
+            "repetitions": 10,
+            "bytes_per_spe": 2 ** 21,
+        }
+    return {
+        "element_sizes": (128, 512, 1024, 4096, 16384),
+        "repetitions": 6,
+        "bytes_per_spe": 2 ** 20,
+    }
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a deterministic experiment exactly once under the timer."""
+
+    def _run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""DMA tuning walkthrough: the paper's programming rules, one by one.
+
+Starting from a naive SPE-to-SPE copy loop, apply each rule the paper
+derives and watch the bandwidth respond:
+
+1. naive: rolled loop, 256 B elements, wait after every DMA;
+2. + unroll the loop (cheaper command issue, fewer branches);
+3. + delay synchronisation to the end (saturate the MFC queue);
+4. + use DMA lists (flat bandwidth even for small elements);
+5. + use >= 1 KiB elements (port-bound, almost peak).
+
+Run:  python examples/dma_tuning.py
+"""
+
+from repro import CellChip
+from repro.core.kernels import DmaWorkload, dma_stream_kernel
+from repro.libspe import SpeContext
+
+
+def measure(workload, unrolled):
+    chip = CellChip()
+    out = {}
+    context = SpeContext(chip, 0, unrolled=unrolled)
+    context.load(dma_stream_kernel, workload, out, chip.spe(1))
+    chip.run()
+    return chip.config.clock.gbps(out["bytes"], out["cycles"])
+
+
+def main():
+    peak = CellChip().config.pair_peak_gbps
+    n_for = lambda element: max(64, 2 ** 20 // element)
+
+    steps = [
+        (
+            "naive: rolled loop, 256 B, sync every DMA",
+            DmaWorkload("copy", 256, n_for(256), mode="elem", sync_every=1,
+                        partner_logical=1),
+            False,
+        ),
+        (
+            "+ unrolled loop",
+            DmaWorkload("copy", 256, n_for(256), mode="elem", sync_every=1,
+                        partner_logical=1),
+            True,
+        ),
+        (
+            "+ delayed synchronisation",
+            DmaWorkload("copy", 256, n_for(256), mode="elem", partner_logical=1),
+            True,
+        ),
+        (
+            "+ DMA lists",
+            DmaWorkload("copy", 256, n_for(256), mode="list", partner_logical=1),
+            True,
+        ),
+        (
+            "+ 4 KiB elements (DMA-elem works again)",
+            DmaWorkload("copy", 4096, n_for(4096), mode="elem", partner_logical=1),
+            True,
+        ),
+    ]
+
+    print(f"SPE0 <-> SPE1 GET+PUT, peak {peak:.1f} GB/s\n")
+    baseline = None
+    for label, workload, unrolled in steps:
+        gbps = measure(workload, unrolled)
+        baseline = baseline or gbps
+        print(
+            f"{label:<45} {gbps:6.2f} GB/s "
+            f"({100 * gbps / peak:3.0f}% of peak, {gbps / baseline:4.1f}x naive)"
+        )
+
+
+if __name__ == "__main__":
+    main()

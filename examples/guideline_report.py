@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Generate the paper's section-5 programming guidelines from scratch.
+
+Runs a compact version of the whole measurement suite, feeds the results
+to the :class:`~repro.analysis.GuidelineAdvisor`, and prints each rule
+with the measured numbers that justify it — the paper's conclusions as a
+reproducible artefact rather than prose.
+
+Run:  python examples/guideline_report.py        (~1 minute)
+"""
+
+from repro.analysis import GuidelineAdvisor
+from repro.core import (
+    CouplesExperiment,
+    CycleExperiment,
+    PairSyncExperiment,
+    PpeBandwidthExperiment,
+    SpeMemoryExperiment,
+)
+
+VOLUME = 2 ** 20
+
+
+def main():
+    advisor = GuidelineAdvisor()
+
+    print("running PPE experiments (structural model)...")
+    for level in ("l1", "l2"):
+        advisor.add_ppe(level, PpeBandwidthExperiment(level).run())
+
+    print("running SPE<->memory sweep...")
+    advisor.add_memory(
+        SpeMemoryExperiment(
+            element_sizes=(16384,),
+            directions=("get",),
+            repetitions=2,
+            bytes_per_spe=VOLUME,
+        ).run()
+    )
+
+    print("running sync-delay sweep...")
+    advisor.add_pair_sync(
+        PairSyncExperiment(
+            sync_policies=(1, 2 ** 30),
+            element_sizes=(4096,),
+            repetitions=2,
+            bytes_per_spe=VOLUME,
+        ).run()
+    )
+
+    print("running couples and cycle (this is the slow part)...")
+    advisor.add_couples(
+        CouplesExperiment(
+            element_sizes=(256, 16384), repetitions=4, bytes_per_spe=VOLUME
+        ).run()
+    )
+    advisor.add_cycle(
+        CycleExperiment(
+            spe_counts=(8,),
+            element_sizes=(16384,),
+            repetitions=4,
+            bytes_per_spe=VOLUME,
+        ).run()
+    )
+
+    print("\n== programming guidelines, derived from measurement ==\n")
+    for i, guideline in enumerate(advisor.guidelines(), start=1):
+        print(f"{i}. {guideline.rule}")
+        print(f"   evidence: {guideline.evidence} ({guideline.advantage:.1f}x)\n")
+
+
+if __name__ == "__main__":
+    main()

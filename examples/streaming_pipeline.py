@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""The paper's headline guideline, demonstrated on a real workload shape.
+
+"Implementing two data streams using 4 SPEs each can be more efficient
+than having a single data stream using the 8 SPEs."
+
+A data stream here is the streaming programming model's pipeline: the
+head SPE pulls chunks from main memory, each chunk then hops local-store
+to local-store through the downstream SPEs (each applying its compute
+stage), and the tail writes results back to memory.  Flow control runs
+over the SPE mailboxes (READY tokens downstream, ACK tokens upstream)
+with double buffering — the same machinery a real Cell streaming
+framework (e.g. CellSs' runtime) needs.
+
+The comparison: one 8-deep pipeline has a single SPE's worth of memory
+input bandwidth (~10 GB/s, 60% of the MIC bank); two concurrent 4-deep
+pipelines have two, and the memory system genuinely delivers it.
+
+Run:  python examples/streaming_pipeline.py
+"""
+
+from repro.analysis import StreamingComparison
+
+
+def main():
+    print("same data volume, same chunk size, two ways to use 8 SPEs\n")
+    for compute_cycles, label in ((0, "pure data movement"),
+                                  (8000, "with per-chunk compute")):
+        comparison = StreamingComparison(
+            chunk_bytes=16384,
+            chunks_per_stream_unit=48,
+            compute_cycles=compute_cycles,
+        )
+        results = comparison.run()
+        single, double = results["single"], results["double"]
+        print(f"[{label}]")
+        for result in (single, double):
+            seconds = result.cycles / comparison.config.clock.cpu_hz
+            print(
+                f"  {result.label:<20} {result.gbps:6.2f} GB/s "
+                f"({result.total_bytes / 2 ** 20:.0f} MiB in {seconds * 1e3:.2f} ms)"
+            )
+        print(f"  advantage of two streams: {double.gbps / single.gbps:.2f}x\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""repro: a reproduction of "Performance Analysis of Cell Broadband
+Engine for High Memory Bandwidth Applications" (ISPASS 2007).
+
+The original is a measurement study on real Cell BE hardware.  This
+package substitutes a calibrated discrete-event model of the chip's
+communication fabric (:mod:`repro.cell`), a libspe-shaped programming
+API (:mod:`repro.libspe`), the paper's complete microbenchmark suite
+(:mod:`repro.core`) and the analysis that turns measurements into the
+paper's programming guidelines (:mod:`repro.analysis`).
+
+Quick start::
+
+    from repro import CellChip, SpeContext
+
+    chip = CellChip()
+
+    def spu_main(spu, partner, out):
+        start = spu.read_decrementer()
+        for _ in range(128):
+            yield from spu.mfc_get(size=16384, tag=0, remote_spe=partner)
+        yield from spu.wait_tags([0])
+        out["gbps"] = chip.config.clock.gbps(
+            128 * 16384, spu.read_decrementer() - start
+        )
+
+    out = {}
+    SpeContext(chip, 0).load(spu_main, chip.spe(1), out)
+    chip.run()
+    print(out["gbps"])  # ~16 GB/s: one EIB transfer, almost peak
+"""
+
+from repro.cell import CellChip, CellConfig, SpeMapping
+from repro.core import (
+    CouplesExperiment,
+    CycleExperiment,
+    PairDistanceExperiment,
+    PairSyncExperiment,
+    PpeBandwidthExperiment,
+    SpeLocalStoreExperiment,
+    SpeMemoryExperiment,
+)
+from repro.libspe import SpeContext
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CellChip",
+    "CellConfig",
+    "CouplesExperiment",
+    "CycleExperiment",
+    "PairDistanceExperiment",
+    "PairSyncExperiment",
+    "PpeBandwidthExperiment",
+    "SpeContext",
+    "SpeLocalStoreExperiment",
+    "SpeMapping",
+    "SpeMemoryExperiment",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Analysis on top of the measurement suite.
+
+* :mod:`repro.analysis.stats` — efficiency/scaling/crossover helpers.
+* :mod:`repro.analysis.guidelines` — turns experiment results into the
+  paper's section-5 programming rules, each backed by the measured
+  numbers that justify it.
+* :mod:`repro.analysis.streaming` — the streaming-pipeline experiment
+  behind the paper's headline guideline ("two data streams using 4 SPEs
+  each can be more efficient than having a single data stream using the
+  8 SPEs").
+* :mod:`repro.analysis.ablation` — re-run experiments under perturbed
+  machine configurations to show which mechanism produces which result.
+* :mod:`repro.analysis.affinity` — the SPE-affinity planner the paper's
+  conclusion asks libspe for: search the placement space for a layout
+  that minimises ring contention, then verify it on the simulator.
+"""
+
+from repro.analysis.ablation import AblationStudy, AblationPoint
+from repro.analysis.affinity import (
+    CommunicationPattern,
+    mapping_cost,
+    measure_mapping,
+    plan_mapping,
+)
+from repro.analysis.guidelines import Guideline, GuidelineAdvisor
+from repro.analysis.stats import (
+    crossover,
+    efficiency,
+    scaling_efficiency,
+    speedup_series,
+)
+from repro.analysis.streaming import StreamingComparison, StreamingResult
+
+__all__ = [
+    "AblationPoint",
+    "AblationStudy",
+    "CommunicationPattern",
+    "Guideline",
+    "GuidelineAdvisor",
+    "StreamingComparison",
+    "StreamingResult",
+    "crossover",
+    "efficiency",
+    "mapping_cost",
+    "measure_mapping",
+    "plan_mapping",
+    "scaling_efficiency",
+    "speedup_series",
+]

@@ -1,0 +1,86 @@
+"""Ablations: re-run an experiment under perturbed machine parameters.
+
+The model earns its keep by showing *which mechanism produces which
+measurement*.  An :class:`AblationStudy` sweeps one configuration knob
+(e.g. rings per direction, grant quantum, MFC queue depth, the memory
+turnaround fraction) and reports how a chosen metric responds.  The
+ablation benchmarks in ``benchmarks/`` are built on this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.cell.config import CellConfig
+from repro.cell.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One knob setting and the metric it produced."""
+
+    parameter: str
+    value: object
+    metric: float
+
+
+def perturb(config: CellConfig, parameter: str, value) -> CellConfig:
+    """A config copy with ``section.field`` (dotted) replaced."""
+    if "." not in parameter:
+        raise ConfigError(
+            f"parameter must be 'section.field' (e.g. 'eib.grant_quantum_bytes'), "
+            f"got {parameter!r}"
+        )
+    section_name, field_name = parameter.split(".", 1)
+    if not hasattr(config, section_name):
+        raise ConfigError(f"config has no section {section_name!r}")
+    section = getattr(config, section_name)
+    if not hasattr(section, field_name):
+        raise ConfigError(f"section {section_name!r} has no field {field_name!r}")
+    new_section = dataclasses.replace(section, **{field_name: value})
+    return config.replace(**{section_name: new_section})
+
+
+class AblationStudy:
+    """Sweep one dotted config parameter and collect a metric.
+
+    ``metric`` receives the perturbed :class:`CellConfig` and returns a
+    number (typically: build an experiment with that config, run it,
+    read one cell of a table).
+    """
+
+    def __init__(
+        self,
+        parameter: str,
+        values: Sequence,
+        metric: Callable[[CellConfig], float],
+        base_config: CellConfig = None,
+    ):
+        if not values:
+            raise ConfigError("ablation over an empty value list")
+        self.parameter = parameter
+        self.values = list(values)
+        self.metric = metric
+        self.base_config = base_config or CellConfig.paper_blade()
+
+    def run(self) -> List[AblationPoint]:
+        points = []
+        for value in self.values:
+            config = perturb(self.base_config, self.parameter, value)
+            points.append(
+                AblationPoint(
+                    parameter=self.parameter,
+                    value=value,
+                    metric=self.metric(config),
+                )
+            )
+        return points
+
+    @staticmethod
+    def format(points: List[AblationPoint], unit: str = "GB/s") -> str:
+        lines = [f"ablation of {points[0].parameter}"]
+        for point in points:
+            lines.append(f"  {point.value!r:>12} -> {point.metric:8.2f} {unit}")
+        return "\n".join(lines)

@@ -1,0 +1,209 @@
+"""The paper's section-5 programming guidelines, derived from data.
+
+The paper closes with a set of rules for programming the CBE.  This
+module re-derives each rule from the reproduced measurements, so every
+guideline carries the numbers that justify it.  Rules whose supporting
+experiment was not run are simply omitted — the advisor never guesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.experiment import ExperimentResult
+from repro.core.spe_pairs import SYNC_AFTER_ALL
+
+
+@dataclass(frozen=True)
+class Guideline:
+    """One programming rule plus its measured justification."""
+
+    rule: str
+    evidence: str
+    advantage: float  # how much following the rule buys, as a ratio
+
+    def __str__(self) -> str:
+        return f"{self.rule}  [{self.advantage:.1f}x: {self.evidence}]"
+
+
+class GuidelineAdvisor:
+    """Collects experiment results and emits the rules they support."""
+
+    def __init__(self):
+        self._ppe: Dict[str, ExperimentResult] = {}
+        self._memory: Optional[ExperimentResult] = None
+        self._sync: Optional[ExperimentResult] = None
+        self._couples: Optional[ExperimentResult] = None
+        self._cycle: Optional[ExperimentResult] = None
+
+    # -- feeding results -----------------------------------------------------------
+
+    def add_ppe(self, level: str, result: ExperimentResult) -> None:
+        self._ppe[level] = result
+
+    def add_memory(self, result: ExperimentResult) -> None:
+        self._memory = result
+
+    def add_pair_sync(self, result: ExperimentResult) -> None:
+        self._sync = result
+
+    def add_couples(self, result: ExperimentResult) -> None:
+        self._couples = result
+
+    def add_cycle(self, result: ExperimentResult) -> None:
+        self._cycle = result
+
+    # -- the rules -----------------------------------------------------------------
+
+    def guidelines(self) -> List[Guideline]:
+        rules: List[Guideline] = []
+        for build in (
+            self._rule_vectorize,
+            self._rule_two_threads_beyond_l1,
+            self._rule_two_spes_for_memory,
+            self._rule_dont_use_all_eight_for_memory,
+            self._rule_delay_synchronisation,
+            self._rule_lists_for_small_elements,
+            self._rule_avoid_eib_saturation,
+        ):
+            rule = build()
+            if rule is not None:
+                rules.append(rule)
+        return rules
+
+    def _rule_vectorize(self) -> Optional[Guideline]:
+        if "l1" not in self._ppe:
+            return None
+        table = self._ppe["l1"].table("bandwidth")
+        wide = table.mean("load", 1, 16)
+        narrow = table.mean("load", 1, 1)
+        return Guideline(
+            rule=(
+                "Use the largest possible data elements; pack small data "
+                "into 128-bit SIMD registers before moving it."
+            ),
+            evidence=(
+                f"L1 loads: {wide:.1f} GB/s at 16 B vs {narrow:.1f} GB/s at 1 B"
+            ),
+            advantage=wide / narrow,
+        )
+
+    def _rule_two_threads_beyond_l1(self) -> Optional[Guideline]:
+        if "l2" not in self._ppe:
+            return None
+        table = self._ppe["l2"].table("bandwidth")
+        one = table.mean("load", 1, 16)
+        two = table.mean("load", 2, 16)
+        if two <= one:
+            return None
+        return Guideline(
+            rule=(
+                "Run two PPE threads when the working set does not fit in "
+                "the L1 cache (one thread suffices inside L1)."
+            ),
+            evidence=f"L2 loads: {two:.1f} GB/s with 2 threads vs {one:.1f} with 1",
+            advantage=two / one,
+        )
+
+    def _rule_two_spes_for_memory(self) -> Optional[Guideline]:
+        if self._memory is None:
+            return None
+        table = self._memory.table("get")
+        element = max(table.axis_values("element_bytes"))
+        one = table.mean(1, element)
+        two = table.mean(2, element)
+        return Guideline(
+            rule="Use at least two SPEs to stream from main memory.",
+            evidence=(
+                f"GET: one SPE sustains {one:.1f} GB/s, two SPEs {two:.1f} "
+                "(both banks active)"
+            ),
+            advantage=two / one,
+        )
+
+    def _rule_dont_use_all_eight_for_memory(self) -> Optional[Guideline]:
+        if self._memory is None:
+            return None
+        table = self._memory.table("get")
+        element = max(table.axis_values("element_bytes"))
+        four = table.mean(4, element)
+        eight = table.mean(8, element)
+        if eight >= four:
+            return None
+        return Guideline(
+            rule=(
+                "Do not put all eight SPEs on one memory stream: two "
+                "streams of four SPEs beat one stream of eight."
+            ),
+            evidence=f"GET: {four:.1f} GB/s with 4 SPEs vs {eight:.1f} with 8",
+            advantage=four / eight,
+        )
+
+    def _rule_delay_synchronisation(self) -> Optional[Guideline]:
+        if self._sync is None:
+            return None
+        table = self._sync.table("sync")
+        sizes = table.axis_values("element_bytes")
+        element = 4096 if 4096 in sizes else sizes[-1]
+        eager = table.mean(1, element)
+        delayed = table.mean(SYNC_AFTER_ALL, element)
+        return Guideline(
+            rule=(
+                "Postpone waiting for DMA completion as long as possible: "
+                "keep the MFC queue saturated."
+            ),
+            evidence=(
+                f"{element} B elements: {delayed:.1f} GB/s fully delayed vs "
+                f"{eager:.1f} waiting after every command"
+            ),
+            advantage=delayed / eager,
+        )
+
+    def _rule_lists_for_small_elements(self) -> Optional[Guideline]:
+        if self._couples is None:
+            return None
+        elem = self._couples.table("elem")
+        lists = self._couples.table("list")
+        sizes = [s for s in elem.axis_values("element_bytes") if s < 1024]
+        if not sizes:
+            return None
+        small = sizes[0]
+        n_spes = elem.axis_values("n_spes")[0]
+        elem_bw = elem.mean(n_spes, small)
+        list_bw = lists.mean(n_spes, small)
+        if list_bw <= elem_bw:
+            return None
+        return Guideline(
+            rule="Use DMA lists for chunks smaller than 1024 bytes.",
+            evidence=(
+                f"{small} B elements, {n_spes} SPEs: {list_bw:.1f} GB/s "
+                f"(list) vs {elem_bw:.1f} (elem)"
+            ),
+            advantage=list_bw / elem_bw,
+        )
+
+    def _rule_avoid_eib_saturation(self) -> Optional[Guideline]:
+        if self._couples is None or self._cycle is None:
+            return None
+        couples = self._couples.table("elem")
+        cycle = self._cycle.table("elem")
+        element = max(couples.axis_values("element_bytes"))
+        if 8 not in couples.axis_values("n_spes"):
+            return None
+        halves = couples.mean(8, element)
+        everyone = cycle.mean(8, element)
+        if everyone >= halves:
+            return None
+        return Guideline(
+            rule=(
+                "Schedule SPE-to-SPE communication to avoid saturating the "
+                "EIB: half the SPEs communicating at once move more data "
+                "than everyone at once."
+            ),
+            evidence=(
+                f"8 SPEs: couples sustain {halves:.1f} GB/s, the full "
+                f"cycle only {everyone:.1f}"
+            ),
+            advantage=halves / everyone,
+        )

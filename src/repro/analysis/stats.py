@@ -1,0 +1,65 @@
+"""Small numeric helpers the analysis and report layers share."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+
+def efficiency(measured_gbps: float, peak_gbps: float) -> float:
+    """Fraction of a peak actually sustained."""
+    if peak_gbps <= 0:
+        raise ValueError(f"peak must be positive, got {peak_gbps}")
+    if measured_gbps < 0:
+        raise ValueError(f"measured must be non-negative, got {measured_gbps}")
+    return measured_gbps / peak_gbps
+
+def speedup_series(
+    series: Sequence[Tuple[object, float]]
+) -> List[Tuple[object, float]]:
+    """Normalise a (x, GB/s) series to its first point."""
+    if not series:
+        raise ValueError("empty series")
+    base = series[0][1]
+    if base <= 0:
+        raise ValueError("series starts at non-positive bandwidth")
+    return [(x, value / base) for x, value in series]
+
+
+def scaling_efficiency(
+    series: Sequence[Tuple[int, float]]
+) -> List[Tuple[int, float]]:
+    """Weak-scaling efficiency: measured / (n * per-unit baseline).
+
+    ``series`` maps unit counts to aggregate GB/s; the first entry is
+    the baseline.
+    """
+    if not series:
+        raise ValueError("empty series")
+    base_n, base_bw = series[0]
+    if base_n <= 0 or base_bw <= 0:
+        raise ValueError(f"bad baseline {series[0]}")
+    per_unit = base_bw / base_n
+    return [(n, bw / (n * per_unit)) for n, bw in series]
+
+
+def crossover(
+    series_a: Sequence[Tuple[float, float]],
+    series_b: Sequence[Tuple[float, float]],
+) -> Optional[float]:
+    """First x at which series_a stops losing to series_b.
+
+    Both series must share their x values in ascending order.  Returns
+    None when one side wins everywhere.  Used to locate, e.g., the
+    element size where DMA-elem catches up with DMA-list.
+    """
+    if [x for x, _ in series_a] != [x for x, _ in series_b]:
+        raise ValueError("series must share x values")
+    behind = None
+    for (x, a_value), (_x, b_value) in zip(series_a, series_b):
+        if a_value < b_value:
+            behind = True
+        elif behind:
+            return x
+        else:
+            behind = False
+    return None

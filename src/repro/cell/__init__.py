@@ -1,0 +1,68 @@
+"""Discrete-event model of the Cell Broadband Engine communication fabric.
+
+This is the substrate the paper's measurements ran on: a 2.1 GHz Cell BE
+blade.  The model covers every path the paper measures:
+
+* the Element Interconnect Bus (:mod:`repro.cell.eib`) with its four data
+  rings, per-element on/off-ramp ports, shortest-path routing and
+  segment-conflict arbitration over the real physical ring layout
+  (:mod:`repro.cell.topology`);
+* the per-SPE Memory Flow Controller (:mod:`repro.cell.mfc`) with its
+  16-entry DMA queue, DMA-elem and DMA-list commands, tag groups and the
+  outstanding-transaction window that limits a single SPE against main
+  memory;
+* the memory system (:mod:`repro.cell.memory`): the MIC-attached XDR bank
+  plus the second chip's bank reached through the IOIF at 7 GB/s, with
+  same-requester turnaround (single-stream efficiency), requester-spread
+  penalties and read/write duplex overlap;
+* structural (closed-form) models of the PPU load/store paths to L1, L2
+  and main memory (:mod:`repro.cell.ppe`) and of the SPU's local-store
+  port (:mod:`repro.cell.spe`).
+
+:class:`~repro.cell.chip.CellChip` assembles a full chip; experiments in
+:mod:`repro.core` drive it through the :mod:`repro.libspe` API.
+"""
+
+from repro.cell.chip import CellChip
+from repro.cell.config import (
+    CellConfig,
+    ClockConfig,
+    EibConfig,
+    LocalStoreConfig,
+    MemoryConfig,
+    MfcConfig,
+    PpeConfig,
+    SpuConfig,
+)
+from repro.cell.dma import DmaCommand, DmaDirection, DmaList, DmaListElement
+from repro.cell.errors import (
+    CellError,
+    ConfigError,
+    DmaAlignmentError,
+    DmaSizeError,
+    LocalStoreError,
+)
+from repro.cell.topology import RingTopology, SpeMapping
+
+__all__ = [
+    "CellChip",
+    "CellConfig",
+    "CellError",
+    "ClockConfig",
+    "ConfigError",
+    "DmaAlignmentError",
+    "DmaCommand",
+    "DmaDirection",
+    "DmaList",
+    "DmaListElement",
+    "DmaSizeError",
+    "EibConfig",
+    "LocalStoreConfig",
+    "LocalStoreError",
+    "MemoryConfig",
+    "MfcConfig",
+    "PpeConfig",
+    "RingTopology",
+    "SpeMapping",
+    "SpuConfig",
+]

@@ -1,0 +1,60 @@
+"""PPE cache hierarchy geometry and buffer-placement helpers.
+
+The PPE experiments (Figures 3, 4 and 6) differ only in where the
+traversed buffer lives: fits in the 32 KB L1, fits in the 512 KB L2, or
+misses both.  This module owns that classification and the buffer sizes
+the experiment framework picks for each level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.cell.config import PpeConfig
+from repro.cell.errors import ConfigError
+
+#: The three residence levels the paper measures.
+LEVELS: Tuple[str, ...] = ("l1", "l2", "mem")
+
+#: Memory operations the paper measures at every level.
+OPS: Tuple[str, ...] = ("load", "store", "copy")
+
+#: Element sizes the paper sweeps: 1 char up to a full VMX register.
+ELEMENT_SIZES: Tuple[int, ...] = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """Geometry of the PPE's two cache levels."""
+
+    config: PpeConfig
+
+    def classify_buffer(self, nbytes: int, working_sets: int = 1) -> str:
+        """Residence level of a streaming working set of ``working_sets``
+        buffers of ``nbytes`` each (copy uses two)."""
+        if nbytes <= 0:
+            raise ConfigError(f"buffer of {nbytes} bytes")
+        total = nbytes * working_sets
+        if total <= self.config.l1_bytes:
+            return "l1"
+        if total <= self.config.l2_bytes:
+            return "l2"
+        return "mem"
+
+    def buffer_bytes_for(self, level: str, working_sets: int = 1) -> int:
+        """A buffer size that comfortably pins the working set at a level:
+        half the cache for cache levels, 32x the L2 for memory."""
+        if level == "l1":
+            return self.config.l1_bytes // (2 * working_sets)
+        if level == "l2":
+            return self.config.l2_bytes // (2 * working_sets)
+        if level == "mem":
+            return self.config.l2_bytes * 32
+        raise ConfigError(f"unknown cache level {level!r}; expected one of {LEVELS}")
+
+    def fits(self, level: str, nbytes: int, working_sets: int = 1) -> bool:
+        order = {name: i for i, name in enumerate(LEVELS)}
+        if level not in order:
+            raise ConfigError(f"unknown cache level {level!r}")
+        return order[self.classify_buffer(nbytes, working_sets)] <= order[level]

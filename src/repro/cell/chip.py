@@ -1,0 +1,79 @@
+"""Assembly of a full Cell BE chip model.
+
+A :class:`CellChip` owns the simulation environment and wires together
+the EIB, the memory system, the eight SPEs (placed on the physical ring
+according to a logical-to-physical mapping) and the PPE model.  Every
+experiment builds a fresh chip per repetition so runs are independent,
+exactly like re-running the paper's binary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cell.config import CellConfig
+from repro.cell.eib import Eib
+from repro.cell.errors import ConfigError
+from repro.cell.memory import MemorySystem
+from repro.cell.ppe import PpeModel
+from repro.cell.spe import Spe
+from repro.cell.topology import RingTopology, SpeMapping
+from repro.sim import Environment
+
+
+class CellChip:
+    """One Cell Broadband Engine (plus the second chip's memory bank
+    reachable through the IOIF, as on the paper's blade)."""
+
+    def __init__(
+        self,
+        config: Optional[CellConfig] = None,
+        mapping: Optional[SpeMapping] = None,
+        topology: Optional[RingTopology] = None,
+    ):
+        self.config = config or CellConfig.paper_blade()
+        self.topology = topology or RingTopology()
+        self.mapping = mapping or SpeMapping.identity(self.config.n_spes)
+        if len(self.mapping) != self.config.n_spes:
+            raise ConfigError(
+                f"mapping covers {len(self.mapping)} SPEs, config has "
+                f"{self.config.n_spes}"
+            )
+        physical_spes = self.topology.spe_nodes()
+        if len(physical_spes) < self.config.n_spes:
+            raise ConfigError(
+                f"topology has {len(physical_spes)} SPE positions, config "
+                f"needs {self.config.n_spes}"
+            )
+        self.env = Environment()
+        self.eib = Eib(self.env, self.topology, self.config)
+        self.memory = MemorySystem(self.env, self.config)
+        self.spes: List[Spe] = [
+            Spe(self.env, logical, self.mapping.node(logical), self)
+            for logical in range(self.config.n_spes)
+        ]
+        self.ppe = PpeModel(self.config)
+
+    def spe(self, logical_index: int) -> Spe:
+        if not 0 <= logical_index < len(self.spes):
+            raise ConfigError(
+                f"logical SPE {logical_index} out of range 0..{len(self.spes) - 1}"
+            )
+        return self.spes[logical_index]
+
+    def run(self, until=None):
+        """Advance the simulation (delegates to the environment)."""
+        return self.env.run(until=until)
+
+    def elapsed_seconds(self) -> float:
+        return self.config.clock.cycles_to_seconds(self.env.now)
+
+    def gbps(self, nbytes: int) -> float:
+        """Bandwidth of ``nbytes`` moved over the elapsed simulation time."""
+        return self.config.clock.gbps(nbytes, self.env.now)
+
+    def __repr__(self) -> str:
+        return (
+            f"CellChip(n_spes={self.config.n_spes}, "
+            f"mapping={self.mapping.physical_of}, now={self.env.now})"
+        )

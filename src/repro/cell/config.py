@@ -1,0 +1,377 @@
+"""Machine configuration for the Cell BE model.
+
+Every architectural constant and every calibration knob lives here, in
+frozen dataclasses, so an experiment's machine is a value that can be
+copied, perturbed (for ablations) and printed into reports.
+
+Two kinds of parameters coexist:
+
+* *Architectural* parameters are documented facts about the CBE (ring
+  count, local-store size, 16 KiB DMA limit, bus at half core speed...).
+* *Calibration* parameters are abstractions standing in for mechanisms
+  the paper observes but cannot control (memory turnaround, requester
+  spread penalties, SPU issue costs).  Each one names the paper
+  observation it is calibrated against.
+
+``CellConfig.paper_blade()`` returns the configuration matching the
+paper's dual-Cell blade at 2.1 GHz.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.cell.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ClockConfig:
+    """Clock domains.  The EIB runs at exactly half the core clock."""
+
+    cpu_hz: float = 2.1e9
+    bus_divisor: int = 2
+
+    def __post_init__(self):
+        if self.cpu_hz <= 0:
+            raise ConfigError(f"cpu_hz must be positive, got {self.cpu_hz}")
+        if self.bus_divisor < 1:
+            raise ConfigError(f"bus_divisor must be >= 1, got {self.bus_divisor}")
+
+    @property
+    def bus_hz(self) -> float:
+        return self.cpu_hz / self.bus_divisor
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        """Convert CPU cycles (the simulator's time unit) to seconds."""
+        return cycles / self.cpu_hz
+
+    def gbps(self, nbytes: int, cycles: int) -> float:
+        """Bandwidth in GB/s (10^9 bytes per second) for a timed transfer."""
+        if cycles <= 0:
+            raise ConfigError("bandwidth over a non-positive interval")
+        return nbytes / self.cycles_to_seconds(cycles) / 1e9
+
+
+@dataclass(frozen=True)
+class EibConfig:
+    """Element Interconnect Bus: 4 data rings over 12 elements.
+
+    Each ring moves 16 bytes per bus cycle per transfer, supports up to
+    three concurrent transfers with non-overlapping segments, and a
+    transfer may travel at most halfway around the ring (6 hops).  Every
+    element has one on-ramp and one off-ramp of 16 bytes per bus cycle,
+    which is what saturates the cycle-of-SPEs experiment at 33.6 GB/s for
+    two SPEs.
+    """
+
+    rings_per_direction: int = 2
+    max_transfers_per_ring: int = 3
+    max_hops: int = 6
+    bytes_per_bus_cycle: int = 16
+    # Fidelity/speed tradeoff: a transfer holds its path for this much
+    # data per grant instead of re-arbitrating every 128 B bus packet.
+    grant_quantum_bytes: int = 2048
+    # CPU cycles of arbitration dead time per grant (command bus +
+    # data arbiter round).  Calibrated against "almost peak" single-pair
+    # bandwidth (a few percent under 16.8 GB/s per direction).
+    arbitration_cycles: int = 8
+    # Re-arbitration dead time added to a grant that had to wait,
+    # multiplied by the backlog of still-waiting requests: the data
+    # arbiter round-robins among pending requesters, so heavily
+    # contended phases lose cycles per grant.  Calibrated against the
+    # cycle-of-SPEs results (the paper: "saturating the EIB is
+    # counterproductive in terms of performance").  Transfers touching
+    # the MIC/IOIF are exempt: their bus interfaces stream across grant
+    # boundaries, and memory-side inefficiency is modelled in the banks.
+    conflict_retry_cycles: int = 30
+    # The IOIF carries 7 GB/s, not the full ring rate: its on/off ramps
+    # are modelled with this rate (bytes per CPU cycle at 2.1 GHz).
+    ioif_bytes_per_cpu_cycle: float = 7.0e9 / 2.1e9
+
+    def __post_init__(self):
+        if self.rings_per_direction < 1:
+            raise ConfigError("need at least one ring per direction")
+        if self.max_transfers_per_ring < 1:
+            raise ConfigError("rings must accept at least one transfer")
+        if self.grant_quantum_bytes < 128:
+            raise ConfigError("grant quantum below the 128 B EIB packet size")
+        if self.bytes_per_bus_cycle <= 0 or self.max_hops < 1:
+            raise ConfigError("invalid EIB geometry")
+
+
+@dataclass(frozen=True)
+class MfcConfig:
+    """Memory Flow Controller (one per SPE)."""
+
+    queue_depth: int = 16
+    max_transfer_bytes: int = 16384
+    list_max_elements: int = 2048
+    # SPU-side cost (CPU cycles) of programming one DMA-elem command with
+    # an unrolled loop.  Calibrated against the paper's observation that
+    # DMA-elem bandwidth degrades below 1024 B elements (issue-bound) and
+    # is near peak at and above 1024 B (port-bound): a GET+PUT pair costs
+    # 120 cycles per 1024 B chunk, exactly the 2 x 128-cycle transfer.
+    elem_issue_cycles: int = 60
+    # Multiplier applied to issue cost when the benchmark loop is not
+    # manually unrolled ("it is imperative to manually unroll loops").
+    rolled_loop_issue_factor: int = 4
+    # SPU-side cost of programming one DMA-list command (the list itself
+    # is built during setup, outside the timed region).
+    list_issue_cycles: int = 160
+    # MFC-internal gap between consecutive list elements.  Small enough
+    # that 128 B list elements stay port-bound: DMA-list bandwidth is
+    # flat across element sizes, as the paper measures.
+    list_element_cycles: int = 14
+    # SPU-side cost of one synchronisation (write tag mask + read tag
+    # status), paid every time the code waits for outstanding DMA.
+    sync_cycles: int = 100
+    # Completion latency from last data beat to tag update.
+    completion_cycles: int = 20
+    # Extra per-command cost for transfers under the 128 B bus packet:
+    # the paper reports "very high performance degradation" below 128 B.
+    small_transfer_penalty_cycles: int = 400
+    # How many list elements the MFC keeps in flight at once (internal
+    # buffering); enough to stay port-bound at 128 B elements.
+    list_inflight_limit: int = 8
+    # Outstanding-transaction window towards main memory, expressed as a
+    # sustained rate (bytes per CPU cycle).  A single SPE cannot exceed
+    # this against memory no matter the element size: the paper measures
+    # a flat ~10 GB/s (60% of the MIC bank peak) for one SPE.
+    memory_path_bytes_per_cpu_cycle: float = 10.2e9 / 2.1e9
+
+    def __post_init__(self):
+        if self.queue_depth < 1:
+            raise ConfigError("MFC queue depth must be >= 1")
+        if self.max_transfer_bytes < 16:
+            raise ConfigError("MFC max transfer below one quadword")
+        if self.memory_path_bytes_per_cpu_cycle <= 0:
+            raise ConfigError("memory path rate must be positive")
+
+
+@dataclass(frozen=True)
+class LocalStoreConfig:
+    """The 256 KiB single-ported local store of each SPE."""
+
+    size_bytes: int = 262144
+    bytes_per_cpu_cycle: int = 16
+
+    def __post_init__(self):
+        if self.size_bytes < 1024:
+            raise ConfigError("local store unrealistically small")
+
+
+@dataclass(frozen=True)
+class SpuConfig:
+    """Structural limits of the SPU load/store path to its local store.
+
+    The SPU ISA only has 16-byte loads/stores; narrower accesses pay a
+    mask/merge overhead (Brokenshire, tip list).  Peak is one quadword
+    per cycle: 33.6 GB/s at 2.1 GHz, which the paper reports reaching.
+    """
+
+    load_bytes_per_cycle: int = 16
+    store_bytes_per_cycle: int = 16
+    # Sub-quadword stores are read-modify-write: they cost two LS slots.
+    subword_store_penalty: float = 0.5
+    # Sub-quadword loads rotate/mask the wanted bytes out of a quadword;
+    # the extracted bytes are what counts as delivered bandwidth.
+    subword_load_penalty: float = 1.0
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """The blade's memory: a local XDR bank behind the MIC plus the
+    second chip's bank reached through the IOIF.
+
+    The paper's numbers: 16.8 GB/s peak through the MIC, 7 GB/s through
+    the IOIF, 23.8 GB/s combined; one SPE sustains only ~60% of the MIC
+    bank ("memory having to do other operations, like refreshing,
+    snooping, etc.").
+    """
+
+    local_bank_peak_bytes_per_cpu_cycle: float = 16.8e9 / 2.1e9
+    remote_bank_peak_bytes_per_cpu_cycle: float = 7.0e9 / 2.1e9
+    # Fraction of a command's transfer time the bank stays unavailable to
+    # the *same* requester afterwards.  A single streaming requester
+    # therefore sees efficiency 1 / (1 + fraction) ~= 0.6; interleaved
+    # requesters hide it in each other's transfers.
+    same_requester_turnaround_fraction: float = 0.65
+    # Cost of switching between requesters (row-buffer and scheduler
+    # disturbance), as a fraction of the incoming command's transfer
+    # time.  Gives the ~0.92 multi-stream efficiency the 2-4 SPE results
+    # imply.
+    requester_switch_fraction: float = 0.09
+    # Beyond this many concurrently active requesters the switch cost
+    # grows: command-queue thrash.  Produces the 8-SPE drop the paper
+    # attributes to saturation.
+    requester_spread_threshold: int = 4
+    requester_spread_factor: float = 0.35
+    # Read/write duplex: alternating directions overlap this fraction of
+    # the service time (copy reaches 23 GB/s where GET/PUT stop at ~21).
+    duplex_overlap_fraction: float = 0.15
+    # NUMA page placement: fraction of each buffer's pages on the local
+    # bank.  Linux on the blade preferred node 0 but spilled to node 1;
+    # 2-SPE GET at ~20 GB/s = ~14 (MIC) + ~6 (IOIF) pins this ratio.
+    local_placement_fraction: float = 0.70
+    page_bytes: int = 65536
+    # Sliding window used to count concurrently active requesters.
+    requester_window: int = 16
+    # How far into its queue the bank scheduler looks to pick a command
+    # from a different requester / opposite direction (command reorder).
+    scheduler_window: int = 8
+
+    def __post_init__(self):
+        if not 0.0 <= self.local_placement_fraction <= 1.0:
+            raise ConfigError("local_placement_fraction outside [0, 1]")
+        if self.local_bank_peak_bytes_per_cpu_cycle <= 0:
+            raise ConfigError("local bank peak must be positive")
+        if self.remote_bank_peak_bytes_per_cpu_cycle <= 0:
+            raise ConfigError("remote bank peak must be positive")
+        if not 0.0 <= self.duplex_overlap_fraction < 1.0:
+            raise ConfigError("duplex_overlap_fraction outside [0, 1)")
+
+
+@dataclass(frozen=True)
+class PpeConfig:
+    """Structural model of PPU load/store bandwidth (Figs. 3, 4, 6).
+
+    The PPU issues at most one load or store per cycle per thread and the
+    L1 port moves at most one quadword per cycle, so bandwidth is
+    proportional to the element size up to a per-level, per-op, per-
+    thread-count derating factor.  The factors are calibration values:
+    the OCR of the paper lost the figures' absolute axes, but the prose
+    fixes the ordering and ratios (see ``repro.core.reference``).
+
+    Factors are expressed as effective bytes per CPU cycle for >= 8 B
+    elements; elements below ``saturating_element_bytes`` scale linearly.
+    """
+
+    l1_bytes: int = 32768
+    l2_bytes: int = 524288
+    line_bytes: int = 128
+    # Elements of at least this size reach the op's plateau bandwidth.
+    saturating_element_bytes: int = 8
+    # Effective plateau bytes/cycle per (level, op, threads).
+    # L1 load: half the 16 B/cycle peak, no gain from 16 B elements.
+    l1_load_plateau: Tuple[float, float] = (8.0, 8.0)  # (1 thread, 2 threads)
+    # L1 store: limited by the write-through path to L2; 16 B elements
+    # and a second thread recover part of it.
+    l1_store_plateau: Tuple[float, float] = (5.0, 6.4)
+    l1_store_16b_bonus: Tuple[float, float] = (1.3, 1.6)
+    # L1 copy counts read+write bytes; half peak for one thread, 16 B
+    # elements show a significant advantage over 8 B.
+    l1_copy_plateau: Tuple[float, float] = (4.4, 5.2)
+    l1_copy_16b_bonus: Tuple[float, float] = (1.8, 1.85)
+    # L2: bound by outstanding L1 misses; stores almost twice the loads
+    # for one thread; per-thread miss structures double with 2 threads.
+    l2_load_plateau: Tuple[float, float] = (1.6, 2.8)
+    l2_store_plateau: Tuple[float, float] = (3.0, 4.2)
+    l2_copy_plateau: Tuple[float, float] = (2.1, 3.4)
+    # Memory: loads match L2 loads (same pending-miss limit); stores are
+    # far lower (memory write throughput, saturated L2-to-memory queue).
+    # Everything here stays under the paper's "very low (under 6)".
+    mem_load_plateau: Tuple[float, float] = (1.6, 2.8)
+    mem_store_plateau: Tuple[float, float] = (0.95, 1.2)
+    mem_copy_plateau: Tuple[float, float] = (0.75, 1.0)
+
+    def plateau(self, level: str, op: str, threads: int) -> float:
+        """Effective plateau bytes/cycle for a level ('l1','l2','mem'),
+        op ('load','store','copy') and thread count (1 or 2)."""
+        if threads not in (1, 2):
+            raise ConfigError(f"the PPU has 2 SMT threads; got {threads}")
+        name = f"{level}_{op}_plateau"
+        if not hasattr(self, name):
+            raise ConfigError(f"unknown PPE path {level}/{op}")
+        return getattr(self, name)[threads - 1]
+
+    def bonus_16b(self, level: str, op: str, threads: int) -> float:
+        """Multiplier for full-quadword (16 B) accesses, where the paper
+        reports a distinct step up; 1.0 elsewhere."""
+        name = f"{level}_{op}_16b_bonus"
+        if hasattr(self, name):
+            return getattr(self, name)[threads - 1]
+        return 1.0
+
+
+@dataclass(frozen=True)
+class CellConfig:
+    """A complete machine: clocks, EIB, MFC, memory, PPE, SPE count."""
+
+    clock: ClockConfig = field(default_factory=ClockConfig)
+    eib: EibConfig = field(default_factory=EibConfig)
+    mfc: MfcConfig = field(default_factory=MfcConfig)
+    local_store: LocalStoreConfig = field(default_factory=LocalStoreConfig)
+    spu: SpuConfig = field(default_factory=SpuConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    ppe: PpeConfig = field(default_factory=PpeConfig)
+    n_spes: int = 8
+
+    def __post_init__(self):
+        if self.n_spes < 1:
+            raise ConfigError(f"n_spes must be >= 1, got {self.n_spes}")
+
+    @classmethod
+    def paper_blade(cls) -> "CellConfig":
+        """The paper's machine: one CBE of a dual-Cell blade at 2.1 GHz,
+        both memory banks reachable (256 MB local + 256 MB through the
+        IOIF), Linux with 64 KB pages, libspe 1.1."""
+        return cls()
+
+    def replace(self, **kwargs) -> "CellConfig":
+        """A copy with top-level fields replaced (ablation helper)."""
+        return dataclasses.replace(self, **kwargs)
+
+    # -- derived rates, used throughout the model and the reports --------------
+
+    @property
+    def eib_bytes_per_cpu_cycle(self) -> float:
+        """Per-transfer (and per-port-direction) EIB rate in bytes/CPU cycle."""
+        return self.eib.bytes_per_bus_cycle / self.clock.bus_divisor
+
+    @property
+    def eib_peak_gbps(self) -> float:
+        """Peak of a single EIB transfer: 16.8 GB/s on the paper machine."""
+        return self.eib_bytes_per_cpu_cycle * self.clock.cpu_hz / 1e9
+
+    @property
+    def pair_peak_gbps(self) -> float:
+        """Simultaneous read+write between two SPEs: 33.6 GB/s."""
+        return 2 * self.eib_peak_gbps
+
+    @property
+    def local_store_peak_gbps(self) -> float:
+        """SPU <-> LS peak: one quadword per CPU cycle, 33.6 GB/s."""
+        return self.local_store.bytes_per_cpu_cycle * self.clock.cpu_hz / 1e9
+
+    @property
+    def memory_peak_gbps(self) -> float:
+        """Combined GET-or-PUT peak through MIC + IOIF: 23.8 GB/s."""
+        rate = (
+            self.memory.local_bank_peak_bytes_per_cpu_cycle
+            + self.memory.remote_bank_peak_bytes_per_cpu_cycle
+        )
+        return rate * self.clock.cpu_hz / 1e9
+
+    def couples_peak_gbps(self, n_spes: int) -> float:
+        """Peak for the couples experiment: 33.6 GB/s per active pair."""
+        if n_spes % 2:
+            raise ConfigError("couples need an even number of SPEs")
+        return (n_spes // 2) * self.pair_peak_gbps
+
+    def node_rate_bytes_per_cpu_cycle(self, node: str) -> float:
+        """On/off-ramp rate of an EIB element (IOIFs are slower)."""
+        if node.startswith("IOIF"):
+            return self.eib.ioif_bytes_per_cpu_cycle
+        return self.eib_bytes_per_cpu_cycle
+
+    def describe(self) -> Dict[str, float]:
+        """Headline rates, for reports."""
+        return {
+            "cpu_ghz": self.clock.cpu_hz / 1e9,
+            "eib_peak_gbps": self.eib_peak_gbps,
+            "pair_peak_gbps": self.pair_peak_gbps,
+            "local_store_peak_gbps": self.local_store_peak_gbps,
+            "memory_peak_gbps": self.memory_peak_gbps,
+        }

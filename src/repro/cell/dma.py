@@ -1,0 +1,238 @@
+"""DMA command types and the MFC's validation rules.
+
+A :class:`DmaCommand` describes one MFC transfer: direction (GET moves
+data *into* the issuing SPE's local store, PUT moves data out), the
+remote target (main memory or another SPE's local store), size and tag
+group.  A :class:`DmaList` bundles up to 2048 elements behind a single
+queue entry; the MFC streams the elements without further SPU work.
+
+Validation follows the CBE Programming Handbook: transfers are 1, 2, 4,
+8 or a multiple of 16 bytes up to 16 KiB, with matching 16-byte alignment
+on both sides.  The model additionally flags sub-128 B transfers as
+*inefficient* (the paper: "the experiments show a very high performance
+degradation" below 128 B) so experiments can report it.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.cell.errors import DmaAlignmentError, DmaSizeError
+
+#: Transfer sizes allowed below one quadword.
+_SMALL_SIZES = (1, 2, 4, 8)
+
+#: Maximum bytes in one MFC command.
+MAX_TRANSFER_BYTES = 16384
+
+#: Bus-packet size; transfers below this are legal but slow.
+EFFICIENT_MIN_BYTES = 128
+
+_command_ids = itertools.count()
+
+
+class DmaDirection(enum.Enum):
+    """Transfer direction relative to the issuing SPE's local store."""
+
+    GET = "get"
+    PUT = "put"
+
+
+class TargetKind(enum.Enum):
+    """What the remote side of a transfer is."""
+
+    MAIN_MEMORY = "memory"
+    LOCAL_STORE = "local_store"
+
+
+def validate_transfer(size: int, local_offset: int, remote_offset: int) -> None:
+    """Raise unless (size, alignments) form a legal MFC transfer."""
+    if size <= 0:
+        raise DmaSizeError(f"transfer size must be positive, got {size}")
+    if size > MAX_TRANSFER_BYTES:
+        raise DmaSizeError(
+            f"{size} B exceeds the {MAX_TRANSFER_BYTES} B single-command "
+            "limit; split the transfer or use a DMA list"
+        )
+    if size < 16:
+        if size not in _SMALL_SIZES:
+            raise DmaSizeError(
+                f"sub-quadword transfers must be 1, 2, 4 or 8 bytes, got {size}"
+            )
+        if local_offset % size or remote_offset % size:
+            raise DmaAlignmentError(
+                f"a {size} B transfer must be naturally aligned "
+                f"(local {local_offset:#x}, remote {remote_offset:#x})"
+            )
+    else:
+        if size % 16:
+            raise DmaSizeError(
+                f"transfers of 16 B and above must be quadword multiples, got {size}"
+            )
+        if local_offset % 16 or remote_offset % 16:
+            raise DmaAlignmentError(
+                f"quadword transfers need 16 B alignment "
+                f"(local {local_offset:#x}, remote {remote_offset:#x})"
+            )
+    if local_offset % 16 != remote_offset % 16:
+        raise DmaAlignmentError(
+            "source and destination must share 16 B alignment "
+            f"(local {local_offset:#x}, remote {remote_offset:#x})"
+        )
+
+
+@dataclass
+class DmaCommand:
+    """One MFC queue entry moving ``size`` bytes.
+
+    ``remote_node`` is the EIB element on the far side: ``"MEM"`` for main
+    memory (the model resolves the bank from the address), or a physical
+    SPE node name for LS-to-LS transfers.
+    """
+
+    direction: DmaDirection
+    target: TargetKind
+    size: int
+    tag: int = 0
+    local_offset: int = 0
+    remote_offset: int = 0
+    remote_node: Optional[str] = None
+    # Ordering variants (the MFC's <cmd>f / <cmd>b forms): a *fenced*
+    # command is ordered after all earlier commands of its tag group; a
+    # *barriered* command after all earlier commands in the queue.
+    fence: bool = False
+    barrier: bool = False
+    command_id: int = field(default_factory=lambda: next(_command_ids))
+
+    def __post_init__(self):
+        validate_transfer(self.size, self.local_offset, self.remote_offset)
+        if not 0 <= self.tag < 32:
+            raise DmaSizeError(f"tag group must be in [0, 32), got {self.tag}")
+        if self.target is TargetKind.LOCAL_STORE and self.remote_node is None:
+            raise DmaSizeError("LS-to-LS transfers need a remote_node")
+        if self.fence and self.barrier:
+            raise DmaSizeError("a command is fenced or barriered, not both")
+
+    @property
+    def is_efficient(self) -> bool:
+        """True when the transfer meets the 128 B bus-packet size."""
+        return self.size >= EFFICIENT_MIN_BYTES
+
+
+@dataclass(frozen=True)
+class DmaListElement:
+    """One element of a DMA list: size plus remote offset."""
+
+    size: int
+    remote_offset: int = 0
+
+    def __post_init__(self):
+        # List elements inherit the list's local-store cursor, which the
+        # MFC advances element by element; validate size and the remote
+        # side's alignment here.
+        validate_transfer(self.size, self.remote_offset, self.remote_offset)
+
+
+@dataclass
+class DmaList:
+    """A list command: one queue entry, many streamed elements.
+
+    All elements share a direction, target and tag.  The MFC fetches
+    elements from the local store and issues them back-to-back, which is
+    why list bandwidth is flat down to 128 B elements.
+    """
+
+    direction: DmaDirection
+    target: TargetKind
+    elements: Sequence[DmaListElement]
+    tag: int = 0
+    local_offset: int = 0
+    remote_node: Optional[str] = None
+    command_id: int = field(default_factory=lambda: next(_command_ids))
+
+    def __post_init__(self):
+        if not self.elements:
+            raise DmaSizeError("a DMA list needs at least one element")
+        if not 0 <= self.tag < 32:
+            raise DmaSizeError(f"tag group must be in [0, 32), got {self.tag}")
+        if self.target is TargetKind.LOCAL_STORE and self.remote_node is None:
+            raise DmaSizeError("LS-to-LS lists need a remote_node")
+
+    @property
+    def size(self) -> int:
+        """Total bytes moved by the list."""
+        return sum(element.size for element in self.elements)
+
+    @classmethod
+    def uniform(
+        cls,
+        direction: DmaDirection,
+        target: TargetKind,
+        element_size: int,
+        n_elements: int,
+        tag: int = 0,
+        remote_node: Optional[str] = None,
+    ) -> "DmaList":
+        """Build a list of ``n_elements`` equal chunks, contiguous on the
+        remote side — the shape every benchmark in the paper uses."""
+        if n_elements < 1:
+            raise DmaSizeError(f"n_elements must be >= 1, got {n_elements}")
+        elements: List[DmaListElement] = [
+            DmaListElement(size=element_size, remote_offset=i * element_size)
+            for i in range(n_elements)
+        ]
+        return cls(
+            direction=direction,
+            target=target,
+            elements=elements,
+            tag=tag,
+            remote_node=remote_node,
+        )
+
+
+def legal_command_sizes(nbytes: int) -> List[int]:
+    """Split an arbitrary byte count into legal single-command sizes:
+    16 KiB pieces plus a quadword-aligned remainder (minimum 16 B)."""
+    if nbytes <= 0:
+        raise DmaSizeError(f"cannot split {nbytes} bytes")
+    sizes: List[int] = []
+    remaining = nbytes
+    while remaining >= MAX_TRANSFER_BYTES:
+        sizes.append(MAX_TRANSFER_BYTES)
+        remaining -= MAX_TRANSFER_BYTES
+    if remaining > 0:
+        sizes.append(max(16, (remaining // 16) * 16))
+    return sizes
+
+
+def split_into_commands(
+    total_bytes: int,
+    element_size: int,
+    direction: DmaDirection,
+    target: TargetKind,
+    tag: int = 0,
+    remote_node: Optional[str] = None,
+) -> List[DmaCommand]:
+    """Split a buffer into equal DMA-elem commands, as the paper's
+    DMA-elem benchmarks do.  ``total_bytes`` must divide evenly."""
+    if element_size <= 0:
+        raise DmaSizeError(f"element_size must be positive, got {element_size}")
+    if total_bytes % element_size:
+        raise DmaSizeError(
+            f"{total_bytes} B does not divide into {element_size} B elements"
+        )
+    return [
+        DmaCommand(
+            direction=direction,
+            target=target,
+            size=element_size,
+            tag=tag,
+            local_offset=(i * element_size) % (2 ** 18),
+            remote_offset=i * element_size,
+            remote_node=remote_node,
+        )
+        for i in range(total_bytes // element_size)
+    ]

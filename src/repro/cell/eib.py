@@ -1,0 +1,265 @@
+"""The Element Interconnect Bus: four data rings plus per-element ports.
+
+Modelled behaviour, each piece tied to a paper observation:
+
+* Two rings per direction, at most three concurrent transfers per ring
+  with non-overlapping spans, at most six hops — transfers that cannot
+  coexist wait on the data arbiter.  This is the "physical location may
+  introduce EIB conflicts" mechanism behind Figures 12/13/15/16.
+* Every element has one on-ramp and one off-ramp moving 16 B per bus
+  cycle.  Two flows sharing a port halve; this is what pins the cycle-of-
+  two-SPEs experiment at 33.6 GB/s instead of 67.2.
+* The IOIF ramps carry only 7 GB/s (the second chip's memory bank).
+* A transfer holds its path for a *grant quantum* of data, then
+  re-arbitrates; each grant pays a fixed arbitration cost, so a single
+  flow sustains a few percent under the 16.8 GB/s ring rate ("almost
+  achieves the peak bandwidth").
+* Each hop adds a small pipeline latency, giving the small (<2 GB/s)
+  distance dependence of Figure 10's experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Generator, List, Optional, Tuple
+
+from repro.cell.config import CellConfig
+from repro.cell.errors import ConfigError
+from repro.cell.topology import CLOCKWISE, COUNTERCLOCKWISE, RingTopology
+from repro.sim import BusyMonitor, Environment, Event
+
+#: Extra CPU cycles of pipeline latency per hop travelled.
+HOP_LATENCY_CYCLES = 2
+
+
+@dataclass
+class TransferGrant:
+    """A committed reservation: one ring, a span set, both ports.
+
+    ``penalty_cycles`` is re-arbitration dead time attached when the
+    grant had to wait behind other requesters.
+    """
+
+    ring: "Ring"
+    spans: Tuple[int, ...]
+    span_set: frozenset
+    src: str
+    dst: str
+    penalty_cycles: int = 0
+
+
+class Ring:
+    """One data ring: a direction plus the set of active span sets."""
+
+    def __init__(self, name: str, direction: int, max_transfers: int):
+        self.name = name
+        self.direction = direction
+        self.max_transfers = max_transfers
+        self._active: List[frozenset] = []
+        self._occupied: set = set()
+
+    @property
+    def active_transfers(self) -> int:
+        return len(self._active)
+
+    def can_accept(self, span_set: frozenset) -> bool:
+        """True when the ring has a free slot and no span overlaps."""
+        if len(self._active) >= self.max_transfers:
+            return False
+        return self._occupied.isdisjoint(span_set)
+
+    def add(self, span_set: frozenset) -> None:
+        if not self.can_accept(span_set):
+            raise ConfigError(f"ring {self.name} cannot accept {span_set}")
+        self._active.append(span_set)
+        self._occupied |= span_set
+
+    def remove(self, span_set: frozenset) -> None:
+        self._active.remove(span_set)
+        self._occupied = set().union(*self._active) if self._active else set()
+
+
+class Eib:
+    """The bus: arbitration, routing, port accounting and statistics."""
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: RingTopology,
+        config: CellConfig,
+    ):
+        self.env = env
+        self.topology = topology
+        self.config = config
+        self.rings: List[Ring] = []
+        for direction, label in ((CLOCKWISE, "cw"), (COUNTERCLOCKWISE, "ccw")):
+            for i in range(config.eib.rings_per_direction):
+                self.rings.append(
+                    Ring(f"{label}{i}", direction, config.eib.max_transfers_per_ring)
+                )
+        self._out_busy: Dict[str, bool] = {node: False for node in topology.order}
+        self._in_busy: Dict[str, bool] = {node: False for node in topology.order}
+        self._waiters: Deque[Tuple[Event, str, str]] = deque()
+        self._span_sets: Dict[Tuple[str, str, int], frozenset] = {}
+        # Statistics the analysis layer reads.
+        self.grants = 0
+        self.conflicts = 0
+        self.wait_cycles = 0
+        self.bytes_moved = 0
+        self.ring_monitors = {ring.name: BusyMonitor(env, ring.name) for ring in self.rings}
+
+    # -- public API --------------------------------------------------------------
+
+    def transfer(
+        self, src: str, dst: str, nbytes: int
+    ) -> Generator[Event, object, None]:
+        """Move ``nbytes`` from ``src`` to ``dst``; a process sub-generator
+        (use ``yield from``).  Returns once the last byte has landed."""
+        if src == dst:
+            raise ConfigError(f"EIB transfer from {src!r} to itself")
+        if nbytes <= 0:
+            raise ConfigError(f"EIB transfer of {nbytes} bytes")
+        rate = min(
+            self.config.node_rate_bytes_per_cpu_cycle(src),
+            self.config.node_rate_bytes_per_cpu_cycle(dst),
+        )
+        quantum = self.config.eib.grant_quantum_bytes
+        remaining = nbytes
+        while remaining > 0:
+            chunk = min(remaining, quantum)
+            grant = yield from self._acquire(src, dst)
+            duration = (
+                self.config.eib.arbitration_cycles
+                + grant.penalty_cycles
+                + len(grant.spans) * HOP_LATENCY_CYCLES
+                + math.ceil(chunk / rate)
+            )
+            yield self.env.timeout(duration)
+            self._release(grant)
+            remaining -= chunk
+        self.bytes_moved += nbytes
+
+    def utilization(self) -> Dict[str, float]:
+        """Busy fraction of each ring over the run so far."""
+        return {
+            name: monitor.utilization()
+            for name, monitor in self.ring_monitors.items()
+        }
+
+    @property
+    def conflict_fraction(self) -> float:
+        """Fraction of grants that had to wait for a path."""
+        if self.grants == 0:
+            return 0.0
+        return self.conflicts / self.grants
+
+    # -- arbitration --------------------------------------------------------------
+
+    def _acquire(self, src: str, dst: str) -> Generator[Event, object, TransferGrant]:
+        grant = self._try_grant(src, dst)
+        if grant is not None:
+            self._commit(grant)
+            self.grants += 1
+            return grant
+        self.grants += 1
+        self.conflicts += 1
+        waiting = self.env.event()
+        self._waiters.append((waiting, src, dst))
+        started = self.env.now
+        grant = yield waiting
+        self.wait_cycles += self.env.now - started
+        return grant
+
+    def _span_set(self, src: str, dst: str, direction: int) -> frozenset:
+        key = (src, dst, direction)
+        cached = self._span_sets.get(key)
+        if cached is None:
+            cached = frozenset(self.topology.path(src, dst, direction))
+            self._span_sets[key] = cached
+        return cached
+
+    def _try_grant(self, src: str, dst: str) -> Optional[TransferGrant]:
+        """Find a free path; does NOT commit resources."""
+        if self._out_busy[src] or self._in_busy[dst]:
+            return None
+        for direction in self.topology.directions_by_distance(src, dst):
+            spans = self.topology.path(src, dst, direction)
+            if len(spans) > self.config.eib.max_hops:
+                continue
+            span_set = self._span_set(src, dst, direction)
+            for ring in self.rings:
+                if ring.direction == direction and ring.can_accept(span_set):
+                    return TransferGrant(
+                        ring=ring, spans=spans, span_set=span_set, src=src, dst=dst
+                    )
+        return None
+
+    def _commit(self, grant: TransferGrant) -> None:
+        grant.ring.add(grant.span_set)
+        self._out_busy[grant.src] = True
+        self._in_busy[grant.dst] = True
+        self.ring_monitors[grant.ring.name].acquire()
+
+    def _release(self, grant: TransferGrant) -> None:
+        grant.ring.remove(grant.span_set)
+        self._out_busy[grant.src] = False
+        self._in_busy[grant.dst] = False
+        self.ring_monitors[grant.ring.name].release()
+        self._drain_waiters()
+
+    def _drain_waiters(self) -> None:
+        """Grant every queued request that now fits, in FIFO order.
+
+        Grants are committed here, before the waiting processes resume,
+        so two releases in the same cycle cannot double-book a path."""
+        still_waiting: Deque[Tuple[Event, str, str]] = deque()
+        granted: List[Tuple[Event, TransferGrant]] = []
+        while self._waiters:
+            event, src, dst = self._waiters.popleft()
+            grant = self._try_grant(src, dst)
+            if grant is None:
+                still_waiting.append((event, src, dst))
+            else:
+                self._commit(grant)
+                granted.append((event, grant))
+        self._waiters = still_waiting
+        for event, grant in granted:
+            if not self._memory_side(grant):
+                grant.penalty_cycles = (
+                    self.config.eib.conflict_retry_cycles
+                    * self._contending_flows(grant)
+                )
+            event.succeed(grant)
+
+    def _contending_flows(self, grant: TransferGrant) -> int:
+        """Distinct other flows still waiting that this grant is holding
+        up: same source ramp, same destination ramp, or a span overlap
+        in the granted direction.  A flow's own pipelined commands do
+        not count — the BIU presents one bus request per flow."""
+        waiting_flows = {
+            (src, dst)
+            for _event, src, dst in self._waiters
+            if (src, dst) != (grant.src, grant.dst)
+        }
+        count = 0
+        for src, dst in waiting_flows:
+            if src == grant.src or dst == grant.dst:
+                count += 1
+                continue
+            if grant.ring.direction in self.topology.directions_by_distance(src, dst):
+                if not grant.span_set.isdisjoint(
+                    self._span_set(src, dst, grant.ring.direction)
+                ):
+                    count += 1
+        return count
+
+    @staticmethod
+    def _memory_side(grant: TransferGrant) -> bool:
+        """Transfers touching the MIC or an IOIF keep streaming across
+        grant boundaries (deep controller queues) — no retry penalty."""
+        return (
+            grant.src in ("MIC", "IOIF0", "IOIF1")
+            or grant.dst in ("MIC", "IOIF0", "IOIF1")
+        )

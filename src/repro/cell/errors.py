@@ -1,0 +1,44 @@
+"""Exception hierarchy for the Cell BE model.
+
+Everything the model can reject derives from :class:`CellError` so callers
+can catch model-level problems without masking kernel bugs.
+"""
+
+
+class CellError(Exception):
+    """Base class for all Cell model errors."""
+
+
+class ConfigError(CellError):
+    """An inconsistent or out-of-range machine configuration."""
+
+
+class DmaError(CellError):
+    """Base class for invalid DMA requests."""
+
+
+class DmaAlignmentError(DmaError):
+    """A DMA transfer violates the MFC's alignment rules.
+
+    The MFC requires source and destination addresses to share the same
+    16-byte alignment; naturally aligned transfers of 1, 2, 4 or 8 bytes
+    are also allowed.  (CBE Programming Handbook, DMA transfer rules.)
+    """
+
+
+class DmaSizeError(DmaError):
+    """A DMA transfer size is not representable by a single MFC command.
+
+    A single command moves 1, 2, 4, 8 or a multiple of 16 bytes, up to
+    16 KiB.  Larger transfers must be split into multiple commands or
+    expressed as a DMA list.
+    """
+
+
+class LocalStoreError(CellError):
+    """An allocation does not fit in the 256 KiB local store."""
+
+
+class MailboxError(CellError):
+    """Illegal mailbox operation (e.g. reading an empty mailbox without
+    blocking)."""

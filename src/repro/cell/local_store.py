@@ -1,0 +1,93 @@
+"""The 256 KiB local store of an SPE.
+
+The model does not carry data contents (bandwidth experiments never look
+at values), but it does enforce the one hard constraint the paper's codes
+had to respect: everything — code, DMA buffers, DMA lists — must fit in
+256 KiB.  A simple named bump allocator supports the double-buffering
+layouts the benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cell.config import LocalStoreConfig
+from repro.cell.errors import LocalStoreError
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A named region of the local store."""
+
+    name: str
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+class LocalStore:
+    """Bump allocator over the LS address space."""
+
+    def __init__(self, config: Optional[LocalStoreConfig] = None):
+        self.config = config or LocalStoreConfig()
+        self._cursor = 0
+        self._allocations: Dict[str, Allocation] = {}
+        self._anonymous = 0
+
+    @property
+    def size(self) -> int:
+        return self.config.size_bytes
+
+    @property
+    def used(self) -> int:
+        return self._cursor
+
+    @property
+    def remaining(self) -> int:
+        return self.size - self._cursor
+
+    def alloc(self, nbytes: int, name: Optional[str] = None, align: int = 16) -> Allocation:
+        """Reserve ``nbytes`` aligned to ``align``; raises when it cannot fit."""
+        if nbytes <= 0:
+            raise LocalStoreError(f"allocation of {nbytes} bytes")
+        if align <= 0 or align & (align - 1):
+            raise LocalStoreError(f"alignment must be a power of two, got {align}")
+        if name is None:
+            name = f"anon{self._anonymous}"
+            self._anonymous += 1
+        if name in self._allocations:
+            raise LocalStoreError(f"allocation {name!r} already exists")
+        offset = (self._cursor + align - 1) & ~(align - 1)
+        if offset + nbytes > self.size:
+            raise LocalStoreError(
+                f"{name!r} ({nbytes} B at {offset:#x}) exceeds the "
+                f"{self.size} B local store ({self.remaining} B free)"
+            )
+        allocation = Allocation(name=name, offset=offset, size=nbytes)
+        self._allocations[name] = allocation
+        self._cursor = offset + nbytes
+        return allocation
+
+    def get(self, name: str) -> Allocation:
+        if name not in self._allocations:
+            raise LocalStoreError(f"no allocation named {name!r}")
+        return self._allocations[name]
+
+    def reset(self) -> None:
+        """Release everything (a fresh SPU program image)."""
+        self._cursor = 0
+        self._allocations.clear()
+        self._anonymous = 0
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._allocations
+
+    def __repr__(self) -> str:
+        return (
+            f"LocalStore(used={self.used}, free={self.remaining}, "
+            f"allocations={sorted(self._allocations)})"
+        )

@@ -1,0 +1,75 @@
+"""SPE mailboxes: the 32-bit message channels of the MFC.
+
+Each SPE has a 4-entry inbound mailbox (written by the PPE or other
+SPEs through the MFC's memory-mapped registers) and a 1-entry outbound
+mailbox.  The paper's codes use them to start and stop measurement
+phases; the examples here use them the same way.
+"""
+
+from __future__ import annotations
+
+from repro.cell.errors import MailboxError
+from repro.sim import Environment, Event, Store
+
+#: Architectural depths.
+INBOUND_DEPTH = 4
+OUTBOUND_DEPTH = 1
+
+#: Mailbox messages are 32-bit values.
+_MAX_MESSAGE = 2 ** 32
+
+
+class Mailbox:
+    """One direction of an SPE's mailbox pair."""
+
+    def __init__(self, env: Environment, depth: int, name: str = ""):
+        if depth < 1:
+            raise MailboxError(f"mailbox depth must be >= 1, got {depth}")
+        self.env = env
+        self.depth = depth
+        self.name = name
+        self._store = Store(env, capacity=depth)
+
+    @property
+    def count(self) -> int:
+        """Messages currently queued."""
+        return len(self._store)
+
+    def write(self, message: int) -> Event:
+        """Blocking write: the event fires once the message is queued."""
+        self._check(message)
+        return self._store.put(message)
+
+    def try_write(self, message: int) -> bool:
+        """Non-blocking write; False when the mailbox is full."""
+        self._check(message)
+        if self.count >= self.depth:
+            return False
+        self._store.put(message)
+        return True
+
+    def read(self) -> Event:
+        """Blocking read: the event's value is the message."""
+        return self._store.get()
+
+    def try_read(self):
+        """Non-blocking read; None when empty."""
+        if self.count == 0:
+            return None
+        event = self._store.get()
+        if not event.triggered:
+            raise MailboxError(f"mailbox {self.name!r} lost a queued message")
+        return event.value
+
+    @staticmethod
+    def _check(message: int) -> None:
+        if not isinstance(message, int) or not 0 <= message < _MAX_MESSAGE:
+            raise MailboxError(f"mailbox messages are 32-bit values, got {message!r}")
+
+
+class MailboxPair:
+    """The inbound/outbound mailboxes of one SPE."""
+
+    def __init__(self, env: Environment, spe_name: str = ""):
+        self.inbound = Mailbox(env, INBOUND_DEPTH, name=f"{spe_name}.in")
+        self.outbound = Mailbox(env, OUTBOUND_DEPTH, name=f"{spe_name}.out")

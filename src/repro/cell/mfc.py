@@ -1,0 +1,305 @@
+"""The Memory Flow Controller: one DMA engine per SPE.
+
+The MFC owns a 16-entry command queue.  Commands complete out of order;
+the SPU observes completion through *tag groups* (32 tags; a command
+joins one group, and the SPU can wait until a set of groups has no
+outstanding commands).  Everything the paper's programming rules touch is
+modelled:
+
+* queue-full back-pressure (an ``enqueue`` blocks when 16 commands are in
+  flight — which is why delaying synchronisation matters: it keeps the
+  queue saturated);
+* DMA-elem vs DMA-list (a list occupies a single queue slot and the MFC
+  streams its elements with a small internal gap, so list bandwidth is
+  flat down to 128 B elements);
+* the outstanding-transaction window towards main memory that caps a
+  single SPE at ~10 GB/s aggregate regardless of direction;
+* the sub-128 B penalty.
+
+The MFC does not know about experiment policy (sync-every-k, unrolling):
+that lives in the SPU program (:mod:`repro.libspe`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.cell.dma import (
+    DmaCommand,
+    DmaDirection,
+    DmaList,
+    EFFICIENT_MIN_BYTES,
+    TargetKind,
+)
+from repro.cell.errors import CellError
+from repro.sim import AllOf, Environment, Event, Resource
+
+
+class Mfc:
+    """The DMA engine of one SPE (identified by its physical node name)."""
+
+    def __init__(self, env: Environment, node: str, chip: "CellChip"):
+        self.env = env
+        self.node = node
+        self.chip = chip
+        self.config = chip.config
+        self._slots = Resource(env, capacity=self.config.mfc.queue_depth)
+        # The PPE-visible proxy command queue is shallower (8 entries).
+        self._proxy_slots = Resource(env, capacity=8)
+        self._outstanding: Dict[int, int] = {tag: 0 for tag in range(32)}
+        self._tag_waiters: List[Tuple[Event, Tuple[int, ...]]] = []
+        # Ordering state for fenced/barriered commands.
+        self._tag_enqueued: Dict[int, int] = {tag: 0 for tag in range(32)}
+        self._tag_completed: Dict[int, int] = {tag: 0 for tag in range(32)}
+        self._total_enqueued = 0
+        self._total_completed = 0
+        self._order_waiters: List[Tuple[Event, Optional[int], int]] = []
+        # Next cycle at which the memory path can dispatch another byte.
+        self._memory_path_free_at = 0
+        self.commands_completed = 0
+        self.bytes_transferred = 0
+
+    # -- SPU-facing API ----------------------------------------------------------
+
+    def enqueue(self, command) -> Generator[Event, object, None]:
+        """Put a command (DmaCommand or DmaList) in the queue.
+
+        A sub-generator (``yield from``): it returns as soon as the
+        command occupies a queue slot, blocking only when all slots are
+        full.  The transfer itself proceeds asynchronously.
+        """
+        if not isinstance(command, (DmaCommand, DmaList)):
+            raise CellError(f"cannot enqueue {command!r}")
+        slot = self._slots.request()
+        yield slot
+        ordering = self._ordering_threshold(command)
+        self._register_enqueue(command)
+        if isinstance(command, DmaCommand):
+            self.env.process(
+                self._execute_command(command, slot, self._slots, ordering)
+            )
+        else:
+            self.env.process(self._execute_list(command, slot))
+
+    def proxy_enqueue(self, command: DmaCommand) -> Event:
+        """PPE-initiated (proxy) DMA through the MFC's MMIO registers.
+
+        The proxy queue is 8 deep and needs no SPU involvement; the
+        returned event fires when the transfer completes.  This is how
+        the PPE stages data into an SPE before starting its program.
+        """
+        if not isinstance(command, DmaCommand):
+            raise CellError("the proxy queue takes single commands only")
+        done = self.env.event()
+        self.env.process(self._proxy_process(command, done))
+        return done
+
+    def _proxy_process(self, command: DmaCommand, done: Event):
+        slot = self._proxy_slots.request()
+        yield slot
+        ordering = self._ordering_threshold(command)
+        self._register_enqueue(command)
+        yield self.env.process(
+            self._execute_command(command, slot, self._proxy_slots, ordering)
+        )
+        done.succeed()
+
+    def outstanding(self, tag: int) -> int:
+        """Commands of a tag group still in flight."""
+        return self._outstanding[tag]
+
+    def tag_group_quiet(self, tags) -> Event:
+        """Event that fires when every listed tag group is empty —
+        the model's ``mfc_read_tag_status_all``."""
+        tags = tuple(tags)
+        for tag in tags:
+            if tag not in self._outstanding:
+                raise CellError(f"unknown tag group {tag}")
+        event = self.env.event()
+        if all(self._outstanding[tag] == 0 for tag in tags):
+            event.succeed()
+            return event
+        self._tag_waiters.append((event, tags))
+        return event
+
+    @property
+    def queue_free_slots(self) -> int:
+        return self.config.mfc.queue_depth - self._slots.count
+
+    # -- ordering (fence / barrier) ------------------------------------------------
+
+    def _ordering_threshold(self, command) -> Optional[Tuple[Optional[int], int]]:
+        """(tag-or-None, completion count to wait for), or None."""
+        if isinstance(command, DmaCommand) and command.barrier:
+            return (None, self._total_enqueued)
+        if isinstance(command, DmaCommand) and command.fence:
+            return (command.tag, self._tag_enqueued[command.tag])
+        return None
+
+    def _register_enqueue(self, command) -> None:
+        self._tag_enqueued[command.tag] += 1
+        self._total_enqueued += 1
+        self._outstanding[command.tag] += 1
+
+    def _ordering_satisfied(self, tag: Optional[int], threshold: int) -> bool:
+        if tag is None:
+            return self._total_completed >= threshold
+        return self._tag_completed[tag] >= threshold
+
+    def _wait_ordering(self, ordering: Optional[Tuple[Optional[int], int]]):
+        if ordering is None:
+            return
+        tag, threshold = ordering
+        if self._ordering_satisfied(tag, threshold):
+            return
+        event = self.env.event()
+        self._order_waiters.append((event, tag, threshold))
+        yield event
+
+    # -- command execution -------------------------------------------------------
+
+    def _execute_command(
+        self,
+        command: DmaCommand,
+        slot,
+        slots: Resource,
+        ordering: Optional[Tuple[Optional[int], int]] = None,
+    ):
+        yield from self._wait_ordering(ordering)
+        yield from self._move(
+            direction=command.direction,
+            target=command.target,
+            remote_node=command.remote_node,
+            nbytes=command.size,
+        )
+        yield self.env.timeout(self.config.mfc.completion_cycles)
+        self._finish(command, slot, slots)
+
+    def _execute_list(self, dma_list: DmaList, slot):
+        """Stream the list's elements.
+
+        The MFC fetches list elements back-to-back and feeds the bus a
+        continuous packet stream, so consecutive elements coalesce into
+        bus bursts of up to one grant quantum: this is why DMA-list
+        bandwidth is flat across element sizes where DMA-elem pays a
+        per-command issue cost.  Element fetch time is still charged per
+        element, and burst concurrency is bounded by the MFC's internal
+        buffering.
+        """
+        inflight = Resource(self.env, capacity=self.config.mfc.list_inflight_limit)
+        pending: List[Event] = []
+        for n_elements, nbytes in self._list_bursts(dma_list.elements):
+            yield self.env.timeout(self.config.mfc.list_element_cycles * n_elements)
+            token = inflight.request()
+            yield token
+            done = self.env.event()
+            self.env.process(
+                self._list_burst(dma_list, nbytes, inflight, token, done)
+            )
+            pending.append(done)
+        if pending:
+            yield AllOf(self.env, pending)
+        yield self.env.timeout(self.config.mfc.completion_cycles)
+        self._finish(dma_list, slot, self._slots)
+
+    def _list_bursts(self, elements) -> List[Tuple[int, int]]:
+        """Coalesce consecutive list elements into (count, bytes) bursts
+        of at most one EIB grant quantum each."""
+        quantum = self.config.eib.grant_quantum_bytes
+        bursts: List[Tuple[int, int]] = []
+        count = 0
+        nbytes = 0
+        for element in elements:
+            if count and nbytes + element.size > quantum:
+                bursts.append((count, nbytes))
+                count, nbytes = 0, 0
+            count += 1
+            nbytes += element.size
+        if count:
+            bursts.append((count, nbytes))
+        return bursts
+
+    def _list_burst(
+        self,
+        dma_list: DmaList,
+        nbytes: int,
+        inflight: Resource,
+        token,
+        done: Event,
+    ):
+        yield from self._move(
+            direction=dma_list.direction,
+            target=dma_list.target,
+            remote_node=dma_list.remote_node,
+            nbytes=nbytes,
+        )
+        inflight.release(token)
+        done.succeed()
+
+    def _move(
+        self,
+        direction: DmaDirection,
+        target: TargetKind,
+        remote_node,
+        nbytes: int,
+    ):
+        """The data movement common to commands and list elements."""
+        if nbytes < EFFICIENT_MIN_BYTES:
+            yield self.env.timeout(self.config.mfc.small_transfer_penalty_cycles)
+        if target is TargetKind.MAIN_MEMORY:
+            yield from self._pace_memory_path(nbytes)
+            bank = self.chip.memory.assign_bank(self.node)
+            if direction is DmaDirection.GET:
+                yield self.chip.memory.read(self.node, nbytes, bank)
+                yield from self.chip.eib.transfer(bank.node, self.node, nbytes)
+            else:
+                yield from self.chip.eib.transfer(self.node, bank.node, nbytes)
+                yield self.chip.memory.write(self.node, nbytes, bank)
+        else:
+            if remote_node == self.node:
+                raise CellError("LS-to-LS DMA with itself")
+            if direction is DmaDirection.GET:
+                yield from self.chip.eib.transfer(remote_node, self.node, nbytes)
+            else:
+                yield from self.chip.eib.transfer(self.node, remote_node, nbytes)
+        self.bytes_transferred += nbytes
+
+    def _pace_memory_path(self, nbytes: int):
+        """Outstanding-transaction window to main memory, expressed as a
+        dispatch pacer: a single MFC cannot push more than ~10 GB/s of
+        GET+PUT traffic at memory no matter how many commands it queues."""
+        rate = self.config.mfc.memory_path_bytes_per_cpu_cycle
+        start = max(self.env.now, self._memory_path_free_at)
+        self._memory_path_free_at = start + math.ceil(nbytes / rate)
+        if start > self.env.now:
+            yield self.env.timeout(start - self.env.now)
+
+    def _finish(self, command, slot, slots: Resource) -> None:
+        slots.release(slot)
+        self._outstanding[command.tag] -= 1
+        if self._outstanding[command.tag] < 0:
+            raise CellError(f"tag group {command.tag} under-run")
+        self._tag_completed[command.tag] += 1
+        self._total_completed += 1
+        self.commands_completed += 1
+        self._wake_tag_waiters()
+        self._wake_order_waiters()
+
+    def _wake_tag_waiters(self) -> None:
+        still_waiting = []
+        for event, tags in self._tag_waiters:
+            if all(self._outstanding[tag] == 0 for tag in tags):
+                event.succeed()
+            else:
+                still_waiting.append((event, tags))
+        self._tag_waiters = still_waiting
+
+    def _wake_order_waiters(self) -> None:
+        still_waiting = []
+        for event, tag, threshold in self._order_waiters:
+            if self._ordering_satisfied(tag, threshold):
+                event.succeed()
+            else:
+                still_waiting.append((event, tag, threshold))
+        self._order_waiters = still_waiting

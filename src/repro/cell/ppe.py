@@ -1,0 +1,127 @@
+"""Structural model of PPU load/store bandwidth (Figures 3, 4 and 6).
+
+The paper's PPE experiments are steady-state streaming loops: a tight
+load (or store, or load+store) loop over a buffer resident in L1, L2 or
+main memory, with 1 or 2 SMT threads and element sizes from 1 byte to a
+full 16-byte VMX register.  In steady state the achieved bandwidth is the
+minimum over a small set of structural constraints, which is exactly how
+the paper reasons about its own numbers ("probably due to a hardware
+limitation on outstanding L1 cache misses, and the size of the store
+queues").  A closed-form min-of-constraints model is therefore the right
+level of abstraction — a cycle simulator would add noise, not fidelity.
+
+Constraints modelled per (level, op, threads):
+
+* *issue*: each thread retires at most one load/store per cycle, so an
+  element of ``e`` bytes moves at most ``e`` bytes/cycle — the strong
+  proportionality with element size every figure shows;
+* *plateau*: the per-path structural ceiling (L1 port, store-queue
+  drain, outstanding-miss window, memory write throughput), calibrated
+  in :class:`repro.cell.config.PpeConfig`;
+* *16 B bonus*: paths where the paper reports a distinct step from 8 B
+  to 16 B elements (stores and copies; loads gain nothing).
+
+``explain`` names the binding constraint so experiment reports can say
+*why* a configuration is slow, mirroring the paper's analysis sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cell.caches import CacheHierarchy, ELEMENT_SIZES, LEVELS, OPS
+from repro.cell.config import CellConfig
+from repro.cell.errors import ConfigError
+
+#: Human-readable description of each path's plateau limiter.
+_PLATEAU_REASON: Dict[str, str] = {
+    "l1_load": "L1 load port sustains half the 16 B/cycle peak",
+    "l1_store": "write-through L2 store-queue drain",
+    "l1_copy": "load/store slots shared on the single LSU port",
+    "l2_load": "outstanding L1 miss window",
+    "l2_store": "L2 store queue (deeper than the miss window)",
+    "l2_copy": "miss window shared between read and write streams",
+    "mem_load": "outstanding L1 miss window (same limit as L2 loads)",
+    "mem_store": "memory write throughput / saturated L2-to-memory queue",
+    "mem_copy": "memory read+write turnaround",
+}
+
+
+@dataclass(frozen=True)
+class PpeBandwidthPoint:
+    """One modelled measurement with its binding constraint."""
+
+    level: str
+    op: str
+    element_bytes: int
+    threads: int
+    gbps: float
+    limiter: str
+
+
+class PpeModel:
+    """Closed-form PPU bandwidth model."""
+
+    def __init__(self, config: CellConfig):
+        self.config = config
+        self.caches = CacheHierarchy(config.ppe)
+
+    def _check(self, level: str, op: str, element_bytes: int, threads: int) -> None:
+        if level not in LEVELS:
+            raise ConfigError(f"level must be one of {LEVELS}, got {level!r}")
+        if op not in OPS:
+            raise ConfigError(f"op must be one of {OPS}, got {op!r}")
+        if element_bytes not in ELEMENT_SIZES:
+            raise ConfigError(
+                f"element size must be one of {ELEMENT_SIZES}, got {element_bytes}"
+            )
+        if threads not in (1, 2):
+            raise ConfigError(f"the PPU has 2 SMT threads, got {threads}")
+
+    def bytes_per_cycle(
+        self, level: str, op: str, element_bytes: int, threads: int
+    ) -> float:
+        """Effective delivered bytes per CPU cycle (copy counts both
+        directions, as STREAM and the paper do)."""
+        self._check(level, op, element_bytes, threads)
+        ppe = self.config.ppe
+        plateau = ppe.plateau(level, op, threads)
+        saturating = ppe.saturating_element_bytes
+        if element_bytes >= 16:
+            return plateau * ppe.bonus_16b(level, op, threads)
+        if element_bytes >= saturating:
+            return plateau
+        # Issue-limited region: bandwidth proportional to element size.
+        return plateau * element_bytes / saturating
+
+    def bandwidth_gbps(
+        self, level: str, op: str, element_bytes: int, threads: int
+    ) -> float:
+        rate = self.bytes_per_cycle(level, op, element_bytes, threads)
+        return rate * self.config.clock.cpu_hz / 1e9
+
+    def explain(
+        self, level: str, op: str, element_bytes: int, threads: int
+    ) -> PpeBandwidthPoint:
+        """The bandwidth plus the name of the binding constraint."""
+        self._check(level, op, element_bytes, threads)
+        saturating = self.config.ppe.saturating_element_bytes
+        if element_bytes < saturating:
+            limiter = (
+                f"issue rate: one {element_bytes} B access per cycle per thread"
+            )
+        else:
+            limiter = _PLATEAU_REASON[f"{level}_{op}"]
+        return PpeBandwidthPoint(
+            level=level,
+            op=op,
+            element_bytes=element_bytes,
+            threads=threads,
+            gbps=self.bandwidth_gbps(level, op, element_bytes, threads),
+            limiter=limiter,
+        )
+
+    def peak_gbps(self) -> float:
+        """The experiments' reference peak: the 16 B/cycle PPU-L1 link."""
+        return 16 * self.config.clock.cpu_hz / 1e9

@@ -1,0 +1,73 @@
+"""A Synergistic Processor Element: SPU + local store + MFC.
+
+The SPU side of the model is structural, like the PPE's: the paper's
+SPU-to-LS experiment (section 4.2.2) is a streaming load/store loop with
+no OS interference, and it reaches the architectural peak — one quadword
+per cycle, 33.6 GB/s — exactly.  Narrower accesses are still full
+quadword LS reads with a mask/merge (loads) or a read-modify-write
+(stores), so delivered bandwidth is proportional to the element size.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cell.config import CellConfig
+from repro.cell.errors import ConfigError
+from repro.cell.local_store import LocalStore
+from repro.cell.mfc import Mfc
+from repro.sim import Environment
+
+#: Element sizes the SPU experiment sweeps (same as the PPE's).
+SPU_ELEMENT_SIZES = (1, 2, 4, 8, 16)
+
+
+class Spe:
+    """One SPE, addressed by logical index, living at a physical node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        logical_index: int,
+        node: str,
+        chip: "CellChip",
+    ):
+        self.env = env
+        self.logical_index = logical_index
+        self.node = node
+        self.chip = chip
+        self.config: CellConfig = chip.config
+        self.local_store = LocalStore(self.config.local_store)
+        self.mfc = Mfc(env, node, chip)
+
+    def ls_bytes_per_cycle(self, op: str, element_bytes: int) -> float:
+        """SPU <-> LS delivered bytes per CPU cycle."""
+        if op not in ("load", "store", "copy"):
+            raise ConfigError(f"op must be load/store/copy, got {op!r}")
+        if element_bytes not in SPU_ELEMENT_SIZES:
+            raise ConfigError(
+                f"element size must be one of {SPU_ELEMENT_SIZES}, got {element_bytes}"
+            )
+        spu = self.config.spu
+        if op == "load":
+            rate = min(element_bytes, spu.load_bytes_per_cycle)
+            if element_bytes < 16:
+                rate *= spu.subword_load_penalty
+            return rate
+        if op == "store":
+            rate = min(element_bytes, spu.store_bytes_per_cycle)
+            if element_bytes < 16:
+                rate *= spu.subword_store_penalty
+            return rate
+        # copy: one load + one store per element, sharing the single LS
+        # port; counts read+write bytes like the PPE copy experiments.
+        load = self.ls_bytes_per_cycle("load", element_bytes)
+        store = self.ls_bytes_per_cycle("store", element_bytes)
+        return 2.0 / (1.0 / load + 1.0 / store)
+
+    def ls_bandwidth_gbps(self, op: str, element_bytes: int) -> float:
+        rate = self.ls_bytes_per_cycle(op, element_bytes)
+        return rate * self.config.clock.cpu_hz / 1e9
+
+    def __repr__(self) -> str:
+        return f"Spe(logical={self.logical_index}, node={self.node!r})"

@@ -1,0 +1,181 @@
+"""Physical layout of the EIB ring and the logical-to-physical SPE mapping.
+
+The EIB connects twelve elements in a fixed physical order (Krolak's MPR
+presentation; Chen et al.).  Data travels clockwise on two rings and
+counterclockwise on the other two, and a transfer may move at most six
+hops.  Which *logical* SPE (the index libspe hands the programmer) sits
+at which *physical* position is decided by the OS/runtime and cannot be
+controlled or even observed through the libspe 1.1 API — which is why the
+paper runs every experiment ten times and reports min/max/median/mean.
+The model reproduces that with seeded random mappings.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.cell.errors import ConfigError
+
+#: Physical ring order of the CBE's twelve EIB elements.  SPE names here
+#: are *physical* positions.
+DEFAULT_RING_ORDER: Tuple[str, ...] = (
+    "PPE",
+    "SPE1",
+    "SPE3",
+    "SPE5",
+    "SPE7",
+    "IOIF1",
+    "IOIF0",
+    "SPE6",
+    "SPE4",
+    "SPE2",
+    "SPE0",
+    "MIC",
+)
+
+#: Direction constants: +1 walks the tuple forward, -1 backward.
+CLOCKWISE = 1
+COUNTERCLOCKWISE = -1
+
+
+class RingTopology:
+    """The ring: node order, spans, shortest paths.
+
+    A *span* is the physical wire segment between ring neighbours; span
+    ``i`` joins node ``i`` and node ``i + 1`` (mod N).  A path is the
+    tuple of spans a transfer occupies, which is what the arbiter checks
+    for overlap.
+    """
+
+    def __init__(self, order: Sequence[str] = DEFAULT_RING_ORDER):
+        if len(order) != len(set(order)):
+            raise ConfigError(f"duplicate nodes in ring order: {order}")
+        if len(order) < 3:
+            raise ConfigError("a ring needs at least three nodes")
+        self.order: Tuple[str, ...] = tuple(order)
+        self._index = {node: i for i, node in enumerate(self.order)}
+        # Paths and routing decisions are pure functions of the fixed
+        # ring order; memoise them (the EIB arbiter asks constantly).
+        self._path_cache: dict = {}
+        self._directions_cache: dict = {}
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._index
+
+    def index(self, node: str) -> int:
+        if node not in self._index:
+            raise ConfigError(f"unknown EIB element {node!r}")
+        return self._index[node]
+
+    def hops(self, src: str, dst: str, direction: int) -> int:
+        """Number of spans travelled from src to dst in a direction."""
+        self._check_direction(direction)
+        delta = (self.index(dst) - self.index(src)) % len(self)
+        if direction == CLOCKWISE:
+            return delta
+        return (len(self) - delta) % len(self)
+
+    def path(self, src: str, dst: str, direction: int) -> Tuple[int, ...]:
+        """Spans occupied travelling from src to dst in a direction."""
+        key = (src, dst, direction)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        self._check_direction(direction)
+        if src == dst:
+            raise ConfigError(f"transfer from {src!r} to itself")
+        n = len(self)
+        i = self.index(src)
+        spans: List[int] = []
+        for _ in range(self.hops(src, dst, direction)):
+            if direction == CLOCKWISE:
+                spans.append(i)
+                i = (i + 1) % n
+            else:
+                i = (i - 1) % n
+                spans.append(i)
+        result = tuple(spans)
+        self._path_cache[key] = result
+        return result
+
+    def directions_by_distance(self, src: str, dst: str) -> List[int]:
+        """Directions ordered shortest-first, restricted to legal (at most
+        half-ring) travel.  Both are returned on a tie."""
+        key = (src, dst)
+        cached = self._directions_cache.get(key)
+        if cached is not None:
+            return cached
+        cw = self.hops(src, dst, CLOCKWISE)
+        ccw = self.hops(src, dst, COUNTERCLOCKWISE)
+        half = len(self) // 2
+        candidates = []
+        if cw <= half:
+            candidates.append((cw, CLOCKWISE))
+        if ccw <= half:
+            candidates.append((ccw, COUNTERCLOCKWISE))
+        if not candidates:
+            raise ConfigError(f"no legal route from {src!r} to {dst!r}")
+        candidates.sort()
+        result = [direction for _hops, direction in candidates]
+        self._directions_cache[key] = result
+        return result
+
+    @staticmethod
+    def _check_direction(direction: int) -> None:
+        if direction not in (CLOCKWISE, COUNTERCLOCKWISE):
+            raise ConfigError(f"direction must be +1 or -1, got {direction}")
+
+    def spe_nodes(self) -> List[str]:
+        """Physical SPE node names in physical-index order."""
+        spes = sorted(
+            (node for node in self.order if node.startswith("SPE")),
+            key=lambda node: int(node[3:]),
+        )
+        return spes
+
+
+@dataclass(frozen=True)
+class SpeMapping:
+    """Logical SPE index -> physical SPE index permutation.
+
+    ``physical_of[i]`` is the physical position of logical SPE ``i``.
+    """
+
+    physical_of: Tuple[int, ...]
+
+    def __post_init__(self):
+        if sorted(self.physical_of) != list(range(len(self.physical_of))):
+            raise ConfigError(
+                f"mapping must be a permutation of 0..{len(self.physical_of) - 1}, "
+                f"got {self.physical_of}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.physical_of)
+
+    def node(self, logical: int) -> str:
+        """Physical EIB node name of a logical SPE."""
+        if not 0 <= logical < len(self.physical_of):
+            raise ConfigError(
+                f"logical SPE {logical} out of range 0..{len(self.physical_of) - 1}"
+            )
+        return f"SPE{self.physical_of[logical]}"
+
+    @classmethod
+    def identity(cls, n_spes: int = 8) -> "SpeMapping":
+        return cls(tuple(range(n_spes)))
+
+    @classmethod
+    def random(cls, seed: int, n_spes: int = 8) -> "SpeMapping":
+        """The mapping the OS happened to pick on one run: a seeded
+        shuffle, so runs are reproducible and a seed sweep plays the role
+        of the paper's ten repetitions."""
+        rng = random.Random(seed)
+        physical = list(range(n_spes))
+        rng.shuffle(physical)
+        return cls(tuple(physical))

@@ -1,0 +1,42 @@
+"""The paper's contribution: the bandwidth measurement suite.
+
+One experiment class per experiment in the paper's evaluation section,
+all built on a shared protocol (:mod:`repro.core.experiment`): build a
+fresh chip per repetition with a seeded random logical-to-physical SPE
+mapping (the paper's "10 runs to test different logical to physical SPE
+mappings"), run the SPU microkernels (:mod:`repro.core.kernels`), time
+them with the decrementer, and reduce to min/max/median/mean statistics
+(:mod:`repro.core.results`).
+
+The paper's reported numbers and shape claims live in
+:mod:`repro.core.reference`; :mod:`repro.core.validation` checks a run
+against them, and :mod:`repro.core.report` renders the figures' data as
+text tables.
+"""
+
+from repro.core.experiment import Experiment, ExperimentResult
+from repro.core.kernels import DmaWorkload, dma_stream_kernel
+from repro.core.ppe_bandwidth import PpeBandwidthExperiment
+from repro.core.results import BandwidthSample, BandwidthStats, SweepTable
+from repro.core.spe_couples import CouplesExperiment
+from repro.core.spe_cycle import CycleExperiment
+from repro.core.spe_localstore import SpeLocalStoreExperiment
+from repro.core.spe_memory import SpeMemoryExperiment
+from repro.core.spe_pairs import PairDistanceExperiment, PairSyncExperiment
+
+__all__ = [
+    "BandwidthSample",
+    "BandwidthStats",
+    "CouplesExperiment",
+    "CycleExperiment",
+    "DmaWorkload",
+    "Experiment",
+    "ExperimentResult",
+    "PairDistanceExperiment",
+    "PairSyncExperiment",
+    "PpeBandwidthExperiment",
+    "SpeLocalStoreExperiment",
+    "SpeMemoryExperiment",
+    "SweepTable",
+    "dma_stream_kernel",
+]

@@ -1,0 +1,166 @@
+"""Shared experiment protocol.
+
+Every experiment follows the paper's section 3:
+
+* a fresh machine per repetition, with a seeded random logical-to-
+  physical SPE mapping (the API cannot choose or observe the placement,
+  so the paper repeats each experiment ten times — we sweep seeds);
+* a warm-up lap before the timed region (inside the kernels);
+* weak scaling: each active SPE moves the same per-SPE volume;
+* timing with the decrementer; bandwidth = total bytes over the wall
+  interval from the first SPE's start to the last SPE's end;
+* reduction to min/max/median/mean.
+
+Volumes: the paper moves 32 MiB per SPE.  Sustained bandwidth in the
+model is volume-invariant once a few commands are in flight (a test
+asserts this), so experiments default to a smaller per-SPE volume with a
+command-count clamp to keep small-element sweeps fast; ``paper_scale()``
+restores 32 MiB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cell.chip import CellChip
+from repro.cell.config import CellConfig
+from repro.cell.errors import ConfigError
+from repro.cell.topology import SpeMapping
+from repro.core.kernels import DmaWorkload, dma_stream_kernel
+from repro.core.results import BandwidthSample, BandwidthStats, SweepTable
+from repro.libspe import SpeContext
+
+#: Fewest commands a timed region may contain (steady-state guarantee).
+MIN_COMMANDS = 32
+
+#: Most commands per run (keeps 128 B sweeps tractable).
+MAX_COMMANDS = 2048
+
+#: Default per-SPE volume (the paper uses 32 MiB; see module docstring).
+DEFAULT_BYTES_PER_SPE = 2 * 2 ** 20
+
+#: Paper volume.
+PAPER_BYTES_PER_SPE = 32 * 2 ** 20
+
+#: The element-size sweep of every DMA figure: 128 B .. 16 KiB.
+DMA_ELEMENT_SIZES: Tuple[int, ...] = (128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+
+
+@dataclass
+class ExperimentResult:
+    """What an experiment hands to reports and validation."""
+
+    name: str
+    description: str
+    tables: Dict[str, SweepTable] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def table(self, name: str) -> SweepTable:
+        if name not in self.tables:
+            raise KeyError(
+                f"experiment {self.name!r} has tables {sorted(self.tables)}, "
+                f"not {name!r}"
+            )
+        return self.tables[name]
+
+
+class Experiment:
+    """Base class: machine + repetition policy + measurement helpers."""
+
+    name = "abstract-experiment"
+    description = ""
+
+    def __init__(
+        self,
+        config: Optional[CellConfig] = None,
+        repetitions: int = 10,
+        bytes_per_spe: int = DEFAULT_BYTES_PER_SPE,
+        seed_base: int = 1000,
+        unrolled: bool = True,
+    ):
+        if repetitions < 1:
+            raise ConfigError(f"repetitions must be >= 1, got {repetitions}")
+        if bytes_per_spe < 16384:
+            raise ConfigError(
+                f"bytes_per_spe below one maximum DMA command: {bytes_per_spe}"
+            )
+        self.config = config or CellConfig.paper_blade()
+        self.repetitions = repetitions
+        self.bytes_per_spe = bytes_per_spe
+        self.seed_base = seed_base
+        self.unrolled = unrolled
+
+    @classmethod
+    def paper_scale(cls, **kwargs) -> "Experiment":
+        """The experiment at the paper's full 32 MiB per SPE."""
+        kwargs.setdefault("bytes_per_spe", PAPER_BYTES_PER_SPE)
+        return cls(**kwargs)
+
+    # -- repetition / sizing policy -----------------------------------------------
+
+    @property
+    def seeds(self) -> List[int]:
+        return [self.seed_base + i for i in range(self.repetitions)]
+
+    def n_elements_for(self, element_bytes: int) -> int:
+        """Commands per SPE for an element size: the per-SPE volume,
+        clamped so tiny elements stay tractable and huge ones still
+        produce a steady state."""
+        if element_bytes <= 0:
+            raise ConfigError(f"element of {element_bytes} bytes")
+        wanted = self.bytes_per_spe // element_bytes
+        return max(MIN_COMMANDS, min(MAX_COMMANDS, wanted))
+
+    # -- measurement ---------------------------------------------------------------
+
+    def build_chip(self, seed: int) -> CellChip:
+        mapping = SpeMapping.random(seed, self.config.n_spes)
+        return CellChip(config=self.config, mapping=mapping)
+
+    def run_assignments(
+        self,
+        seed: int,
+        assignments: Sequence[Tuple[int, DmaWorkload]],
+    ) -> BandwidthSample:
+        """Run one repetition: each (logical SPE, workload) pair runs the
+        stream kernel; returns the aggregate-bandwidth sample."""
+        if not assignments:
+            raise ConfigError("no SPE assignments")
+        chip = self.build_chip(seed)
+        outs: List[Dict] = []
+        for logical, workload in assignments:
+            partner = (
+                chip.spe(workload.partner_logical)
+                if workload.partner_logical is not None
+                else None
+            )
+            context = SpeContext(chip, logical, unrolled=self.unrolled)
+            out: Dict = {}
+            context.load(dma_stream_kernel, workload, out, partner)
+            outs.append(out)
+        chip.run()
+        total_bytes = sum(out["bytes"] for out in outs)
+        elapsed = max(out["end"] for out in outs) - min(out["start"] for out in outs)
+        return BandwidthSample(
+            gbps=self.config.clock.gbps(total_bytes, elapsed),
+            nbytes=total_bytes,
+            cycles=elapsed,
+            seed=seed,
+        )
+
+    def stats_over_seeds(
+        self, assignments_for_seed
+    ) -> BandwidthStats:
+        """Repeat a run over all seeds.  ``assignments_for_seed(seed)``
+        returns the (logical, workload) list for one repetition."""
+        samples = [
+            self.run_assignments(seed, assignments_for_seed(seed))
+            for seed in self.seeds
+        ]
+        return BandwidthStats.from_samples(samples)
+
+    # -- the part subclasses implement ---------------------------------------------
+
+    def run(self) -> ExperimentResult:
+        raise NotImplementedError

@@ -1,0 +1,98 @@
+"""PPE bandwidth experiments: Figures 3 (L1), 4 (L2) and 6 (memory).
+
+The PPU runs a tight load/store/copy loop over a buffer resident at one
+level of the hierarchy, with 1 or 2 SMT threads and element sizes from
+1 to 16 bytes.  These are steady-state streaming loops, evaluated with
+the closed-form structural model (:class:`repro.cell.ppe.PpeModel`);
+see that module's docstring for why a cycle simulation would add nothing
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.cell.caches import ELEMENT_SIZES, LEVELS, OPS
+from repro.cell.chip import CellChip
+from repro.cell.errors import ConfigError
+from repro.core.experiment import Experiment, ExperimentResult
+from repro.core.results import BandwidthSample, BandwidthStats, SweepTable
+
+#: Figure number per level, for report headers.
+FIGURE_OF_LEVEL = {"l1": "Figure 3", "l2": "Figure 4", "mem": "Figure 6"}
+
+
+class PpeBandwidthExperiment(Experiment):
+    """One of the three PPE figures, selected by cache level."""
+
+    name = "ppe-bandwidth"
+    description = (
+        "PPU load/store/copy bandwidth to L1/L2/main memory, 1-2 threads, "
+        "1-16 B elements"
+    )
+
+    def __init__(
+        self,
+        level: str,
+        ops: Sequence[str] = OPS,
+        threads: Sequence[int] = (1, 2),
+        element_sizes: Sequence[int] = ELEMENT_SIZES,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        if level not in LEVELS:
+            raise ConfigError(f"level must be one of {LEVELS}, got {level!r}")
+        self.level = level
+        self.ops = tuple(ops)
+        self.threads = tuple(threads)
+        self.element_sizes = tuple(element_sizes)
+        self.name = f"{FIGURE_OF_LEVEL[level].lower().replace(' ', '')}-ppe-{level}"
+
+    def run(self) -> ExperimentResult:
+        chip = CellChip(config=self.config)
+        hierarchy = chip.ppe.caches
+        buffer_bytes = hierarchy.buffer_bytes_for(self.level)
+        table = SweepTable(
+            name=f"ppe-{self.level}",
+            axes=("op", "threads", "element_bytes"),
+        )
+        notes = [
+            f"{FIGURE_OF_LEVEL[self.level]}: buffer of {buffer_bytes} B per "
+            f"working set (level {self.level})",
+            f"peak (PPU-L1 link): {chip.ppe.peak_gbps():.1f} GB/s",
+        ]
+        for op in self.ops:
+            working_sets = 2 if op == "copy" else 1
+            if not hierarchy.fits(self.level, buffer_bytes // working_sets, working_sets):
+                raise ConfigError(
+                    f"buffer sizing bug: {buffer_bytes} B does not pin {self.level}"
+                )
+            for threads in self.threads:
+                for element in self.element_sizes:
+                    point = chip.ppe.explain(self.level, op, element, threads)
+                    sample = BandwidthSample(
+                        gbps=point.gbps,
+                        nbytes=buffer_bytes,
+                        cycles=max(
+                            1,
+                            round(
+                                buffer_bytes
+                                / max(point.gbps * 1e9, 1.0)
+                                * self.config.clock.cpu_hz
+                            ),
+                        ),
+                    )
+                    table.put(
+                        (op, threads, element),
+                        BandwidthStats.from_samples([sample]),
+                    )
+                    notes.append(
+                        f"{op}/{threads}t/{element}B limited by: {point.limiter}"
+                    )
+        result = ExperimentResult(
+            name=self.name,
+            description=self.description,
+            tables={"bandwidth": table},
+            notes=notes,
+        )
+        return result

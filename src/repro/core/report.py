@@ -1,0 +1,156 @@
+"""Text rendering of experiment results: the figures as tables.
+
+``format_table`` prints one :class:`~repro.core.results.SweepTable` with
+the last axis as columns (the figures' x axis is always the element
+size) and the remaining axes as row labels.  ``render_result`` prints a
+whole experiment; ``to_csv`` exports for plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.experiment import ExperimentResult
+from repro.core.results import BandwidthStats, SweepTable
+
+
+def _axis_label(value) -> str:
+    if isinstance(value, int) and value >= 2 ** 20:
+        return "all"
+    return str(value)
+
+
+def format_table(
+    table: SweepTable,
+    statistic: str = "mean",
+    title: str = "",
+) -> str:
+    """Render the table with the last axis as columns.
+
+    ``statistic`` is one of mean/median/minimum/maximum/spread.
+    """
+    if not len(table):
+        raise ValueError(f"table {table.name!r} is empty")
+    column_axis = table.axes[-1]
+    row_axes = table.axes[:-1]
+    columns = table.axis_values(column_axis)
+    row_keys: List[Tuple] = []
+    for key in table.cells:
+        row_key = key[:-1]
+        if row_key not in row_keys:
+            row_keys.append(row_key)
+
+    out = io.StringIO()
+    header = title or f"{table.name} ({statistic}, GB/s)"
+    out.write(header + "\n")
+    row_label_width = max(
+        [len(" ".join(f"{a}={_axis_label(v)}" for a, v in zip(row_axes, rk)))
+         for rk in row_keys]
+        + [len("/".join(row_axes))]
+    )
+    out.write(
+        " " * row_label_width
+        + " | "
+        + " ".join(f"{_axis_label(c):>8}" for c in columns)
+        + "\n"
+    )
+    out.write("-" * (row_label_width + 3 + 9 * len(columns)) + "\n")
+    for row_key in row_keys:
+        label = " ".join(
+            f"{axis}={_axis_label(value)}" for axis, value in zip(row_axes, row_key)
+        )
+        cells = []
+        for column in columns:
+            key = row_key + (column,)
+            if key in table.cells:
+                cells.append(f"{getattr(table.cells[key], statistic):8.2f}")
+            else:
+                cells.append(" " * 8)
+        out.write(f"{label:<{row_label_width}} | " + " ".join(cells) + "\n")
+    return out.getvalue()
+
+
+def format_placement_statistics(
+    table: SweepTable, fixed_key: Tuple, title: str = ""
+) -> str:
+    """The Figure 13/16 view: min/max/median/mean for one configuration
+    across element sizes."""
+    column_axis = table.axes[-1]
+    columns = table.axis_values(column_axis)
+    out = io.StringIO()
+    out.write((title or f"{table.name} placement statistics") + "\n")
+    out.write(
+        f"{'statistic':<10} | "
+        + " ".join(f"{_axis_label(c):>8}" for c in columns)
+        + "\n"
+    )
+    out.write("-" * (13 + 9 * len(columns)) + "\n")
+    for statistic in ("minimum", "median", "mean", "maximum"):
+        cells = []
+        for column in columns:
+            key = fixed_key + (column,)
+            stats = table.cells.get(key)
+            cells.append(f"{getattr(stats, statistic):8.2f}" if stats else " " * 8)
+        out.write(f"{statistic:<10} | " + " ".join(cells) + "\n")
+    return out.getvalue()
+
+
+def render_result(result: ExperimentResult, statistic: str = "mean") -> str:
+    """All of an experiment's tables plus its notes."""
+    out = io.StringIO()
+    out.write(f"== {result.name}: {result.description}\n\n")
+    for name, table in result.tables.items():
+        out.write(format_table(table, statistic=statistic, title=f"-- {name}"))
+        out.write("\n")
+    for note in result.notes:
+        out.write(f"note: {note}\n")
+    return out.getvalue()
+
+
+def format_series_chart(
+    table: SweepTable,
+    axis: str,
+    series_fixed: Sequence[Tuple[str, dict]],
+    width: int = 50,
+    title: str = "",
+    peak: float = None,
+) -> str:
+    """An ASCII bar chart of one or more series — the figures, roughly
+    as they look in the paper.
+
+    ``series_fixed`` is a list of (label, fixed-axes dict) pairs; each
+    produces one group of bars over the ``axis`` values.  ``peak``
+    (defaults to the largest value) sets the full-width scale, so bars
+    are directly comparable to the experiment's peak.
+    """
+    groups = [
+        (label, table.series(axis, fixed)) for label, fixed in series_fixed
+    ]
+    values = [value for _label, series in groups for _x, value in series]
+    if not values:
+        raise ValueError("nothing to chart")
+    scale = peak if peak is not None else max(values)
+    if scale <= 0:
+        raise ValueError(f"chart scale must be positive, got {scale}")
+    out = io.StringIO()
+    out.write((title or f"{table.name} by {axis}") + f"  (full bar = {scale:.1f})\n")
+    for label, series in groups:
+        out.write(f"{label}\n")
+        for x, value in series:
+            bar = "#" * max(1, round(width * min(value, scale) / scale))
+            out.write(f"  {_axis_label(x):>8} |{bar:<{width}}| {value:7.2f}\n")
+    return out.getvalue()
+
+
+def to_csv(table: SweepTable) -> str:
+    """CSV with one row per cell: axes, then the four statistics."""
+    out = io.StringIO()
+    out.write(",".join(table.axes) + ",min,median,mean,max,n\n")
+    for key, stats in table.rows():
+        out.write(
+            ",".join(str(part) for part in key)
+            + f",{stats.minimum:.3f},{stats.median:.3f},{stats.mean:.3f},"
+            f"{stats.maximum:.3f},{stats.n_samples}\n"
+        )
+    return out.getvalue()

@@ -1,0 +1,127 @@
+"""Result containers: samples, statistics, sweep tables.
+
+The paper reports min/maximum/median/mean bandwidth over ten runs with
+different (uncontrollable) SPE placements; :class:`BandwidthStats` is
+exactly that reduction.  A :class:`SweepTable` holds one figure's worth
+of data: statistics keyed by the swept parameters.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class BandwidthSample:
+    """One timed run: bytes moved over elapsed cycles, plus context."""
+
+    gbps: float
+    nbytes: int
+    cycles: int
+    seed: Optional[int] = None
+
+    def __post_init__(self):
+        if self.nbytes <= 0:
+            raise ValueError(f"sample of {self.nbytes} bytes")
+        if self.cycles <= 0:
+            raise ValueError(f"sample over {self.cycles} cycles")
+        if self.gbps <= 0:
+            raise ValueError(f"sample at {self.gbps} GB/s")
+
+
+@dataclass(frozen=True)
+class BandwidthStats:
+    """The paper's four reductions over repeated runs."""
+
+    minimum: float
+    maximum: float
+    median: float
+    mean: float
+    n_samples: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[BandwidthSample]) -> "BandwidthStats":
+        if not samples:
+            raise ValueError("no samples to reduce")
+        values = [sample.gbps for sample in samples]
+        return cls(
+            minimum=min(values),
+            maximum=max(values),
+            median=statistics.median(values),
+            mean=statistics.fmean(values),
+            n_samples=len(values),
+        )
+
+    @property
+    def spread(self) -> float:
+        """Max minus min: the paper's placement-sensitivity measure."""
+        return self.maximum - self.minimum
+
+    def __str__(self) -> str:
+        return (
+            f"min {self.minimum:.1f} / median {self.median:.1f} / "
+            f"mean {self.mean:.1f} / max {self.maximum:.1f} GB/s"
+            f" ({self.n_samples} runs)"
+        )
+
+
+@dataclass
+class SweepTable:
+    """One figure's data: stats keyed by swept-parameter tuples.
+
+    ``axes`` names the key components, e.g. ``("n_spes", "element_bytes")``.
+    """
+
+    name: str
+    axes: Tuple[str, ...]
+    cells: Dict[Tuple, BandwidthStats] = field(default_factory=dict)
+
+    def put(self, key: Tuple, stats: BandwidthStats) -> None:
+        if len(key) != len(self.axes):
+            raise ValueError(
+                f"key {key} does not match axes {self.axes} of {self.name!r}"
+            )
+        self.cells[key] = stats
+
+    def get(self, *key) -> BandwidthStats:
+        if tuple(key) not in self.cells:
+            raise KeyError(f"{key} not measured in {self.name!r}")
+        return self.cells[tuple(key)]
+
+    def mean(self, *key) -> float:
+        """Shortcut: the mean bandwidth at a key."""
+        return self.get(*key).mean
+
+    def axis_values(self, axis: str) -> List:
+        """Distinct values of one axis, in insertion order."""
+        if axis not in self.axes:
+            raise KeyError(f"{self.name!r} has axes {self.axes}, not {axis!r}")
+        position = self.axes.index(axis)
+        seen: List = []
+        for key in self.cells:
+            if key[position] not in seen:
+                seen.append(key[position])
+        return seen
+
+    def series(self, axis: str, fixed: Mapping[str, object]) -> List[Tuple[object, float]]:
+        """A (axis value, mean GB/s) series with the other axes fixed —
+        one curve of a figure."""
+        for name in fixed:
+            if name not in self.axes:
+                raise KeyError(f"{name!r} is not an axis of {self.name!r}")
+        position = self.axes.index(axis)
+        points = []
+        for key, stats in self.cells.items():
+            bound = dict(zip(self.axes, key))
+            if all(bound[name] == value for name, value in fixed.items()):
+                points.append((key[position], stats.mean))
+        points.sort(key=lambda pair: pair[0])
+        return points
+
+    def rows(self) -> Iterable[Tuple[Tuple, BandwidthStats]]:
+        return self.cells.items()
+
+    def __len__(self) -> int:
+        return len(self.cells)

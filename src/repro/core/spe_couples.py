@@ -1,0 +1,94 @@
+"""Couples of SPEs: Figures 12 and 13.
+
+An even number of SPEs is split into pairs; the lower logical index of
+each pair initiates simultaneous GET and PUT against its passive
+partner.  Peak is 33.6 GB/s per pair (134.4 GB/s with four pairs).  The
+paper's findings:
+
+* one and two pairs sit at essentially peak bandwidth;
+* four pairs average ~70% (DMA-elem) / ~60% (DMA-list) of peak, with a
+  ~30 GB/s min-to-max spread across placements: with eight SPEs active
+  the (uncontrollable) physical layout decides how many transfers
+  collide on ring segments;
+* DMA-list bandwidth is flat across element sizes, DMA-elem degrades
+  below 1 KiB.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.cell.errors import ConfigError
+from repro.core.experiment import (
+    DMA_ELEMENT_SIZES,
+    Experiment,
+    ExperimentResult,
+)
+from repro.core.kernels import DmaWorkload
+from repro.core.results import SweepTable
+
+#: Figure 12 sweeps these team sizes (1, 2 and 4 pairs).
+COUPLE_COUNTS = (2, 4, 8)
+
+
+def couple_assignments(
+    n_spes: int, workload_for: "callable"
+) -> List[Tuple[int, DmaWorkload]]:
+    """(initiator, workload) pairs: SPE 0 with 1, 2 with 3, ..."""
+    if n_spes % 2:
+        raise ConfigError(f"couples need an even SPE count, got {n_spes}")
+    assignments = []
+    for initiator in range(0, n_spes, 2):
+        assignments.append((initiator, workload_for(initiator, initiator + 1)))
+    return assignments
+
+
+class CouplesExperiment(Experiment):
+    """Figures 12 (averages) and 13 (min/max/median/mean at 8 SPEs)."""
+
+    name = "fig12-13-couples"
+    description = (
+        "pairs of SPEs, initiator doing GET+PUT against a passive "
+        "partner; DMA-elem and DMA-list"
+    )
+
+    def __init__(
+        self,
+        spe_counts: Sequence[int] = COUPLE_COUNTS,
+        element_sizes: Sequence[int] = DMA_ELEMENT_SIZES,
+        modes: Sequence[str] = ("elem", "list"),
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.spe_counts = tuple(spe_counts)
+        self.element_sizes = tuple(element_sizes)
+        self.modes = tuple(modes)
+
+    def run(self) -> ExperimentResult:
+        result = ExperimentResult(name=self.name, description=self.description)
+        for mode in self.modes:
+            table = SweepTable(
+                name=f"couples-{mode}", axes=("n_spes", "element_bytes")
+            )
+            for n_spes in self.spe_counts:
+                for element in self.element_sizes:
+                    def workload_for(_initiator, partner):
+                        return DmaWorkload(
+                            direction="copy",
+                            element_bytes=element,
+                            n_elements=self.n_elements_for(element),
+                            mode=mode,
+                            partner_logical=partner,
+                        )
+
+                    stats = self.stats_over_seeds(
+                        lambda _seed: couple_assignments(n_spes, workload_for)
+                    )
+                    table.put((n_spes, element), stats)
+            result.tables[mode] = table
+        for n_spes in self.spe_counts:
+            result.notes.append(
+                f"peak for {n_spes} SPEs: "
+                f"{self.config.couples_peak_gbps(n_spes):.1f} GB/s"
+            )
+        return result

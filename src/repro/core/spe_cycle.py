@@ -1,0 +1,95 @@
+"""Cycle of SPEs: Figures 15 and 16 — the streaming pattern.
+
+Every SPE initiates GET and PUT against its logical neighbour (modulo
+the team size), so each SPE also serves its other neighbour's transfers:
+two reads and two writes are active per SPE, and every element's on/off
+ramps are shared by two flows.  This is the communication shape of a
+streaming pipeline, and it deliberately saturates the EIB.  The paper's
+findings:
+
+* two SPEs reach the experiment's peak (33.6 GB/s — the ramp limit);
+* four SPEs reach only ~50 of 67.2 GB/s and eight ~70 of 134.4 GB/s:
+  *lower* than the couples experiment with half the flows, i.e.
+  "saturating the EIB is counterproductive in terms of performance";
+* placement still matters, but less than for couples (~20 GB/s spread
+  for DMA-elem, ~10 for DMA-list): with this many flows every layout
+  conflicts somewhere.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.cell.errors import ConfigError
+from repro.core.experiment import (
+    DMA_ELEMENT_SIZES,
+    Experiment,
+    ExperimentResult,
+)
+from repro.core.kernels import DmaWorkload
+from repro.core.results import SweepTable
+
+#: Figure 15 sweeps these ring sizes.
+CYCLE_COUNTS = (2, 4, 8)
+
+
+def cycle_assignments(
+    n_spes: int, workload_for: "callable"
+) -> List[Tuple[int, DmaWorkload]]:
+    """(initiator, workload) for each SPE against its logical neighbour."""
+    if n_spes < 2:
+        raise ConfigError(f"a cycle needs at least 2 SPEs, got {n_spes}")
+    return [
+        (initiator, workload_for(initiator, (initiator + 1) % n_spes))
+        for initiator in range(n_spes)
+    ]
+
+
+class CycleExperiment(Experiment):
+    """Figures 15 (averages) and 16 (placement statistics at 8 SPEs)."""
+
+    name = "fig15-16-cycle"
+    description = (
+        "cycle of SPEs, every SPE doing GET+PUT with its logical "
+        "neighbour; DMA-elem and DMA-list"
+    )
+
+    def __init__(
+        self,
+        spe_counts: Sequence[int] = CYCLE_COUNTS,
+        element_sizes: Sequence[int] = DMA_ELEMENT_SIZES,
+        modes: Sequence[str] = ("elem", "list"),
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self.spe_counts = tuple(spe_counts)
+        self.element_sizes = tuple(element_sizes)
+        self.modes = tuple(modes)
+
+    def run(self) -> ExperimentResult:
+        result = ExperimentResult(name=self.name, description=self.description)
+        for mode in self.modes:
+            table = SweepTable(
+                name=f"cycle-{mode}", axes=("n_spes", "element_bytes")
+            )
+            for n_spes in self.spe_counts:
+                for element in self.element_sizes:
+                    def workload_for(_initiator, partner):
+                        return DmaWorkload(
+                            direction="copy",
+                            element_bytes=element,
+                            n_elements=self.n_elements_for(element),
+                            mode=mode,
+                            partner_logical=partner,
+                        )
+
+                    stats = self.stats_over_seeds(
+                        lambda _seed: cycle_assignments(n_spes, workload_for)
+                    )
+                    table.put((n_spes, element), stats)
+            result.tables[mode] = table
+        result.notes.append(
+            "all SPEs active: twice the flows of the couples experiment, "
+            "every ramp shared by two flows"
+        )
+        return result

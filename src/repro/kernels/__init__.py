@@ -1,0 +1,46 @@
+"""Small computational kernels on the modelled Cell — the paper's §5
+future work, implemented.
+
+"In the near future, we plan to use this experience to evaluate small
+kernels (scalar product, matrix by vector, matrix product, streaming
+benchmarks...)" — this subpackage does exactly that on the model:
+
+* :mod:`repro.kernels.compute` — the SPU arithmetic model: 4-wide
+  single-precision SIMD with fused multiply-add (16.8 GFLOP/s per SPE
+  at 2.1 GHz, the paper's "16.8 GFLOPS * 8"), and the notoriously slow
+  double precision ("only one double precision operation every 7
+  cycles").
+* :mod:`repro.kernels.specs` — kernel workload descriptions: scalar
+  (dot) product, STREAM triad, matrix-vector, blocked matrix multiply.
+* :mod:`repro.kernels.streaming` — the double-buffered SPU streaming
+  loop that runs any spec across 1-8 SPEs and measures GFLOP/s and
+  GB/s end to end.
+* :mod:`repro.kernels.roofline` — the bandwidth/compute roofline the
+  paper's related-work section gestures at (Williams et al.): predicted
+  versus simulated performance and the binding resource.
+"""
+
+from repro.kernels.compute import Precision, SpuComputeModel
+from repro.kernels.roofline import RooflineModel, RooflinePoint
+from repro.kernels.specs import (
+    KernelSpec,
+    dot_product,
+    matrix_multiply,
+    matrix_vector,
+    stream_triad,
+)
+from repro.kernels.streaming import KernelRun, run_kernel
+
+__all__ = [
+    "KernelRun",
+    "KernelSpec",
+    "Precision",
+    "RooflineModel",
+    "RooflinePoint",
+    "SpuComputeModel",
+    "dot_product",
+    "matrix_multiply",
+    "matrix_vector",
+    "run_kernel",
+    "stream_triad",
+]

@@ -1,0 +1,91 @@
+"""The SPU arithmetic model.
+
+The paper's introduction fixes the single-precision peak: each SPU
+performs 4 single-precision floating-point operations per cycle on its
+128-bit SIMD unit — with fused multiply-add that is 8 FLOPs/cycle, i.e.
+16.8 GFLOP/s per SPE at 2.1 GHz, "[16.8] GFLOPS * 8" chip-wide.  The
+related-work section fixes double precision: "only one double precision
+operation every 7 cycles" (a 2-wide DP multiply-add every 7 cycles).
+
+This module turns FLOP counts into SPU cycles.  It is deliberately a
+throughput model: the streaming kernels overlap computation with DMA, so
+issue-level detail would not change any result the roofline can see.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.cell.config import CellConfig
+from repro.cell.errors import ConfigError
+
+
+class Precision(enum.Enum):
+    """Floating-point width of a kernel's arithmetic."""
+
+    SINGLE = "single"
+    DOUBLE = "double"
+
+    @property
+    def element_bytes(self) -> int:
+        return 4 if self is Precision.SINGLE else 8
+
+
+#: SIMD width (elements per 128-bit register) by precision.
+_SIMD_WIDTH = {Precision.SINGLE: 4, Precision.DOUBLE: 2}
+
+#: FLOPs per SIMD instruction (multiply-add counts as two).
+_FLOPS_PER_INSTRUCTION = {
+    Precision.SINGLE: 8,  # 4-wide FMA
+    Precision.DOUBLE: 4,  # 2-wide FMA
+}
+
+#: Issue interval in cycles: SP pipelines one SIMD op per cycle; DP
+#: stalls the pipe for 7 cycles per op (the paper's "one double
+#: precision operation every 7 cycles").
+_ISSUE_INTERVAL = {Precision.SINGLE: 1, Precision.DOUBLE: 7}
+
+
+@dataclass(frozen=True)
+class SpuComputeModel:
+    """Cycles-for-FLOPs on one SPU.
+
+    ``efficiency`` derates the peak for non-FMA work, shuffles and loop
+    overhead; 1.0 models perfectly scheduled FMA chains.
+    """
+
+    config: CellConfig
+    efficiency: float = 1.0
+
+    def __post_init__(self):
+        if not 0.0 < self.efficiency <= 1.0:
+            raise ConfigError(f"efficiency must be in (0, 1], got {self.efficiency}")
+
+    def flops_per_cycle(self, precision: Precision) -> float:
+        """Sustained FLOPs per cycle at the model's efficiency."""
+        peak = _FLOPS_PER_INSTRUCTION[precision] / _ISSUE_INTERVAL[precision]
+        return peak * self.efficiency
+
+    def peak_gflops(self, precision: Precision, n_spes: int = 1) -> float:
+        """Peak GFLOP/s for ``n_spes`` SPEs (16.8 SP per SPE at 2.1 GHz)."""
+        if n_spes < 1:
+            raise ConfigError(f"n_spes must be >= 1, got {n_spes}")
+        per_spe = self.flops_per_cycle(precision) * self.config.clock.cpu_hz / 1e9
+        return per_spe * n_spes
+
+    def cycles_for_flops(self, n_flops: float, precision: Precision) -> int:
+        """SPU cycles to retire ``n_flops`` of streaming arithmetic."""
+        if n_flops < 0:
+            raise ConfigError(f"negative FLOP count {n_flops}")
+        if n_flops == 0:
+            return 0
+        return max(1, math.ceil(n_flops / self.flops_per_cycle(precision)))
+
+    def dp_slowdown(self) -> float:
+        """How much slower DP arithmetic is than SP (the paper's
+        motivation for Dongarra's mixed-precision approach)."""
+        return self.flops_per_cycle(Precision.SINGLE) / self.flops_per_cycle(
+            Precision.DOUBLE
+        )

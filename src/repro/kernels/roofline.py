@@ -1,0 +1,125 @@
+"""Roofline analysis over the modelled machine.
+
+attainable GFLOP/s = min(compute peak, arithmetic intensity x memory
+bandwidth).  The compute roof comes from the SPU arithmetic model; the
+bandwidth roof is the *measured* multi-SPE DMA bandwidth (the paper's
+Figure 8 numbers), not the theoretical 25.6 — which is precisely why
+the paper's measurements matter for kernel design: the 10-vs-20 GB/s
+single-vs-multi-SPE result moves every bandwidth-bound kernel's roof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cell.config import CellConfig
+from repro.cell.errors import ConfigError
+from repro.kernels.compute import Precision, SpuComputeModel
+from repro.kernels.specs import KernelSpec
+from repro.kernels.streaming import KernelRun, run_kernel
+
+#: Sustained GET+PUT memory bandwidth per SPE count, from the Figure 8
+#: reproduction (see EXPERIMENTS.md).  Used as the default bandwidth
+#: roof; pass ``memory_bandwidth_gbps`` to override with a fresh
+#: measurement.
+MEASURED_MEMORY_GBPS = {1: 10.1, 2: 20.0, 4: 21.5, 8: 19.0}
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel against the roofline."""
+
+    spec: KernelSpec
+    n_spes: int
+    predicted_gflops: float
+    bound: str  # "bandwidth" or "compute"
+    measured: Optional[KernelRun] = None
+
+    @property
+    def model_error(self) -> Optional[float]:
+        """|measured - predicted| / predicted, when a run is attached."""
+        if self.measured is None:
+            return None
+        return abs(self.measured.gflops - self.predicted_gflops) / self.predicted_gflops
+
+
+class RooflineModel:
+    """Predict and (optionally) verify kernel performance."""
+
+    def __init__(
+        self,
+        config: Optional[CellConfig] = None,
+        compute: Optional[SpuComputeModel] = None,
+        memory_bandwidth_gbps: Optional[dict] = None,
+    ):
+        self.config = config or CellConfig.paper_blade()
+        self.compute = compute or SpuComputeModel(self.config)
+        self.memory_gbps = dict(memory_bandwidth_gbps or MEASURED_MEMORY_GBPS)
+
+    def bandwidth_roof(self, n_spes: int) -> float:
+        if n_spes not in self.memory_gbps:
+            raise ConfigError(
+                f"no bandwidth roof for {n_spes} SPEs; known: "
+                f"{sorted(self.memory_gbps)}"
+            )
+        return self.memory_gbps[n_spes]
+
+    def compute_roof(self, precision: Precision, n_spes: int) -> float:
+        return self.compute.peak_gflops(precision, n_spes)
+
+    def ridge_intensity(self, precision: Precision, n_spes: int) -> float:
+        """FLOP/B where the rooflines cross: below it kernels are
+        bandwidth-bound, above it compute-bound."""
+        return self.compute_roof(precision, n_spes) / self.bandwidth_roof(n_spes)
+
+    def predict(self, spec: KernelSpec, n_spes: int) -> RooflinePoint:
+        bandwidth_bound = spec.arithmetic_intensity * self.bandwidth_roof(n_spes)
+        compute_bound = self.compute_roof(spec.precision, n_spes)
+        if bandwidth_bound <= compute_bound:
+            return RooflinePoint(
+                spec=spec,
+                n_spes=n_spes,
+                predicted_gflops=bandwidth_bound,
+                bound="bandwidth",
+            )
+        return RooflinePoint(
+            spec=spec, n_spes=n_spes, predicted_gflops=compute_bound, bound="compute"
+        )
+
+    def verify(
+        self, spec: KernelSpec, n_spes: int, iterations_per_spe: int = 64
+    ) -> RooflinePoint:
+        """Prediction plus an actual simulated run."""
+        predicted = self.predict(spec, n_spes)
+        measured = run_kernel(
+            spec,
+            n_spes=n_spes,
+            iterations_per_spe=iterations_per_spe,
+            config=self.config,
+            compute=self.compute,
+        )
+        return RooflinePoint(
+            spec=spec,
+            n_spes=n_spes,
+            predicted_gflops=predicted.predicted_gflops,
+            bound=predicted.bound,
+            measured=measured,
+        )
+
+    @staticmethod
+    def format(points: List[RooflinePoint]) -> str:
+        lines = [
+            f"{'kernel':<24} {'SPEs':>4} {'FLOP/B':>7} {'bound':>9} "
+            f"{'predicted':>10} {'measured':>9}"
+        ]
+        for point in points:
+            measured = (
+                f"{point.measured.gflops:9.2f}" if point.measured else "        -"
+            )
+            lines.append(
+                f"{point.spec.name:<24} {point.n_spes:>4} "
+                f"{point.spec.arithmetic_intensity:>7.2f} {point.bound:>9} "
+                f"{point.predicted_gflops:>10.2f} {measured}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Kernel workload descriptions.
+
+A :class:`KernelSpec` describes one double-buffered iteration of a
+streaming kernel on one SPE: which DMA reads it needs, how many FLOPs it
+performs on them, and what it writes back.  The four factories cover the
+kernels the paper's conclusions name: scalar product, matrix-by-vector,
+matrix product, and a streaming (STREAM-triad) benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.cell.errors import ConfigError
+from repro.kernels.compute import Precision
+
+#: Default DMA chunk: the architecture's 16 KiB maximum, the efficient
+#: choice per the paper's own results.
+DEFAULT_CHUNK_BYTES = 16384
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One streaming iteration of a kernel on one SPE.
+
+    ``read_bytes``: the DMA GETs issued per iteration (one entry per
+    input stream).  ``write_bytes``: the DMA PUT per iteration (0 for
+    reductions).  ``flops_per_iteration``: arithmetic retired once the
+    reads have landed.
+    """
+
+    name: str
+    read_bytes: Tuple[int, ...]
+    write_bytes: int
+    flops_per_iteration: float
+    precision: Precision = Precision.SINGLE
+    ls_resident_bytes: int = 0  # data kept in the LS across iterations
+
+    def __post_init__(self):
+        if not self.read_bytes:
+            raise ConfigError(f"kernel {self.name!r} reads nothing")
+        if any(size <= 0 for size in self.read_bytes):
+            raise ConfigError(f"kernel {self.name!r} has a non-positive read")
+        if self.write_bytes < 0:
+            raise ConfigError(f"kernel {self.name!r} writes {self.write_bytes} B")
+        if self.flops_per_iteration <= 0:
+            raise ConfigError(f"kernel {self.name!r} performs no arithmetic")
+
+    @property
+    def traffic_bytes(self) -> int:
+        """Memory bytes moved per iteration (reads + writes)."""
+        return sum(self.read_bytes) + self.write_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of memory traffic — the roofline x axis."""
+        return self.flops_per_iteration / self.traffic_bytes
+
+
+def dot_product(
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    precision: Precision = Precision.SINGLE,
+) -> KernelSpec:
+    """Scalar product: stream x and y, accumulate x[i]*y[i] in registers.
+
+    Intensity 2 FLOPs / 2 elements of traffic = 0.25 FLOP/B in SP:
+    hopelessly bandwidth-bound, the kernel the paper's bandwidth numbers
+    matter most for.
+    """
+    elements = chunk_bytes // precision.element_bytes
+    return KernelSpec(
+        name=f"dot-product-{precision.value}",
+        read_bytes=(chunk_bytes, chunk_bytes),
+        write_bytes=0,
+        flops_per_iteration=2.0 * elements,
+        precision=precision,
+    )
+
+
+def stream_triad(
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    precision: Precision = Precision.SINGLE,
+) -> KernelSpec:
+    """STREAM triad a[i] = b[i] + s * c[i]: two reads, one write, 2 FLOPs
+    per element — the streaming benchmark the paper compares itself to
+    (McCalpin's STREAM)."""
+    elements = chunk_bytes // precision.element_bytes
+    return KernelSpec(
+        name=f"stream-triad-{precision.value}",
+        read_bytes=(chunk_bytes, chunk_bytes),
+        write_bytes=chunk_bytes,
+        flops_per_iteration=2.0 * elements,
+        precision=precision,
+    )
+
+
+def matrix_vector(
+    row_block_bytes: int = DEFAULT_CHUNK_BYTES,
+    vector_bytes: int = 32768,
+    precision: Precision = Precision.SINGLE,
+) -> KernelSpec:
+    """y = A x with x resident in the local store: stream row blocks of
+    A, 2 FLOPs per matrix element.  Intensity 0.5 FLOP/B (SP):
+    bandwidth-bound, but twice the dot product's intensity."""
+    elements = row_block_bytes // precision.element_bytes
+    return KernelSpec(
+        name=f"matrix-vector-{precision.value}",
+        read_bytes=(row_block_bytes,),
+        write_bytes=0,
+        flops_per_iteration=2.0 * elements,
+        precision=precision,
+        ls_resident_bytes=vector_bytes,
+    )
+
+
+def matrix_multiply(
+    block: int = 64,
+    precision: Precision = Precision.SINGLE,
+    k_blocks: int = 16,
+) -> KernelSpec:
+    """Blocked C += A·B with ``block`` x ``block`` tiles in the local
+    store: per iteration fetch one A tile and one B tile, retire
+    2·block^3 FLOPs; the C tile is written back once per ``k_blocks``
+    iterations (amortised here).  Intensity grows linearly with the
+    block size — the kernel that escapes the bandwidth roof.
+    """
+    if block < 4 or block & (block - 1):
+        raise ConfigError(f"block must be a power of two >= 4, got {block}")
+    if k_blocks < 1:
+        raise ConfigError(f"k_blocks must be >= 1, got {k_blocks}")
+    tile_bytes = block * block * precision.element_bytes
+    if tile_bytes > 65536:
+        raise ConfigError(
+            f"{block}x{block} {precision.value} tiles ({tile_bytes} B) do not "
+            "leave room for double buffering in the 256 KiB local store"
+        )
+    return KernelSpec(
+        name=f"matmul-b{block}-{precision.value}",
+        read_bytes=(tile_bytes, tile_bytes),
+        write_bytes=tile_bytes // k_blocks,
+        flops_per_iteration=2.0 * block ** 3,
+        precision=precision,
+        ls_resident_bytes=tile_bytes,
+    )

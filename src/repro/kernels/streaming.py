@@ -1,0 +1,128 @@
+"""The double-buffered streaming loop that runs a kernel on real SPEs.
+
+This is the code shape the paper's conclusions prescribe: DMA the next
+chunk while computing on the current one (double buffering), tags
+alternating between the two buffers, synchronisation per buffer rather
+than per command, writes on their own tag group.  Data is parallel
+across SPEs: each SPE streams its own slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cell.chip import CellChip
+from repro.cell.config import CellConfig
+from repro.cell.dma import legal_command_sizes
+from repro.cell.errors import ConfigError
+from repro.cell.topology import SpeMapping
+from repro.kernels.compute import SpuComputeModel
+from repro.kernels.specs import KernelSpec
+from repro.libspe import SpeContext
+
+#: Tag assignment: two read buffers plus a write group.
+_READ_TAGS = (0, 1)
+_WRITE_TAG = 2
+
+
+#: Split a transfer into legal MFC commands (see repro.cell.dma).
+_dma_sizes = legal_command_sizes
+
+
+def _kernel_program(spu, spec: KernelSpec, compute: SpuComputeModel,
+                    n_iterations: int, out: Dict):
+    def issue_reads(tag):
+        for stream_bytes in spec.read_bytes:
+            for size in _dma_sizes(stream_bytes):
+                yield from spu.mfc_get(size=size, tag=tag)
+
+    compute_cycles = compute.cycles_for_flops(
+        spec.flops_per_iteration, spec.precision
+    )
+    start = spu.read_decrementer()
+    yield from issue_reads(_READ_TAGS[0])
+    for iteration in range(n_iterations):
+        current = _READ_TAGS[iteration % 2]
+        upcoming = _READ_TAGS[(iteration + 1) % 2]
+        if iteration + 1 < n_iterations:
+            yield from issue_reads(upcoming)
+        yield from spu.wait_tags([current])
+        if compute_cycles:
+            yield spu.compute(compute_cycles)
+        if spec.write_bytes:
+            for size in _dma_sizes(spec.write_bytes):
+                yield from spu.mfc_put(size=size, tag=_WRITE_TAG)
+    yield from spu.wait_tags([_READ_TAGS[0], _READ_TAGS[1], _WRITE_TAG])
+    out["start"] = start
+    out["end"] = spu.read_decrementer()
+
+
+@dataclass(frozen=True)
+class KernelRun:
+    """Measured end-to-end performance of one kernel configuration."""
+
+    spec: KernelSpec
+    n_spes: int
+    iterations_per_spe: int
+    cycles: int
+    gflops: float
+    gbps: float
+
+    @property
+    def total_flops(self) -> float:
+        return self.spec.flops_per_iteration * self.iterations_per_spe * self.n_spes
+
+    @property
+    def total_bytes(self) -> int:
+        return self.spec.traffic_bytes * self.iterations_per_spe * self.n_spes
+
+    def __str__(self) -> str:
+        return (
+            f"{self.spec.name}: {self.n_spes} SPEs, {self.gflops:.2f} GFLOP/s, "
+            f"{self.gbps:.2f} GB/s"
+        )
+
+
+def run_kernel(
+    spec: KernelSpec,
+    n_spes: int = 4,
+    iterations_per_spe: int = 64,
+    config: Optional[CellConfig] = None,
+    compute: Optional[SpuComputeModel] = None,
+    seed: int = 77,
+) -> KernelRun:
+    """Run a kernel data-parallel across ``n_spes`` SPEs and measure it."""
+    config = config or CellConfig.paper_blade()
+    if not 1 <= n_spes <= config.n_spes:
+        raise ConfigError(f"n_spes must be in 1..{config.n_spes}, got {n_spes}")
+    if iterations_per_spe < 1:
+        raise ConfigError(f"iterations_per_spe must be >= 1")
+    ls_needed = spec.ls_resident_bytes + 2 * sum(spec.read_bytes) + spec.write_bytes
+    if ls_needed > config.local_store.size_bytes:
+        raise ConfigError(
+            f"kernel {spec.name!r} needs {ls_needed} B of local store for "
+            f"double buffering; only {config.local_store.size_bytes} available"
+        )
+    compute = compute or SpuComputeModel(config)
+    chip = CellChip(config=config, mapping=SpeMapping.random(seed, config.n_spes))
+    outs: List[Dict] = []
+    for logical in range(n_spes):
+        out: Dict = {}
+        SpeContext(chip, logical).load(
+            _kernel_program, spec, compute, iterations_per_spe, out
+        )
+        outs.append(out)
+    chip.run()
+    elapsed = max(out["end"] for out in outs) - min(out["start"] for out in outs)
+    seconds = config.clock.cycles_to_seconds(elapsed)
+    total_flops = spec.flops_per_iteration * iterations_per_spe * n_spes
+    total_bytes = spec.traffic_bytes * iterations_per_spe * n_spes
+    return KernelRun(
+        spec=spec,
+        n_spes=n_spes,
+        iterations_per_spe=iterations_per_spe,
+        cycles=elapsed,
+        gflops=total_flops / seconds / 1e9,
+        gbps=total_bytes / seconds / 1e9,
+    )

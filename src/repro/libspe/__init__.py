@@ -1,0 +1,22 @@
+"""A libspe-1.1-shaped programming API over the chip model.
+
+The paper's benchmarks are C programs: a PPE main that creates SPE
+contexts and SPU programs that issue MFC commands through intrinsics
+(``mfc_get``/``mfc_put``/``mfc_getl``/``mfc_putl``,
+``mfc_write_tag_mask`` + ``mfc_read_tag_status_all``) and time themselves
+with the decrementer.  This package mirrors that shape so the experiment
+code in :mod:`repro.core` reads like the paper's codes:
+
+* an *SPU program* is a Python generator function taking an
+  :class:`~repro.libspe.context.SpuRuntime` first argument;
+* :class:`~repro.libspe.context.SpeContext` loads and runs a program on
+  one logical SPE;
+* the runtime exposes the MFC intrinsics with their SPU-side costs
+  (issue cycles, synchronisation cycles) so the paper's programming
+  rules — unroll, delay synchronisation, prefer lists for small
+  elements — have observable consequences.
+"""
+
+from repro.libspe.context import SpeContext, SpuRuntime, run_programs
+
+__all__ = ["SpeContext", "SpuRuntime", "run_programs"]

@@ -1,0 +1,263 @@
+"""SPE contexts and the SPU-side intrinsic surface.
+
+An SPU program is a generator function::
+
+    def spu_main(spu, out):
+        start = spu.read_decrementer()
+        for i in range(n):
+            yield from spu.mfc_get(size=16384, tag=0)
+        yield from spu.wait_tags([0])
+        out["cycles"] = spu.read_decrementer() - start
+
+    context = SpeContext(chip, logical_index=0)
+    context.load(spu_main, out)
+    chip.run()
+
+The runtime charges SPU cycles for the operations the paper identifies
+as performance-relevant: programming a DMA command (cheaper when the
+loop is unrolled), building list elements, and the tag-mask/tag-status
+synchronisation sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+
+from repro.cell.chip import CellChip
+from repro.cell.dma import DmaCommand, DmaDirection, DmaList, TargetKind
+from repro.cell.errors import CellError
+from repro.cell.mailbox import MailboxPair
+from repro.cell.spe import Spe
+from repro.sim import Event, Process
+
+
+class SpuRuntime:
+    """The intrinsics an SPU program sees.
+
+    ``unrolled`` models the paper's "it is imperative to manually unroll
+    loops": rolled loops multiply the DMA issue cost (extra branches and
+    address arithmetic; the SPU has no branch prediction).
+    """
+
+    def __init__(self, spe: Spe, unrolled: bool = True):
+        self.spe = spe
+        self.env = spe.env
+        self.unrolled = unrolled
+        self.mailbox = MailboxPair(spe.env, spe_name=spe.node)
+
+    # -- timing --------------------------------------------------------------
+
+    def read_decrementer(self) -> int:
+        """The SPU decrementer, i.e. the current cycle count."""
+        return self.env.now
+
+    def compute(self, cycles: int):
+        """Spend SPU cycles on (modelled) computation."""
+        return self.env.timeout(cycles)
+
+    # -- DMA intrinsics --------------------------------------------------------
+
+    @property
+    def _elem_issue_cycles(self) -> int:
+        cost = self.spe.config.mfc.elem_issue_cycles
+        if not self.unrolled:
+            cost *= self.spe.config.mfc.rolled_loop_issue_factor
+        return cost
+
+    def mfc_get(
+        self,
+        size: int,
+        tag: int = 0,
+        remote_spe: Optional[Spe] = None,
+        local_offset: int = 0,
+        remote_offset: int = 0,
+        fence: bool = False,
+        barrier: bool = False,
+    ) -> Generator[Event, object, None]:
+        """GET: remote (memory or another SPE's LS) into this LS."""
+        yield from self._issue_elem(
+            DmaDirection.GET, size, tag, remote_spe, local_offset,
+            remote_offset, fence, barrier,
+        )
+
+    def mfc_put(
+        self,
+        size: int,
+        tag: int = 0,
+        remote_spe: Optional[Spe] = None,
+        local_offset: int = 0,
+        remote_offset: int = 0,
+        fence: bool = False,
+        barrier: bool = False,
+    ) -> Generator[Event, object, None]:
+        """PUT: this LS out to memory or another SPE's LS."""
+        yield from self._issue_elem(
+            DmaDirection.PUT, size, tag, remote_spe, local_offset,
+            remote_offset, fence, barrier,
+        )
+
+    def mfc_getf(self, size: int, tag: int = 0, **kwargs):
+        """Fenced GET: ordered after earlier commands of its tag group."""
+        yield from self.mfc_get(size, tag, fence=True, **kwargs)
+
+    def mfc_putf(self, size: int, tag: int = 0, **kwargs):
+        """Fenced PUT: ordered after earlier commands of its tag group."""
+        yield from self.mfc_put(size, tag, fence=True, **kwargs)
+
+    def mfc_getb(self, size: int, tag: int = 0, **kwargs):
+        """Barriered GET: ordered after every earlier queued command."""
+        yield from self.mfc_get(size, tag, barrier=True, **kwargs)
+
+    def mfc_putb(self, size: int, tag: int = 0, **kwargs):
+        """Barriered PUT: ordered after every earlier queued command."""
+        yield from self.mfc_put(size, tag, barrier=True, **kwargs)
+
+    def mfc_getl(
+        self,
+        element_size: int,
+        n_elements: int,
+        tag: int = 0,
+        remote_spe: Optional[Spe] = None,
+    ) -> Generator[Event, object, None]:
+        """GET through a DMA list of equal elements."""
+        yield from self._issue_list(
+            DmaDirection.GET, element_size, n_elements, tag, remote_spe
+        )
+
+    def mfc_putl(
+        self,
+        element_size: int,
+        n_elements: int,
+        tag: int = 0,
+        remote_spe: Optional[Spe] = None,
+    ) -> Generator[Event, object, None]:
+        """PUT through a DMA list of equal elements."""
+        yield from self._issue_list(
+            DmaDirection.PUT, element_size, n_elements, tag, remote_spe
+        )
+
+    def wait_tags(self, tags: Iterable[int]) -> Generator[Event, object, None]:
+        """``mfc_write_tag_mask`` + ``mfc_read_tag_status_all``."""
+        yield self.env.timeout(self.spe.config.mfc.sync_cycles)
+        yield self.spe.mfc.tag_group_quiet(tags)
+
+    # -- mailboxes ---------------------------------------------------------------
+
+    def read_in_mbox(self) -> Event:
+        return self.mailbox.inbound.read()
+
+    def write_out_mbox(self, message: int) -> Event:
+        return self.mailbox.outbound.write(message)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _issue_elem(
+        self,
+        direction: DmaDirection,
+        size: int,
+        tag: int,
+        remote_spe: Optional[Spe],
+        local_offset: int,
+        remote_offset: int,
+        fence: bool = False,
+        barrier: bool = False,
+    ):
+        yield self.env.timeout(self._elem_issue_cycles)
+        if remote_spe is None:
+            target, node = TargetKind.MAIN_MEMORY, None
+        else:
+            target, node = TargetKind.LOCAL_STORE, remote_spe.node
+        command = DmaCommand(
+            direction=direction,
+            target=target,
+            size=size,
+            tag=tag,
+            local_offset=local_offset,
+            remote_offset=remote_offset,
+            remote_node=node,
+            fence=fence,
+            barrier=barrier,
+        )
+        yield from self.spe.mfc.enqueue(command)
+
+    def _issue_list(
+        self,
+        direction: DmaDirection,
+        element_size: int,
+        n_elements: int,
+        tag: int,
+        remote_spe: Optional[Spe],
+    ):
+        limit = self.spe.config.mfc.list_max_elements
+        if n_elements > limit:
+            raise CellError(
+                f"a DMA list holds at most {limit} elements, got {n_elements}"
+            )
+        yield self.env.timeout(self.spe.config.mfc.list_issue_cycles)
+        if remote_spe is None:
+            target, node = TargetKind.MAIN_MEMORY, None
+        else:
+            target, node = TargetKind.LOCAL_STORE, remote_spe.node
+        dma_list = DmaList.uniform(
+            direction=direction,
+            target=target,
+            element_size=element_size,
+            n_elements=n_elements,
+            tag=tag,
+            remote_node=node,
+        )
+        yield from self.spe.mfc.enqueue(dma_list)
+
+
+class SpeContext:
+    """A libspe context: one logical SPE plus a loaded program."""
+
+    def __init__(self, chip: CellChip, logical_index: int, unrolled: bool = True):
+        self.chip = chip
+        self.spe = chip.spe(logical_index)
+        self.runtime = SpuRuntime(self.spe, unrolled=unrolled)
+        self.process: Optional[Process] = None
+
+    def load(self, program: Callable, *args: Any, **kwargs: Any) -> Process:
+        """Start ``program(runtime, *args, **kwargs)`` on this SPE.
+
+        Mirrors ``spe_create_thread``: the program begins running when
+        the simulation advances.  Returns the process (an event that
+        fires when the program terminates).
+        """
+        if self.process is not None and self.process.is_alive:
+            raise CellError(
+                f"logical SPE {self.spe.logical_index} is already running a program"
+            )
+        generator = program(self.runtime, *args, **kwargs)
+        self.process = self.chip.env.process(generator)
+        return self.process
+
+    @property
+    def finished(self) -> bool:
+        return self.process is not None and self.process.triggered
+
+
+def run_programs(
+    chip: CellChip,
+    program: Callable,
+    logical_indices: Iterable[int],
+    args_for: Optional[Callable[[int], tuple]] = None,
+    unrolled: bool = True,
+) -> List[SpeContext]:
+    """Load the same program on several SPEs and run to completion.
+
+    ``args_for(logical_index)`` supplies per-SPE arguments (defaults to
+    none).  Returns the contexts, whose processes have all terminated.
+    """
+    contexts = []
+    for logical in logical_indices:
+        context = SpeContext(chip, logical, unrolled=unrolled)
+        extra = args_for(logical) if args_for is not None else ()
+        context.load(program, *extra)
+        contexts.append(context)
+    chip.run()
+    unfinished = [c.spe.logical_index for c in contexts if not c.finished]
+    if unfinished:
+        raise CellError(f"SPE programs never terminated: {unfinished}")
+    return contexts

@@ -1,0 +1,175 @@
+"""Reproduce the whole paper in one command.
+
+Runs every experiment, validates every claim, derives the guidelines,
+and writes text reports plus CSVs (one per figure) to an output
+directory::
+
+    python -m repro.reproduce                 # default sweep, ./repro-out/
+    python -m repro.reproduce --quick         # smoke sweep (~30 s)
+    python -m repro.reproduce --paper-scale   # the paper's full protocol
+    python -m repro.reproduce --outdir /tmp/cell
+
+Exit status is non-zero if any paper claim fails to reproduce.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List
+
+from repro.analysis import GuidelineAdvisor, StreamingComparison
+from repro.core import (
+    CouplesExperiment,
+    CycleExperiment,
+    PairDistanceExperiment,
+    PairSyncExperiment,
+    PpeBandwidthExperiment,
+    SpeLocalStoreExperiment,
+    SpeMemoryExperiment,
+)
+from repro.core import validation
+from repro.core.experiment import ExperimentResult
+from repro.core.report import format_series_chart, render_result, to_csv
+from repro.core.spe_pairs import SYNC_AFTER_ALL
+
+#: Sweep presets: (element sizes, repetitions, bytes per SPE).
+PRESETS = {
+    "quick": ((1024, 16384), 2, 2 ** 20),
+    "default": ((128, 512, 1024, 4096, 16384), 6, 2 ** 20),
+    "paper": ((128, 256, 512, 1024, 2048, 4096, 8192, 16384), 10, 2 ** 21),
+}
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reproduce", description=__doc__
+    )
+    parser.add_argument("--outdir", default="repro-out")
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument("--quick", action="store_true")
+    scale.add_argument("--paper-scale", action="store_true")
+    return parser.parse_args(argv)
+
+
+def _write(outdir: str, name: str, text: str) -> None:
+    path = os.path.join(outdir, name)
+    with open(path, "w") as handle:
+        handle.write(text)
+    print(f"wrote {path}")
+
+
+def _save_result(outdir: str, result: ExperimentResult) -> None:
+    _write(outdir, f"{result.name}.txt", render_result(result))
+    for table_name, table in result.tables.items():
+        _write(outdir, f"{result.name}.{table_name}.csv", to_csv(table))
+
+
+def run_all(preset: str, outdir: str) -> List[validation.ClaimCheck]:
+    sizes, repetitions, volume = PRESETS[preset]
+    os.makedirs(outdir, exist_ok=True)
+    checks: List[validation.ClaimCheck] = []
+
+    print("[1/8] PPE bandwidth (Figures 3, 4, 6)")
+    ppe: Dict[str, ExperimentResult] = {}
+    for level in ("l1", "l2", "mem"):
+        ppe[level] = PpeBandwidthExperiment(level).run()
+        _save_result(outdir, ppe[level])
+    checks += validation.check_ppe(ppe)
+
+    print("[2/8] SPU <-> local store (section 4.2.2)")
+    localstore = SpeLocalStoreExperiment().run()
+    _save_result(outdir, localstore)
+    checks += validation.check_localstore(localstore)
+
+    print("[3/8] SPE <-> memory (Figure 8)")
+    memory = SpeMemoryExperiment(
+        element_sizes=sizes,
+        repetitions=min(3, repetitions),
+        bytes_per_spe=volume,
+    ).run()
+    _save_result(outdir, memory)
+    checks += validation.check_spe_memory(memory)
+    _write(
+        outdir,
+        "fig08-chart.txt",
+        format_series_chart(
+            memory.table("get"),
+            axis="element_bytes",
+            series_fixed=[
+                (f"{n} SPE(s)", {"n_spes": n}) for n in (1, 2, 4, 8)
+            ],
+            peak=23.8,
+            title="Figure 8 (GET): SPE-to-memory bandwidth",
+        ),
+    )
+
+    print("[4/8] pair distance (Figure 9 setup)")
+    distance = PairDistanceExperiment(
+        element_sizes=(16384,), repetitions=repetitions, bytes_per_spe=volume
+    ).run()
+    _save_result(outdir, distance)
+    checks += validation.check_pair_distance(distance)
+
+    print("[5/8] sync delay (Figure 10)")
+    sync_sizes = tuple(sorted(set(sizes) | {512, 1024, 4096, 16384}))
+    sync = PairSyncExperiment(
+        sync_policies=(1, 2, 4, 16, SYNC_AFTER_ALL),
+        element_sizes=sync_sizes,
+        repetitions=2,
+        bytes_per_spe=volume,
+    ).run()
+    _save_result(outdir, sync)
+    checks += validation.check_pair_sync(sync)
+
+    print("[6/8] couples (Figures 12/13)")
+    couples = CouplesExperiment(
+        element_sizes=sizes, repetitions=repetitions, bytes_per_spe=volume
+    ).run()
+    _save_result(outdir, couples)
+    checks += validation.check_couples(couples)
+
+    print("[7/8] cycle (Figures 15/16)")
+    cycle = CycleExperiment(
+        element_sizes=sizes, repetitions=repetitions, bytes_per_spe=volume
+    ).run()
+    _save_result(outdir, cycle)
+    checks += validation.check_cycle(cycle, couples)
+
+    print("[8/8] streaming guideline + section-5 rules")
+    streams = StreamingComparison(chunks_per_stream_unit=32).run()
+    stream_text = "\n".join(
+        f"{result.label}: {result.gbps:.2f} GB/s"
+        for result in streams.values()
+    ) + (
+        f"\nadvantage: "
+        f"{streams['double'].gbps / streams['single'].gbps:.2f}x\n"
+    )
+    _write(outdir, "guideline-streams.txt", stream_text)
+
+    advisor = GuidelineAdvisor()
+    for level, result in ppe.items():
+        advisor.add_ppe(level, result)
+    advisor.add_memory(memory)
+    advisor.add_pair_sync(sync)
+    advisor.add_couples(couples)
+    advisor.add_cycle(cycle)
+    guidelines = "\n".join(str(rule) for rule in advisor.guidelines()) + "\n"
+    _write(outdir, "guidelines.txt", guidelines)
+
+    _write(outdir, "validation.txt", validation.summarize(checks) + "\n")
+    return checks
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    preset = "quick" if args.quick else "paper" if args.paper_scale else "default"
+    checks = run_all(preset, args.outdir)
+    print()
+    print(validation.summarize(checks))
+    return 0 if all(check.passed for check in checks) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

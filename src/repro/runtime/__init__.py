@@ -1,0 +1,39 @@
+"""A CellSs-style task-offload runtime on the modelled chip.
+
+The paper's related work describes CellSs (Bellens et al.): "The model
+is based on the definition of tasks, and exposing the dependencies among
+them.  The runtime library then deals with generating the threads,
+scheduling them on the SPEs, and transferring data to/from them.  The
+bandwidth results, and the programming guidelines that we provide in
+this paper would be very useful in optimizing the runtime library used
+in such programming model."
+
+This subpackage is that runtime, optimised *by* the paper's results:
+
+* tasks declare FLOPs, external inputs, an output size and dependencies
+  (:mod:`repro.runtime.task`);
+* SPE workers pull ready tasks, DMA their inputs, compute and publish
+  their outputs (:mod:`repro.runtime.offload`);
+* the scheduler applies the paper's guidelines: outputs are cached in
+  the producer's local store and *forwarded* SPE-to-SPE (where the
+  paper measures near-peak bandwidth) instead of bouncing through main
+  memory (where 8 concurrent SPEs saturate); ready-task selection
+  prefers the SPE already holding the task's inputs.
+
+The ``memory`` policy disables forwarding, which is exactly the
+baseline an un-tuned runtime would implement — the comparison is the
+point.
+"""
+
+from repro.runtime.offload import OffloadRuntime, RuntimeStats
+from repro.runtime.task import Task, TaskGraph, chain, fan_out_fan_in, wavefront
+
+__all__ = [
+    "OffloadRuntime",
+    "RuntimeStats",
+    "Task",
+    "TaskGraph",
+    "chain",
+    "fan_out_fan_in",
+    "wavefront",
+]

@@ -1,0 +1,265 @@
+"""The offload runtime: SPE workers pulling tasks off a dependency DAG.
+
+Scheduling applies the paper's guidelines directly:
+
+* **Forwarding** (``policy="forward"``): a producer caches its output in
+  its local store (write-through to memory for safety); a consumer on
+  another SPE pulls it LS-to-LS, where the paper measures near-peak
+  bandwidth, instead of re-reading main memory, where eight concurrent
+  SPEs saturate.  ``policy="memory"`` is the untuned baseline: every
+  value bounces through main memory.
+* **Locality-aware pick**: an idle worker prefers the ready task with
+  the most input bytes already sitting in its own local store.
+* **Fan-out limiting**: a value with many consumers is *not* forwarded —
+  sixteen SPEs pulling from one producer's local store serialise on its
+  EIB off-ramp ("care must be taken in scheduling the communications in
+  the EIB bus to avoid saturation"), so wide fan-outs read the
+  write-through copy from memory, which both banks serve in parallel.
+* **Delayed synchronisation**: input GETs across all of a task's
+  dependencies share one tag group and are waited once.
+
+The runtime runs real SPU programs on the chip model, so every transfer
+contends on the EIB/banks like any other experiment in this repository.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from repro.cell.chip import CellChip
+from repro.cell.config import CellConfig
+from repro.cell.dma import legal_command_sizes
+from repro.cell.errors import ConfigError
+from repro.cell.topology import SpeMapping
+from repro.kernels.compute import Precision, SpuComputeModel
+from repro.libspe import SpeContext
+from repro.runtime.task import Task, TaskGraph
+
+#: Tags: input GETs on 0, the output write-through PUT on 1.
+_INPUT_TAG = 0
+_OUTPUT_TAG = 1
+
+#: SPU cycles per task for runtime bookkeeping (mailbox round trip to
+#: the scheduler, argument unpacking) — CellSs-style overhead.
+DISPATCH_OVERHEAD_CYCLES = 200
+
+POLICIES = ("forward", "memory")
+
+
+@dataclass
+class RuntimeStats:
+    """What one run of the task graph cost and where the bytes went."""
+
+    policy: str
+    n_spes: int
+    n_tasks: int
+    makespan_cycles: int = 0
+    gflops: float = 0.0
+    memory_read_bytes: int = 0
+    memory_write_bytes: int = 0
+    forwarded_bytes: int = 0
+    ls_hit_bytes: int = 0
+    tasks_per_spe: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def memory_traffic_bytes(self) -> int:
+        return self.memory_read_bytes + self.memory_write_bytes
+
+    def __str__(self) -> str:
+        return (
+            f"policy={self.policy}: {self.n_tasks} tasks on {self.n_spes} "
+            f"SPEs in {self.makespan_cycles} cycles ({self.gflops:.2f} "
+            f"GFLOP/s); memory {self.memory_traffic_bytes / 2 ** 20:.1f} MiB, "
+            f"forwarded {self.forwarded_bytes / 2 ** 20:.1f} MiB, "
+            f"LS hits {self.ls_hit_bytes / 2 ** 20:.1f} MiB"
+        )
+
+
+class OffloadRuntime:
+    """Schedule one task graph over the SPEs of a modelled chip."""
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        n_spes: int = 8,
+        policy: str = "forward",
+        config: Optional[CellConfig] = None,
+        compute: Optional[SpuComputeModel] = None,
+        precision: Precision = Precision.SINGLE,
+        ls_cache_bytes: int = 131072,
+        forward_fanout_limit: int = 4,
+        seed: int = 11,
+    ):
+        if policy not in POLICIES:
+            raise ConfigError(f"policy must be one of {POLICIES}, got {policy!r}")
+        if forward_fanout_limit < 1:
+            raise ConfigError(
+                f"forward_fanout_limit must be >= 1, got {forward_fanout_limit}"
+            )
+        self.graph = graph
+        self.config = config or CellConfig.paper_blade()
+        if not 1 <= n_spes <= self.config.n_spes:
+            raise ConfigError(
+                f"n_spes must be in 1..{self.config.n_spes}, got {n_spes}"
+            )
+        self.n_spes = n_spes
+        self.policy = policy
+        self.compute = compute or SpuComputeModel(self.config)
+        self.precision = precision
+        self.ls_cache_bytes = ls_cache_bytes
+        self.forward_fanout_limit = forward_fanout_limit
+        self.seed = seed
+
+    # -- public ------------------------------------------------------------------
+
+    def run(self) -> RuntimeStats:
+        chip = CellChip(
+            config=self.config,
+            mapping=SpeMapping.random(self.seed, self.config.n_spes),
+        )
+        state = _RunState(self.graph, self.n_spes, self.ls_cache_bytes)
+        stats = RuntimeStats(
+            policy=self.policy,
+            n_spes=self.n_spes,
+            n_tasks=len(self.graph),
+            tasks_per_spe={worker: 0 for worker in range(self.n_spes)},
+        )
+        for worker in range(self.n_spes):
+            SpeContext(chip, worker).load(self._worker, chip, state, stats, worker)
+        chip.run()
+        if state.completed != len(self.graph):
+            raise ConfigError(
+                f"runtime stalled: {state.completed}/{len(self.graph)} tasks "
+                "completed (dependency deadlock?)"
+            )
+        stats.makespan_cycles = chip.env.now
+        seconds = self.config.clock.cycles_to_seconds(chip.env.now)
+        stats.gflops = self.graph.total_flops / seconds / 1e9 if seconds else 0.0
+        return stats
+
+    # -- the SPU worker program -----------------------------------------------------
+
+    def _worker(self, spu, chip: CellChip, state: "_RunState", stats: RuntimeStats,
+                worker: int):
+        while True:
+            task = state.pick(worker)
+            while task is None:
+                if state.completed == len(self.graph):
+                    return
+                waiter = spu.spe.env.event()
+                state.waiters.append(waiter)
+                yield waiter
+                task = state.pick(worker)
+            yield spu.compute(DISPATCH_OVERHEAD_CYCLES)
+            yield from self._fetch_inputs(spu, state, stats, worker, task)
+            yield from spu.wait_tags([_INPUT_TAG])
+            cycles = self.compute.cycles_for_flops(task.flops, self.precision)
+            if cycles:
+                yield spu.compute(cycles)
+            # Write-through the output, then publish it.
+            for size in legal_command_sizes(task.output_bytes):
+                yield from spu.mfc_put(size=size, tag=_OUTPUT_TAG)
+            stats.memory_write_bytes += task.output_bytes
+            yield from spu.wait_tags([_OUTPUT_TAG])
+            state.cache_output(worker, task)
+            stats.tasks_per_spe[worker] += 1
+            state.complete(task)
+
+    def _fetch_inputs(self, spu, state: "_RunState", stats: RuntimeStats,
+                      worker: int, task: Task):
+        for dep in task.depends_on:
+            holders = state.residency.get(dep, set())
+            if worker in holders:
+                stats.ls_hit_bytes += dep.output_bytes
+                continue
+            narrow_fanout = (
+                len(state.graph.consumers[dep]) <= self.forward_fanout_limit
+            )
+            if self.policy == "forward" and holders and narrow_fanout:
+                source = min(holders)  # deterministic choice
+                partner = spu.spe.chip.spe(source)
+                for size in legal_command_sizes(dep.output_bytes):
+                    yield from spu.mfc_get(
+                        size=size, tag=_INPUT_TAG, remote_spe=partner
+                    )
+                stats.forwarded_bytes += dep.output_bytes
+                state.cache_copy(worker, dep)
+            else:
+                for size in legal_command_sizes(dep.output_bytes):
+                    yield from spu.mfc_get(size=size, tag=_INPUT_TAG)
+                stats.memory_read_bytes += dep.output_bytes
+        if task.external_input_bytes:
+            for size in legal_command_sizes(task.external_input_bytes):
+                yield from spu.mfc_get(size=size, tag=_INPUT_TAG)
+            stats.memory_read_bytes += task.external_input_bytes
+
+
+class _RunState:
+    """Shared scheduler state (mutated only between simulator events)."""
+
+    def __init__(self, graph: TaskGraph, n_spes: int, ls_cache_bytes: int):
+        self.graph = graph
+        self.ls_cache_bytes = ls_cache_bytes
+        self.pending: Dict[Task, int] = {
+            task: len(task.depends_on) for task in graph.tasks
+        }
+        self.ready: List[Task] = [
+            task for task in graph.tasks if not task.depends_on
+        ]
+        self.completed = 0
+        self.waiters: List = []
+        # Which SPEs hold a task's output in their LS (memory always has
+        # a write-through copy, so eviction is a plain drop).
+        self.residency: Dict[Task, Set[int]] = {}
+        self._cache: Dict[int, Deque[Tuple[Task, int]]] = {
+            worker: deque() for worker in range(n_spes)
+        }
+        self._cache_used: Dict[int, int] = {worker: 0 for worker in range(n_spes)}
+
+    def pick(self, worker: int) -> Optional[Task]:
+        """Pop the ready task with the most bytes resident on ``worker``."""
+        if not self.ready:
+            return None
+        best_index = 0
+        best_score = -1
+        for index, task in enumerate(self.ready):
+            score = sum(
+                dep.output_bytes
+                for dep in task.depends_on
+                if worker in self.residency.get(dep, ())
+            )
+            if score > best_score:
+                best_index, best_score = index, score
+        return self.ready.pop(best_index)
+
+    def cache_output(self, worker: int, task: Task) -> None:
+        self._insert(worker, task)
+
+    def cache_copy(self, worker: int, task: Task) -> None:
+        """A forwarded input now also lives in the consumer's LS."""
+        if worker not in self.residency.get(task, set()):
+            self._insert(worker, task)
+
+    def _insert(self, worker: int, task: Task) -> None:
+        if task.output_bytes > self.ls_cache_bytes:
+            return  # uncacheable; memory keeps the only copy
+        cache = self._cache[worker]
+        while self._cache_used[worker] + task.output_bytes > self.ls_cache_bytes:
+            evicted, size = cache.popleft()
+            self._cache_used[worker] -= size
+            self.residency[evicted].discard(worker)
+        cache.append((task, task.output_bytes))
+        self._cache_used[worker] += task.output_bytes
+        self.residency.setdefault(task, set()).add(worker)
+
+    def complete(self, task: Task) -> None:
+        self.completed += 1
+        for consumer in self.graph.consumers[task]:
+            self.pending[consumer] -= 1
+            if self.pending[consumer] == 0:
+                self.ready.append(consumer)
+        waiters, self.waiters = self.waiters, []
+        for waiter in waiters:
+            waiter.succeed()

@@ -1,0 +1,214 @@
+"""Tasks and task graphs for the offload runtime.
+
+A :class:`Task` is one SPE-sized unit of work: it reads the outputs of
+the tasks it depends on (plus optional external input from main memory),
+computes, and produces one output block.  A :class:`TaskGraph` is a DAG
+of tasks with cycle detection and ready-set bookkeeping.
+
+Three factories build the graph shapes the examples and benchmarks use:
+a linear ``chain`` (pure pipeline), ``fan_out_fan_in`` (map-reduce) and
+a ``wavefront`` (stencil sweep) whose diagonal parallelism exercises
+locality-aware scheduling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.cell.errors import ConfigError
+
+_task_ids = itertools.count()
+
+
+@dataclass
+class Task:
+    """One offloadable unit of work."""
+
+    name: str
+    flops: float
+    output_bytes: int
+    external_input_bytes: int = 0
+    depends_on: Tuple["Task", ...] = ()
+    task_id: int = field(default_factory=lambda: next(_task_ids))
+
+    def __post_init__(self):
+        if self.flops < 0:
+            raise ConfigError(f"task {self.name!r} has negative FLOPs")
+        if self.output_bytes < 16 or self.output_bytes % 16:
+            raise ConfigError(
+                f"task {self.name!r} output must be a quadword multiple "
+                f">= 16 B, got {self.output_bytes}"
+            )
+        if self.external_input_bytes < 0:
+            raise ConfigError(f"task {self.name!r} has negative input")
+        self.depends_on = tuple(self.depends_on)
+
+    @property
+    def input_bytes(self) -> int:
+        """Total bytes this task consumes."""
+        return self.external_input_bytes + sum(
+            dep.output_bytes for dep in self.depends_on
+        )
+
+    def __hash__(self) -> int:
+        return self.task_id
+
+    def __repr__(self) -> str:
+        return f"Task({self.name!r}, deps={len(self.depends_on)})"
+
+
+class TaskGraph:
+    """A validated DAG of tasks."""
+
+    def __init__(self, tasks: Sequence[Task]):
+        if not tasks:
+            raise ConfigError("a task graph needs at least one task")
+        self.tasks: List[Task] = list(tasks)
+        known = set(self.tasks)
+        for task in self.tasks:
+            for dep in task.depends_on:
+                if dep not in known:
+                    raise ConfigError(
+                        f"task {task.name!r} depends on {dep.name!r}, which "
+                        "is not in the graph"
+                    )
+        self._check_acyclic()
+        self.consumers: Dict[Task, List[Task]] = {task: [] for task in self.tasks}
+        for task in self.tasks:
+            for dep in task.depends_on:
+                self.consumers[dep].append(task)
+
+    def _check_acyclic(self) -> None:
+        state: Dict[Task, int] = {}
+
+        def visit(task: Task) -> None:
+            if state.get(task) == 1:
+                raise ConfigError(f"task graph has a cycle through {task.name!r}")
+            if state.get(task) == 2:
+                return
+            state[task] = 1
+            for dep in task.depends_on:
+                visit(dep)
+            state[task] = 2
+
+        for task in self.tasks:
+            visit(task)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(task.flops for task in self.tasks)
+
+    @property
+    def critical_path_flops(self) -> float:
+        """FLOPs along the longest dependency chain (a lower bound on
+        serial work, ignoring all data movement)."""
+        memo: Dict[Task, float] = {}
+
+        def depth(task: Task) -> float:
+            if task not in memo:
+                memo[task] = task.flops + max(
+                    (depth(dep) for dep in task.depends_on), default=0.0
+                )
+            return memo[task]
+
+        return max(depth(task) for task in self.tasks)
+
+
+def chain(
+    n_stages: int,
+    block_bytes: int = 16384,
+    flops_per_stage: float = 16384.0,
+    external_first_input: bool = True,
+) -> TaskGraph:
+    """A linear pipeline: stage i consumes stage i-1's block."""
+    if n_stages < 1:
+        raise ConfigError(f"chain needs >= 1 stage, got {n_stages}")
+    tasks: List[Task] = []
+    for stage in range(n_stages):
+        tasks.append(
+            Task(
+                name=f"stage{stage}",
+                flops=flops_per_stage,
+                output_bytes=block_bytes,
+                external_input_bytes=(
+                    block_bytes if stage == 0 and external_first_input else 0
+                ),
+                depends_on=(tasks[-1],) if tasks else (),
+            )
+        )
+    return TaskGraph(tasks)
+
+
+def fan_out_fan_in(
+    width: int,
+    block_bytes: int = 16384,
+    flops_per_task: float = 32768.0,
+) -> TaskGraph:
+    """Map-reduce: a source, ``width`` independent workers, a sink."""
+    if width < 1:
+        raise ConfigError(f"fan width must be >= 1, got {width}")
+    source = Task(
+        name="source",
+        flops=flops_per_task,
+        output_bytes=block_bytes,
+        external_input_bytes=block_bytes,
+    )
+    workers = [
+        Task(
+            name=f"map{i}",
+            flops=flops_per_task,
+            output_bytes=block_bytes,
+            depends_on=(source,),
+        )
+        for i in range(width)
+    ]
+    sink = Task(
+        name="reduce",
+        flops=flops_per_task,
+        output_bytes=block_bytes,
+        depends_on=tuple(workers),
+    )
+    return TaskGraph([source] + workers + [sink])
+
+
+def wavefront(
+    width: int,
+    steps: int,
+    block_bytes: int = 16384,
+    flops_per_task: float = 32768.0,
+) -> TaskGraph:
+    """A stencil sweep: task (i, t) depends on (i-1..i+1, t-1).
+
+    Row t exposes ``width``-way parallelism while every task's inputs
+    sit with its predecessors — the shape where forwarding and locality
+    scheduling pay off most.
+    """
+    if width < 1 or steps < 1:
+        raise ConfigError("wavefront needs width >= 1 and steps >= 1")
+    rows: List[List[Task]] = []
+    for t in range(steps):
+        row: List[Task] = []
+        for i in range(width):
+            if t == 0:
+                deps: Tuple[Task, ...] = ()
+                external = block_bytes
+            else:
+                neighbours = range(max(0, i - 1), min(width, i + 2))
+                deps = tuple(rows[t - 1][j] for j in neighbours)
+                external = 0
+            row.append(
+                Task(
+                    name=f"cell({i},{t})",
+                    flops=flops_per_task,
+                    output_bytes=block_bytes,
+                    external_input_bytes=external,
+                    depends_on=deps,
+                )
+            )
+        rows.append(row)
+    return TaskGraph([task for row in rows for task in row])

@@ -1,0 +1,52 @@
+"""Generic discrete-event simulation kernel.
+
+This subpackage knows nothing about the Cell Broadband Engine: it provides
+the event loop, process (generator) scheduling, waitable events, shared
+resources and instrumentation that ``repro.cell`` builds its hardware
+models on.  The API intentionally mirrors a small subset of SimPy so the
+hardware models read like standard DES code.
+
+Typical usage::
+
+    from repro.sim import Environment
+
+    env = Environment()
+
+    def producer(env, store):
+        for i in range(3):
+            yield env.timeout(10)
+            yield store.put(i)
+
+    env.process(producer(env, store))
+    env.run()
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import Container, Resource, Store
+from repro.sim.monitor import BusyMonitor, Counter, TimeSeries
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "BusyMonitor",
+    "Container",
+    "Counter",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "TimeSeries",
+    "Timeout",
+]

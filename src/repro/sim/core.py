@@ -1,0 +1,337 @@
+"""Core of the discrete-event simulation kernel.
+
+Time is an integer in arbitrary units (the Cell models use CPU cycles).
+Events are scheduled on a binary heap keyed by ``(time, sequence)`` so
+simultaneous events fire in a deterministic FIFO order, which keeps every
+simulation in this repository reproducible run-to-run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal kernel operations (double trigger, bad yield...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+_PENDING = object()
+
+
+class Event:
+    """A waitable, one-shot occurrence.
+
+    An event starts *pending*; it becomes *triggered* when :meth:`succeed`
+    or :meth:`fail` is called, at which point it is scheduled and its
+    callbacks run at the current simulation time.  Processes wait on an
+    event by yielding it.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._value is not _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """True when the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event has not been triggered yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every waiting process.  If no
+        process ever waits on a failed event the kernel raises it at the
+        end of the run instead of passing silently.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        self.env._failed_events.append(self)
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation.
+
+    Unlike a plain :class:`Event`, a Timeout schedules itself; it becomes
+    *triggered* only when the clock reaches its fire time, so a process
+    yielding it really does suspend for ``delay`` units.
+    """
+
+    def __init__(self, env: "Environment", delay: int, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._payload = value
+        env._schedule(self, delay=delay)
+
+    def _run_callbacks(self) -> None:
+        self._ok = True
+        self._value = self._payload
+        super()._run_callbacks()
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it terminates.
+
+    The generator yields events; the process is resumed with the event's
+    value (or the event's exception is thrown into it).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process() needs a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick the process off at the current time.
+        start = Event(env)
+        start._ok = True
+        start._value = None
+        start.callbacks.append(self._resume)
+        env._schedule(start)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a terminated process")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        # Detach from whatever we were waiting on so that the original
+        # event's later trigger does not resume us twice.
+        waited = self._waiting_on
+        if waited is not None and self._resume in waited.callbacks:
+            waited.callbacks.remove(self._resume)
+        self._waiting_on = None
+        interrupt_event.callbacks.append(self._resume)
+        self.env._schedule(interrupt_event)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self.env._active_process = self
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                event._defused = True
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}; processes may only yield Events"
+            )
+        if target.triggered:
+            # Already done: resume immediately (at the current time).
+            resume = Event(self.env)
+            resume._ok = target._ok
+            resume._value = target._value
+            if not target._ok:
+                target._defused = True
+            resume.callbacks.append(self._resume)
+            self.env._schedule(resume)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("events from different environments")
+        self._pending = sum(1 for e in self._events if not e.triggered)
+        for event in self._events:
+            if event.triggered:
+                self._observe(event, immediate=True)
+            else:
+                event.callbacks.append(self._observe)
+        self._check(initial=True)
+
+    def _observe(self, event: Event, immediate: bool = False) -> None:
+        if not immediate:
+            self._pending -= 1
+        if not event._ok:
+            event._defused = True
+            if not self.triggered:
+                self.fail(event._value)
+            return
+        if not self.triggered:
+            self._check(initial=False)
+
+    def _check(self, initial: bool) -> None:
+        raise NotImplementedError
+
+    def _values(self) -> List[Any]:
+        return [e._value for e in self._events if e.triggered and e._ok]
+
+
+class AllOf(_Condition):
+    """Succeeds when every component event has succeeded."""
+
+    def _check(self, initial: bool) -> None:
+        if self._pending == 0 and not self.triggered:
+            self.succeed(self._values())
+
+
+class AnyOf(_Condition):
+    """Succeeds as soon as any component event succeeds."""
+
+    def _check(self, initial: bool) -> None:
+        if not self.triggered and any(
+            e.triggered and e._ok for e in self._events
+        ):
+            self.succeed(self._values())
+
+
+class Environment:
+    """The event loop.  ``now`` is the current integer simulation time."""
+
+    def __init__(self, initial_time: int = 0):
+        self.now = int(initial_time)
+        self._queue: List = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+        self._failed_events: List[Event] = []
+
+    # -- construction helpers -------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: int = 0) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the queue is empty."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process a single event."""
+        time, _seq, event = heapq.heappop(self._queue)
+        self.now = time
+        event._run_callbacks()
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run until the queue drains, ``until`` time, or ``until`` event.
+
+        Returns the value of the ``until`` event when one is given.
+        """
+        if isinstance(until, Event):
+            stop_event = until
+            while not stop_event.triggered:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before the awaited event fired"
+                    )
+                self.step()
+            self._raise_orphaned_failures()
+            if not stop_event._ok:
+                stop_event._defused = True
+                raise stop_event._value
+            return stop_event._value
+
+        horizon = None if until is None else int(until)
+        while self._queue:
+            if horizon is not None and self._queue[0][0] > horizon:
+                self.now = horizon
+                break
+            self.step()
+        else:
+            if horizon is not None:
+                self.now = horizon
+        self._raise_orphaned_failures()
+        return None
+
+    def _raise_orphaned_failures(self) -> None:
+        for event in self._failed_events:
+            if not event._defused:
+                self._failed_events = []
+                raise event._value
+        self._failed_events = []

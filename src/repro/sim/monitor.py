@@ -1,0 +1,126 @@
+"""Instrumentation helpers for simulations.
+
+These are deliberately simulation-agnostic: they record what the models
+tell them and compute summary statistics afterwards.  The Cell models use
+them to report ring utilisation, queue depths and conflict counts, which
+the analysis layer turns into the paper's explanatory claims (e.g. "the
+8-SPE drop is EIB saturation").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.sim.core import Environment, SimulationError
+
+
+class BusyMonitor:
+    """Tracks busy/idle intervals of a single server.
+
+    Overlapping claims are allowed (e.g. a ring with three concurrent
+    transfers): the monitor tracks the *occupancy level* over time.
+    """
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._level = 0
+        self._changes: List[Tuple[int, int]] = [(env.now, 0)]
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def acquire(self) -> None:
+        self._level += 1
+        self._changes.append((self.env.now, self._level))
+
+    def release(self) -> None:
+        if self._level <= 0:
+            raise SimulationError(f"BusyMonitor {self.name!r} released while idle")
+        self._level -= 1
+        self._changes.append((self.env.now, self._level))
+
+    def busy_time(self, until: Optional[int] = None) -> int:
+        """Total time with occupancy level >= 1."""
+        return self._time_at(lambda level: level >= 1, until)
+
+    def level_time_integral(self, until: Optional[int] = None) -> int:
+        """Integral of occupancy level over time (level-weighted busy time)."""
+        end = self.env.now if until is None else until
+        total = 0
+        for (t0, level), (t1, _next_level) in zip(self._changes, self._changes[1:]):
+            total += level * (min(t1, end) - min(t0, end))
+        last_t, last_level = self._changes[-1]
+        if last_t < end:
+            total += last_level * (end - last_t)
+        return total
+
+    def _time_at(self, predicate, until: Optional[int]) -> int:
+        end = self.env.now if until is None else until
+        total = 0
+        for (t0, level), (t1, _next_level) in zip(self._changes, self._changes[1:]):
+            if predicate(level):
+                total += min(t1, end) - min(t0, end)
+        last_t, last_level = self._changes[-1]
+        if last_t < end and predicate(last_level):
+            total += end - last_t
+        return total
+
+    def utilization(self, until: Optional[int] = None) -> float:
+        """Fraction of elapsed time the server was busy (level >= 1)."""
+        end = self.env.now if until is None else until
+        start = self._changes[0][0]
+        elapsed = end - start
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_time(until) / elapsed
+
+
+class TimeSeries:
+    """Records (time, value) samples; supports simple reductions."""
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self.samples: List[Tuple[int, float]] = []
+
+    def record(self, value: float) -> None:
+        self.samples.append((self.env.now, value))
+
+    def values(self) -> List[float]:
+        return [v for _t, v in self.samples]
+
+    def mean(self) -> float:
+        values = self.values()
+        if not values:
+            raise SimulationError(f"TimeSeries {self.name!r} has no samples")
+        return sum(values) / len(values)
+
+    def max(self) -> float:
+        values = self.values()
+        if not values:
+            raise SimulationError(f"TimeSeries {self.name!r} has no samples")
+        return max(values)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+
+class Counter:
+    """A named monotonically increasing event counter."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.count = 0
+
+    def increment(self, by: int = 1) -> None:
+        if by < 0:
+            raise ValueError("Counter can only increase")
+        self.count += by
+
+    def __int__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, count={self.count})"

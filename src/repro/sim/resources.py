@@ -1,0 +1,168 @@
+"""Shared resources for the DES kernel: Resource, Store, Container.
+
+All three follow the same protocol: the acquiring methods return an
+:class:`~repro.sim.core.Event` that a process yields; the event succeeds
+when the resource is granted.  Grant order is strictly FIFO, which keeps
+hardware-model arbitration deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+from repro.sim.core import Environment, Event, SimulationError
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """A counted resource with ``capacity`` slots and a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: List[Request] = []
+        self.queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self.users)
+
+    def request(self) -> Request:
+        """Claim a slot; the returned event fires when the slot is granted."""
+        req = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed(req)
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted slot."""
+        if request not in self.users:
+            raise SimulationError("releasing a request that is not held")
+        self.users.remove(request)
+        if self.queue:
+            nxt = self.queue.popleft()
+            self.users.append(nxt)
+            nxt.succeed(nxt)
+
+    def cancel(self, request: Request) -> None:
+        """Withdraw a still-queued request (no-op if already granted)."""
+        if request in self.queue:
+            self.queue.remove(request)
+
+
+class Store:
+    """An unordered-capacity FIFO buffer of Python objects."""
+
+    def __init__(self, env: Environment, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[Event] = deque()
+        self._put_payload: dict = {}
+
+    def put(self, item: Any) -> Event:
+        """Insert ``item``; fires when there is room."""
+        event = Event(self.env)
+        if self.capacity is None or len(self.items) < self.capacity:
+            self.items.append(item)
+            event.succeed()
+            self._serve_getters()
+        else:
+            self._put_payload[id(event)] = item
+            self._putters.append(event)
+        return event
+
+    def get(self) -> Event:
+        """Remove the oldest item; the event's value is the item."""
+        event = Event(self.env)
+        if self.items:
+            event.succeed(self.items.popleft())
+            self._serve_putters()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _serve_getters(self) -> None:
+        while self._getters and self.items:
+            getter = self._getters.popleft()
+            getter.succeed(self.items.popleft())
+            self._serve_putters()
+
+    def _serve_putters(self) -> None:
+        while self._putters and (
+            self.capacity is None or len(self.items) < self.capacity
+        ):
+            putter = self._putters.popleft()
+            self.items.append(self._put_payload.pop(id(putter)))
+            putter.succeed()
+            self._serve_getters()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Container:
+    """A continuous quantity (e.g. credits) with blocking get/put."""
+
+    def __init__(self, env: Environment, capacity: float, init: float = 0):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0 <= init <= capacity:
+            raise ValueError(f"init {init} outside [0, {capacity}]")
+        self.env = env
+        self.capacity = capacity
+        self.level = init
+        self._getters: Deque = deque()  # (event, amount)
+        self._putters: Deque = deque()
+
+    def put(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError(f"put amount must be positive, got {amount}")
+        event = Event(self.env)
+        self._putters.append((event, amount))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError(f"get amount must be positive, got {amount}")
+        event = Event(self.env)
+        self._getters.append((event, amount))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self.level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self.level += amount
+                    event.succeed()
+                    progress = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if amount <= self.level:
+                    self._getters.popleft()
+                    self.level -= amount
+                    event.succeed()
+                    progress = True

@@ -1,0 +1,21 @@
+"""Shared fixtures: a paper-blade config and small, fast experiment knobs."""
+
+import pytest
+
+from repro.cell import CellChip, CellConfig
+from repro.cell.topology import SpeMapping
+
+
+@pytest.fixture
+def config():
+    return CellConfig.paper_blade()
+
+
+@pytest.fixture
+def chip(config):
+    """A fresh chip with the identity mapping."""
+    return CellChip(config=config, mapping=SpeMapping.identity(config.n_spes))
+
+
+def gbps_of(chip, nbytes, cycles):
+    return chip.config.clock.gbps(nbytes, cycles)

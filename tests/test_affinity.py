@@ -1,0 +1,102 @@
+"""Unit and integration tests for the SPE affinity planner."""
+
+import statistics
+
+import pytest
+
+from repro.analysis.affinity import (
+    CommunicationPattern,
+    mapping_cost,
+    measure_mapping,
+    plan_mapping,
+)
+from repro.cell import ConfigError, SpeMapping
+from repro.cell.topology import RingTopology
+
+
+class TestCommunicationPattern:
+    def test_couples_factory(self):
+        pattern = CommunicationPattern.couples(8)
+        assert len(pattern.flows) == 4
+        assert pattern.n_spes_required == 8
+        with pytest.raises(ConfigError):
+            CommunicationPattern.couples(5)
+
+    def test_cycle_factory(self):
+        pattern = CommunicationPattern.cycle(4)
+        assert pattern.flows == ((0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0))
+        with pytest.raises(ConfigError):
+            CommunicationPattern.cycle(1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            CommunicationPattern(((0, 0, 1.0),))
+        with pytest.raises(ConfigError):
+            CommunicationPattern(((0, 1, 0.0),))
+
+
+class TestMappingCost:
+    def test_adjacent_pairs_cost_less_than_spread_pairs(self):
+        topology = RingTopology()
+        pattern = CommunicationPattern.couples(8)
+        # Physical SPE0/SPE2 are ring neighbours (indices 10 and 9), as
+        # are SPE1/SPE3 (1 and 2) etc: map logical pairs onto physical
+        # neighbours.
+        adjacent = SpeMapping((0, 2, 1, 3, 4, 6, 5, 7))
+        spread = SpeMapping((0, 7, 1, 6, 2, 5, 3, 4))
+        assert mapping_cost(pattern, adjacent, topology) < mapping_cost(
+            pattern, spread, topology
+        )
+
+    def test_cost_is_deterministic(self):
+        pattern = CommunicationPattern.cycle(8)
+        mapping = SpeMapping.random(3)
+        assert mapping_cost(pattern, mapping) == mapping_cost(pattern, mapping)
+
+
+class TestPlanMapping:
+    def test_best_beats_worst_on_cost(self):
+        pattern = CommunicationPattern.couples(8)
+        best = plan_mapping(pattern, objective="best")
+        worst = plan_mapping(pattern, objective="worst")
+        assert mapping_cost(pattern, best) < mapping_cost(pattern, worst)
+
+    def test_sampled_search_when_space_too_large(self):
+        pattern = CommunicationPattern.couples(8)
+        sampled = plan_mapping(pattern, max_evaluations=200, seed=1)
+        assert sorted(sampled.physical_of) == list(range(8))
+
+    def test_pattern_must_fit(self):
+        pattern = CommunicationPattern.cycle(8)
+        with pytest.raises(ConfigError):
+            plan_mapping(pattern, n_spes=4)
+
+    def test_objective_validated(self):
+        with pytest.raises(ConfigError):
+            plan_mapping(CommunicationPattern.couples(8), objective="median")
+
+
+class TestMeasureMapping:
+    def test_planned_beats_random_average_on_the_simulator(self):
+        pattern = CommunicationPattern.couples(8)
+        planned = measure_mapping(
+            pattern, plan_mapping(pattern), n_elements=48
+        )
+        random_mean = statistics.fmean(
+            measure_mapping(pattern, SpeMapping.random(seed), n_elements=48)
+            for seed in range(4)
+        )
+        assert planned > random_mean
+
+    def test_planned_couples_reach_near_peak(self):
+        pattern = CommunicationPattern.couples(8)
+        planned = measure_mapping(pattern, plan_mapping(pattern), n_elements=48)
+        assert planned > 0.9 * 134.4
+
+    def test_adversarial_placement_is_clearly_worse(self):
+        pattern = CommunicationPattern.cycle(8)
+        best = measure_mapping(pattern, plan_mapping(pattern), n_elements=32)
+        worst = measure_mapping(
+            pattern, plan_mapping(pattern, objective="worst"), n_elements=32
+        )
+        assert worst < 0.8 * best

@@ -1,0 +1,171 @@
+"""Unit tests for the analysis layer: stats, guidelines, ablation, streaming."""
+
+import pytest
+
+from repro.analysis import (
+    AblationStudy,
+    GuidelineAdvisor,
+    StreamingComparison,
+    crossover,
+    efficiency,
+    scaling_efficiency,
+    speedup_series,
+)
+from repro.analysis.ablation import perturb
+from repro.cell import CellConfig, ConfigError
+from repro.core import (
+    CouplesExperiment,
+    CycleExperiment,
+    PairSyncExperiment,
+    PpeBandwidthExperiment,
+    SpeMemoryExperiment,
+)
+
+VOLUME = 2 ** 20
+
+
+class TestStatsHelpers:
+    def test_efficiency(self):
+        assert efficiency(8.4, 16.8) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            efficiency(1.0, 0.0)
+        with pytest.raises(ValueError):
+            efficiency(-1.0, 10.0)
+
+    def test_speedup_series(self):
+        assert speedup_series([(1, 10.0), (2, 20.0)]) == [
+            (1, 1.0),
+            (2, 2.0),
+        ]
+        with pytest.raises(ValueError):
+            speedup_series([])
+
+    def test_scaling_efficiency(self):
+        series = scaling_efficiency([(1, 10.0), (2, 20.0), (4, 20.0)])
+        assert series[1][1] == pytest.approx(1.0)
+        assert series[2][1] == pytest.approx(0.5)
+
+    def test_crossover(self):
+        a = [(128, 1.0), (512, 3.0), (1024, 5.0)]
+        b = [(128, 2.0), (512, 2.5), (1024, 4.0)]
+        assert crossover(a, b) == 512
+        assert crossover(b, a) is None
+        with pytest.raises(ValueError):
+            crossover(a, [(1, 1.0)])
+
+
+class TestPerturb:
+    def test_dotted_replacement(self):
+        config = perturb(CellConfig(), "mfc.queue_depth", 4)
+        assert config.mfc.queue_depth == 4
+        assert CellConfig().mfc.queue_depth == 16
+
+    def test_bad_paths_rejected(self):
+        with pytest.raises(ConfigError):
+            perturb(CellConfig(), "queue_depth", 4)
+        with pytest.raises(ConfigError):
+            perturb(CellConfig(), "mfc.bogus", 4)
+        with pytest.raises(ConfigError):
+            perturb(CellConfig(), "warp.speed", 4)
+
+
+class TestAblationStudy:
+    def test_sweeps_values(self):
+        study = AblationStudy(
+            parameter="mfc.queue_depth",
+            values=[1, 16],
+            metric=lambda config: float(config.mfc.queue_depth),
+        )
+        points = study.run()
+        assert [point.metric for point in points] == [1.0, 16.0]
+        text = AblationStudy.format(points)
+        assert "mfc.queue_depth" in text
+
+    def test_queue_depth_ablation_changes_bandwidth(self):
+        """A 1-deep MFC queue cannot overlap transfers: bandwidth collapses
+        versus the 16-deep queue (the mechanism behind delayed sync)."""
+
+        def pair_bandwidth(config):
+            result = PairSyncExperiment(
+                sync_policies=(2 ** 30,),
+                element_sizes=(4096,),
+                repetitions=1,
+                bytes_per_spe=VOLUME,
+                config=config,
+            ).run()
+            return result.table("sync").mean(2 ** 30, 4096)
+
+        study = AblationStudy("mfc.queue_depth", [1, 16], pair_bandwidth)
+        shallow, deep = study.run()
+        assert deep.metric > 1.5 * shallow.metric
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigError):
+            AblationStudy("mfc.queue_depth", [], lambda config: 0.0)
+
+
+class TestGuidelines:
+    def test_advisor_emits_nothing_without_results(self):
+        assert GuidelineAdvisor().guidelines() == []
+
+    def test_advisor_derives_rules_from_results(self):
+        advisor = GuidelineAdvisor()
+        advisor.add_ppe("l1", PpeBandwidthExperiment("l1").run())
+        advisor.add_ppe("l2", PpeBandwidthExperiment("l2").run())
+        advisor.add_memory(
+            SpeMemoryExperiment(
+                element_sizes=(16384,),
+                directions=("get",),
+                repetitions=1,
+                bytes_per_spe=VOLUME,
+            ).run()
+        )
+        rules = advisor.guidelines()
+        texts = " ".join(rule.rule for rule in rules)
+        assert "SIMD" in texts  # vectorize
+        assert "two SPEs" in texts or "at least two" in texts.lower()
+        assert all(rule.advantage > 1.0 for rule in rules)
+
+    def test_lists_rule_from_couples(self):
+        advisor = GuidelineAdvisor()
+        advisor.add_couples(
+            CouplesExperiment(
+                spe_counts=(2,),
+                element_sizes=(256, 16384),
+                repetitions=1,
+                bytes_per_spe=VOLUME,
+            ).run()
+        )
+        rules = advisor.guidelines()
+        assert any("DMA lists" in rule.rule for rule in rules)
+
+    def test_saturation_rule_needs_both_experiments(self):
+        advisor = GuidelineAdvisor()
+        advisor.add_cycle(
+            CycleExperiment(
+                spe_counts=(2,),
+                element_sizes=(16384,),
+                repetitions=1,
+                bytes_per_spe=VOLUME,
+            ).run()
+        )
+        # couples missing -> no saturation rule, no crash
+        assert all("saturating" not in rule.rule for rule in advisor.guidelines())
+
+
+class TestStreaming:
+    def test_two_streams_beat_one(self):
+        results = StreamingComparison(chunks_per_stream_unit=24).run()
+        assert results["double"].gbps > 1.4 * results["single"].gbps
+        assert results["single"].spes_per_pipeline == 8
+        assert results["double"].n_pipelines == 2
+        # Same data volume both ways.
+        assert results["double"].total_bytes == results["single"].total_bytes
+
+    def test_compute_cycles_slow_both_configurations(self):
+        fast = StreamingComparison(chunks_per_stream_unit=16).run()
+        slow = StreamingComparison(
+            chunks_per_stream_unit=16, compute_cycles=40000
+        ).run()
+        assert slow["single"].gbps < fast["single"].gbps
+        assert slow["double"].gbps < fast["double"].gbps

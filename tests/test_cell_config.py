@@ -1,0 +1,122 @@
+"""Unit tests for the machine configuration."""
+
+import dataclasses
+
+import pytest
+
+from repro.cell import CellConfig, ClockConfig, ConfigError, EibConfig, MfcConfig
+from repro.cell.config import LocalStoreConfig, MemoryConfig, PpeConfig
+
+
+def test_paper_blade_headline_rates():
+    config = CellConfig.paper_blade()
+    assert config.clock.cpu_hz == pytest.approx(2.1e9)
+    assert config.clock.bus_hz == pytest.approx(1.05e9)
+    assert config.eib_peak_gbps == pytest.approx(16.8)
+    assert config.pair_peak_gbps == pytest.approx(33.6)
+    assert config.local_store_peak_gbps == pytest.approx(33.6)
+    assert config.memory_peak_gbps == pytest.approx(23.8)
+    assert config.n_spes == 8
+
+
+def test_couples_peak():
+    config = CellConfig.paper_blade()
+    assert config.couples_peak_gbps(2) == pytest.approx(33.6)
+    assert config.couples_peak_gbps(8) == pytest.approx(134.4)
+    with pytest.raises(ConfigError):
+        config.couples_peak_gbps(3)
+
+
+def test_node_rates():
+    config = CellConfig.paper_blade()
+    assert config.node_rate_bytes_per_cpu_cycle("SPE0") == pytest.approx(8.0)
+    assert config.node_rate_bytes_per_cpu_cycle("MIC") == pytest.approx(8.0)
+    ioif = config.node_rate_bytes_per_cpu_cycle("IOIF0")
+    assert ioif * config.clock.cpu_hz == pytest.approx(7.0e9)
+
+
+def test_clock_conversions():
+    clock = ClockConfig()
+    assert clock.cycles_to_seconds(2_100_000_000) == pytest.approx(1.0)
+    assert clock.gbps(16_800_000_000, 2_100_000_000) == pytest.approx(16.8)
+    with pytest.raises(ConfigError):
+        clock.gbps(100, 0)
+
+
+def test_clock_validation():
+    with pytest.raises(ConfigError):
+        ClockConfig(cpu_hz=0)
+    with pytest.raises(ConfigError):
+        ClockConfig(bus_divisor=0)
+
+
+def test_eib_validation():
+    with pytest.raises(ConfigError):
+        EibConfig(rings_per_direction=0)
+    with pytest.raises(ConfigError):
+        EibConfig(grant_quantum_bytes=64)
+    with pytest.raises(ConfigError):
+        EibConfig(max_transfers_per_ring=0)
+
+
+def test_mfc_validation():
+    with pytest.raises(ConfigError):
+        MfcConfig(queue_depth=0)
+    with pytest.raises(ConfigError):
+        MfcConfig(memory_path_bytes_per_cpu_cycle=0.0)
+
+
+def test_memory_validation():
+    with pytest.raises(ConfigError):
+        MemoryConfig(local_placement_fraction=1.5)
+    with pytest.raises(ConfigError):
+        MemoryConfig(duplex_overlap_fraction=1.0)
+    with pytest.raises(ConfigError):
+        MemoryConfig(local_bank_peak_bytes_per_cpu_cycle=0)
+
+
+def test_local_store_validation():
+    with pytest.raises(ConfigError):
+        LocalStoreConfig(size_bytes=100)
+
+
+def test_config_replace_is_nondestructive():
+    base = CellConfig.paper_blade()
+    faster = base.replace(
+        eib=dataclasses.replace(base.eib, grant_quantum_bytes=4096)
+    )
+    assert faster.eib.grant_quantum_bytes == 4096
+    assert base.eib.grant_quantum_bytes == 2048
+
+
+def test_config_is_frozen():
+    config = CellConfig.paper_blade()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        config.n_spes = 4
+
+
+def test_ppe_plateau_lookup():
+    ppe = PpeConfig()
+    assert ppe.plateau("l1", "load", 1) == pytest.approx(8.0)
+    assert ppe.plateau("l2", "store", 2) > ppe.plateau("l2", "store", 1) * 0 + 0
+    with pytest.raises(ConfigError):
+        ppe.plateau("l1", "load", 3)
+    with pytest.raises(ConfigError):
+        ppe.plateau("l9", "load", 1)
+
+
+def test_ppe_16b_bonus_defaults_to_one_for_loads():
+    ppe = PpeConfig()
+    assert ppe.bonus_16b("l1", "load", 1) == 1.0
+    assert ppe.bonus_16b("l1", "store", 1) > 1.0
+
+
+def test_describe_contains_headlines():
+    summary = CellConfig.paper_blade().describe()
+    assert summary["pair_peak_gbps"] == pytest.approx(33.6)
+    assert summary["cpu_ghz"] == pytest.approx(2.1)
+
+
+def test_n_spes_validation():
+    with pytest.raises(ConfigError):
+        CellConfig(n_spes=0)

@@ -1,0 +1,149 @@
+"""Unit tests for DMA command types and MFC validation rules."""
+
+import pytest
+
+from repro.cell import DmaAlignmentError, DmaCommand, DmaDirection, DmaList, DmaSizeError
+from repro.cell.dma import (
+    DmaListElement,
+    EFFICIENT_MIN_BYTES,
+    MAX_TRANSFER_BYTES,
+    TargetKind,
+    split_into_commands,
+    validate_transfer,
+)
+
+
+class TestValidateTransfer:
+    def test_quadword_multiples_accepted(self):
+        for size in (16, 128, 1024, MAX_TRANSFER_BYTES):
+            validate_transfer(size, 0, 0)
+
+    def test_small_power_of_two_sizes_accepted(self):
+        for size in (1, 2, 4, 8):
+            validate_transfer(size, size, size)
+
+    def test_zero_and_negative_rejected(self):
+        with pytest.raises(DmaSizeError):
+            validate_transfer(0, 0, 0)
+        with pytest.raises(DmaSizeError):
+            validate_transfer(-16, 0, 0)
+
+    def test_above_16k_rejected(self):
+        with pytest.raises(DmaSizeError):
+            validate_transfer(MAX_TRANSFER_BYTES + 16, 0, 0)
+
+    def test_odd_small_sizes_rejected(self):
+        for size in (3, 5, 6, 7, 9, 15):
+            with pytest.raises(DmaSizeError):
+                validate_transfer(size, 0, 0)
+
+    def test_non_quadword_multiple_rejected(self):
+        with pytest.raises(DmaSizeError):
+            validate_transfer(24, 0, 0)
+
+    def test_misaligned_quadword_rejected(self):
+        with pytest.raises(DmaAlignmentError):
+            validate_transfer(128, 8, 8)
+
+    def test_small_natural_alignment_enforced(self):
+        validate_transfer(4, 4, 4)
+        with pytest.raises(DmaAlignmentError):
+            validate_transfer(4, 2, 2)
+
+    def test_mismatched_alignment_rejected(self):
+        with pytest.raises(DmaAlignmentError):
+            validate_transfer(8, 0, 8)
+
+
+class TestDmaCommand:
+    def test_valid_command(self):
+        command = DmaCommand(
+            direction=DmaDirection.GET,
+            target=TargetKind.MAIN_MEMORY,
+            size=4096,
+            tag=3,
+        )
+        assert command.is_efficient
+        assert command.size == 4096
+
+    def test_small_command_flagged_inefficient(self):
+        command = DmaCommand(
+            direction=DmaDirection.PUT,
+            target=TargetKind.MAIN_MEMORY,
+            size=EFFICIENT_MIN_BYTES - 64,
+        )
+        assert not command.is_efficient
+
+    def test_tag_range_enforced(self):
+        with pytest.raises(DmaSizeError):
+            DmaCommand(
+                direction=DmaDirection.GET,
+                target=TargetKind.MAIN_MEMORY,
+                size=128,
+                tag=32,
+            )
+
+    def test_ls_target_needs_remote_node(self):
+        with pytest.raises(DmaSizeError):
+            DmaCommand(
+                direction=DmaDirection.GET,
+                target=TargetKind.LOCAL_STORE,
+                size=128,
+            )
+
+    def test_command_ids_are_unique(self):
+        a = DmaCommand(DmaDirection.GET, TargetKind.MAIN_MEMORY, 128)
+        b = DmaCommand(DmaDirection.GET, TargetKind.MAIN_MEMORY, 128)
+        assert a.command_id != b.command_id
+
+
+class TestDmaList:
+    def test_uniform_builder(self):
+        dma_list = DmaList.uniform(
+            DmaDirection.GET, TargetKind.MAIN_MEMORY, element_size=512, n_elements=10
+        )
+        assert len(dma_list.elements) == 10
+        assert dma_list.size == 5120
+        assert dma_list.elements[3].remote_offset == 3 * 512
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(DmaSizeError):
+            DmaList(
+                direction=DmaDirection.GET,
+                target=TargetKind.MAIN_MEMORY,
+                elements=[],
+            )
+
+    def test_uniform_rejects_zero_elements(self):
+        with pytest.raises(DmaSizeError):
+            DmaList.uniform(
+                DmaDirection.GET, TargetKind.MAIN_MEMORY, element_size=512, n_elements=0
+            )
+
+    def test_element_validation_applies(self):
+        with pytest.raises(DmaSizeError):
+            DmaListElement(size=24)
+
+    def test_ls_list_needs_remote_node(self):
+        with pytest.raises(DmaSizeError):
+            DmaList.uniform(
+                DmaDirection.PUT, TargetKind.LOCAL_STORE, element_size=128, n_elements=2
+            )
+
+
+class TestSplitIntoCommands:
+    def test_even_split(self):
+        commands = split_into_commands(
+            4096, 1024, DmaDirection.GET, TargetKind.MAIN_MEMORY
+        )
+        assert len(commands) == 4
+        assert all(command.size == 1024 for command in commands)
+        assert commands[2].remote_offset == 2048
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(DmaSizeError):
+            split_into_commands(1000, 128, DmaDirection.GET, TargetKind.MAIN_MEMORY)
+
+    def test_zero_element_rejected(self):
+        with pytest.raises(DmaSizeError):
+            split_into_commands(1024, 0, DmaDirection.GET, TargetKind.MAIN_MEMORY)

@@ -1,0 +1,186 @@
+"""Unit tests for the EIB model: timing, ports, rings, arbitration."""
+
+import math
+
+import pytest
+
+from repro.cell import CellChip, CellConfig, ConfigError
+from repro.cell.eib import HOP_LATENCY_CYCLES, Ring
+from repro.cell.topology import CLOCKWISE, SpeMapping
+
+
+def run_transfer(chip, src, dst, nbytes):
+    done = {}
+
+    def mover(env):
+        start = env.now
+        yield from chip.eib.transfer(src, dst, nbytes)
+        done["cycles"] = env.now - start
+
+    chip.env.process(mover(chip.env))
+    chip.run()
+    return done["cycles"]
+
+
+def expected_single_grant_cycles(config, src, dst, chunk, hops):
+    rate = min(
+        config.node_rate_bytes_per_cpu_cycle(src),
+        config.node_rate_bytes_per_cpu_cycle(dst),
+    )
+    return (
+        config.eib.arbitration_cycles
+        + hops * HOP_LATENCY_CYCLES
+        + math.ceil(chunk / rate)
+    )
+
+
+def test_single_quantum_transfer_timing(chip):
+    # SPE0 (index 10) to MIC (index 11): one hop clockwise.
+    cycles = run_transfer(chip, "SPE0", "MIC", 2048)
+    assert cycles == expected_single_grant_cycles(chip.config, "SPE0", "MIC", 2048, 1)
+
+
+def test_transfer_splits_into_grant_quanta(chip):
+    quantum = chip.config.eib.grant_quantum_bytes
+    one = run_transfer(chip, "SPE0", "MIC", quantum)
+    chip2 = CellChip(config=chip.config)
+    four = run_transfer(chip2, "SPE0", "MIC", 4 * quantum)
+    assert four == 4 * one
+
+
+def test_ioif_transfers_run_at_seven_gbps(chip):
+    nbytes = 7_000_000
+    cycles = run_transfer(chip, "MIC", "IOIF0", nbytes)
+    gbps = chip.config.clock.gbps(nbytes, cycles)
+    assert gbps == pytest.approx(7.0, rel=0.05)
+
+
+def test_distance_adds_latency(config):
+    near = run_transfer(CellChip(config=config), "SPE0", "MIC", 2048)
+    far = run_transfer(CellChip(config=config), "SPE1", "IOIF0", 2048)
+    assert far > near
+
+
+def test_out_port_is_exclusive(chip):
+    """Two transfers from the same source serialize on its on-ramp."""
+    done = []
+
+    def mover(env, dst):
+        yield from chip.eib.transfer("SPE0", dst, 2048)
+        done.append((dst, env.now))
+
+    chip.env.process(mover(chip.env, "SPE1"))
+    chip.env.process(mover(chip.env, "SPE2"))
+    chip.run()
+    finish_times = sorted(t for _dst, t in done)
+    single = expected_single_grant_cycles(chip.config, "SPE0", "SPE1", 2048, 1)
+    # The second transfer cannot start before the first releases the port.
+    assert finish_times[1] >= finish_times[0] + single - HOP_LATENCY_CYCLES * 6
+
+
+def test_disjoint_transfers_run_concurrently(chip):
+    """Transfers with disjoint ports and spans overlap fully."""
+    done = {}
+
+    def mover(env, name, src, dst):
+        yield from chip.eib.transfer(src, dst, 2048)
+        done[name] = env.now
+
+    chip.env.process(mover(chip.env, "a", "SPE0", "MIC"))
+    chip.env.process(mover(chip.env, "b", "SPE2", "SPE4"))
+    chip.run()
+    assert done["a"] == expected_single_grant_cycles(chip.config, "SPE0", "MIC", 2048, 1)
+    hops_b = chip.topology.hops(
+        "SPE2", "SPE4", chip.topology.directions_by_distance("SPE2", "SPE4")[0]
+    )
+    assert done["b"] == expected_single_grant_cycles(
+        chip.config, "SPE2", "SPE4", 2048, hops_b
+    )
+
+
+def test_conflicts_are_counted(chip):
+    def mover(env, dst):
+        yield from chip.eib.transfer("SPE0", dst, 4096)
+
+    chip.env.process(mover(chip.env, "SPE1"))
+    chip.env.process(mover(chip.env, "SPE2"))
+    chip.run()
+    assert chip.eib.conflicts > 0
+    assert 0 < chip.eib.conflict_fraction < 1
+    assert chip.eib.wait_cycles > 0
+
+
+def test_bytes_moved_accounting(chip):
+    def mover(env):
+        yield from chip.eib.transfer("SPE0", "SPE1", 6144)
+
+    chip.env.process(mover(chip.env))
+    chip.run()
+    assert chip.eib.bytes_moved == 6144
+
+
+def test_ring_utilization_reported(chip):
+    def mover(env):
+        yield from chip.eib.transfer("SPE0", "MIC", 16384)
+
+    chip.env.process(mover(chip.env))
+    chip.run()
+    utilization = chip.eib.utilization()
+    assert len(utilization) == 4
+    assert max(utilization.values()) > 0.5
+
+
+def test_invalid_transfers_rejected(chip):
+    with pytest.raises(ConfigError):
+        list(chip.eib.transfer("SPE0", "SPE0", 128))
+    with pytest.raises(ConfigError):
+        gen = chip.eib.transfer("SPE0", "SPE1", 0)
+        next(gen)
+
+
+class TestRing:
+    def test_ring_respects_max_transfers(self):
+        ring = Ring("cw0", CLOCKWISE, max_transfers=2)
+        ring.add(frozenset({0}))
+        ring.add(frozenset({5}))
+        assert not ring.can_accept(frozenset({9}))
+
+    def test_ring_rejects_overlap(self):
+        ring = Ring("cw0", CLOCKWISE, max_transfers=3)
+        ring.add(frozenset({2, 3, 4}))
+        assert not ring.can_accept(frozenset({4, 5}))
+        assert ring.can_accept(frozenset({6, 7}))
+
+    def test_ring_remove_restores_capacity(self):
+        ring = Ring("cw0", CLOCKWISE, max_transfers=1)
+        spans = frozenset({1, 2})
+        ring.add(spans)
+        ring.remove(spans)
+        assert ring.can_accept(frozenset({2, 3}))
+        assert ring.active_transfers == 0
+
+    def test_double_add_of_overlap_raises(self):
+        ring = Ring("cw0", CLOCKWISE, max_transfers=3)
+        ring.add(frozenset({1}))
+        with pytest.raises(ConfigError):
+            ring.add(frozenset({1}))
+
+
+def test_memory_side_transfers_skip_retry_penalty(config):
+    """Grants touching MIC keep zero penalty even under contention."""
+    chip = CellChip(config=config, mapping=SpeMapping.identity(8))
+    finish = {}
+
+    def mover(env, name, src, dst, nbytes):
+        yield from chip.eib.transfer(src, dst, nbytes)
+        finish[name] = env.now
+
+    # Eight SPEs all pulling from MIC: heavy port contention, but the
+    # backlog penalty must not apply (the banks model memory overheads).
+    for i in range(8):
+        chip.env.process(mover(chip.env, f"spe{i}", "MIC", f"SPE{i}", 16384))
+    chip.run()
+    total = 8 * 16384
+    gbps = chip.config.clock.gbps(total, max(finish.values()))
+    # Pure port serialisation of 16.8 GB/s minus per-grant overheads.
+    assert gbps > 13.0

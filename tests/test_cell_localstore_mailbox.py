@@ -1,0 +1,145 @@
+"""Unit tests for the local store allocator and the mailboxes."""
+
+import pytest
+
+from repro.cell.config import LocalStoreConfig
+from repro.cell.errors import LocalStoreError, MailboxError
+from repro.cell.local_store import LocalStore
+from repro.cell.mailbox import Mailbox, MailboxPair
+from repro.sim import Environment
+
+
+class TestLocalStore:
+    def test_alloc_and_lookup(self):
+        ls = LocalStore()
+        buffer = ls.alloc(16384, name="dma_in")
+        assert buffer.offset == 0
+        assert buffer.end == 16384
+        assert ls.get("dma_in") is buffer
+        assert "dma_in" in ls
+
+    def test_alignment_respected(self):
+        ls = LocalStore()
+        ls.alloc(100, name="odd")
+        aligned = ls.alloc(64, name="vec", align=128)
+        assert aligned.offset % 128 == 0
+
+    def test_capacity_enforced(self):
+        ls = LocalStore()
+        ls.alloc(200 * 1024, name="big")
+        with pytest.raises(LocalStoreError):
+            ls.alloc(100 * 1024, name="too_much")
+
+    def test_exact_fill_allowed(self):
+        ls = LocalStore()
+        ls.alloc(ls.size, name="everything")
+        assert ls.remaining == 0
+
+    def test_duplicate_name_rejected(self):
+        ls = LocalStore()
+        ls.alloc(16, name="x")
+        with pytest.raises(LocalStoreError):
+            ls.alloc(16, name="x")
+
+    def test_anonymous_names_unique(self):
+        ls = LocalStore()
+        a = ls.alloc(16)
+        b = ls.alloc(16)
+        assert a.name != b.name
+
+    def test_reset_releases_everything(self):
+        ls = LocalStore()
+        ls.alloc(1024, name="x")
+        ls.reset()
+        assert ls.used == 0
+        assert "x" not in ls
+        ls.alloc(1024, name="x")
+
+    def test_invalid_requests(self):
+        ls = LocalStore()
+        with pytest.raises(LocalStoreError):
+            ls.alloc(0)
+        with pytest.raises(LocalStoreError):
+            ls.alloc(16, align=3)
+        with pytest.raises(LocalStoreError):
+            ls.get("missing")
+
+    def test_custom_config_size(self):
+        ls = LocalStore(LocalStoreConfig(size_bytes=4096))
+        assert ls.size == 4096
+
+
+class TestMailbox:
+    def test_write_then_read(self):
+        env = Environment()
+        box = Mailbox(env, depth=4)
+        box.write(42)
+        event = box.read()
+        assert event.triggered and event.value == 42
+
+    def test_depth_blocks_writers(self):
+        env = Environment()
+        box = Mailbox(env, depth=1)
+        log = []
+
+        def writer(env):
+            yield box.write(1)
+            yield box.write(2)
+            log.append(env.now)
+
+        def reader(env):
+            yield env.timeout(10)
+            message = yield box.read()
+            log.append(("read", message, env.now))
+
+        env.process(writer(env))
+        env.process(reader(env))
+        env.run()
+        assert ("read", 1, 10) in log
+        assert 10 in log  # second write completed when space appeared
+
+    def test_blocking_read_waits_for_message(self):
+        env = Environment()
+        box = Mailbox(env, depth=4)
+        got = []
+
+        def reader(env):
+            message = yield box.read()
+            got.append((env.now, message))
+
+        def writer(env):
+            yield env.timeout(33)
+            yield box.write(7)
+
+        env.process(reader(env))
+        env.process(writer(env))
+        env.run()
+        assert got == [(33, 7)]
+
+    def test_try_operations(self):
+        env = Environment()
+        box = Mailbox(env, depth=1)
+        assert box.try_read() is None
+        assert box.try_write(5)
+        assert not box.try_write(6)
+        assert box.try_read() == 5
+
+    def test_message_range_enforced(self):
+        env = Environment()
+        box = Mailbox(env, depth=1)
+        with pytest.raises(MailboxError):
+            box.write(-1)
+        with pytest.raises(MailboxError):
+            box.write(2 ** 32)
+        with pytest.raises(MailboxError):
+            box.write("hello")
+
+    def test_depth_validation(self):
+        with pytest.raises(MailboxError):
+            Mailbox(Environment(), depth=0)
+
+    def test_pair_has_architectural_depths(self):
+        pair = MailboxPair(Environment(), "SPE3")
+        assert pair.inbound.depth == 4
+        assert pair.outbound.depth == 1
+        assert pair.inbound.name == "SPE3.in"

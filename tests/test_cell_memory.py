@@ -1,0 +1,183 @@
+"""Unit tests for the memory system: banks, turnaround, placement."""
+
+import pytest
+
+from repro.cell import CellConfig, ConfigError
+from repro.cell.memory import READ, WRITE, MemoryBank, MemoryRequest, MemorySystem
+from repro.sim import Environment
+
+
+def make_bank(env, config=None, peak=8.0):
+    config = config or CellConfig.paper_blade()
+    return MemoryBank(env, "test-bank", "MIC", peak, config)
+
+
+def drive(env, bank, requests):
+    """Submit requests and record each completion time."""
+    completions = {}
+
+    def submitter(env):
+        events = []
+        for i, request in enumerate(requests):
+            events.append((i, bank.submit(request)))
+        for i, event in events:
+            yield event
+            completions[i] = env.now
+
+    env.process(submitter(env))
+    env.run()
+    return completions
+
+
+def test_single_stream_pays_turnaround():
+    env = Environment()
+    config = CellConfig.paper_blade()
+    bank = make_bank(env, config)
+    n, size = 16, 16384
+    requests = [MemoryRequest("SPE0", size, READ) for _ in range(n)]
+    drive(env, bank, requests)
+    transfer = size / 8.0
+    fraction = config.memory.same_requester_turnaround_fraction
+    # All but the first command pay the same-requester turnaround.
+    expected = n * transfer + (n - 1) * round(fraction * transfer)
+    assert env.now == pytest.approx(expected, rel=0.02)
+
+
+def test_two_interleaved_streams_hide_turnaround():
+    env = Environment()
+    config = CellConfig.paper_blade()
+    bank = make_bank(env, config)
+    n, size = 16, 16384
+    requests = [
+        MemoryRequest(f"SPE{i % 2}", size, READ) for i in range(n)
+    ]
+    drive(env, bank, requests)
+    transfer = size / 8.0
+    switch = config.memory.requester_switch_fraction
+    expected = n * transfer * (1 + switch)
+    # Far faster than the single-stream case; only the small switch cost.
+    assert env.now < n * transfer * 1.2
+    assert env.now == pytest.approx(expected, rel=0.1)
+
+
+def test_scheduler_reorders_to_alternate_requesters():
+    """Back-to-back same-requester commands get reordered when another
+    requester is waiting, hiding the turnaround."""
+    env = Environment()
+    bank = make_bank(env)
+    requests = (
+        [MemoryRequest("SPE0", 16384, READ) for _ in range(8)]
+        + [MemoryRequest("SPE1", 16384, READ) for _ in range(8)]
+    )
+    drive(env, bank, requests)
+    single_stream_env = Environment()
+    single_bank = make_bank(single_stream_env)
+    drive(
+        single_stream_env,
+        single_bank,
+        [MemoryRequest("SPE0", 16384, READ) for _ in range(16)],
+    )
+    assert env.now < single_stream_env.now * 0.8
+
+
+def test_duplex_overlap_speeds_mixed_traffic():
+    env_mixed = Environment()
+    bank_mixed = make_bank(env_mixed)
+    mixed = [
+        MemoryRequest("SPE0" if i % 2 else "SPE1", 16384, READ if i % 2 else WRITE)
+        for i in range(16)
+    ]
+    drive(env_mixed, bank_mixed, mixed)
+
+    env_pure = Environment()
+    bank_pure = make_bank(env_pure)
+    pure = [
+        MemoryRequest("SPE0" if i % 2 else "SPE1", 16384, READ) for i in range(16)
+    ]
+    drive(env_pure, bank_pure, pure)
+    assert env_mixed.now < env_pure.now
+
+
+def test_requester_spread_penalty_kicks_in():
+    """Eight interleaved requesters are served less efficiently than two."""
+    def run(n_requesters):
+        env = Environment()
+        bank = make_bank(env)
+        requests = [
+            MemoryRequest(f"SPE{i % n_requesters}", 16384, READ) for i in range(32)
+        ]
+        drive(env, bank, requests)
+        return env.now
+
+    assert run(8) > run(2)
+
+
+def test_request_validation():
+    with pytest.raises(ConfigError):
+        MemoryRequest("SPE0", 128, "readwrite")
+    with pytest.raises(ConfigError):
+        MemoryRequest("SPE0", 0, READ)
+
+
+def test_bank_statistics():
+    env = Environment()
+    bank = make_bank(env)
+    drive(env, bank, [MemoryRequest("SPE0", 4096, READ) for _ in range(3)])
+    assert bank.commands_served == 3
+    assert bank.bytes_served == 3 * 4096
+    assert bank.monitor.busy_time() > 0
+
+
+def test_bank_peak_gbps():
+    env = Environment()
+    config = CellConfig.paper_blade()
+    bank = MemoryBank(
+        env, "local", "MIC",
+        config.memory.local_bank_peak_bytes_per_cpu_cycle, config,
+    )
+    assert bank.peak_gbps == pytest.approx(16.8)
+
+
+class TestMemorySystem:
+    def test_banks_are_local_and_remote(self):
+        system = MemorySystem(Environment(), CellConfig.paper_blade())
+        assert system.local_bank.node == "MIC"
+        assert system.remote_bank.node == "IOIF0"
+        assert system.local_bank.peak_gbps == pytest.approx(16.8)
+        assert system.remote_bank.peak_gbps == pytest.approx(7.0)
+
+    def test_placement_follows_local_fraction(self):
+        config = CellConfig.paper_blade()
+        system = MemorySystem(Environment(), config)
+        picks = [system.assign_bank("SPE0") for _ in range(1000)]
+        local = sum(1 for bank in picks if bank is system.local_bank)
+        assert local / 1000 == pytest.approx(
+            config.memory.local_placement_fraction, abs=0.01
+        )
+
+    def test_placement_is_per_requester(self):
+        system = MemorySystem(Environment(), CellConfig.paper_blade())
+        first_of_each = {
+            requester: system.assign_bank(requester)
+            for requester in ("SPE0", "SPE1", "SPE2")
+        }
+        # Every requester's first command lands on the preferred bank.
+        assert all(bank is system.local_bank for bank in first_of_each.values())
+
+    def test_bytes_served_aggregates(self):
+        env = Environment()
+        system = MemorySystem(env, CellConfig.paper_blade())
+
+        def submitter(env):
+            yield system.read("SPE0", 2048, system.local_bank)
+            yield system.write("SPE0", 1024, system.remote_bank)
+
+        env.process(submitter(env))
+        env.run()
+        assert system.bytes_served == 3072
+
+    def test_describe(self):
+        system = MemorySystem(Environment(), CellConfig.paper_blade())
+        info = system.describe()
+        assert info["local_peak_gbps"] == pytest.approx(16.8)
+        assert info["remote_peak_gbps"] == pytest.approx(7.0)

@@ -1,0 +1,168 @@
+"""Unit tests for the PPE structural model, caches, SPU LS model, chip."""
+
+import pytest
+
+from repro.cell import CellChip, CellConfig, ConfigError, SpeMapping
+from repro.cell.caches import CacheHierarchy
+from repro.cell.topology import RingTopology
+
+
+class TestPpeModel:
+    def test_l1_load_plateau_is_half_peak(self, chip):
+        assert chip.ppe.bandwidth_gbps("l1", "load", 8, 1) == pytest.approx(16.8)
+        assert chip.ppe.peak_gbps() == pytest.approx(33.6)
+
+    def test_l1_load_no_16b_gain(self, chip):
+        assert chip.ppe.bandwidth_gbps("l1", "load", 16, 1) == pytest.approx(
+            chip.ppe.bandwidth_gbps("l1", "load", 8, 1)
+        )
+
+    def test_proportional_scaling_below_8b(self, chip):
+        b8 = chip.ppe.bandwidth_gbps("l1", "load", 8, 1)
+        for element in (1, 2, 4):
+            assert chip.ppe.bandwidth_gbps("l1", "load", element, 1) == pytest.approx(
+                b8 * element / 8
+            )
+
+    def test_l1_store_below_load_but_16b_helps(self, chip):
+        store8 = chip.ppe.bandwidth_gbps("l1", "store", 8, 1)
+        load8 = chip.ppe.bandwidth_gbps("l1", "load", 8, 1)
+        store16 = chip.ppe.bandwidth_gbps("l1", "store", 16, 1)
+        assert store8 < load8
+        assert store16 > store8 * 1.1
+
+    def test_l2_much_lower_than_l1(self, chip):
+        assert chip.ppe.bandwidth_gbps("l2", "load", 16, 1) < (
+            chip.ppe.bandwidth_gbps("l1", "load", 16, 1) / 2
+        )
+
+    def test_l2_store_roughly_twice_load_one_thread(self, chip):
+        ratio = chip.ppe.bandwidth_gbps("l2", "store", 16, 1) / chip.ppe.bandwidth_gbps(
+            "l2", "load", 16, 1
+        )
+        assert 1.5 < ratio < 2.5
+
+    def test_two_threads_help_l2(self, chip):
+        assert chip.ppe.bandwidth_gbps("l2", "load", 16, 2) > (
+            1.3 * chip.ppe.bandwidth_gbps("l2", "load", 16, 1)
+        )
+
+    def test_mem_load_equals_l2_load(self, chip):
+        for threads in (1, 2):
+            assert chip.ppe.bandwidth_gbps("mem", "load", 16, threads) == pytest.approx(
+                chip.ppe.bandwidth_gbps("l2", "load", 16, threads)
+            )
+
+    def test_mem_results_under_six(self, chip):
+        for op in ("load", "store", "copy"):
+            for threads in (1, 2):
+                for element in (1, 2, 4, 8, 16):
+                    assert chip.ppe.bandwidth_gbps("mem", op, element, threads) < 6.0
+
+    def test_explain_names_issue_limit_for_small_elements(self, chip):
+        point = chip.ppe.explain("l1", "load", 2, 1)
+        assert "issue" in point.limiter
+        plateau_point = chip.ppe.explain("l2", "load", 16, 1)
+        assert "miss" in plateau_point.limiter
+
+    def test_invalid_arguments_rejected(self, chip):
+        with pytest.raises(ConfigError):
+            chip.ppe.bandwidth_gbps("l3", "load", 8, 1)
+        with pytest.raises(ConfigError):
+            chip.ppe.bandwidth_gbps("l1", "swizzle", 8, 1)
+        with pytest.raises(ConfigError):
+            chip.ppe.bandwidth_gbps("l1", "load", 3, 1)
+        with pytest.raises(ConfigError):
+            chip.ppe.bandwidth_gbps("l1", "load", 8, 4)
+
+
+class TestCacheHierarchy:
+    def test_classification(self, config):
+        caches = CacheHierarchy(config.ppe)
+        assert caches.classify_buffer(8 * 1024) == "l1"
+        assert caches.classify_buffer(128 * 1024) == "l2"
+        assert caches.classify_buffer(4 * 1024 * 1024) == "mem"
+
+    def test_copy_doubles_working_set(self, config):
+        caches = CacheHierarchy(config.ppe)
+        assert caches.classify_buffer(24 * 1024, working_sets=1) == "l1"
+        assert caches.classify_buffer(24 * 1024, working_sets=2) == "l2"
+
+    def test_buffer_sizing_pins_levels(self, config):
+        caches = CacheHierarchy(config.ppe)
+        for level in ("l1", "l2", "mem"):
+            nbytes = caches.buffer_bytes_for(level)
+            assert caches.classify_buffer(nbytes) == level
+
+    def test_fits(self, config):
+        caches = CacheHierarchy(config.ppe)
+        assert caches.fits("l2", 100 * 1024)
+        assert not caches.fits("l1", 100 * 1024)
+        assert caches.fits("mem", 10 ** 8)
+
+    def test_validation(self, config):
+        caches = CacheHierarchy(config.ppe)
+        with pytest.raises(ConfigError):
+            caches.classify_buffer(0)
+        with pytest.raises(ConfigError):
+            caches.buffer_bytes_for("l4")
+
+
+class TestSpuLocalStoreModel:
+    def test_peak_at_16_bytes(self, chip):
+        assert chip.spe(0).ls_bandwidth_gbps("load", 16) == pytest.approx(33.6)
+        assert chip.spe(0).ls_bandwidth_gbps("store", 16) == pytest.approx(33.6)
+
+    def test_subword_loads_proportional(self, chip):
+        spe = chip.spe(0)
+        assert spe.ls_bandwidth_gbps("load", 4) == pytest.approx(33.6 / 4)
+
+    def test_subword_stores_pay_rmw(self, chip):
+        spe = chip.spe(0)
+        assert spe.ls_bandwidth_gbps("store", 8) < spe.ls_bandwidth_gbps("load", 8)
+
+    def test_copy_is_harmonic_mean(self, chip):
+        spe = chip.spe(0)
+        load = spe.ls_bandwidth_gbps("load", 16)
+        store = spe.ls_bandwidth_gbps("store", 16)
+        expected = 2 / (1 / load + 1 / store)
+        assert spe.ls_bandwidth_gbps("copy", 16) == pytest.approx(expected)
+
+    def test_invalid_args(self, chip):
+        with pytest.raises(ConfigError):
+            chip.spe(0).ls_bandwidth_gbps("load", 3)
+        with pytest.raises(ConfigError):
+            chip.spe(0).ls_bandwidth_gbps("prefetch", 16)
+
+
+class TestCellChip:
+    def test_spes_placed_by_mapping(self, config):
+        mapping = SpeMapping((3, 1, 0, 2, 4, 5, 6, 7))
+        chip = CellChip(config=config, mapping=mapping)
+        assert chip.spe(0).node == "SPE3"
+        assert chip.spe(2).node == "SPE0"
+
+    def test_mapping_size_must_match(self, config):
+        with pytest.raises(ConfigError):
+            CellChip(config=config, mapping=SpeMapping.identity(4))
+
+    def test_topology_must_offer_enough_spes(self, config):
+        tiny = RingTopology(("PPE", "SPE0", "MIC"))
+        with pytest.raises(ConfigError):
+            CellChip(config=config, topology=tiny)
+
+    def test_spe_index_bounds(self, chip):
+        with pytest.raises(ConfigError):
+            chip.spe(8)
+
+    def test_gbps_helper(self, chip):
+        def burner(env):
+            yield env.timeout(2_100_000)
+
+        chip.env.process(burner(chip.env))
+        chip.run()
+        assert chip.elapsed_seconds() == pytest.approx(1e-3)
+        assert chip.gbps(1_000_000) == pytest.approx(1.0)
+
+    def test_repr_mentions_mapping(self, chip):
+        assert "mapping" in repr(chip)

@@ -1,0 +1,120 @@
+"""Unit tests for the EIB ring topology and the SPE mapping."""
+
+import pytest
+
+from repro.cell import ConfigError, RingTopology, SpeMapping
+from repro.cell.topology import (
+    CLOCKWISE,
+    COUNTERCLOCKWISE,
+    DEFAULT_RING_ORDER,
+)
+
+
+def test_default_order_has_twelve_unique_elements():
+    topology = RingTopology()
+    assert len(topology) == 12
+    assert len(set(topology.order)) == 12
+    assert "MIC" in topology
+    assert "PPE" in topology
+    assert topology.spe_nodes() == [f"SPE{i}" for i in range(8)]
+
+
+def test_hops_both_directions_sum_to_ring_size():
+    topology = RingTopology()
+    for src in topology.order:
+        for dst in topology.order:
+            if src == dst:
+                continue
+            cw = topology.hops(src, dst, CLOCKWISE)
+            ccw = topology.hops(src, dst, COUNTERCLOCKWISE)
+            assert cw + ccw == len(topology)
+
+
+def test_path_length_equals_hops():
+    topology = RingTopology()
+    assert len(topology.path("PPE", "MIC", COUNTERCLOCKWISE)) == topology.hops(
+        "PPE", "MIC", COUNTERCLOCKWISE
+    )
+
+
+def test_adjacent_path_is_single_span():
+    topology = RingTopology()
+    # PPE is index 0, MIC index 11: one hop counterclockwise.
+    assert topology.path("PPE", "MIC", COUNTERCLOCKWISE) == (11,)
+    assert topology.path("MIC", "PPE", CLOCKWISE) == (11,)
+
+
+def test_paths_in_opposite_directions_cover_disjoint_spans():
+    topology = RingTopology()
+    cw = set(topology.path("PPE", "IOIF0", CLOCKWISE))
+    ccw = set(topology.path("PPE", "IOIF0", COUNTERCLOCKWISE))
+    assert cw | ccw == set(range(12))
+    assert cw & ccw == set()
+
+
+def test_directions_ordered_shortest_first():
+    topology = RingTopology()
+    directions = topology.directions_by_distance("PPE", "SPE1")
+    assert directions[0] == CLOCKWISE  # 1 hop CW vs 11 CCW
+    # The halfway case offers both directions.
+    src, dst = topology.order[0], topology.order[6]
+    assert len(topology.directions_by_distance(src, dst)) == 2
+
+
+def test_self_transfer_rejected():
+    topology = RingTopology()
+    with pytest.raises(ConfigError):
+        topology.path("MIC", "MIC", CLOCKWISE)
+
+
+def test_unknown_node_rejected():
+    topology = RingTopology()
+    with pytest.raises(ConfigError):
+        topology.index("SPE9")
+
+
+def test_bad_direction_rejected():
+    topology = RingTopology()
+    with pytest.raises(ConfigError):
+        topology.hops("PPE", "MIC", 2)
+
+
+def test_duplicate_order_rejected():
+    with pytest.raises(ConfigError):
+        RingTopology(("A", "B", "A"))
+
+
+def test_tiny_ring_rejected():
+    with pytest.raises(ConfigError):
+        RingTopology(("A", "B"))
+
+
+class TestSpeMapping:
+    def test_identity(self):
+        mapping = SpeMapping.identity(8)
+        assert mapping.node(0) == "SPE0"
+        assert mapping.node(7) == "SPE7"
+
+    def test_random_is_seed_deterministic(self):
+        assert SpeMapping.random(7).physical_of == SpeMapping.random(7).physical_of
+
+    def test_random_is_a_permutation(self):
+        for seed in range(20):
+            mapping = SpeMapping.random(seed)
+            assert sorted(mapping.physical_of) == list(range(8))
+
+    def test_different_seeds_differ_somewhere(self):
+        mappings = {SpeMapping.random(seed).physical_of for seed in range(10)}
+        assert len(mappings) > 1
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ConfigError):
+            SpeMapping((0, 0, 1, 2, 3, 4, 5, 6))
+
+    def test_out_of_range_logical_rejected(self):
+        mapping = SpeMapping.identity(8)
+        with pytest.raises(ConfigError):
+            mapping.node(8)
+
+    def test_len(self):
+        assert len(SpeMapping.identity(4)) == 4

@@ -1,0 +1,204 @@
+"""Integration tests for the experiment framework and each experiment.
+
+These run small parameterisations (few sizes, few repetitions) so the
+whole file stays fast; the full paper-shape assertions live in
+``test_paper_shapes.py``.
+"""
+
+import pytest
+
+from repro.cell.errors import ConfigError
+from repro.core import (
+    CouplesExperiment,
+    CycleExperiment,
+    PairDistanceExperiment,
+    PairSyncExperiment,
+    PpeBandwidthExperiment,
+    SpeLocalStoreExperiment,
+    SpeMemoryExperiment,
+)
+from repro.core.experiment import (
+    DEFAULT_BYTES_PER_SPE,
+    Experiment,
+    MAX_COMMANDS,
+    MIN_COMMANDS,
+    PAPER_BYTES_PER_SPE,
+)
+from repro.core.kernels import DmaWorkload
+from repro.core.spe_pairs import SYNC_AFTER_ALL
+
+
+class TestExperimentBase:
+    def test_seed_list(self):
+        exp = Experiment(repetitions=3, seed_base=50)
+        assert exp.seeds == [50, 51, 52]
+
+    def test_n_elements_clamps(self):
+        exp = Experiment(bytes_per_spe=2 ** 21)
+        assert exp.n_elements_for(16384) == 128
+        assert exp.n_elements_for(128) == MAX_COMMANDS
+        assert exp.n_elements_for(2 ** 21) == MIN_COMMANDS
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Experiment(repetitions=0)
+        with pytest.raises(ConfigError):
+            Experiment(bytes_per_spe=1024)
+        with pytest.raises(ConfigError):
+            Experiment().n_elements_for(0)
+
+    def test_paper_scale_uses_32mib(self):
+        exp = Experiment.paper_scale()
+        assert exp.bytes_per_spe == PAPER_BYTES_PER_SPE
+
+    def test_run_assignments_requires_some(self):
+        with pytest.raises(ConfigError):
+            Experiment().run_assignments(1, [])
+
+    def test_default_volume(self):
+        assert Experiment().bytes_per_spe == DEFAULT_BYTES_PER_SPE
+
+
+class TestWorkload:
+    def test_total_bytes_counts_copy_twice(self):
+        get = DmaWorkload(direction="get", element_bytes=1024, n_elements=8)
+        copy = DmaWorkload(direction="copy", element_bytes=1024, n_elements=8)
+        assert get.total_bytes == 8192
+        assert copy.total_bytes == 16384
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DmaWorkload(direction="scan", element_bytes=128, n_elements=1)
+        with pytest.raises(ConfigError):
+            DmaWorkload(direction="get", element_bytes=128, n_elements=0)
+        with pytest.raises(ConfigError):
+            DmaWorkload(direction="get", element_bytes=128, n_elements=1, mode="burst")
+        with pytest.raises(ConfigError):
+            DmaWorkload(
+                direction="get", element_bytes=128, n_elements=1, sync_every=0
+            )
+
+
+class TestPpeExperiment:
+    def test_produces_full_sweep(self):
+        result = PpeBandwidthExperiment("l1").run()
+        table = result.table("bandwidth")
+        assert len(table) == 3 * 2 * 5
+        assert table.mean("load", 1, 8) == pytest.approx(16.8)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ConfigError):
+            PpeBandwidthExperiment("l7")
+
+    def test_notes_name_limiters(self):
+        result = PpeBandwidthExperiment("l2").run()
+        assert any("miss" in note for note in result.notes)
+
+
+class TestLocalStoreExperiment:
+    def test_peak_reached(self):
+        result = SpeLocalStoreExperiment().run()
+        assert result.table("bandwidth").mean("load", 16) == pytest.approx(33.6)
+
+
+class TestSpeMemoryExperiment:
+    def test_small_run_shapes(self):
+        result = SpeMemoryExperiment(
+            spe_counts=(1, 2),
+            element_sizes=(16384,),
+            directions=("get",),
+            repetitions=1,
+            bytes_per_spe=2 ** 20,
+        ).run()
+        table = result.table("get")
+        one = table.mean(1, 16384)
+        two = table.mean(2, 16384)
+        assert 8.0 < one < 12.0
+        assert two > 1.6 * one
+
+
+class TestPairExperiments:
+    def test_sync_sweep_monotone_in_delay(self):
+        result = PairSyncExperiment(
+            sync_policies=(1, SYNC_AFTER_ALL),
+            element_sizes=(4096,),
+            repetitions=1,
+            bytes_per_spe=2 ** 20,
+        ).run()
+        table = result.table("sync")
+        assert table.mean(SYNC_AFTER_ALL, 4096) > table.mean(1, 4096)
+
+    def test_distance_experiment_covers_all_partners(self):
+        result = PairDistanceExperiment(
+            element_sizes=(16384,), repetitions=2, bytes_per_spe=2 ** 20
+        ).run()
+        table = result.table("distance")
+        assert table.axis_values("target_logical") == list(range(1, 8))
+
+
+class TestCouplesAndCycle:
+    def test_couples_small(self):
+        result = CouplesExperiment(
+            spe_counts=(2,),
+            element_sizes=(16384,),
+            modes=("elem",),
+            repetitions=2,
+            bytes_per_spe=2 ** 20,
+        ).run()
+        assert result.table("elem").mean(2, 16384) > 28.0
+
+    def test_couples_rejects_odd_counts(self):
+        exp = CouplesExperiment(
+            spe_counts=(3,),
+            element_sizes=(16384,),
+            modes=("elem",),
+            repetitions=1,
+            bytes_per_spe=2 ** 20,
+        )
+        with pytest.raises(ConfigError):
+            exp.run()
+
+    def test_cycle_small(self):
+        result = CycleExperiment(
+            spe_counts=(2,),
+            element_sizes=(16384,),
+            modes=("elem",),
+            repetitions=2,
+            bytes_per_spe=2 ** 20,
+        ).run()
+        assert result.table("elem").mean(2, 16384) > 28.0
+
+    def test_cycle_needs_two(self):
+        exp = CycleExperiment(
+            spe_counts=(1,),
+            element_sizes=(16384,),
+            modes=("elem",),
+            repetitions=1,
+            bytes_per_spe=2 ** 20,
+        )
+        with pytest.raises(ConfigError):
+            exp.run()
+
+
+def test_volume_invariance():
+    """Sustained bandwidth is volume-invariant above the warm-up floor,
+    which justifies the scaled-down default volumes."""
+    def run(bytes_per_spe):
+        result = SpeMemoryExperiment(
+            spe_counts=(1,),
+            element_sizes=(16384,),
+            directions=("get",),
+            repetitions=1,
+            bytes_per_spe=bytes_per_spe,
+        ).run()
+        return result.table("get").mean(1, 16384)
+
+    small = run(2 ** 20)
+    large = run(2 ** 22)
+    assert small == pytest.approx(large, rel=0.05)
+
+
+def test_experiment_result_table_lookup_errors():
+    result = PpeBandwidthExperiment("l1").run()
+    with pytest.raises(KeyError):
+        result.table("nonexistent")

@@ -1,0 +1,131 @@
+"""Unit tests for result containers and report rendering."""
+
+import pytest
+
+from repro.core.results import BandwidthSample, BandwidthStats, SweepTable
+from repro.core.report import (
+    format_placement_statistics,
+    format_table,
+    to_csv,
+)
+
+
+def sample(gbps, seed=None):
+    return BandwidthSample(gbps=gbps, nbytes=1024, cycles=100, seed=seed)
+
+
+def stats(*values):
+    return BandwidthStats.from_samples([sample(v) for v in values])
+
+
+class TestBandwidthSample:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BandwidthSample(gbps=1.0, nbytes=0, cycles=10)
+        with pytest.raises(ValueError):
+            BandwidthSample(gbps=1.0, nbytes=10, cycles=0)
+        with pytest.raises(ValueError):
+            BandwidthSample(gbps=-1.0, nbytes=10, cycles=10)
+
+
+class TestBandwidthStats:
+    def test_reductions(self):
+        reduced = stats(10.0, 30.0, 20.0, 40.0)
+        assert reduced.minimum == 10.0
+        assert reduced.maximum == 40.0
+        assert reduced.median == 25.0
+        assert reduced.mean == 25.0
+        assert reduced.spread == 30.0
+        assert reduced.n_samples == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthStats.from_samples([])
+
+    def test_str_mentions_all_stats(self):
+        text = str(stats(10.0, 20.0))
+        for token in ("min", "median", "mean", "max"):
+            assert token in text
+
+
+class TestSweepTable:
+    def build(self):
+        table = SweepTable(name="demo", axes=("n_spes", "element_bytes"))
+        for n in (2, 4):
+            for element in (128, 1024):
+                table.put((n, element), stats(float(n * element) / 100))
+        return table
+
+    def test_put_get_mean(self):
+        table = self.build()
+        assert table.mean(2, 128) == pytest.approx(2.56)
+        assert len(table) == 4
+
+    def test_key_arity_enforced(self):
+        table = self.build()
+        with pytest.raises(ValueError):
+            table.put((1,), stats(1.0))
+
+    def test_missing_key_raises(self):
+        table = self.build()
+        with pytest.raises(KeyError):
+            table.get(16, 128)
+
+    def test_axis_values_in_insertion_order(self):
+        table = self.build()
+        assert table.axis_values("n_spes") == [2, 4]
+        assert table.axis_values("element_bytes") == [128, 1024]
+        with pytest.raises(KeyError):
+            table.axis_values("direction")
+
+    def test_series_extraction(self):
+        table = self.build()
+        series = table.series("element_bytes", {"n_spes": 4})
+        assert series == [
+            (128, pytest.approx(5.12)),
+            (1024, pytest.approx(40.96)),
+        ]
+        with pytest.raises(KeyError):
+            table.series("element_bytes", {"bogus": 1})
+
+
+class TestReportRendering:
+    def build(self):
+        table = SweepTable(name="demo", axes=("n_spes", "element_bytes"))
+        table.put((2, 128), stats(3.0, 5.0))
+        table.put((2, 1024), stats(10.0, 12.0))
+        table.put((8, 128), stats(1.0, 9.0))
+        table.put((8, 1024), stats(20.0, 30.0))
+        return table
+
+    def test_format_table_contains_values(self):
+        text = format_table(self.build())
+        assert "n_spes=2" in text
+        assert "4.00" in text  # mean of 3 and 5
+        assert "25.00" in text
+
+    def test_format_table_other_statistics(self):
+        text = format_table(self.build(), statistic="maximum")
+        assert "30.00" in text
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(SweepTable(name="empty", axes=("a",)))
+
+    def test_placement_statistics_view(self):
+        text = format_placement_statistics(self.build(), fixed_key=(8,))
+        assert "minimum" in text and "maximum" in text
+        assert "1.00" in text and "30.00" in text
+
+    def test_csv_export(self):
+        csv = to_csv(self.build())
+        lines = csv.strip().splitlines()
+        assert lines[0] == "n_spes,element_bytes,min,median,mean,max,n"
+        assert len(lines) == 5
+        assert "2,128,3.000" in lines[1]
+
+    def test_large_sentinel_rendered_as_all(self):
+        table = SweepTable(name="sync", axes=("sync_every",))
+        table.put((2 ** 30,), stats(5.0))
+        text = format_table(table)
+        assert "all" in text

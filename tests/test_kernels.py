@@ -1,0 +1,182 @@
+"""Unit and integration tests for the kernel evaluation (paper §5
+future work): compute model, specs, streaming runner, roofline."""
+
+import pytest
+
+from repro.cell import CellConfig, ConfigError
+from repro.kernels import (
+    KernelSpec,
+    Precision,
+    RooflineModel,
+    SpuComputeModel,
+    dot_product,
+    matrix_multiply,
+    matrix_vector,
+    run_kernel,
+    stream_triad,
+)
+from repro.kernels.streaming import _dma_sizes
+
+
+@pytest.fixture
+def compute(config):
+    return SpuComputeModel(config)
+
+
+class TestComputeModel:
+    def test_sp_peak_is_paper_number(self, compute):
+        # "capable of achieving [16.8] GFLOPS * 8 at 2.1 GHz"
+        assert compute.peak_gflops(Precision.SINGLE, 1) == pytest.approx(16.8)
+        assert compute.peak_gflops(Precision.SINGLE, 8) == pytest.approx(134.4)
+
+    def test_dp_every_seven_cycles(self, compute):
+        # "only one double precision operation every 7 cycles"
+        assert compute.flops_per_cycle(Precision.DOUBLE) == pytest.approx(4 / 7)
+        assert compute.dp_slowdown() == pytest.approx(14.0)
+
+    def test_cycles_for_flops(self, compute):
+        assert compute.cycles_for_flops(800, Precision.SINGLE) == 100
+        assert compute.cycles_for_flops(0, Precision.SINGLE) == 0
+        assert compute.cycles_for_flops(1, Precision.SINGLE) == 1
+        with pytest.raises(ConfigError):
+            compute.cycles_for_flops(-1, Precision.SINGLE)
+
+    def test_efficiency_derates(self, config):
+        derated = SpuComputeModel(config, efficiency=0.5)
+        assert derated.peak_gflops(Precision.SINGLE, 1) == pytest.approx(8.4)
+        with pytest.raises(ConfigError):
+            SpuComputeModel(config, efficiency=0.0)
+
+    def test_element_bytes(self):
+        assert Precision.SINGLE.element_bytes == 4
+        assert Precision.DOUBLE.element_bytes == 8
+
+
+class TestSpecs:
+    def test_dot_product_intensity(self):
+        spec = dot_product(chunk_bytes=16384)
+        # 2 FLOPs per element, 8 B of traffic per element in SP.
+        assert spec.arithmetic_intensity == pytest.approx(0.25)
+        assert spec.write_bytes == 0
+
+    def test_triad_intensity(self):
+        spec = stream_triad(chunk_bytes=16384)
+        assert spec.traffic_bytes == 3 * 16384
+        assert spec.arithmetic_intensity == pytest.approx(2 / 12)
+
+    def test_matrix_vector_keeps_x_resident(self):
+        spec = matrix_vector()
+        assert spec.ls_resident_bytes > 0
+        assert spec.arithmetic_intensity == pytest.approx(0.5)
+
+    def test_matmul_intensity_grows_with_block(self):
+        small = matrix_multiply(block=16)
+        large = matrix_multiply(block=64)
+        assert large.arithmetic_intensity > 3 * small.arithmetic_intensity
+
+    def test_matmul_validation(self):
+        with pytest.raises(ConfigError):
+            matrix_multiply(block=48)  # not a power of two
+        with pytest.raises(ConfigError):
+            matrix_multiply(block=256)  # tile too big for the LS
+        with pytest.raises(ConfigError):
+            matrix_multiply(block=64, k_blocks=0)
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigError):
+            KernelSpec(name="bad", read_bytes=(), write_bytes=0,
+                       flops_per_iteration=1.0)
+        with pytest.raises(ConfigError):
+            KernelSpec(name="bad", read_bytes=(1024,), write_bytes=0,
+                       flops_per_iteration=0.0)
+        with pytest.raises(ConfigError):
+            KernelSpec(name="bad", read_bytes=(0,), write_bytes=0,
+                       flops_per_iteration=1.0)
+
+
+class TestDmaSizes:
+    def test_small_passthrough(self):
+        assert _dma_sizes(4096) == [4096]
+
+    def test_split_at_16k(self):
+        assert _dma_sizes(40960) == [16384, 16384, 8192]
+
+    def test_remainder_rounded_to_quadword(self):
+        assert _dma_sizes(100) == [96]
+        assert _dma_sizes(10) == [16]
+
+
+class TestRunKernel:
+    def test_bandwidth_bound_kernel_tracks_memory_bandwidth(self):
+        run = run_kernel(dot_product(), n_spes=2, iterations_per_spe=48)
+        # Two SPEs pull ~20 GB/s from memory (Fig. 8), so the dot product
+        # lands near 0.25 FLOP/B x 20 GB/s = 5 GFLOP/s.
+        assert 15.0 < run.gbps < 22.0
+        assert run.gflops == pytest.approx(run.gbps * 0.25, rel=0.01)
+
+    def test_compute_bound_kernel_reaches_peak(self):
+        run = run_kernel(matrix_multiply(block=64), n_spes=2, iterations_per_spe=24)
+        assert run.gflops > 0.9 * 2 * 16.8
+
+    def test_dp_matmul_is_an_order_of_magnitude_slower(self):
+        sp = run_kernel(matrix_multiply(block=64), n_spes=1, iterations_per_spe=16)
+        dp = run_kernel(
+            matrix_multiply(block=64, precision=Precision.DOUBLE),
+            n_spes=1,
+            iterations_per_spe=16,
+        )
+        assert 10.0 < sp.gflops / dp.gflops < 15.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            run_kernel(dot_product(), n_spes=0)
+        with pytest.raises(ConfigError):
+            run_kernel(dot_product(), n_spes=1, iterations_per_spe=0)
+        # A kernel whose buffers cannot double-buffer in 256 KiB.
+        greedy = KernelSpec(
+            name="greedy",
+            read_bytes=(131072, 131072),
+            write_bytes=0,
+            flops_per_iteration=1.0,
+        )
+        with pytest.raises(ConfigError):
+            run_kernel(greedy, n_spes=1)
+
+    def test_run_totals(self):
+        run = run_kernel(stream_triad(), n_spes=2, iterations_per_spe=16)
+        assert run.total_bytes == 3 * 16384 * 16 * 2
+        assert "stream-triad" in str(run)
+
+
+class TestRoofline:
+    def test_ridge_point(self):
+        roofline = RooflineModel()
+        ridge = roofline.ridge_intensity(Precision.SINGLE, 4)
+        # 67.2 GFLOP/s / ~21.5 GB/s ~= 3 FLOP/B.
+        assert 2.5 < ridge < 4.0
+
+    def test_predictions_classify_kernels(self):
+        roofline = RooflineModel()
+        assert roofline.predict(dot_product(), 4).bound == "bandwidth"
+        assert roofline.predict(matrix_multiply(block=64), 4).bound == "compute"
+
+    def test_verified_prediction_is_accurate(self):
+        roofline = RooflineModel()
+        point = roofline.verify(dot_product(), n_spes=4, iterations_per_spe=48)
+        assert point.model_error is not None
+        assert point.model_error < 0.15
+        # At 2 SPEs plain double buffering no longer hides the full
+        # memory latency: the run lands below the roof, not above it.
+        two = roofline.verify(dot_product(), n_spes=2, iterations_per_spe=48)
+        assert two.measured.gflops < two.predicted_gflops * 1.02
+
+    def test_unknown_spe_count_rejected(self):
+        with pytest.raises(ConfigError):
+            RooflineModel().bandwidth_roof(5)
+
+    def test_format(self):
+        roofline = RooflineModel()
+        text = RooflineModel.format(
+            [roofline.predict(dot_product(), 4), roofline.predict(matrix_multiply(), 4)]
+        )
+        assert "bandwidth" in text and "compute" in text

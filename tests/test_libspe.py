@@ -1,0 +1,158 @@
+"""Unit tests for the libspe-shaped programming layer."""
+
+import pytest
+
+from repro.cell import CellChip
+from repro.cell.errors import CellError
+from repro.libspe import SpeContext, run_programs
+
+
+def test_context_runs_program_and_returns(chip):
+    def program(spu, out):
+        yield spu.compute(100)
+        out["done_at"] = spu.read_decrementer()
+
+    out = {}
+    context = SpeContext(chip, 0)
+    process = context.load(program, out)
+    chip.run()
+    assert out["done_at"] == 100
+    assert context.finished
+    assert process.triggered
+
+
+def test_context_rejects_double_load(chip):
+    def forever(spu):
+        while True:
+            yield spu.compute(1000)
+
+    context = SpeContext(chip, 0)
+    context.load(forever)
+    with pytest.raises(CellError):
+        context.load(forever)
+
+
+def test_mfc_get_moves_bytes(chip):
+    def program(spu, partner, out):
+        yield from spu.mfc_get(size=4096, tag=0, remote_spe=partner)
+        yield from spu.wait_tags([0])
+        out["cycles"] = spu.read_decrementer()
+
+    out = {}
+    SpeContext(chip, 0).load(program, chip.spe(1), out)
+    chip.run()
+    assert chip.spe(0).mfc.bytes_transferred == 4096
+    assert out["cycles"] > chip.config.mfc.elem_issue_cycles
+
+
+def test_rolled_loop_pays_more_issue_cost(config):
+    def program(spu, partner, out):
+        start = spu.read_decrementer()
+        for _ in range(16):
+            yield from spu.mfc_get(size=128, tag=0, remote_spe=partner)
+        yield from spu.wait_tags([0])
+        out["cycles"] = spu.read_decrementer() - start
+
+    def run(unrolled):
+        chip = CellChip(config=config)
+        out = {}
+        SpeContext(chip, 0, unrolled=unrolled).load(program, chip.spe(1), out)
+        chip.run()
+        return out["cycles"]
+
+    assert run(unrolled=False) > run(unrolled=True) * 2
+
+
+def test_list_issue_validates_element_count(chip):
+    def program(spu, partner):
+        yield from spu.mfc_getl(
+            element_size=128,
+            n_elements=chip.config.mfc.list_max_elements + 1,
+            remote_spe=partner,
+        )
+
+    SpeContext(chip, 0).load(program, chip.spe(1))
+    with pytest.raises(CellError):
+        chip.run()
+
+
+def test_put_and_putl_reach_partner(chip):
+    def program(spu, partner, out):
+        yield from spu.mfc_put(size=1024, tag=0, remote_spe=partner)
+        yield from spu.mfc_putl(element_size=512, n_elements=4, tag=0, remote_spe=partner)
+        yield from spu.wait_tags([0])
+        out["bytes"] = spu.spe.mfc.bytes_transferred
+
+    out = {}
+    SpeContext(chip, 0).load(program, chip.spe(1), out)
+    chip.run()
+    assert out["bytes"] == 1024 + 4 * 512
+
+
+def test_memory_transfers_without_partner(chip):
+    def program(spu):
+        yield from spu.mfc_get(size=2048, tag=3)
+        yield from spu.mfc_put(size=2048, tag=3)
+        yield from spu.wait_tags([3])
+
+    SpeContext(chip, 0).load(program)
+    chip.run()
+    assert chip.memory.bytes_served == 4096
+
+
+def test_wait_tags_costs_sync_cycles(chip):
+    def program(spu, out):
+        start = spu.read_decrementer()
+        yield from spu.wait_tags([0])
+        out["cycles"] = spu.read_decrementer() - start
+
+    out = {}
+    SpeContext(chip, 0).load(program, out)
+    chip.run()
+    assert out["cycles"] == chip.config.mfc.sync_cycles
+
+
+def test_mailbox_round_trip_between_programs(chip):
+    log = []
+
+    def pinger(spu, partner_runtime):
+        yield partner_runtime.mailbox.inbound.write(17)
+        reply = yield spu.read_in_mbox()
+        log.append(("pong", reply, spu.read_decrementer()))
+
+    def ponger(spu, partner_runtime):
+        message = yield spu.read_in_mbox()
+        yield spu.compute(50)
+        yield partner_runtime.mailbox.inbound.write(message + 1)
+
+    ping = SpeContext(chip, 0)
+    pong = SpeContext(chip, 1)
+    ping.load(pinger, pong.runtime)
+    pong.load(ponger, ping.runtime)
+    chip.run()
+    assert log == [("pong", 18, 50)]
+
+
+def test_run_programs_helper(config):
+    chip = CellChip(config=config)
+    results = {}
+
+    def program(spu, index):
+        yield spu.compute(10 * (index + 1))
+        results[index] = spu.read_decrementer()
+
+    contexts = run_programs(
+        chip, program, range(4), args_for=lambda logical: (logical,)
+    )
+    assert len(contexts) == 4
+    assert results == {0: 10, 1: 20, 2: 30, 3: 40}
+
+
+def test_run_programs_detects_hang(config):
+    chip = CellChip(config=config)
+
+    def stuck(spu):
+        yield spu.spe.env.event()  # waits forever
+
+    with pytest.raises(CellError):
+        run_programs(chip, stuck, [0])

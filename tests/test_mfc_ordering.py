@@ -1,0 +1,158 @@
+"""Tests for MFC command ordering (fence/barrier) and PPE proxy DMA."""
+
+import pytest
+
+from repro.cell import CellChip, DmaCommand, DmaDirection, DmaSizeError
+from repro.cell.dma import TargetKind
+from repro.cell.errors import CellError
+from repro.libspe import SpeContext
+
+
+def test_fence_and_barrier_are_exclusive():
+    with pytest.raises(DmaSizeError):
+        DmaCommand(
+            direction=DmaDirection.GET,
+            target=TargetKind.MAIN_MEMORY,
+            size=128,
+            fence=True,
+            barrier=True,
+        )
+
+
+def track_completions(chip, program):
+    """Run a one-SPE program that appends (label, time) into a list."""
+    log = []
+    SpeContext(chip, 0).load(program, log)
+    chip.run()
+    return dict(log)
+
+
+def test_unfenced_small_command_overtakes_big_one(chip):
+    def program(spu, log):
+        yield from spu.mfc_get(size=16384, tag=0, remote_spe=spu.spe.chip.spe(1))
+        yield from spu.mfc_get(size=128, tag=1, remote_spe=spu.spe.chip.spe(1))
+        yield from spu.wait_tags([1])
+        log.append(("small", spu.read_decrementer()))
+        yield from spu.wait_tags([0])
+        log.append(("big", spu.read_decrementer()))
+
+    times = track_completions(chip, program)
+    assert times["small"] < times["big"]
+    # The small transfer overtook: it finished long before the 16 KiB
+    # transfer's ~2048 data cycles were over.
+    assert times["small"] < 2048
+
+
+def test_barrier_prevents_overtaking(chip):
+    def program(spu, log):
+        yield from spu.mfc_get(size=16384, tag=0, remote_spe=spu.spe.chip.spe(1))
+        yield from spu.mfc_getb(size=128, tag=1, remote_spe=spu.spe.chip.spe(1))
+        yield from spu.wait_tags([1])
+        log.append(("small", spu.read_decrementer()))
+        yield from spu.wait_tags([0])
+        log.append(("big", spu.read_decrementer()))
+
+    times = track_completions(chip, program)
+    # The barriered small command could not start before the 16 KiB
+    # transfer (~2048 data cycles) had fully completed.
+    assert times["small"] > 2048
+
+
+def test_fence_orders_within_tag_group_only(chip):
+    def program(spu, log):
+        partner = spu.spe.chip.spe(1)
+        # Big transfer on tag 0, then a *fenced* small one on tag 1:
+        # the fence only orders against earlier tag-1 commands (none),
+        # so it still overtakes the big tag-0 transfer.
+        yield from spu.mfc_get(size=16384, tag=0, remote_spe=partner)
+        yield from spu.mfc_getf(size=128, tag=1, remote_spe=partner)
+        yield from spu.wait_tags([1])
+        log.append(("small", spu.read_decrementer()))
+        yield from spu.wait_tags([0])
+        log.append(("big", spu.read_decrementer()))
+
+    times = track_completions(chip, program)
+    assert times["small"] < times["big"]
+
+
+def test_fence_orders_same_tag_commands(chip):
+    def program(spu, log):
+        partner = spu.spe.chip.spe(1)
+        yield from spu.mfc_get(size=16384, tag=3, remote_spe=partner)
+        yield from spu.mfc_putf(size=128, tag=3, remote_spe=partner)
+        yield from spu.wait_tags([3])
+        log.append(("done", spu.read_decrementer()))
+
+    chip2 = CellChip(config=chip.config)
+
+    def unordered(spu, log):
+        partner = spu.spe.chip.spe(1)
+        yield from spu.mfc_get(size=16384, tag=3, remote_spe=partner)
+        yield from spu.mfc_put(size=128, tag=3, remote_spe=partner)
+        yield from spu.wait_tags([3])
+        log.append(("done", spu.read_decrementer()))
+
+    fenced_time = track_completions(chip, program)["done"]
+    free_time = track_completions(chip2, unordered)["done"]
+    # The fenced PUT serialises after the GET, costing time; the free
+    # PUT overlaps (opposite data directions do not share ports).
+    assert fenced_time > free_time
+
+
+class TestProxyDma:
+    def test_ppe_stages_data_without_spu_involvement(self, chip):
+        mfc = chip.spe(0).mfc
+        done = mfc.proxy_enqueue(
+            DmaCommand(
+                direction=DmaDirection.GET,
+                target=TargetKind.MAIN_MEMORY,
+                size=16384,
+            )
+        )
+        chip.run()
+        assert done.triggered
+        assert mfc.bytes_transferred == 16384
+
+    def test_proxy_queue_is_eight_deep(self, chip):
+        mfc = chip.spe(0).mfc
+        commands = [
+            DmaCommand(
+                direction=DmaDirection.GET,
+                target=TargetKind.MAIN_MEMORY,
+                size=16384,
+            )
+            for _ in range(10)
+        ]
+        for command in commands:
+            mfc.proxy_enqueue(command)
+        # Before the simulation runs, only 8 proxy slots can be held.
+        chip.env.run(until=1)
+        assert mfc._proxy_slots.count <= 8
+        chip.run()
+        assert mfc.commands_completed == 10
+
+    def test_proxy_rejects_lists(self, chip):
+        with pytest.raises(CellError):
+            chip.spe(0).mfc.proxy_enqueue("not a command")
+
+    def test_proxy_and_spu_commands_share_tags(self, chip):
+        mfc = chip.spe(0).mfc
+        observed = {}
+
+        def program(spu, out):
+            yield from spu.mfc_get(size=2048, tag=5, remote_spe=spu.spe.chip.spe(1))
+            yield from spu.wait_tags([5])
+            out["spu_done"] = spu.read_decrementer()
+
+        mfc.proxy_enqueue(
+            DmaCommand(
+                direction=DmaDirection.PUT,
+                target=TargetKind.MAIN_MEMORY,
+                size=2048,
+                tag=5,
+            )
+        )
+        SpeContext(chip, 0).load(program, observed)
+        chip.run()
+        assert observed["spu_done"] > 0
+        assert mfc.outstanding(5) == 0

@@ -1,0 +1,109 @@
+"""The headline integration test: the paper's claims, reproduced.
+
+Runs each experiment (at reduced repetition counts / element sweeps to
+keep CI time sane) and asserts every shape claim in
+``repro.core.validation``.  ``benchmarks/`` regenerates the full figures.
+"""
+
+import pytest
+
+from repro.core import (
+    CouplesExperiment,
+    CycleExperiment,
+    PairDistanceExperiment,
+    PairSyncExperiment,
+    PpeBandwidthExperiment,
+    SpeLocalStoreExperiment,
+    SpeMemoryExperiment,
+)
+from repro.core import validation
+from repro.core.spe_pairs import SYNC_AFTER_ALL
+
+VOLUME = 2 ** 20  # 1 MiB per SPE: past the steady-state floor
+
+
+@pytest.fixture(scope="module")
+def ppe_results():
+    return {level: PpeBandwidthExperiment(level).run() for level in ("l1", "l2", "mem")}
+
+
+@pytest.fixture(scope="module")
+def localstore_result():
+    return SpeLocalStoreExperiment().run()
+
+
+@pytest.fixture(scope="module")
+def memory_result():
+    return SpeMemoryExperiment(
+        element_sizes=(16384,), repetitions=2, bytes_per_spe=VOLUME
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def sync_result():
+    return PairSyncExperiment(
+        sync_policies=(1, SYNC_AFTER_ALL),
+        element_sizes=(512, 1024, 4096, 16384),
+        repetitions=2,
+        bytes_per_spe=VOLUME,
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def distance_result():
+    return PairDistanceExperiment(
+        element_sizes=(16384,), repetitions=4, bytes_per_spe=VOLUME
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def couples_result():
+    return CouplesExperiment(
+        element_sizes=(16384,), repetitions=6, bytes_per_spe=VOLUME
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def cycle_result():
+    return CycleExperiment(
+        element_sizes=(16384,), repetitions=6, bytes_per_spe=VOLUME
+    ).run()
+
+
+def assert_all(checks):
+    failed = [str(check) for check in checks if not check.passed]
+    assert not failed, "unreproduced paper claims:\n" + "\n".join(failed)
+
+
+def test_figures_3_4_6_ppe(ppe_results):
+    assert_all(validation.check_ppe(ppe_results))
+
+
+def test_section_422_localstore(localstore_result):
+    assert_all(validation.check_localstore(localstore_result))
+
+
+def test_figure_8_spe_memory(memory_result):
+    assert_all(validation.check_spe_memory(memory_result))
+
+
+def test_figure_10_sync_delay(sync_result):
+    assert_all(validation.check_pair_sync(sync_result))
+
+
+def test_figure_9_distance(distance_result):
+    assert_all(validation.check_pair_distance(distance_result))
+
+
+def test_figures_12_13_couples(couples_result):
+    assert_all(validation.check_couples(couples_result))
+
+
+def test_figures_15_16_cycle(cycle_result, couples_result):
+    assert_all(validation.check_cycle(cycle_result, couples_result))
+
+
+def test_summary_counts_passes(memory_result):
+    checks = validation.check_spe_memory(memory_result)
+    summary = validation.summarize(checks)
+    assert f"{len(checks)}/{len(checks)} claims reproduced" in summary

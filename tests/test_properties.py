@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+Invariants exercised here:
+
+* topology routing: path lengths, direction complements, span coverage;
+* SPE mappings: seeded shuffles are permutations;
+* local-store allocator: no overlap, alignment, capacity;
+* DMA validation: accepts exactly the architectural size grammar;
+* bandwidth statistics: order statistics behave like order statistics;
+* the DES kernel: timeouts compose associatively, FIFO resources never
+  exceed capacity;
+* the EIB: byte conservation for arbitrary transfer plans;
+* memory placement: the Bresenham stream respects its target fraction.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cell import CellChip, CellConfig
+from repro.cell.dma import validate_transfer
+from repro.cell.errors import DmaError, LocalStoreError
+from repro.cell.local_store import LocalStore
+from repro.cell.memory import MemorySystem
+from repro.cell.topology import CLOCKWISE, COUNTERCLOCKWISE, RingTopology, SpeMapping
+from repro.core.results import BandwidthSample, BandwidthStats
+from repro.sim import Environment, Resource
+
+topology = RingTopology()
+NODES = st.sampled_from(topology.order)
+
+
+@given(src=NODES, dst=NODES)
+def test_path_lengths_complement(src, dst):
+    if src == dst:
+        return
+    cw = topology.path(src, dst, CLOCKWISE)
+    ccw = topology.path(src, dst, COUNTERCLOCKWISE)
+    assert len(cw) + len(ccw) == len(topology)
+    assert set(cw) | set(ccw) == set(range(len(topology)))
+    assert set(cw).isdisjoint(ccw)
+
+
+@given(src=NODES, dst=NODES)
+def test_directions_by_distance_sorted_and_legal(src, dst):
+    if src == dst:
+        return
+    directions = topology.directions_by_distance(src, dst)
+    hops = [topology.hops(src, dst, d) for d in directions]
+    assert hops == sorted(hops)
+    assert all(h <= len(topology) // 2 for h in hops)
+
+
+@given(seed=st.integers(min_value=0, max_value=10 ** 9))
+def test_random_mapping_is_permutation(seed):
+    mapping = SpeMapping.random(seed)
+    assert sorted(mapping.physical_of) == list(range(8))
+    nodes = {mapping.node(i) for i in range(8)}
+    assert len(nodes) == 8
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=65536), min_size=1, max_size=30),
+    aligns=st.lists(st.sampled_from([1, 2, 4, 8, 16, 64, 128]), min_size=30, max_size=30),
+)
+def test_local_store_allocations_never_overlap(sizes, aligns):
+    ls = LocalStore()
+    allocations = []
+    for i, (size, align) in enumerate(zip(sizes, aligns)):
+        try:
+            allocations.append(ls.alloc(size, name=f"a{i}", align=align))
+        except LocalStoreError:
+            break
+    intervals = sorted((a.offset, a.end) for a in allocations)
+    for (start1, end1), (start2, _end2) in zip(intervals, intervals[1:]):
+        assert end1 <= start2
+    assert all(a.end <= ls.size for a in allocations)
+    for a, align in zip(allocations, aligns):
+        assert a.offset % align == 0
+
+
+@given(size=st.integers(min_value=-8, max_value=20000))
+def test_dma_size_grammar(size):
+    legal = size in (1, 2, 4, 8) or (size >= 16 and size % 16 == 0 and size <= 16384)
+    try:
+        validate_transfer(size, 0, 0)
+        accepted = True
+    except DmaError:
+        accepted = False
+    assert accepted == legal
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0.001, max_value=1000.0, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_bandwidth_stats_are_order_statistics(values):
+    samples = [BandwidthSample(gbps=v, nbytes=100, cycles=10) for v in values]
+    stats = BandwidthStats.from_samples(samples)
+    assert stats.minimum <= stats.median <= stats.maximum
+    # fmean may differ from the extremes by a rounding ulp.
+    eps = 1e-9 * max(abs(stats.maximum), 1.0)
+    assert stats.minimum - eps <= stats.mean <= stats.maximum + eps
+    assert stats.spread >= 0
+    assert stats.n_samples == len(values)
+    assert math.isclose(stats.mean, sum(values) / len(values), rel_tol=1e-9)
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=20))
+def test_sequential_timeouts_sum(delays):
+    env = Environment()
+    log = []
+
+    def proc(env):
+        for delay in delays:
+            yield env.timeout(delay)
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert log == [sum(delays)]
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    holds=st.lists(st.integers(min_value=1, max_value=20), min_size=1, max_size=15),
+)
+def test_resource_never_exceeds_capacity(capacity, holds):
+    env = Environment()
+    resource = Resource(env, capacity=capacity)
+    peak = []
+
+    def user(env, hold):
+        request = resource.request()
+        yield request
+        peak.append(resource.count)
+        yield env.timeout(hold)
+        resource.release(request)
+
+    for hold in holds:
+        env.process(user(env, hold))
+    env.run()
+    assert max(peak) <= capacity
+    assert len(peak) == len(holds)
+    assert resource.count == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    plan=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=1, max_value=8),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_eib_conserves_bytes(plan):
+    """Any set of concurrent transfers moves exactly its bytes, and the
+    simulation always terminates."""
+    chip = CellChip(config=CellConfig.paper_blade())
+    total = 0
+    for src, dst, kbytes in plan:
+        if src == dst:
+            continue
+        nbytes = kbytes * 1024
+        total += nbytes
+
+        def mover(env, s=src, d=dst, n=nbytes):
+            yield from chip.eib.transfer(f"SPE{s}", f"SPE{d}", n)
+
+        chip.env.process(mover(chip.env))
+    chip.run()
+    assert chip.eib.bytes_moved == total
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    fraction=st.floats(min_value=0.05, max_value=0.95),
+    n=st.integers(min_value=50, max_value=400),
+)
+def test_memory_placement_tracks_fraction(fraction, n):
+    import dataclasses
+
+    base = CellConfig.paper_blade()
+    config = base.replace(
+        memory=dataclasses.replace(base.memory, local_placement_fraction=fraction)
+    )
+    system = MemorySystem(Environment(), config)
+    local = sum(
+        1 for _ in range(n) if system.assign_bank("SPE0") is system.local_bank
+    )
+    assert abs(local / n - fraction) <= 1.0 / n + 0.02

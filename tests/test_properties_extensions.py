@@ -1,0 +1,119 @@
+"""Property-based tests for the extension subsystems (kernels, runtime,
+affinity): invariants that must hold for any parameters."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.affinity import CommunicationPattern, mapping_cost
+from repro.cell.dma import legal_command_sizes
+from repro.cell.topology import SpeMapping
+from repro.kernels import Precision, RooflineModel, dot_product, matrix_multiply
+from repro.kernels.specs import KernelSpec
+from repro.runtime import Task, TaskGraph, chain, fan_out_fan_in, wavefront
+
+
+@given(nbytes=st.integers(min_value=1, max_value=500000))
+def test_legal_command_sizes_cover_and_are_legal(nbytes):
+    sizes = legal_command_sizes(nbytes)
+    assert all(16 <= size <= 16384 and size % 16 == 0 for size in sizes)
+    covered = sum(sizes)
+    # Full coverage up to quadword rounding of the tail.
+    assert nbytes - 15 <= covered <= nbytes or covered == 16
+
+
+@given(
+    chunk=st.sampled_from([1024, 4096, 16384]),
+    precision=st.sampled_from(list(Precision)),
+)
+def test_dot_product_intensity_is_precision_invariant(chunk, precision):
+    # 2 FLOPs per element over 2 elements of traffic: FLOP/B depends only
+    # on the element width.
+    spec = dot_product(chunk_bytes=chunk, precision=precision)
+    expected = 2 / (2 * precision.element_bytes)
+    assert abs(spec.arithmetic_intensity - expected) < 1e-12
+
+
+@given(block=st.sampled_from([4, 8, 16, 32, 64]))
+def test_matmul_intensity_scales_linearly_with_block(block):
+    spec = matrix_multiply(block=block, k_blocks=block)
+    double = matrix_multiply(block=2 * block, k_blocks=2 * block)
+    ratio = double.arithmetic_intensity / spec.arithmetic_intensity
+    assert 1.8 < ratio < 2.2
+
+
+@given(
+    intensity=st.floats(min_value=0.01, max_value=100.0),
+    n_spes=st.sampled_from([1, 2, 4, 8]),
+)
+def test_roofline_prediction_never_exceeds_either_roof(intensity, n_spes):
+    roofline = RooflineModel()
+    spec = KernelSpec(
+        name="synthetic",
+        read_bytes=(16384,),
+        write_bytes=0,
+        flops_per_iteration=intensity * 16384,
+    )
+    point = roofline.predict(spec, n_spes)
+    assert point.predicted_gflops <= roofline.compute_roof(Precision.SINGLE, n_spes) + 1e-9
+    assert (
+        point.predicted_gflops
+        <= spec.arithmetic_intensity * roofline.bandwidth_roof(n_spes) + 1e-9
+    )
+    expected_bound = (
+        "bandwidth"
+        if spec.arithmetic_intensity < roofline.ridge_intensity(Precision.SINGLE, n_spes)
+        else "compute"
+    )
+    assert point.bound == expected_bound
+
+
+@given(
+    width=st.integers(min_value=1, max_value=6),
+    steps=st.integers(min_value=1, max_value=6),
+)
+def test_wavefront_graph_invariants(width, steps):
+    graph = wavefront(width=width, steps=steps)
+    assert len(graph) == width * steps
+    # Only the first row reads external input; later rows read deps.
+    externals = [task for task in graph.tasks if task.external_input_bytes]
+    assert len(externals) == width
+    # Critical path spans all steps.
+    flops = graph.tasks[0].flops
+    assert graph.critical_path_flops == steps * flops
+
+
+@given(n=st.integers(min_value=1, max_value=20))
+def test_chain_critical_path_equals_total(n):
+    graph = chain(n)
+    assert graph.critical_path_flops == graph.total_flops
+
+
+@given(width=st.integers(min_value=1, max_value=20))
+def test_fan_consumers_bookkeeping(width):
+    graph = fan_out_fan_in(width=width)
+    source = graph.tasks[0]
+    sink = graph.tasks[-1]
+    assert len(graph.consumers[source]) == width
+    assert graph.consumers[sink] == []
+
+
+@settings(max_examples=25)
+@given(seed=st.integers(min_value=0, max_value=10 ** 6))
+def test_mapping_cost_non_negative_and_deterministic(seed):
+    pattern = CommunicationPattern.cycle(8)
+    mapping = SpeMapping.random(seed)
+    cost = mapping_cost(pattern, mapping)
+    assert cost >= 0
+    assert cost == mapping_cost(pattern, mapping)
+
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+def test_couples_cost_invariant_under_pair_relabeling(seed):
+    """Swapping the two logical SPEs inside a pair cannot change the
+    placement cost: the flows are symmetric."""
+    mapping = SpeMapping.random(seed)
+    base = CommunicationPattern.couples(8)
+    swapped = CommunicationPattern(
+        tuple((b, a, w) for a, b, w in base.flows)
+    )
+    assert mapping_cost(base, mapping) == mapping_cost(swapped, mapping)

@@ -1,0 +1,86 @@
+"""Tests for the reproduce-all driver (python -m repro.reproduce)."""
+
+import os
+
+import pytest
+
+from repro import reproduce
+from repro.core import validation
+
+
+@pytest.fixture
+def micro_preset(monkeypatch):
+    """Shrink the quick preset to a smoke-sized sweep for the test."""
+    monkeypatch.setitem(reproduce.PRESETS, "quick", ((16384,), 1, 2 ** 20))
+
+
+def test_parse_args_defaults():
+    args = reproduce.parse_args([])
+    assert args.outdir == "repro-out"
+    assert not args.quick and not args.paper_scale
+
+
+def test_quick_and_paper_scale_are_exclusive():
+    with pytest.raises(SystemExit):
+        reproduce.parse_args(["--quick", "--paper-scale"])
+
+
+def test_run_all_writes_reports_and_passes(tmp_path, micro_preset):
+    outdir = str(tmp_path / "out")
+    checks = reproduce.run_all("quick", outdir)
+    assert checks
+    written = os.listdir(outdir)
+    # One text report per experiment plus CSVs, guidelines and the
+    # validation summary.
+    assert "validation.txt" in written
+    assert "guidelines.txt" in written
+    assert "guideline-streams.txt" in written
+    assert any(name.startswith("fig08") and name.endswith(".csv") for name in written)
+    assert any(name.startswith("fig15") for name in written)
+    with open(os.path.join(outdir, "validation.txt")) as handle:
+        summary = handle.read()
+    assert "claims reproduced" in summary
+    # The distance/pair checks are sensitive to tiny sweeps; the bulk of
+    # the battery must still pass even at smoke size.
+    passed = sum(1 for check in checks if check.passed)
+    assert passed >= len(checks) - 2
+
+
+def test_main_returns_zero_on_success(tmp_path, micro_preset, monkeypatch):
+    calls = {}
+
+    def fake_run_all(preset, outdir):
+        calls["preset"] = preset
+        calls["outdir"] = outdir
+        return [
+            validation.ClaimCheck(
+                claim_id="x",
+                description="d",
+                observed=1.0,
+                expected_low=0.0,
+                expected_high=2.0,
+                passed=True,
+            )
+        ]
+
+    monkeypatch.setattr(reproduce, "run_all", fake_run_all)
+    assert reproduce.main(["--quick", "--outdir", str(tmp_path)]) == 0
+    assert calls["preset"] == "quick"
+
+
+def test_main_returns_nonzero_on_failure(tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        reproduce,
+        "run_all",
+        lambda preset, outdir: [
+            validation.ClaimCheck(
+                claim_id="x",
+                description="d",
+                observed=9.0,
+                expected_low=0.0,
+                expected_high=2.0,
+                passed=False,
+            )
+        ],
+    )
+    assert reproduce.main(["--outdir", str(tmp_path)]) == 1

@@ -1,0 +1,150 @@
+"""Tests for the CellSs-style task-offload runtime."""
+
+import pytest
+
+from repro.cell import ConfigError
+from repro.runtime import (
+    OffloadRuntime,
+    Task,
+    TaskGraph,
+    chain,
+    fan_out_fan_in,
+    wavefront,
+)
+
+
+class TestTask:
+    def test_input_bytes_aggregates_deps(self):
+        a = Task("a", flops=10, output_bytes=1024)
+        b = Task("b", flops=10, output_bytes=2048, external_input_bytes=512,
+                 depends_on=(a,))
+        assert b.input_bytes == 1024 + 512
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            Task("bad", flops=-1, output_bytes=1024)
+        with pytest.raises(ConfigError):
+            Task("bad", flops=1, output_bytes=100)  # not quadword multiple
+        with pytest.raises(ConfigError):
+            Task("bad", flops=1, output_bytes=1024, external_input_bytes=-1)
+
+
+class TestTaskGraph:
+    def test_rejects_missing_dependency(self):
+        a = Task("a", flops=1, output_bytes=16)
+        b = Task("b", flops=1, output_bytes=16, depends_on=(a,))
+        with pytest.raises(ConfigError):
+            TaskGraph([b])
+
+    def test_rejects_cycles(self):
+        a = Task("a", flops=1, output_bytes=16)
+        b = Task("b", flops=1, output_bytes=16, depends_on=(a,))
+        a.depends_on = (b,)
+        with pytest.raises(ConfigError):
+            TaskGraph([a, b])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            TaskGraph([])
+
+    def test_critical_path(self):
+        graph = chain(4, flops_per_stage=100.0)
+        assert graph.total_flops == 400.0
+        assert graph.critical_path_flops == 400.0
+        fan = fan_out_fan_in(width=4, flops_per_task=100.0)
+        assert fan.total_flops == 600.0
+        assert fan.critical_path_flops == 300.0
+
+
+class TestFactories:
+    def test_chain_shape(self):
+        graph = chain(5)
+        assert len(graph) == 5
+        assert graph.tasks[0].external_input_bytes > 0
+        assert graph.tasks[4].depends_on == (graph.tasks[3],)
+
+    def test_fan_shape(self):
+        graph = fan_out_fan_in(width=3)
+        assert len(graph) == 5
+        sink = graph.tasks[-1]
+        assert len(sink.depends_on) == 3
+
+    def test_wavefront_shape(self):
+        graph = wavefront(width=3, steps=2)
+        assert len(graph) == 6
+        middle = next(t for t in graph.tasks if t.name == "cell(1,1)")
+        assert len(middle.depends_on) == 3  # three neighbours below
+
+    def test_factory_validation(self):
+        with pytest.raises(ConfigError):
+            chain(0)
+        with pytest.raises(ConfigError):
+            fan_out_fan_in(0)
+        with pytest.raises(ConfigError):
+            wavefront(0, 1)
+
+
+class TestOffloadRuntime:
+    def test_runs_all_tasks(self):
+        stats = OffloadRuntime(wavefront(4, 4), n_spes=4).run()
+        assert stats.n_tasks == 16
+        assert sum(stats.tasks_per_spe.values()) == 16
+        assert stats.makespan_cycles > 0
+        assert stats.gflops > 0
+
+    def test_forwarding_reduces_memory_traffic(self):
+        graph = wavefront(width=8, steps=6)
+        memory = OffloadRuntime(graph, n_spes=8, policy="memory").run()
+        forward = OffloadRuntime(graph, n_spes=8, policy="forward").run()
+        assert forward.memory_read_bytes < memory.memory_read_bytes
+        assert forward.forwarded_bytes > 0
+        assert memory.forwarded_bytes == 0
+
+    def test_forwarding_speeds_up_dependent_graphs(self):
+        graph = wavefront(width=8, steps=6)
+        memory = OffloadRuntime(graph, n_spes=8, policy="memory").run()
+        forward = OffloadRuntime(graph, n_spes=8, policy="forward").run()
+        assert forward.makespan_cycles < memory.makespan_cycles
+
+    def test_chain_stays_local(self):
+        """A pure pipeline ends up on one SPE, consuming from its own LS."""
+        stats = OffloadRuntime(chain(16), n_spes=4, policy="forward").run()
+        assert stats.ls_hit_bytes > 0
+        busy = [spe for spe, count in stats.tasks_per_spe.items() if count]
+        assert len(busy) == 1
+
+    def test_write_through_always_reaches_memory(self):
+        graph = chain(8)
+        stats = OffloadRuntime(graph, n_spes=2, policy="forward").run()
+        assert stats.memory_write_bytes == sum(
+            task.output_bytes for task in graph.tasks
+        )
+
+    def test_validation(self):
+        graph = chain(2)
+        with pytest.raises(ConfigError):
+            OffloadRuntime(graph, policy="teleport")
+        with pytest.raises(ConfigError):
+            OffloadRuntime(graph, n_spes=0)
+
+    def test_uncacheable_output_falls_back_to_memory(self):
+        big = Task("big", flops=100.0, output_bytes=32768,
+                   external_input_bytes=16384)
+        consumer = Task("consumer", flops=100.0, output_bytes=16384,
+                        depends_on=(big,))
+        runtime = OffloadRuntime(
+            TaskGraph([big, consumer]),
+            n_spes=2,
+            policy="forward",
+            ls_cache_bytes=16384,  # smaller than big's output
+        )
+        stats = runtime.run()
+        # The consumer had to read the big block from memory.
+        assert stats.memory_read_bytes >= 16384 + 32768
+        assert stats.forwarded_bytes == 0
+
+    def test_deterministic_given_seed(self):
+        graph = wavefront(4, 4)
+        first = OffloadRuntime(graph, n_spes=4, seed=5).run()
+        second = OffloadRuntime(graph, n_spes=4, seed=5).run()
+        assert first.makespan_cycles == second.makespan_cycles

@@ -1,0 +1,265 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    log = []
+
+    def proc(env):
+        yield env.timeout(5)
+        log.append(env.now)
+        yield env.timeout(7)
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert log == [5, 12]
+
+
+def test_timeout_value_is_delivered():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        value = yield env.timeout(3, value="hello")
+        seen.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == ["hello"]
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_simultaneous_events_fire_fifo():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(10)
+        order.append(name)
+
+    for name in ["a", "b", "c"]:
+        env.process(proc(env, name))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_return_value_becomes_event_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(4)
+        return 42
+
+    def parent(env, results):
+        value = yield env.process(child(env))
+        results.append(value)
+
+    results = []
+    env.process(parent(env, results))
+    env.run()
+    assert results == [42]
+
+
+def test_waiting_on_already_triggered_event():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        event = env.event()
+        event.succeed("early")
+        value = yield event
+        results.append((env.now, value))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [(0, "early")]
+
+
+def test_event_cannot_trigger_twice():
+    env = Environment()
+    event = env.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_run_until_time_stops_clock_there():
+    env = Environment()
+
+    def proc(env):
+        while True:
+            yield env.timeout(10)
+
+    env.process(proc(env))
+    env.run(until=35)
+    assert env.now == 35
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+    done = env.event()
+
+    def proc(env):
+        yield env.timeout(9)
+        done.succeed("finished")
+
+    env.process(proc(env))
+    assert env.run(until=done) == "finished"
+    assert env.now == 9
+
+
+def test_run_until_event_that_never_fires_raises():
+    env = Environment()
+    done = env.event()
+    with pytest.raises(SimulationError):
+        env.run(until=done)
+
+
+def test_failed_event_raises_in_waiter():
+    env = Environment()
+    caught = []
+
+    def failer(env, event):
+        yield env.timeout(1)
+        event.fail(ValueError("boom"))
+
+    def waiter(env, event):
+        try:
+            yield event
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    event = env.event()
+    env.process(failer(env, event))
+    env.process(waiter(env, event))
+    env.run()
+    assert caught == ["boom"]
+
+
+def test_unhandled_process_exception_propagates():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+
+    env.process(bad(env))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_yielding_non_event_is_an_error():
+    env = Environment()
+
+    def bad(env):
+        yield 17
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_interrupt_wakes_process_with_cause():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            log.append((env.now, interrupt.cause))
+
+    def interrupter(env, victim):
+        yield env.timeout(5)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert log == [(5, "wake up")]
+
+
+def test_interrupting_dead_process_is_an_error():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t1 = env.timeout(5, value="a")
+        t2 = env.timeout(10, value="b")
+        values = yield AllOf(env, [t1, t2])
+        results.append((env.now, sorted(values)))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [(10, ["a", "b"])]
+
+
+def test_any_of_fires_on_first_event():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        t1 = env.timeout(5, value="fast")
+        t2 = env.timeout(50, value="slow")
+        values = yield AnyOf(env, [t1, t2])
+        results.append((env.now, values))
+
+    env.process(proc(env))
+    env.run()
+    assert results[0][0] == 5
+    assert "fast" in results[0][1]
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7)
+    assert env.peek() == 7
+
+
+def test_deterministic_replay():
+    """Two identical simulations produce identical traces."""
+
+    def build_and_run():
+        env = Environment()
+        trace = []
+
+        def worker(env, name, period):
+            for _ in range(5):
+                yield env.timeout(period)
+                trace.append((env.now, name))
+
+        env.process(worker(env, "x", 3))
+        env.process(worker(env, "y", 4))
+        env.run()
+        return trace
+
+    assert build_and_run() == build_and_run()

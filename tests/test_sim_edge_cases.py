@@ -1,0 +1,186 @@
+"""Edge-case tests for the DES kernel and EIB model that the main suites
+don't reach: condition failure propagation, interrupts during resource
+waits, routing extremes, utilisation accounting."""
+
+import pytest
+
+from repro.cell import CellChip, CellConfig
+from repro.cell.topology import CLOCKWISE, COUNTERCLOCKWISE, RingTopology
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+    Resource,
+    SimulationError,
+    Store,
+)
+
+
+class TestConditionFailures:
+    def test_all_of_fails_when_component_fails(self):
+        env = Environment()
+        caught = []
+
+        def failer(env, event):
+            yield env.timeout(3)
+            event.fail(RuntimeError("component broke"))
+
+        def waiter(env, pending):
+            try:
+                yield AllOf(env, pending)
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        event = env.event()
+        env.process(failer(env, event))
+        env.process(waiter(env, [env.timeout(10), event]))
+        env.run()
+        assert caught == ["component broke"]
+
+    def test_any_of_with_pre_triggered_event(self):
+        env = Environment()
+        results = []
+
+        def proc(env):
+            done = env.event()
+            done.succeed("already")
+            values = yield AnyOf(env, [done, env.timeout(100)])
+            results.append((env.now, values))
+
+        env.process(proc(env))
+        env.run()
+        assert results[0][0] == 0
+        assert "already" in results[0][1]
+
+    def test_condition_rejects_cross_environment_events(self):
+        env_a, env_b = Environment(), Environment()
+        with pytest.raises(SimulationError):
+            AllOf(env_a, [env_a.event(), env_b.event()])
+
+
+class TestInterruptsAndResources:
+    def test_interrupt_while_waiting_on_resource(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        log = []
+
+        def holder(env):
+            request = resource.request()
+            yield request
+            yield env.timeout(100)
+            resource.release(request)
+
+        def impatient(env):
+            request = resource.request()
+            try:
+                yield request
+            except Interrupt:
+                resource.cancel(request)
+                log.append(("gave up", env.now))
+
+        def interrupter(env, victim):
+            yield env.timeout(10)
+            victim.interrupt()
+
+        env.process(holder(env))
+        victim = env.process(impatient(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert log == [("gave up", 10)]
+        # The cancelled request must not be granted later.
+        assert resource.count == 0
+
+    def test_store_interleaved_producers_consumers(self):
+        env = Environment()
+        store = Store(env, capacity=2)
+        consumed = []
+
+        def producer(env, base):
+            for i in range(3):
+                yield store.put(base + i)
+                yield env.timeout(1)
+
+        def consumer(env):
+            for _ in range(6):
+                item = yield store.get()
+                consumed.append(item)
+                yield env.timeout(2)
+
+        env.process(producer(env, 0))
+        env.process(producer(env, 100))
+        env.process(consumer(env))
+        env.run()
+        assert sorted(consumed) == [0, 1, 2, 100, 101, 102]
+
+
+class TestRoutingExtremes:
+    def test_halfway_transfer_uses_either_direction(self):
+        topology = RingTopology()
+        src = topology.order[0]
+        dst = topology.order[6]
+        directions = topology.directions_by_distance(src, dst)
+        assert set(directions) == {CLOCKWISE, COUNTERCLOCKWISE}
+
+    def test_six_hop_transfer_completes(self):
+        chip = CellChip(config=CellConfig.paper_blade())
+        # PPE (index 0) to IOIF0 (index 6): exactly six hops both ways.
+        done = []
+
+        def mover(env):
+            yield from chip.eib.transfer("PPE", "IOIF0", 2048)
+            done.append(env.now)
+
+        chip.env.process(mover(chip.env))
+        chip.run()
+        assert done and done[0] > 0
+
+    def test_all_rings_used_under_parallel_disjoint_load(self):
+        chip = CellChip(config=CellConfig.paper_blade())
+        flows = [("SPE0", "SPE2"), ("SPE1", "SPE3"), ("SPE4", "SPE6"), ("SPE5", "SPE7")]
+
+        def mover(env, src, dst):
+            yield from chip.eib.transfer(src, dst, 65536)
+
+        for src, dst in flows:
+            chip.env.process(mover(chip.env, src, dst))
+        chip.run()
+        used = [name for name, util in chip.eib.utilization().items() if util > 0]
+        assert len(used) >= 2  # the load spreads beyond a single ring
+
+
+class TestEnvironmentMisc:
+    def test_run_with_no_events_returns_immediately(self):
+        env = Environment()
+        env.run()
+        assert env.now == 0
+
+    def test_run_until_past_all_events_sets_now_to_horizon(self):
+        env = Environment()
+        env.timeout(5)
+        env.run(until=50)
+        assert env.now == 50
+
+    def test_failed_event_nobody_waits_on_is_raised_at_run_end(self):
+        env = Environment()
+
+        def failer(env):
+            yield env.timeout(1)
+            env.event().fail(ValueError("orphaned"))
+
+        env.process(failer(env))
+        with pytest.raises(ValueError, match="orphaned"):
+            env.run()
+
+    def test_event_value_before_trigger_raises(self):
+        env = Environment()
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+        with pytest.raises(SimulationError):
+            _ = event.ok
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")

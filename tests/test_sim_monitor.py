@@ -1,0 +1,90 @@
+"""Unit tests for simulation instrumentation."""
+
+import pytest
+
+from repro.sim import BusyMonitor, Counter, Environment, SimulationError, TimeSeries
+
+
+def test_busy_monitor_tracks_single_interval():
+    env = Environment()
+    monitor = BusyMonitor(env, "srv")
+
+    def worker(env):
+        yield env.timeout(5)
+        monitor.acquire()
+        yield env.timeout(10)
+        monitor.release()
+        yield env.timeout(5)
+
+    env.process(worker(env))
+    env.run()
+    assert monitor.busy_time() == 10
+    assert monitor.utilization() == pytest.approx(0.5)
+
+
+def test_busy_monitor_overlapping_levels():
+    env = Environment()
+    monitor = BusyMonitor(env, "ring")
+
+    def holder(env, start, duration):
+        yield env.timeout(start)
+        monitor.acquire()
+        yield env.timeout(duration)
+        monitor.release()
+
+    env.process(holder(env, 0, 10))
+    env.process(holder(env, 5, 10))
+    env.run()
+    # Busy from 0 to 15; level 2 from 5 to 10.
+    assert monitor.busy_time() == 15
+    assert monitor.level_time_integral() == 10 + 10
+
+
+def test_busy_monitor_release_while_idle_raises():
+    env = Environment()
+    monitor = BusyMonitor(env)
+    with pytest.raises(SimulationError):
+        monitor.release()
+
+
+def test_busy_monitor_utilization_zero_elapsed():
+    env = Environment()
+    monitor = BusyMonitor(env)
+    assert monitor.utilization() == 0.0
+
+
+def test_time_series_records_and_reduces():
+    env = Environment()
+    series = TimeSeries(env, "depth")
+
+    def sampler(env):
+        for value in (1.0, 3.0, 2.0):
+            yield env.timeout(1)
+            series.record(value)
+
+    env.process(sampler(env))
+    env.run()
+    assert len(series) == 3
+    assert series.values() == [1.0, 3.0, 2.0]
+    assert series.mean() == pytest.approx(2.0)
+    assert series.max() == 3.0
+    assert series.samples[0] == (1, 1.0)
+
+
+def test_time_series_empty_reduction_raises():
+    env = Environment()
+    series = TimeSeries(env)
+    with pytest.raises(SimulationError):
+        series.mean()
+    with pytest.raises(SimulationError):
+        series.max()
+
+
+def test_counter_increments_and_rejects_negative():
+    counter = Counter("grants")
+    counter.increment()
+    counter.increment(by=4)
+    assert int(counter) == 5
+    with pytest.raises(ValueError):
+        counter.increment(by=-1)
+    assert "grants" in repr(counter)

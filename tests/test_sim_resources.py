@@ -1,0 +1,186 @@
+"""Unit tests for Resource, Store and Container."""
+
+import pytest
+
+from repro.sim import Container, Environment, Resource, SimulationError, Store
+
+
+def test_resource_grants_up_to_capacity_immediately():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    r1 = res.request()
+    r2 = res.request()
+    r3 = res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.count == 2
+
+
+def test_resource_fifo_handoff():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, name, hold):
+        req = res.request()
+        yield req
+        order.append((env.now, name, "in"))
+        yield env.timeout(hold)
+        res.release(req)
+        order.append((env.now, name, "out"))
+
+    env.process(user(env, "a", 10))
+    env.process(user(env, "b", 5))
+    env.process(user(env, "c", 1))
+    env.run()
+    assert order == [
+        (0, "a", "in"),
+        (10, "a", "out"),
+        (10, "b", "in"),
+        (15, "b", "out"),
+        (15, "c", "in"),
+        (16, "c", "out"),
+    ]
+
+
+def test_release_unheld_request_raises():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    held = res.request()
+    queued = res.request()
+    with pytest.raises(SimulationError):
+        res.release(queued)
+    res.release(held)
+    assert queued.triggered
+
+
+def test_resource_cancel_queued_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    held = res.request()
+    queued = res.request()
+    res.cancel(queued)
+    res.release(held)
+    assert not queued.triggered
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_store_put_get_fifo_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        for i in range(3):
+            yield env.timeout(1)
+            yield store.put(i)
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield store.get()
+            got.append((env.now, item))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == [(1, 0), (2, 1), (3, 2)]
+
+
+def test_store_capacity_blocks_putter():
+    env = Environment()
+    store = Store(env, capacity=1)
+    log = []
+
+    def producer(env):
+        yield store.put("a")
+        log.append(("a put", env.now))
+        yield store.put("b")
+        log.append(("b put", env.now))
+
+    def consumer(env):
+        yield env.timeout(10)
+        item = yield store.get()
+        log.append((f"got {item}", env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert ("a put", 0) in log
+    assert ("b put", 10) in log
+
+
+def test_store_get_blocks_until_item_available():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(42)
+        yield store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [(42, "late")]
+
+
+def test_container_get_blocks_until_level_sufficient():
+    env = Environment()
+    tank = Container(env, capacity=100, init=0)
+    log = []
+
+    def filler(env):
+        for _ in range(4):
+            yield env.timeout(5)
+            yield tank.put(10)
+
+    def drainer(env):
+        yield tank.get(30)
+        log.append(env.now)
+
+    env.process(filler(env))
+    env.process(drainer(env))
+    env.run()
+    assert log == [15]
+    assert tank.level == 10
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    tank = Container(env, capacity=10, init=10)
+    log = []
+
+    def putter(env):
+        yield tank.put(5)
+        log.append(env.now)
+
+    def getter(env):
+        yield env.timeout(7)
+        yield tank.get(6)
+
+    env.process(putter(env))
+    env.process(getter(env))
+    env.run()
+    assert log == [7]
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=9)
+    tank = Container(env, capacity=5)
+    with pytest.raises(ValueError):
+        tank.get(0)
+    with pytest.raises(ValueError):
+        tank.put(-1)

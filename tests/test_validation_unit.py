@@ -1,0 +1,122 @@
+"""Unit tests for the validation layer using synthetic results.
+
+The paper-shape integration tests exercise validation against real
+simulations; these tests pin down the *checking logic itself* with
+hand-built tables, including the failure paths a healthy run never hits.
+"""
+
+import pytest
+
+from repro.core.experiment import ExperimentResult
+from repro.core.report import format_series_chart
+from repro.core.results import BandwidthSample, BandwidthStats, SweepTable
+from repro.core import validation
+from repro.core.spe_pairs import SYNC_AFTER_ALL
+
+
+def stats(*values):
+    return BandwidthStats.from_samples(
+        [BandwidthSample(gbps=v, nbytes=1024, cycles=10) for v in values]
+    )
+
+
+def memory_result(one=10.0, two=20.0, four=21.0, eight=19.0, copy_scale=1.1):
+    result = ExperimentResult(name="synthetic-fig8", description="")
+    for direction, factor in (("get", 1.0), ("put", 1.0), ("copy", copy_scale)):
+        table = SweepTable(name=direction, axes=("n_spes", "element_bytes"))
+        for n, value in ((1, one), (2, two), (4, four), (8, eight)):
+            scaled = value * factor if n > 1 else value
+            table.put((n, 16384), stats(scaled))
+        result.tables[direction] = table
+    return result
+
+
+class TestCheckSpeMemory:
+    def test_healthy_run_passes(self):
+        checks = validation.check_spe_memory(memory_result())
+        assert all(check.passed for check in checks)
+
+    def test_missing_drop_at_8_fails(self):
+        checks = validation.check_spe_memory(memory_result(eight=25.0))
+        failed = {check.claim_id for check in checks if not check.passed}
+        assert "fig8-drop-at-8" in failed
+
+    def test_single_spe_too_fast_fails(self):
+        checks = validation.check_spe_memory(memory_result(one=16.0))
+        failed = {check.claim_id for check in checks if not check.passed}
+        assert "fig8-one-spe" in failed
+
+
+class TestCheckPairSync:
+    def build(self, delayed_16k=31.0, delayed_1k=30.0, delayed_512=15.0,
+              eager_4k=25.0, delayed_4k=31.0):
+        result = ExperimentResult(name="synthetic-fig10", description="")
+        table = SweepTable(name="sync", axes=("sync_every", "element_bytes"))
+        table.put((SYNC_AFTER_ALL, 16384), stats(delayed_16k))
+        table.put((SYNC_AFTER_ALL, 1024), stats(delayed_1k))
+        table.put((SYNC_AFTER_ALL, 512), stats(delayed_512))
+        table.put((SYNC_AFTER_ALL, 4096), stats(delayed_4k))
+        table.put((1, 4096), stats(eager_4k))
+        result.tables["sync"] = table
+        return result
+
+    def test_healthy_run_passes(self):
+        checks = validation.check_pair_sync(self.build())
+        assert all(check.passed for check in checks)
+
+    def test_no_sync_benefit_fails(self):
+        checks = validation.check_pair_sync(self.build(eager_4k=31.0))
+        failed = {check.claim_id for check in checks if not check.passed}
+        assert "fig10-sync-costs" in failed
+
+    def test_no_small_element_degradation_fails(self):
+        checks = validation.check_pair_sync(self.build(delayed_512=30.0))
+        failed = {check.claim_id for check in checks if not check.passed}
+        assert "fig10-degraded-512" in failed
+
+
+class TestClaimCheckRendering:
+    def test_str_marks_pass_and_fail(self):
+        passing = validation.ClaimCheck(
+            claim_id="a", description="d", observed=1.0,
+            expected_low=0.0, expected_high=2.0, passed=True,
+        )
+        failing = validation.ClaimCheck(
+            claim_id="b", description="d", observed=5.0,
+            expected_low=0.0, expected_high=2.0, passed=False,
+        )
+        assert "[ok ]" in str(passing)
+        assert "[FAIL]" in str(failing)
+        summary = validation.summarize([passing, failing])
+        assert "1/2 claims reproduced" in summary
+
+
+class TestSeriesChart:
+    def test_chart_renders_bars_and_scale(self):
+        table = SweepTable(name="demo", axes=("n_spes", "element_bytes"))
+        for element, value in ((128, 5.0), (16384, 30.0)):
+            table.put((2, element), stats(value))
+        chart = format_series_chart(
+            table,
+            axis="element_bytes",
+            series_fixed=[("2 SPEs", {"n_spes": 2})],
+            peak=33.6,
+            width=30,
+        )
+        assert "full bar = 33.6" in chart
+        assert "#" in chart
+        # The 16 KiB bar is much longer than the 128 B bar.
+        lines = [line for line in chart.splitlines() if "|" in line]
+        assert lines[1].count("#") > 4 * lines[0].count("#")
+
+    def test_chart_validates_inputs(self):
+        table = SweepTable(name="demo", axes=("n_spes",))
+        table.put((2,), stats(5.0))
+        with pytest.raises(ValueError):
+            format_series_chart(
+                table, axis="n_spes", series_fixed=[("x", {})], peak=0.0
+            )
+        with pytest.raises(ValueError):
+            format_series_chart(
+                table, axis="n_spes", series_fixed=[("x", {"n_spes": 99})]
+            )
