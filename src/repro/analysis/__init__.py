@@ -13,6 +13,9 @@
 * :mod:`repro.analysis.affinity` — the SPE-affinity planner the paper's
   conclusion asks libspe for: search the placement space for a layout
   that minimises ring contention, then verify it on the simulator.
+* :mod:`repro.analysis.saturation` — turns a trace stream
+  (:mod:`repro.sim.trace`) into quantified claims about which chip
+  mechanism (ring conflicts, bank turnaround, MFC queue) bound a run.
 """
 
 from repro.analysis.ablation import AblationStudy, AblationPoint
@@ -23,6 +26,11 @@ from repro.analysis.affinity import (
     plan_mapping,
 )
 from repro.analysis.guidelines import Guideline, GuidelineAdvisor
+from repro.analysis.saturation import (
+    SaturationClaim,
+    SaturationReport,
+    flow_bandwidth_table,
+)
 from repro.analysis.stats import (
     crossover,
     efficiency,
@@ -37,10 +45,13 @@ __all__ = [
     "CommunicationPattern",
     "Guideline",
     "GuidelineAdvisor",
+    "SaturationClaim",
+    "SaturationReport",
     "StreamingComparison",
     "StreamingResult",
     "crossover",
     "efficiency",
+    "flow_bandwidth_table",
     "mapping_cost",
     "measure_mapping",
     "plan_mapping",

@@ -30,7 +30,11 @@ class CellChip:
         config: Optional[CellConfig] = None,
         mapping: Optional[SpeMapping] = None,
         topology: Optional[RingTopology] = None,
+        trace=None,
     ):
+        """``trace`` is an optional :class:`repro.sim.TraceRecorder`;
+        when given, every model on the chip emits structured records
+        into it (see :mod:`repro.sim.trace`)."""
         self.config = config or CellConfig.paper_blade()
         self.topology = topology or RingTopology()
         self.mapping = mapping or SpeMapping.identity(self.config.n_spes)
@@ -45,7 +49,8 @@ class CellChip:
                 f"topology has {len(physical_spes)} SPE positions, config "
                 f"needs {self.config.n_spes}"
             )
-        self.env = Environment()
+        self.env = Environment(trace=trace)
+        self.trace = self.env.trace
         self.eib = Eib(self.env, self.topology, self.config)
         self.memory = MemorySystem(self.env, self.config)
         self.spes: List[Spe] = [

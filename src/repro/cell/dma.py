@@ -195,7 +195,12 @@ class DmaList:
 
 def legal_command_sizes(nbytes: int) -> List[int]:
     """Split an arbitrary byte count into legal single-command sizes:
-    16 KiB pieces plus a quadword-aligned remainder (minimum 16 B)."""
+    16 KiB pieces plus a quadword-aligned remainder.
+
+    The sub-quadword tail is dropped (never over-covered), except that a
+    request below one quadword rounds up to the 16 B minimum so the
+    result is never empty.
+    """
     if nbytes <= 0:
         raise DmaSizeError(f"cannot split {nbytes} bytes")
     sizes: List[int] = []
@@ -203,8 +208,11 @@ def legal_command_sizes(nbytes: int) -> List[int]:
     while remaining >= MAX_TRANSFER_BYTES:
         sizes.append(MAX_TRANSFER_BYTES)
         remaining -= MAX_TRANSFER_BYTES
-    if remaining > 0:
-        sizes.append(max(16, (remaining // 16) * 16))
+    tail = (remaining // 16) * 16
+    if tail:
+        sizes.append(tail)
+    elif not sizes:
+        sizes.append(16)
     return sizes
 
 

@@ -29,6 +29,7 @@ from repro.cell.config import CellConfig
 from repro.cell.errors import ConfigError
 from repro.cell.topology import CLOCKWISE, COUNTERCLOCKWISE, RingTopology
 from repro.sim import BusyMonitor, Environment, Event
+from repro.sim.trace import EibGrant, EibRelease, EibTransfer, EibWait
 
 #: Extra CPU cycles of pipeline latency per hop travelled.
 HOP_LATENCY_CYCLES = 2
@@ -48,6 +49,7 @@ class TransferGrant:
     src: str
     dst: str
     penalty_cycles: int = 0
+    committed_at: int = 0
 
 
 class Ring:
@@ -109,6 +111,8 @@ class Eib:
         self.wait_cycles = 0
         self.bytes_moved = 0
         self.ring_monitors = {ring.name: BusyMonitor(env, ring.name) for ring in self.rings}
+        self._trace = env.trace
+        self._tracing = env.trace.enabled
 
     # -- public API --------------------------------------------------------------
 
@@ -137,9 +141,13 @@ class Eib:
                 + math.ceil(chunk / rate)
             )
             yield self.env.timeout(duration)
-            self._release(grant)
+            self._release(grant, chunk)
             remaining -= chunk
         self.bytes_moved += nbytes
+        if self._tracing:
+            self._trace.emit(
+                EibTransfer(ts=self.env.now, src=src, dst=dst, nbytes=nbytes)
+            )
 
     def utilization(self) -> Dict[str, float]:
         """Busy fraction of each ring over the run so far."""
@@ -160,7 +168,7 @@ class Eib:
     def _acquire(self, src: str, dst: str) -> Generator[Event, object, TransferGrant]:
         grant = self._try_grant(src, dst)
         if grant is not None:
-            self._commit(grant)
+            self._commit(grant, immediate=True)
             self.grants += 1
             return grant
         self.grants += 1
@@ -169,7 +177,12 @@ class Eib:
         self._waiters.append((waiting, src, dst))
         started = self.env.now
         grant = yield waiting
-        self.wait_cycles += self.env.now - started
+        waited = self.env.now - started
+        self.wait_cycles += waited
+        if self._tracing:
+            self._trace.emit(
+                EibWait(ts=self.env.now, src=src, dst=dst, cycles=waited)
+            )
         return grant
 
     def _span_set(self, src: str, dst: str, direction: int) -> frozenset:
@@ -196,17 +209,40 @@ class Eib:
                     )
         return None
 
-    def _commit(self, grant: TransferGrant) -> None:
+    def _commit(self, grant: TransferGrant, immediate: bool) -> None:
         grant.ring.add(grant.span_set)
         self._out_busy[grant.src] = True
         self._in_busy[grant.dst] = True
         self.ring_monitors[grant.ring.name].acquire()
+        if self._tracing:
+            grant.committed_at = self.env.now
+            self._trace.emit(
+                EibGrant(
+                    ts=self.env.now,
+                    src=grant.src,
+                    dst=grant.dst,
+                    ring=grant.ring.name,
+                    spans=tuple(grant.spans),
+                    immediate=immediate,
+                )
+            )
 
-    def _release(self, grant: TransferGrant) -> None:
+    def _release(self, grant: TransferGrant, nbytes: int = 0) -> None:
         grant.ring.remove(grant.span_set)
         self._out_busy[grant.src] = False
         self._in_busy[grant.dst] = False
         self.ring_monitors[grant.ring.name].release()
+        if self._tracing:
+            self._trace.emit(
+                EibRelease(
+                    ts=self.env.now,
+                    src=grant.src,
+                    dst=grant.dst,
+                    ring=grant.ring.name,
+                    nbytes=nbytes,
+                    start=grant.committed_at,
+                )
+            )
         self._drain_waiters()
 
     def _drain_waiters(self) -> None:
@@ -222,7 +258,7 @@ class Eib:
             if grant is None:
                 still_waiting.append((event, src, dst))
             else:
-                self._commit(grant)
+                self._commit(grant, immediate=False)
                 granted.append((event, grant))
         self._waiters = still_waiting
         for event, grant in granted:

@@ -31,7 +31,8 @@ from typing import Deque, Dict, Optional
 
 from repro.cell.config import CellConfig
 from repro.cell.errors import ConfigError
-from repro.sim import BusyMonitor, Environment, Event, Store
+from repro.sim import BusyMonitor, Environment, Event
+from repro.sim.trace import BankActivate, BankTurnaround
 
 #: Direction labels for bank accounting.
 READ = "read"
@@ -121,6 +122,8 @@ class MemoryBank:
 
     def _serve(self):
         memcfg = self.config.memory
+        trace = self.env.trace
+        tracing = trace.enabled
         while True:
             if not self._pending:
                 self._wakeup = self.env.event()
@@ -133,8 +136,10 @@ class MemoryBank:
                 # Read/write alternation overlaps part of the service.
                 transfer = math.ceil(transfer * (1.0 - memcfg.duplex_overlap_fraction))
             overhead = 0
+            turnaround_reason = None
             if request.requester == self._prev_requester:
                 overhead = round(memcfg.same_requester_turnaround_fraction * transfer)
+                turnaround_reason = "same-requester"
             elif self._prev_requester is not None:
                 spread = len(set(self._recent))
                 fraction = memcfg.requester_switch_fraction * (
@@ -143,6 +148,29 @@ class MemoryBank:
                     * max(0, spread - memcfg.requester_spread_threshold)
                 )
                 overhead = round(fraction * transfer)
+                turnaround_reason = "switch"
+            if tracing:
+                trace.emit(
+                    BankActivate(
+                        ts=self.env.now,
+                        bank=self.name,
+                        requester=request.requester,
+                        direction=request.direction,
+                        nbytes=request.nbytes,
+                        service_cycles=transfer,
+                        overhead_cycles=overhead,
+                    )
+                )
+                if overhead and turnaround_reason:
+                    trace.emit(
+                        BankTurnaround(
+                            ts=self.env.now,
+                            bank=self.name,
+                            requester=request.requester,
+                            cycles=overhead,
+                            reason=turnaround_reason,
+                        )
+                    )
             self.monitor.acquire()
             yield self.env.timeout(transfer + overhead)
             self.monitor.release()

@@ -34,6 +34,7 @@ from repro.cell.dma import (
 )
 from repro.cell.errors import CellError
 from repro.sim import AllOf, Environment, Event, Resource
+from repro.sim.trace import MfcComplete, MfcEnqueue, MfcIssue
 
 
 class Mfc:
@@ -59,6 +60,10 @@ class Mfc:
         self._memory_path_free_at = 0
         self.commands_completed = 0
         self.bytes_transferred = 0
+        # Monotonic command id for the trace stream (deterministic).
+        self._cmd_seq = 0
+        self._trace = env.trace
+        self._tracing = env.trace.enabled
 
     # -- SPU-facing API ----------------------------------------------------------
 
@@ -75,12 +80,19 @@ class Mfc:
         yield slot
         ordering = self._ordering_threshold(command)
         self._register_enqueue(command)
+        cmd_id = (
+            self._trace_enqueue(command, self._slots)
+            if self._tracing
+            else 0
+        )
         if isinstance(command, DmaCommand):
             self.env.process(
-                self._execute_command(command, slot, self._slots, ordering)
+                self._execute_command(
+                    command, slot, self._slots, ordering, cmd_id, self.env.now
+                )
             )
         else:
-            self.env.process(self._execute_list(command, slot))
+            self.env.process(self._execute_list(command, slot, cmd_id, self.env.now))
 
     def proxy_enqueue(self, command: DmaCommand) -> Event:
         """PPE-initiated (proxy) DMA through the MFC's MMIO registers.
@@ -100,10 +112,34 @@ class Mfc:
         yield slot
         ordering = self._ordering_threshold(command)
         self._register_enqueue(command)
+        cmd_id = (
+            self._trace_enqueue(command, self._proxy_slots)
+            if self._tracing
+            else 0
+        )
         yield self.env.process(
-            self._execute_command(command, slot, self._proxy_slots, ordering)
+            self._execute_command(
+                command, slot, self._proxy_slots, ordering, cmd_id, self.env.now
+            )
         )
         done.succeed()
+
+    def _trace_enqueue(self, command, slots: Resource) -> int:
+        """Assign the command's trace id and record its enqueue.
+        Only called when a recorder is attached."""
+        self._cmd_seq += 1
+        self._trace.emit(
+            MfcEnqueue(
+                ts=self.env.now,
+                node=self.node,
+                cmd_id=self._cmd_seq,
+                tag=command.tag,
+                nbytes=command.size,
+                is_list=isinstance(command, DmaList),
+                queue_depth=slots.count,
+            )
+        )
+        return self._cmd_seq
 
     def outstanding(self, tag: int) -> int:
         """Commands of a tag group still in flight."""
@@ -165,8 +201,21 @@ class Mfc:
         slot,
         slots: Resource,
         ordering: Optional[Tuple[Optional[int], int]] = None,
+        cmd_id: int = 0,
+        enqueued_at: int = 0,
     ):
         yield from self._wait_ordering(ordering)
+        issued_at = self.env.now
+        if self._tracing:
+            self._trace.emit(
+                MfcIssue(
+                    ts=issued_at,
+                    node=self.node,
+                    cmd_id=cmd_id,
+                    tag=command.tag,
+                    nbytes=command.size,
+                )
+            )
         yield from self._move(
             direction=command.direction,
             target=command.target,
@@ -175,8 +224,21 @@ class Mfc:
         )
         yield self.env.timeout(self.config.mfc.completion_cycles)
         self._finish(command, slot, slots)
+        if self._tracing:
+            self._trace.emit(
+                MfcComplete(
+                    ts=self.env.now,
+                    node=self.node,
+                    cmd_id=cmd_id,
+                    tag=command.tag,
+                    nbytes=command.size,
+                    enqueued_at=enqueued_at,
+                    issued_at=issued_at,
+                )
+            )
 
-    def _execute_list(self, dma_list: DmaList, slot):
+    def _execute_list(self, dma_list: DmaList, slot, cmd_id: int = 0,
+                      enqueued_at: int = 0):
         """Stream the list's elements.
 
         The MFC fetches list elements back-to-back and feeds the bus a
@@ -188,6 +250,17 @@ class Mfc:
         buffering.
         """
         inflight = Resource(self.env, capacity=self.config.mfc.list_inflight_limit)
+        issued_at = self.env.now
+        if self._tracing:
+            self._trace.emit(
+                MfcIssue(
+                    ts=issued_at,
+                    node=self.node,
+                    cmd_id=cmd_id,
+                    tag=dma_list.tag,
+                    nbytes=dma_list.size,
+                )
+            )
         pending: List[Event] = []
         for n_elements, nbytes in self._list_bursts(dma_list.elements):
             yield self.env.timeout(self.config.mfc.list_element_cycles * n_elements)
@@ -202,6 +275,18 @@ class Mfc:
             yield AllOf(self.env, pending)
         yield self.env.timeout(self.config.mfc.completion_cycles)
         self._finish(dma_list, slot, self._slots)
+        if self._tracing:
+            self._trace.emit(
+                MfcComplete(
+                    ts=self.env.now,
+                    node=self.node,
+                    cmd_id=cmd_id,
+                    tag=dma_list.tag,
+                    nbytes=dma_list.size,
+                    enqueued_at=enqueued_at,
+                    issued_at=issued_at,
+                )
+            )
 
     def _list_bursts(self, elements) -> List[Tuple[int, int]]:
         """Coalesce consecutive list elements into (count, bytes) bursts

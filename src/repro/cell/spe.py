@@ -10,7 +10,6 @@ quadword LS reads with a mask/merge (loads) or a read-modify-write
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.cell.config import CellConfig
 from repro.cell.errors import ConfigError

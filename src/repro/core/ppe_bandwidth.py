@@ -10,7 +10,7 @@ here.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence
 
 from repro.cell.caches import ELEMENT_SIZES, LEVELS, OPS
 from repro.cell.chip import CellChip

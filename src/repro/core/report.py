@@ -9,10 +9,10 @@ whole experiment; ``to_csv`` exports for plotting.
 from __future__ import annotations
 
 import io
-from typing import Iterable, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.experiment import ExperimentResult
-from repro.core.results import BandwidthStats, SweepTable
+from repro.core.results import SweepTable
 
 
 def _axis_label(value) -> str:

@@ -9,7 +9,7 @@ matrix product, and a streaming (STREAM-triad) benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 from repro.cell.errors import ConfigError

@@ -21,7 +21,7 @@ synchronisation sequence.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.cell.chip import CellChip
 from repro.cell.dma import DmaCommand, DmaDirection, DmaList, TargetKind

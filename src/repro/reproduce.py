@@ -8,6 +8,12 @@ directory::
     python -m repro.reproduce --quick         # smoke sweep (~30 s)
     python -m repro.reproduce --paper-scale   # the paper's full protocol
     python -m repro.reproduce --outdir /tmp/cell
+    python -m repro.reproduce --quick --trace out.json   # + chip trace
+
+``--trace PATH`` additionally runs a traced showcase workload (memory
+streams plus SPE couples) and writes a Chrome trace-event JSON loadable
+in Perfetto / ``chrome://tracing``; summarise it afterwards with
+``python -m repro.trace_report PATH``.
 
 Exit status is non-zero if any paper claim fails to reproduce.
 """
@@ -47,6 +53,12 @@ def parse_args(argv=None) -> argparse.Namespace:
         prog="python -m repro.reproduce", description=__doc__
     )
     parser.add_argument("--outdir", default="repro-out")
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace-event JSON of a traced showcase run",
+    )
     scale = parser.add_mutually_exclusive_group()
     scale.add_argument("--quick", action="store_true")
     scale.add_argument("--paper-scale", action="store_true")
@@ -162,13 +174,72 @@ def run_all(preset: str, outdir: str) -> List[validation.ClaimCheck]:
     return checks
 
 
+def run_traced(preset: str, path: str, seed: int = 1000) -> bool:
+    """Run the traced showcase workload and write a Chrome trace to
+    ``path``.  Returns True when the trace stream reproduces the live
+    EIB counters exactly (it must, for a completed run)."""
+    from repro.cell.chip import CellChip
+    from repro.cell.topology import SpeMapping
+    from repro.core.kernels import DmaWorkload, dma_stream_kernel
+    from repro.libspe import SpeContext
+    from repro.sim import TraceRecorder, TraceSummary, write_chrome_trace
+
+    sizes, _repetitions, volume = PRESETS[preset]
+    element_bytes = max(sizes)
+    n_elements = max(32, min(256, volume // element_bytes))
+    recorder = TraceRecorder()
+    chip = CellChip(mapping=SpeMapping.random(seed, 8), trace=recorder)
+    # Memory streams on SPEs 0-3 (bank + MFC records), couples on
+    # 4/5 and 6/7 (ring-conflict records): every record type fires.
+    for logical in range(4):
+        out: Dict = {}
+        workload = DmaWorkload(
+            direction="get", element_bytes=element_bytes, n_elements=n_elements
+        )
+        SpeContext(chip, logical).load(dma_stream_kernel, workload, out, None)
+    for a, b in ((4, 5), (6, 7)):
+        out = {}
+        workload = DmaWorkload(
+            direction="copy",
+            element_bytes=element_bytes,
+            n_elements=n_elements,
+            partner_logical=b,
+        )
+        SpeContext(chip, a).load(dma_stream_kernel, workload, out, chip.spe(b))
+    chip.run()
+    counters = TraceSummary(recorder.records).counters()
+    live = {
+        "grants": chip.eib.grants,
+        "conflicts": chip.eib.conflicts,
+        "wait_cycles": chip.eib.wait_cycles,
+        "bytes_moved": chip.eib.bytes_moved,
+    }
+    write_chrome_trace(
+        path,
+        recorder.records,
+        cpu_hz=chip.config.clock.cpu_hz,
+        metadata={"counters": live, "seed": seed, "preset": preset},
+    )
+    print(
+        f"wrote {path} ({len(recorder.records)} records; "
+        f"read it with python -m repro.trace_report {path})"
+    )
+    if counters != live:
+        print(f"trace/live counter mismatch: {counters} vs {live}")
+        return False
+    return True
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
     preset = "quick" if args.quick else "paper" if args.paper_scale else "default"
     checks = run_all(preset, args.outdir)
+    trace_ok = True
+    if args.trace:
+        trace_ok = run_traced(preset, args.trace)
     print()
     print(validation.summarize(checks))
-    return 0 if all(check.passed for check in checks) else 1
+    return 0 if all(check.passed for check in checks) and trace_ok else 1
 
 
 if __name__ == "__main__":

@@ -33,6 +33,16 @@ from repro.sim.core import (
 )
 from repro.sim.resources import Container, Resource, Store
 from repro.sim.monitor import BusyMonitor, Counter, TimeSeries
+from repro.sim.trace import (
+    NULL_TRACE,
+    NullTraceRecorder,
+    TraceRecorder,
+    TraceSummary,
+    read_chrome_trace,
+    records_from_chrome,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 
 __all__ = [
     "AllOf",
@@ -43,10 +53,18 @@ __all__ = [
     "Environment",
     "Event",
     "Interrupt",
+    "NULL_TRACE",
+    "NullTraceRecorder",
     "Process",
     "Resource",
     "SimulationError",
     "Store",
     "TimeSeries",
     "Timeout",
+    "TraceRecorder",
+    "TraceSummary",
+    "read_chrome_trace",
+    "records_from_chrome",
+    "to_chrome_trace",
+    "write_chrome_trace",
 ]

@@ -11,6 +11,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from repro.sim.trace import NULL_TRACE, ProcessResume, ProcessTerminate
+
 
 class SimulationError(RuntimeError):
     """Raised for illegal kernel operations (double trigger, bad yield...)."""
@@ -129,12 +131,24 @@ class Process(Event):
     value (or the event's exception is thrown into it).
     """
 
+    # Trace identity; only computed when a recorder is attached (the
+    # class-level defaults keep attribute access safe untraced).
+    proc_id = 0
+    name = ""
+
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"process() needs a generator, got {generator!r}")
         super().__init__(env)
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        trace = env.trace
+        self._trace = trace
+        self._tracing = trace.enabled
+        if trace.enabled:
+            env._proc_count += 1
+            self.proc_id = env._proc_count
+            self.name = getattr(generator, "__name__", type(generator).__name__)
         # Kick the process off at the current time.
         start = Event(env)
         start._ok = True
@@ -166,6 +180,10 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
         self.env._active_process = self
+        if self._tracing:
+            self._trace.emit(
+                ProcessResume(ts=self.env.now, proc_id=self.proc_id, name=self.name)
+            )
         try:
             if event._ok:
                 target = self._generator.send(event._value)
@@ -174,10 +192,22 @@ class Process(Event):
                 target = self._generator.throw(event._value)
         except StopIteration as stop:
             self.env._active_process = None
+            if self._tracing:
+                self._trace.emit(
+                    ProcessTerminate(
+                        ts=self.env.now, proc_id=self.proc_id, name=self.name, ok=True
+                    )
+                )
             self.succeed(stop.value)
             return
         except BaseException as exc:
             self.env._active_process = None
+            if self._tracing:
+                self._trace.emit(
+                    ProcessTerminate(
+                        ts=self.env.now, proc_id=self.proc_id, name=self.name, ok=False
+                    )
+                )
             self.fail(exc)
             return
         self.env._active_process = None
@@ -187,7 +217,11 @@ class Process(Event):
                 f"process yielded {target!r}; processes may only yield Events"
             )
         if target.triggered:
-            # Already done: resume immediately (at the current time).
+            # Already done: resume immediately (at the current time) via
+            # an internal relay event.  The relay is tracked in
+            # _waiting_on so interrupt() detaches it like any other wait
+            # target — otherwise the generator would be resumed twice,
+            # once with the Interrupt and once with the stale value.
             resume = Event(self.env)
             resume._ok = target._ok
             resume._value = target._value
@@ -195,6 +229,7 @@ class Process(Event):
                 target._defused = True
             resume.callbacks.append(self._resume)
             self.env._schedule(resume)
+            self._waiting_on = resume
         else:
             self._waiting_on = target
             target.callbacks.append(self._resume)
@@ -244,22 +279,39 @@ class AllOf(_Condition):
 
 
 class AnyOf(_Condition):
-    """Succeeds as soon as any component event succeeds."""
+    """Succeeds as soon as any component event succeeds.
+
+    An empty event list succeeds immediately with ``[]``, matching
+    ``AllOf([])`` — there is no component left to wait for.
+    """
 
     def _check(self, initial: bool) -> None:
-        if not self.triggered and any(
+        if self.triggered:
+            return
+        if not self._events or any(
             e.triggered and e._ok for e in self._events
         ):
             self.succeed(self._values())
 
 
 class Environment:
-    """The event loop.  ``now`` is the current integer simulation time."""
+    """The event loop.  ``now`` is the current integer simulation time.
 
-    def __init__(self, initial_time: int = 0):
+    ``trace`` is the tracing sink (:mod:`repro.sim.trace`): the shared
+    do-nothing :data:`~repro.sim.trace.NULL_TRACE` by default, or a
+    :class:`~repro.sim.trace.TraceRecorder` to capture a structured
+    record stream.  Models guard every emit with ``trace.enabled``, so a
+    run without a recorder pays nothing.  Attach the recorder at
+    construction time: processes and hardware models cache ``env.trace``
+    when they are built, so swapping it mid-run has no effect.
+    """
+
+    def __init__(self, initial_time: int = 0, trace=None):
         self.now = int(initial_time)
+        self.trace = NULL_TRACE if trace is None else trace
         self._queue: List = []
         self._sequence = 0
+        self._proc_count = 0
         self._active_process: Optional[Process] = None
         self._failed_events: List[Event] = []
 

@@ -135,6 +135,12 @@ class Container:
     def put(self, amount: float) -> Event:
         if amount <= 0:
             raise ValueError(f"put amount must be positive, got {amount}")
+        if amount > self.capacity:
+            # Could never fit even into an empty container: queuing it
+            # would deadlock the putter silently.
+            raise ValueError(
+                f"put of {amount} exceeds capacity {self.capacity}"
+            )
         event = Event(self.env)
         self._putters.append((event, amount))
         self._settle()
@@ -143,6 +149,12 @@ class Container:
     def get(self, amount: float) -> Event:
         if amount <= 0:
             raise ValueError(f"get amount must be positive, got {amount}")
+        if amount > self.capacity:
+            # Could never be satisfied even by a full container: queuing
+            # it would deadlock the getter silently.
+            raise ValueError(
+                f"get of {amount} exceeds capacity {self.capacity}"
+            )
         event = Event(self.env)
         self._getters.append((event, amount))
         self._settle()

@@ -1,0 +1,175 @@
+"""Summarise a recorded trace: per-ring, per-flow and per-bank tables.
+
+Reads a Chrome trace-event JSON file written by the simulator (see
+``python -m repro.reproduce --trace out.json`` or
+:func:`repro.sim.write_chrome_trace`), rebuilds the typed record stream,
+and prints:
+
+* the EIB counters recomputed from the stream (checked against the live
+  counters embedded in the file — exit status is non-zero on mismatch);
+* per-ring grants/conflicts/busy/bytes;
+* per-flow bytes and bandwidth over each flow's active window;
+* per-bank service/turnaround accounting and per-MFC queue statistics;
+* the saturation claims the trace supports
+  (:mod:`repro.analysis.saturation`).
+
+Usage::
+
+    python -m repro.trace_report out.json
+    python -m repro.trace_report out.json --interval 50000   # timeline bucket
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.saturation import SaturationReport, flow_bandwidth_table
+from repro.sim.trace import TraceSummary, read_chrome_trace
+
+#: Fallback clock when the trace carries no cpu_hz (the paper's blade).
+DEFAULT_CPU_HZ = 2.1e9
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace_report", description=__doc__
+    )
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--interval",
+        type=int,
+        default=None,
+        help="also print a bytes-per-interval flow timeline (cycles)",
+    )
+    return parser.parse_args(argv)
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [
+        max(len(str(header)), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(header).ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_report(
+    summary: TraceSummary,
+    cpu_hz: float,
+    recorded_counters: Optional[dict] = None,
+    interval: Optional[int] = None,
+) -> str:
+    """The full text report; pure function so tests can assert on it."""
+    sections: List[str] = []
+    counters = summary.counters()
+    lines = [f"{name:>12}: {value}" for name, value in counters.items()]
+    if recorded_counters:
+        match = all(
+            counters.get(name) == recorded_counters.get(name)
+            for name in ("grants", "conflicts", "wait_cycles", "bytes_moved")
+        )
+        verdict = (
+            "reproduced exactly from the trace stream"
+            if match
+            else f"MISMATCH vs live counters {recorded_counters}"
+        )
+        lines.append(f"{'':>12}  ({verdict})")
+    sections.append("== EIB counters ==\n" + "\n".join(lines))
+
+    ring_rows = [
+        [ring, row["grants"], row["conflicts"],
+         f"{row['conflicts'] / row['grants']:.1%}" if row["grants"] else "-",
+         row["busy_cycles"], row["bytes"]]
+        for ring, row in sorted(summary.per_ring().items())
+    ]
+    sections.append(
+        "== per ring ==\n"
+        + _table(["ring", "grants", "conflicts", "conflict%", "busy_cyc", "bytes"],
+                 ring_rows)
+    )
+
+    flow_rows = [
+        [src, dst, nbytes, f"{gbps:.2f}"]
+        for src, dst, nbytes, gbps in flow_bandwidth_table(summary, cpu_hz)
+    ]
+    sections.append(
+        "== per flow ==\n"
+        + _table(["src", "dst", "bytes", "GB/s"], flow_rows)
+    )
+
+    bank_rows = [
+        [bank, row["commands"], row["bytes"], row["busy_cycles"],
+         row["turnaround_cycles"]]
+        for bank, row in sorted(summary.bank_stats().items())
+    ]
+    if bank_rows:
+        sections.append(
+            "== memory banks ==\n"
+            + _table(["bank", "commands", "bytes", "busy_cyc", "turnaround_cyc"],
+                     bank_rows)
+        )
+
+    mfc_rows = [
+        [node, row["enqueued"], row["completed"], row["bytes"],
+         row["max_queue_depth"]]
+        for node, row in sorted(summary.mfc_stats().items())
+    ]
+    if mfc_rows:
+        sections.append(
+            "== MFC queues ==\n"
+            + _table(["node", "enqueued", "completed", "bytes", "max_depth"],
+                     mfc_rows)
+        )
+
+    if interval:
+        timeline_rows = []
+        for (src, dst), buckets in sorted(summary.flow_timeline(interval).items()):
+            for bucket, nbytes in buckets:
+                timeline_rows.append([f"{src}->{dst}", bucket, nbytes])
+        sections.append(
+            f"== flow timeline (bytes per {interval} cycles) ==\n"
+            + _table(["flow", "t", "bytes"], timeline_rows)
+        )
+
+    sections.append(
+        "== saturation claims ==\n"
+        + SaturationReport.from_summary(summary).render()
+    )
+    return "\n\n".join(sections)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    records, metadata = read_chrome_trace(args.trace)
+    summary = TraceSummary(records)
+    cpu_hz = metadata.get("cpu_hz") or DEFAULT_CPU_HZ
+    recorded = metadata.get("counters")
+    print(
+        f"{args.trace}: {len(records)} records over "
+        f"{summary.duration} cycles"
+    )
+    print()
+    print(render_report(summary, cpu_hz, recorded, args.interval))
+    if recorded:
+        counters = summary.counters()
+        if any(
+            counters.get(name) != recorded.get(name)
+            for name in ("grants", "conflicts", "wait_cycles", "bytes_moved")
+        ):
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

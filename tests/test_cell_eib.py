@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.cell import CellChip, CellConfig, ConfigError
+from repro.cell import CellChip, ConfigError
 from repro.cell.eib import HOP_LATENCY_CYCLES, Ring
 from repro.cell.topology import CLOCKWISE, SpeMapping
 

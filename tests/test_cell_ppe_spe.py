@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cell import CellChip, CellConfig, ConfigError, SpeMapping
+from repro.cell import CellChip, ConfigError, SpeMapping
 from repro.cell.caches import CacheHierarchy
 from repro.cell.topology import RingTopology
 

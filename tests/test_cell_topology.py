@@ -6,7 +6,6 @@ from repro.cell import ConfigError, RingTopology, SpeMapping
 from repro.cell.topology import (
     CLOCKWISE,
     COUNTERCLOCKWISE,
-    DEFAULT_RING_ORDER,
 )
 
 

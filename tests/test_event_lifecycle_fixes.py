@@ -1,0 +1,190 @@
+"""Regression tests for DES-kernel event-lifecycle bugs.
+
+Three silent-corruption bugs fixed together with the tracing subsystem:
+
+* ``AnyOf([])`` deadlocked the yielding process instead of succeeding
+  immediately (``AllOf([])`` already succeeded immediately);
+* interrupting a process that yielded an *already-triggered* event
+  resumed its generator twice — once with the Interrupt and once with
+  the stale value — because the internal relay event was not tracked in
+  ``_waiting_on``;
+* a ``Container`` get/put larger than the capacity queued forever.
+"""
+
+import pytest
+
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    Container,
+    Environment,
+    Interrupt,
+)
+
+
+class TestEmptyConditions:
+    def test_any_of_empty_succeeds_immediately(self):
+        env = Environment()
+        condition = env.any_of([])
+        assert condition.triggered
+        assert condition.ok
+        assert condition.value == []
+
+    def test_all_of_empty_still_succeeds_immediately(self):
+        env = Environment()
+        condition = env.all_of([])
+        assert condition.triggered
+        assert condition.value == []
+
+    def test_process_yielding_empty_any_of_resumes_at_current_time(self):
+        env = Environment()
+        log = []
+
+        def proc(env):
+            yield env.timeout(7)
+            values = yield env.any_of([])
+            log.append((env.now, values))
+
+        env.process(proc(env))
+        env.run()
+        assert log == [(7, [])]
+
+    def test_empty_any_of_matches_empty_all_of(self):
+        env = Environment()
+        assert env.any_of([]).value == env.all_of([]).value == []
+
+    def test_non_empty_any_of_unchanged(self):
+        env = Environment()
+        results = []
+
+        def proc(env):
+            values = yield AnyOf(env, [env.timeout(5, value="v")])
+            results.append((env.now, values))
+
+        env.process(proc(env))
+        env.run()
+        assert results == [(5, ["v"])]
+
+
+class TestInterruptPretriggeredEvent:
+    def test_exactly_one_interrupt_no_stale_resume(self):
+        """Interrupting a process waiting on an already-triggered event
+        must deliver exactly one Interrupt — the stale value of the
+        original event must never be sent into the generator."""
+        env = Environment()
+        log = []
+
+        def victim(env):
+            event = env.event()
+            event.succeed("stale")
+            try:
+                yield event
+                log.append("resumed with stale value")
+            except Interrupt as interrupt:
+                log.append(("interrupted", interrupt.cause, env.now))
+            yield env.timeout(5)
+            log.append(("done", env.now))
+
+        def interrupter(env, proc):
+            proc.interrupt("wake")
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        proc = env.process(victim(env))
+        env.process(interrupter(env, proc))
+        env.run()
+        assert log == [("interrupted", "wake", 0), ("done", 5)]
+
+    def test_interrupted_process_can_wait_again_without_ghost_wakeup(self):
+        """After the fix the detached relay must not fire later and
+        corrupt a subsequent wait."""
+        env = Environment()
+        log = []
+
+        def victim(env):
+            event = env.event()
+            event.succeed(123)
+            try:
+                yield event
+            except Interrupt:
+                pass
+            # The detached relay is still in the queue; this timeout must
+            # be woken exactly once, by the clock.
+            value = yield env.timeout(10, value="clock")
+            log.append((env.now, value))
+
+        def interrupter(env, proc):
+            proc.interrupt()
+            return
+            yield  # pragma: no cover
+
+        proc = env.process(victim(env))
+        env.process(interrupter(env, proc))
+        env.run()
+        assert log == [(10, "clock")]
+
+    def test_normal_pretriggered_wait_still_delivers_value(self):
+        env = Environment()
+        seen = []
+
+        def proc(env):
+            event = env.event()
+            event.succeed("early")
+            seen.append((yield event))
+
+        env.process(proc(env))
+        env.run()
+        assert seen == ["early"]
+
+    def test_interrupt_while_pending_wait_unchanged(self):
+        env = Environment()
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                log.append((env.now, interrupt.cause))
+
+        def interrupter(env, proc):
+            yield env.timeout(3)
+            proc.interrupt("早い")
+
+        proc = env.process(sleeper(env))
+        env.process(interrupter(env, proc))
+        env.run()
+        assert log == [(3, "早い")]
+
+
+class TestContainerImpossibleRequests:
+    def test_get_beyond_capacity_raises(self):
+        env = Environment()
+        container = Container(env, capacity=10, init=10)
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            container.get(11)
+
+    def test_put_beyond_capacity_raises(self):
+        env = Environment()
+        container = Container(env, capacity=10)
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            container.put(10.5)
+
+    def test_rejected_request_leaves_no_queued_waiter(self):
+        env = Environment()
+        container = Container(env, capacity=10, init=5)
+        with pytest.raises(ValueError):
+            container.get(11)
+        # A subsequent legal get is served normally (nothing stuck ahead).
+        event = container.get(5)
+        assert event.triggered
+        assert container.level == 0
+
+    def test_boundary_amounts_still_block_and_serve(self):
+        env = Environment()
+        container = Container(env, capacity=10)
+        got = container.get(10)   # legal: waits for a full container
+        assert not got.triggered
+        container.put(10)
+        env.run()
+        assert got.triggered
+        assert container.level == 0

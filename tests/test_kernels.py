@@ -3,7 +3,7 @@ future work): compute model, specs, streaming runner, roofline."""
 
 import pytest
 
-from repro.cell import CellConfig, ConfigError
+from repro.cell import ConfigError
 from repro.kernels import (
     KernelSpec,
     Precision,

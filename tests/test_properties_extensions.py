@@ -9,7 +9,7 @@ from repro.cell.dma import legal_command_sizes
 from repro.cell.topology import SpeMapping
 from repro.kernels import Precision, RooflineModel, dot_product, matrix_multiply
 from repro.kernels.specs import KernelSpec
-from repro.runtime import Task, TaskGraph, chain, fan_out_fan_in, wavefront
+from repro.runtime import chain, fan_out_fan_in, wavefront
 
 
 @given(nbytes=st.integers(min_value=1, max_value=500000))

@@ -6,7 +6,6 @@ from repro.sim import (
     AllOf,
     AnyOf,
     Environment,
-    Event,
     Interrupt,
     SimulationError,
 )

@@ -1,0 +1,92 @@
+"""End-to-end tests for the ``repro.trace_report`` CLI."""
+
+import json
+
+from repro import trace_report
+from repro.cell.chip import CellChip
+from repro.cell.topology import SpeMapping
+from repro.core.kernels import DmaWorkload, dma_stream_kernel
+from repro.libspe import SpeContext
+from repro.sim import TraceRecorder, TraceSummary, write_chrome_trace
+
+
+def write_showcase_trace(path, tamper_counters=False):
+    recorder = TraceRecorder()
+    chip = CellChip(mapping=SpeMapping.random(3, 8), trace=recorder)
+    workload = DmaWorkload(direction="get", element_bytes=4096, n_elements=24)
+    SpeContext(chip, 0).load(dma_stream_kernel, workload, {}, None)
+    workload = DmaWorkload(
+        direction="copy", element_bytes=16384, n_elements=24, partner_logical=2
+    )
+    SpeContext(chip, 1).load(dma_stream_kernel, workload, {}, chip.spe(2))
+    chip.run()
+    counters = {
+        "grants": chip.eib.grants,
+        "conflicts": chip.eib.conflicts,
+        "wait_cycles": chip.eib.wait_cycles,
+        "bytes_moved": chip.eib.bytes_moved,
+    }
+    if tamper_counters:
+        counters["bytes_moved"] += 1
+    write_chrome_trace(
+        str(path),
+        recorder.records,
+        cpu_hz=chip.config.clock.cpu_hz,
+        metadata={"counters": counters},
+    )
+    return chip, recorder
+
+
+def test_report_reproduces_counters_and_exits_zero(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    chip, _recorder = write_showcase_trace(path)
+    assert trace_report.main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "reproduced exactly from the trace stream" in out
+    assert f"bytes_moved: {chip.eib.bytes_moved}" in out
+    assert "== per ring ==" in out
+    assert "== per flow ==" in out
+    assert "== memory banks ==" in out
+    assert "== MFC queues ==" in out
+    assert "== saturation claims ==" in out
+
+
+def test_report_flags_counter_mismatch(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    write_showcase_trace(path, tamper_counters=True)
+    assert trace_report.main([str(path)]) == 1
+    assert "MISMATCH" in capsys.readouterr().out
+
+
+def test_interval_flag_prints_timeline(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    write_showcase_trace(path)
+    assert trace_report.main([str(path), "--interval", "50000"]) == 0
+    assert "== flow timeline (bytes per 50000 cycles) ==" in capsys.readouterr().out
+
+
+def test_report_handles_trace_without_metadata(tmp_path, capsys):
+    path = tmp_path / "bare.json"
+    _chip, recorder = write_showcase_trace(tmp_path / "full.json")
+    write_chrome_trace(str(path), recorder.records, cpu_hz=3.2e9)
+    assert trace_report.main([str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "reproduced exactly" not in out  # nothing to check against
+    assert "== EIB counters ==" in out
+
+
+def test_render_report_is_pure(tmp_path):
+    _chip, recorder = write_showcase_trace(tmp_path / "trace.json")
+    summary = TraceSummary(recorder.records)
+    text_a = trace_report.render_report(summary, cpu_hz=2.1e9)
+    text_b = trace_report.render_report(summary, cpu_hz=2.1e9)
+    assert text_a == text_b
+
+
+def test_written_file_is_plain_json(tmp_path):
+    path = tmp_path / "trace.json"
+    write_showcase_trace(path)
+    with open(path) as handle:
+        decoded = json.load(handle)
+    assert "traceEvents" in decoded
+    assert decoded["otherData"]["counters"]["bytes_moved"] > 0
