@@ -40,7 +40,11 @@ from repro.cell.errors import (
     ConfigError,
     DmaAlignmentError,
     DmaSizeError,
+    DmaTimeoutError,
+    FaultError,
     LocalStoreError,
+    SimulationStall,
+    SpeCrashError,
 )
 from repro.cell.topology import RingTopology, SpeMapping
 
@@ -56,13 +60,17 @@ __all__ = [
     "DmaList",
     "DmaListElement",
     "DmaSizeError",
+    "DmaTimeoutError",
     "EibConfig",
+    "FaultError",
     "LocalStoreConfig",
     "LocalStoreError",
     "MemoryConfig",
     "MfcConfig",
     "PpeConfig",
     "RingTopology",
+    "SimulationStall",
+    "SpeCrashError",
     "SpeMapping",
     "SpuConfig",
 ]

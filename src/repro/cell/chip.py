@@ -31,10 +31,13 @@ class CellChip:
         mapping: Optional[SpeMapping] = None,
         topology: Optional[RingTopology] = None,
         trace=None,
+        faults=None,
     ):
         """``trace`` is an optional :class:`repro.sim.TraceRecorder`;
         when given, every model on the chip emits structured records
-        into it (see :mod:`repro.sim.trace`)."""
+        into it (see :mod:`repro.sim.trace`).  ``faults`` is an optional
+        :class:`repro.sim.FaultEngine`; when given, every model injects
+        its typed faults deterministically (see :mod:`repro.sim.faults`)."""
         self.config = config or CellConfig.paper_blade()
         self.topology = topology or RingTopology()
         self.mapping = mapping or SpeMapping.identity(self.config.n_spes)
@@ -49,8 +52,9 @@ class CellChip:
                 f"topology has {len(physical_spes)} SPE positions, config "
                 f"needs {self.config.n_spes}"
             )
-        self.env = Environment(trace=trace)
+        self.env = Environment(trace=trace, faults=faults)
         self.trace = self.env.trace
+        self.faults = self.env.faults
         self.eib = Eib(self.env, self.topology, self.config)
         self.memory = MemorySystem(self.env, self.config)
         self.spes: List[Spe] = [
@@ -66,9 +70,13 @@ class CellChip:
             )
         return self.spes[logical_index]
 
-    def run(self, until=None):
-        """Advance the simulation (delegates to the environment)."""
-        return self.env.run(until=until)
+    def run(self, until=None, max_events=None, stall_after=None):
+        """Advance the simulation (delegates to the environment; the
+        watchdog knobs are forwarded — see
+        :meth:`repro.sim.Environment.run`)."""
+        return self.env.run(
+            until=until, max_events=max_events, stall_after=stall_after
+        )
 
     def elapsed_seconds(self) -> float:
         return self.config.clock.cycles_to_seconds(self.env.now)

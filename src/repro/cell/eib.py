@@ -113,6 +113,9 @@ class Eib:
         self.ring_monitors = {ring.name: BusyMonitor(env, ring.name) for ring in self.rings}
         self._trace = env.trace
         self._tracing = env.trace.enabled
+        self._faults = env.faults
+        self._faulting = env.faults.enabled
+        self.fault_cycles = 0
 
     # -- public API --------------------------------------------------------------
 
@@ -140,6 +143,13 @@ class Eib:
                 + len(grant.spans) * HOP_LATENCY_CYCLES
                 + math.ceil(chunk / rate)
             )
+            if self._faulting:
+                # Ring-segment degradation / grant starvation: the
+                # committed path carries dead cycles before data moves.
+                degraded = self._faults.eib_penalty_cycles(src, dst)
+                if degraded:
+                    duration += degraded
+                    self.fault_cycles += degraded
             yield self.env.timeout(duration)
             self._release(grant, chunk)
             remaining -= chunk

@@ -2,7 +2,15 @@
 
 Everything the model can reject derives from :class:`CellError` so callers
 can catch model-level problems without masking kernel bugs.
+
+Injected faults (see :mod:`repro.sim.faults`) derive from
+:class:`FaultError`, so callers can catch them separately from
+model-usage bugs; :class:`~repro.sim.core.SimulationStall` (a kernel
+watchdog diagnosis, not a model error) is re-exported here for the same
+one-stop import.
 """
+
+from repro.sim.core import SimulationStall  # noqa: F401  (re-export)
 
 
 class CellError(Exception):
@@ -42,3 +50,43 @@ class LocalStoreError(CellError):
 class MailboxError(CellError):
     """Illegal mailbox operation (e.g. reading an empty mailbox without
     blocking)."""
+
+
+class FaultError(CellError):
+    """Base class for errors raised by *injected* faults.
+
+    Distinct from the rest of the hierarchy so resilience code can catch
+    hardware misbehaviour (and recover) without masking genuine
+    model-usage bugs, which keep raising plain :class:`CellError`.
+    """
+
+
+class SpeCrashError(FaultError):
+    """An SPE context died mid-program (injected ``spe_crash``).
+
+    Raised inside the SPU program's process; the offload runtime
+    quarantines the SPE and re-dispatches its in-flight work.
+    """
+
+    def __init__(self, logical_index: int, node: str, after_ops: int):
+        super().__init__(
+            f"SPE {logical_index} ({node}) crashed after {after_ops} operations"
+        )
+        self.logical_index = logical_index
+        self.node = node
+        self.after_ops = after_ops
+
+
+class DmaTimeoutError(FaultError):
+    """A tag-group wait exceeded its timeout and exhausted its retries."""
+
+    def __init__(self, node: str, tags, waited_cycles: int, attempts: int):
+        tags = tuple(tags)
+        super().__init__(
+            f"tag group(s) {tags} on {node} still busy after "
+            f"{waited_cycles} cycles and {attempts} attempt(s)"
+        )
+        self.node = node
+        self.tags = tags
+        self.waited_cycles = waited_cycles
+        self.attempts = attempts

@@ -31,7 +31,7 @@ from typing import Deque, Dict, Optional
 
 from repro.cell.config import CellConfig
 from repro.cell.errors import ConfigError
-from repro.sim import BusyMonitor, Environment, Event
+from repro.sim import BusyMonitor, Environment, Event, ProgressGuard
 from repro.sim.trace import BankActivate, BankTurnaround
 
 #: Direction labels for bank accounting.
@@ -80,8 +80,14 @@ class MemoryBank:
         self._prev_direction: Optional[str] = None
         self.bytes_served = 0
         self.commands_served = 0
+        self.fault_cycles = 0
         self.monitor = BusyMonitor(env, name)
-        env.process(self._serve())
+        self._faults = env.faults
+        self._faulting = env.faults.enabled
+        # The server legitimately waits forever between requests, so it
+        # is a daemon process (exempt from the deadlock check), and its
+        # unbounded loop is watched by a no-progress guard.
+        env.process(self._serve(), daemon=True)
 
     def submit(self, request: MemoryRequest) -> Event:
         """Queue a command; the returned event fires when the bank is done."""
@@ -124,7 +130,9 @@ class MemoryBank:
         memcfg = self.config.memory
         trace = self.env.trace
         tracing = trace.enabled
+        guard = ProgressGuard(self.env, f"bank {self.name}")
         while True:
+            guard.tick((self.env.now, self.commands_served))
             if not self._pending:
                 self._wakeup = self.env.event()
                 yield self._wakeup
@@ -149,6 +157,13 @@ class MemoryBank:
                 )
                 overhead = round(fraction * transfer)
                 turnaround_reason = "switch"
+            if self._faulting:
+                # ECC scrub-and-retry: the command's data was corrupt
+                # on first read and the bank re-serves it after a spike.
+                retry = self._faults.bank_retry_cycles(self.name)
+                if retry:
+                    overhead += retry
+                    self.fault_cycles += retry
             if tracing:
                 trace.emit(
                     BankActivate(

@@ -64,6 +64,14 @@ class Mfc:
         self._cmd_seq = 0
         self._trace = env.trace
         self._tracing = env.trace.enabled
+        # Fault injection (repro.sim.faults); cached guard keeps the
+        # no-fault path to one branch per command.
+        self._faults = env.faults
+        self._faulting = env.faults.enabled
+        # Dropped (injected-fault) commands parked per tag, waiting for
+        # the SPU program to re-drive them.
+        self._parked: Dict[int, List[Event]] = {}
+        self.commands_redriven = 0
 
     # -- SPU-facing API ----------------------------------------------------------
 
@@ -85,14 +93,22 @@ class Mfc:
             if self._tracing
             else 0
         )
+        # Executors are daemons: a command parked by an injected drop may
+        # never resume (when its SPU died before re-driving it), and that
+        # must not read as a scheduler deadlock at end of run — the
+        # blocked SPU process itself is what the diagnostics should name.
         if isinstance(command, DmaCommand):
             self.env.process(
                 self._execute_command(
                     command, slot, self._slots, ordering, cmd_id, self.env.now
-                )
+                ),
+                daemon=True,
             )
         else:
-            self.env.process(self._execute_list(command, slot, cmd_id, self.env.now))
+            self.env.process(
+                self._execute_list(command, slot, cmd_id, self.env.now),
+                daemon=True,
+            )
 
     def proxy_enqueue(self, command: DmaCommand) -> Event:
         """PPE-initiated (proxy) DMA through the MFC's MMIO registers.
@@ -159,6 +175,27 @@ class Mfc:
         self._tag_waiters.append((event, tags))
         return event
 
+    def redrive(self, tags) -> int:
+        """Restart the parked (dropped) commands of the listed tag
+        groups — the model's MFC command re-drive after a transfer was
+        lost.  Returns how many commands were restarted."""
+        restarted = 0
+        for tag in tags:
+            parked = self._parked.pop(tag, None)
+            if not parked:
+                continue
+            for resume in parked:
+                resume.succeed()
+                restarted += 1
+        self.commands_redriven += restarted
+        return restarted
+
+    def parked_commands(self, tags=None) -> int:
+        """Dropped commands currently waiting for a re-drive."""
+        if tags is None:
+            return sum(len(parked) for parked in self._parked.values())
+        return sum(len(self._parked.get(tag, ())) for tag in tags)
+
     @property
     def queue_free_slots(self) -> int:
         return self.config.mfc.queue_depth - self._slots.count
@@ -205,6 +242,8 @@ class Mfc:
         enqueued_at: int = 0,
     ):
         yield from self._wait_ordering(ordering)
+        if self._faulting:
+            yield from self._inject_faults(command.tag)
         issued_at = self.env.now
         if self._tracing:
             self._trace.emit(
@@ -249,6 +288,8 @@ class Mfc:
         element, and burst concurrency is bounded by the MFC's internal
         buffering.
         """
+        if self._faulting:
+            yield from self._inject_faults(dma_list.tag)
         inflight = Resource(self.env, capacity=self.config.mfc.list_inflight_limit)
         issued_at = self.env.now
         if self._tracing:
@@ -268,7 +309,8 @@ class Mfc:
             yield token
             done = self.env.event()
             self.env.process(
-                self._list_burst(dma_list, nbytes, inflight, token, done)
+                self._list_burst(dma_list, nbytes, inflight, token, done),
+                daemon=True,
             )
             pending.append(done)
         if pending:
@@ -287,6 +329,19 @@ class Mfc:
                     issued_at=issued_at,
                 )
             )
+
+    def _inject_faults(self, tag: int):
+        """Fault probes on the issue path (only reached when an engine
+        is attached): an injected stall delays the command; an injected
+        drop parks it until :meth:`redrive` — the SPU side notices via a
+        tag-group timeout and re-drives (see ``SpuRuntime.wait_tags``)."""
+        stall = self._faults.mfc_stall_cycles(self.node)
+        if stall:
+            yield self.env.timeout(stall)
+        if self._faults.mfc_dropped(self.node):
+            resume = self.env.event()
+            self._parked.setdefault(tag, []).append(resume)
+            yield resume
 
     def _list_bursts(self, elements) -> List[Tuple[int, int]]:
         """Coalesce consecutive list elements into (count, bytes) bursts

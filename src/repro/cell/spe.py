@@ -38,6 +38,15 @@ class Spe:
         self.config: CellConfig = chip.config
         self.local_store = LocalStore(self.config.local_store)
         self.mfc = Mfc(env, node, chip)
+        # Cleared when an injected fault kills this SPE's context; a
+        # dead SPE's local store is gone, so schedulers must stop
+        # forwarding from it and fall back to write-through copies.
+        self.healthy = True
+
+    def mark_lost(self) -> None:
+        """Quarantine: the SPE's context crashed or hung; its LS state
+        died with it."""
+        self.healthy = False
 
     def ls_bytes_per_cycle(self, op: str, element_bytes: int) -> float:
         """SPU <-> LS delivered bytes per CPU cycle."""
@@ -69,4 +78,5 @@ class Spe:
         return rate * self.config.clock.cpu_hz / 1e9
 
     def __repr__(self) -> str:
-        return f"Spe(logical={self.logical_index}, node={self.node!r})"
+        health = "" if self.healthy else ", LOST"
+        return f"Spe(logical={self.logical_index}, node={self.node!r}{health})"

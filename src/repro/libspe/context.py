@@ -25,10 +25,10 @@ from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.cell.chip import CellChip
 from repro.cell.dma import DmaCommand, DmaDirection, DmaList, TargetKind
-from repro.cell.errors import CellError
+from repro.cell.errors import CellError, DmaTimeoutError, SpeCrashError
 from repro.cell.mailbox import MailboxPair
 from repro.cell.spe import Spe
-from repro.sim import Event, Process
+from repro.sim import AnyOf, Event, Interrupt, Process
 
 
 class SpuRuntime:
@@ -136,10 +136,45 @@ class SpuRuntime:
             DmaDirection.PUT, element_size, n_elements, tag, remote_spe
         )
 
-    def wait_tags(self, tags: Iterable[int]) -> Generator[Event, object, None]:
-        """``mfc_write_tag_mask`` + ``mfc_read_tag_status_all``."""
+    def wait_tags(
+        self,
+        tags: Iterable[int],
+        timeout: Optional[int] = None,
+        retries: int = 0,
+        backoff: int = 2,
+    ) -> Generator[Event, object, None]:
+        """``mfc_write_tag_mask`` + ``mfc_read_tag_status_all``.
+
+        Without ``timeout`` this blocks until the tag groups are quiet
+        (the architectural behaviour — and a silent hang when a command
+        was lost).  With ``timeout`` the wait is bounded: on expiry the
+        MFC's parked commands for these tags are re-driven
+        (:meth:`repro.cell.mfc.Mfc.redrive`) and the wait repeats with
+        the timeout scaled by ``backoff``, up to ``retries`` re-drives;
+        exhausting them raises :class:`~repro.cell.errors.DmaTimeoutError`.
+        """
         yield self.env.timeout(self.spe.config.mfc.sync_cycles)
-        yield self.spe.mfc.tag_group_quiet(tags)
+        if timeout is None:
+            yield self.spe.mfc.tag_group_quiet(tags)
+            return
+        if timeout < 1:
+            raise CellError(f"wait_tags timeout must be >= 1, got {timeout}")
+        tags = tuple(tags)
+        started = self.env.now
+        deadline = timeout
+        for attempt in range(retries + 1):
+            quiet = self.spe.mfc.tag_group_quiet(tags)
+            if quiet.triggered:
+                return
+            yield AnyOf(self.env, [quiet, self.env.timeout(deadline)])
+            if quiet.triggered:
+                return
+            if attempt < retries:
+                self.spe.mfc.redrive(tags)
+                deadline *= backoff
+        raise DmaTimeoutError(
+            self.spe.node, tags, self.env.now - started, retries + 1
+        )
 
     # -- mailboxes ---------------------------------------------------------------
 
@@ -230,8 +265,53 @@ class SpeContext:
                 f"logical SPE {self.spe.logical_index} is already running a program"
             )
         generator = program(self.runtime, *args, **kwargs)
+        faults = self.chip.env.faults
+        if faults.enabled:
+            plan = faults.spe_plan(self.spe.logical_index)
+            if plan is not None:
+                generator = self._doomed(generator, plan)
         self.process = self.chip.env.process(generator)
         return self.process
+
+    def _doomed(self, generator: Generator, plan) -> Generator:
+        """Relay the program's yields, then kill it after the planned
+        number of operations: ``crash`` raises
+        :class:`~repro.cell.errors.SpeCrashError` inside the process
+        (its event fails, which a resilience monitor can observe and
+        defuse); ``hang`` blocks forever on an event nobody triggers,
+        until a watchdog interrupts the process to retire it.
+        """
+        env = self.chip.env
+        spe = self.spe
+        ops = 0
+        send_value: Any = None
+        throw_exc: Optional[BaseException] = None
+        while True:
+            try:
+                if throw_exc is None:
+                    target = generator.send(send_value)
+                else:
+                    exc, throw_exc = throw_exc, None
+                    target = generator.throw(exc)
+            except StopIteration as stop:
+                return stop.value
+            ops += 1
+            if ops >= plan.after_ops:
+                generator.close()
+                env.faults.record_spe_fault(plan.kind, spe.node)
+                spe.mark_lost()
+                if plan.kind == "crash":
+                    raise SpeCrashError(spe.logical_index, spe.node, ops)
+                try:
+                    yield env.event()
+                except Interrupt:
+                    return None  # quarantined by a watchdog
+                raise CellError("hung SPE context resumed without an interrupt")
+            try:
+                send_value = yield target
+            except BaseException as exc:  # noqa: BLE001 - relayed to the program
+                send_value = None
+                throw_exc = exc
 
     @property
     def finished(self) -> bool:

@@ -15,6 +15,15 @@ streams plus SPE couples) and writes a Chrome trace-event JSON loadable
 in Perfetto / ``chrome://tracing``; summarise it afterwards with
 ``python -m repro.trace_report PATH``.
 
+``--faults SPEC`` additionally runs the fault-tolerance showcase: the
+offload runtime executes a wavefront task graph under deterministic
+injected faults (``--fault-seed`` picks the fault stream) and must
+complete the whole graph under both scheduling policies, quarantining
+crashed SPEs and re-dispatching their work::
+
+    python -m repro.reproduce --quick --faults spe_crash:1 --fault-seed 7
+    python -m repro.reproduce --quick --faults dma_drop:0.02,ecc_retry:0.05
+
 Exit status is non-zero if any paper claim fails to reproduce.
 """
 
@@ -58,6 +67,20 @@ def parse_args(argv=None) -> argparse.Namespace:
         metavar="PATH",
         default=None,
         help="write a Chrome trace-event JSON of a traced showcase run",
+    )
+    parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="run the fault-tolerance showcase with this fault spec "
+        "(e.g. spe_crash:1 or dma_drop:0.02,ecc_retry:0.05)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the deterministic fault stream (default 0)",
     )
     scale = parser.add_mutually_exclusive_group()
     scale.add_argument("--quick", action="store_true")
@@ -230,6 +253,40 @@ def run_traced(preset: str, path: str, seed: int = 1000) -> bool:
     return True
 
 
+def run_faulted(spec: str, seed: int) -> bool:
+    """Run the fault-tolerance showcase: the offload runtime must finish
+    a wavefront graph under injected faults with both policies, and a
+    re-run with the same seed must reproduce the exact same stats."""
+    from repro.runtime import OffloadRuntime, wavefront
+    from repro.sim import FaultEngine, FaultSpecError
+
+    try:
+        parsed = FaultEngine(spec, seed=seed)
+    except FaultSpecError as error:
+        print(f"bad --faults spec: {error}")
+        return False
+    print(f"fault-tolerance showcase: {parsed.describe()}")
+    graph = wavefront(4, 4)
+    ok = True
+    for policy in ("forward", "memory"):
+        stats = OffloadRuntime(
+            graph, n_spes=8, policy=policy,
+            faults=FaultEngine(spec, seed=seed),
+        ).run()
+        again = OffloadRuntime(
+            graph, n_spes=8, policy=policy,
+            faults=FaultEngine(spec, seed=seed),
+        ).run()
+        print(f"  {stats}")
+        if (stats.makespan_cycles, stats.faults_injected,
+                stats.tasks_retried, stats.spes_lost) != (
+                again.makespan_cycles, again.faults_injected,
+                again.tasks_retried, again.spes_lost):
+            print(f"  NON-DETERMINISTIC under seed {seed}: {stats} vs {again}")
+            ok = False
+    return ok
+
+
 def main(argv=None) -> int:
     args = parse_args(argv)
     preset = "quick" if args.quick else "paper" if args.paper_scale else "default"
@@ -237,9 +294,13 @@ def main(argv=None) -> int:
     trace_ok = True
     if args.trace:
         trace_ok = run_traced(preset, args.trace)
+    faults_ok = True
+    if args.faults:
+        faults_ok = run_faulted(args.faults, args.fault_seed)
     print()
     print(validation.summarize(checks))
-    return 0 if all(check.passed for check in checks) and trace_ok else 1
+    passed = all(check.passed for check in checks) and trace_ok and faults_ok
+    return 0 if passed else 1
 
 
 if __name__ == "__main__":

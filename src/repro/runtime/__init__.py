@@ -26,10 +26,18 @@ point.
 """
 
 from repro.runtime.offload import OffloadRuntime, RuntimeStats
+from repro.runtime.resilience import (
+    FailureMonitor,
+    InflightTable,
+    ResiliencePolicy,
+)
 from repro.runtime.task import Task, TaskGraph, chain, fan_out_fan_in, wavefront
 
 __all__ = [
+    "FailureMonitor",
+    "InflightTable",
     "OffloadRuntime",
+    "ResiliencePolicy",
     "RuntimeStats",
     "Task",
     "TaskGraph",

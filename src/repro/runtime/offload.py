@@ -31,11 +31,18 @@ from typing import Deque, Dict, List, Optional, Set, Tuple
 from repro.cell.chip import CellChip
 from repro.cell.config import CellConfig
 from repro.cell.dma import legal_command_sizes
-from repro.cell.errors import ConfigError
+from repro.cell.errors import ConfigError, FaultError
 from repro.cell.topology import SpeMapping
 from repro.kernels.compute import Precision, SpuComputeModel
 from repro.libspe import SpeContext
+from repro.runtime.resilience import (
+    FailureMonitor,
+    InflightTable,
+    ResiliencePolicy,
+    interrupt_if_alive,
+)
 from repro.runtime.task import Task, TaskGraph
+from repro.sim import AnyOf, ProgressGuard
 
 #: Tags: input GETs on 0, the output write-through PUT on 1.
 _INPUT_TAG = 0
@@ -62,19 +69,33 @@ class RuntimeStats:
     forwarded_bytes: int = 0
     ls_hit_bytes: int = 0
     tasks_per_spe: Dict[int, int] = field(default_factory=dict)
+    # Resilience accounting (all zero in a fault-free run).
+    faults_injected: int = 0
+    tasks_retried: int = 0
+    spes_lost: int = 0
+    lost_workers: Tuple[int, ...] = ()
 
     @property
     def memory_traffic_bytes(self) -> int:
         return self.memory_read_bytes + self.memory_write_bytes
 
     def __str__(self) -> str:
-        return (
+        text = (
             f"policy={self.policy}: {self.n_tasks} tasks on {self.n_spes} "
             f"SPEs in {self.makespan_cycles} cycles ({self.gflops:.2f} "
             f"GFLOP/s); memory {self.memory_traffic_bytes / 2 ** 20:.1f} MiB, "
             f"forwarded {self.forwarded_bytes / 2 ** 20:.1f} MiB, "
             f"LS hits {self.ls_hit_bytes / 2 ** 20:.1f} MiB"
         )
+        if self.faults_injected or self.spes_lost:
+            lost = (
+                f" (workers {sorted(self.lost_workers)})" if self.lost_workers else ""
+            )
+            text += (
+                f"; faults {self.faults_injected}, retried {self.tasks_retried} "
+                f"task(s), lost {self.spes_lost} SPE(s){lost}"
+            )
+        return text
 
 
 class OffloadRuntime:
@@ -91,6 +112,8 @@ class OffloadRuntime:
         ls_cache_bytes: int = 131072,
         forward_fanout_limit: int = 4,
         seed: int = 11,
+        faults=None,
+        resilience: Optional[ResiliencePolicy] = None,
     ):
         if policy not in POLICIES:
             raise ConfigError(f"policy must be one of {POLICIES}, got {policy!r}")
@@ -111,6 +134,8 @@ class OffloadRuntime:
         self.ls_cache_bytes = ls_cache_bytes
         self.forward_fanout_limit = forward_fanout_limit
         self.seed = seed
+        self.faults = faults
+        self.resilience = resilience or ResiliencePolicy()
 
     # -- public ------------------------------------------------------------------
 
@@ -118,6 +143,7 @@ class OffloadRuntime:
         chip = CellChip(
             config=self.config,
             mapping=SpeMapping.random(self.seed, self.config.n_spes),
+            faults=self.faults,
         )
         state = _RunState(self.graph, self.n_spes, self.ls_cache_bytes)
         stats = RuntimeStats(
@@ -126,35 +152,90 @@ class OffloadRuntime:
             n_tasks=len(self.graph),
             tasks_per_spe={worker: 0 for worker in range(self.n_spes)},
         )
+        faulting = chip.faults.enabled
+        if faulting:
+            state.monitor = FailureMonitor(
+                lambda worker, cause: self._on_worker_loss(
+                    chip, state, stats, worker, cause
+                )
+            )
         for worker in range(self.n_spes):
-            SpeContext(chip, worker).load(self._worker, chip, state, stats, worker)
+            context = SpeContext(chip, worker)
+            process = context.load(self._worker, chip, state, stats, worker)
+            if faulting:
+                state.monitor.watch(worker, process)
         chip.run()
         if state.completed != len(self.graph):
             raise ConfigError(
                 f"runtime stalled: {state.completed}/{len(self.graph)} tasks "
                 "completed (dependency deadlock?)"
             )
-        stats.makespan_cycles = chip.env.now
-        seconds = self.config.clock.cycles_to_seconds(chip.env.now)
+        if faulting:
+            # Dangling watchdog timers outlive the last task; the clock
+            # at the final completion is the honest makespan.
+            stats.makespan_cycles = state.finished_at
+            stats.faults_injected = chip.faults.injected
+            stats.lost_workers = tuple(state.lost)
+        else:
+            stats.makespan_cycles = chip.env.now
+        seconds = self.config.clock.cycles_to_seconds(stats.makespan_cycles)
         stats.gflops = self.graph.total_flops / seconds / 1e9 if seconds else 0.0
         return stats
+
+    # -- fault recovery -----------------------------------------------------------
+
+    def _on_worker_loss(self, chip: CellChip, state: "_RunState",
+                        stats: RuntimeStats, worker: int,
+                        cause: BaseException) -> None:
+        """Quarantine a dead worker and put its work back on the market.
+
+        Runs inline at the simulation time of death, before survivors
+        resume: the SPE is marked lost, every forwarded copy it held is
+        purged from the residency map (consumers fall back to the
+        write-through copies in main memory), and its in-flight task —
+        if any — rejoins the ready list for a surviving worker.
+        """
+        chip.spe(worker).mark_lost()
+        state.lost.add(worker)
+        stats.spes_lost += 1
+        state.purge_residency(worker)
+        task = state.inflight.task_of(worker)
+        if task is not None:
+            state.inflight.finish(worker)
+            state.ready.append(task)
+            stats.tasks_retried += 1
+        state.wake()
 
     # -- the SPU worker program -----------------------------------------------------
 
     def _worker(self, spu, chip: CellChip, state: "_RunState", stats: RuntimeStats,
                 worker: int):
+        env = spu.spe.env
+        faulting = env.faults.enabled
+        policy = self.resilience
+        guard = ProgressGuard(env, f"offload worker {worker}")
         while True:
             task = state.pick(worker)
             while task is None:
                 if state.completed == len(self.graph):
                     return
-                waiter = spu.spe.env.event()
+                guard.tick((env.now, state.completed, len(state.ready)))
+                waiter = env.event()
                 state.waiters.append(waiter)
-                yield waiter
+                if faulting:
+                    # Bounded idle wait: wake periodically to reap hung
+                    # peers even when no completion fires.
+                    yield AnyOf(
+                        env, [waiter, env.timeout(policy.check_interval_cycles)]
+                    )
+                    self._reap_hung(env, state, policy)
+                else:
+                    yield waiter
                 task = state.pick(worker)
+            state.inflight.start(worker, task, env.now)
             yield spu.compute(DISPATCH_OVERHEAD_CYCLES)
             yield from self._fetch_inputs(spu, state, stats, worker, task)
-            yield from spu.wait_tags([_INPUT_TAG])
+            yield from self._wait(spu, [_INPUT_TAG], faulting)
             cycles = self.compute.cycles_for_flops(task.flops, self.precision)
             if cycles:
                 yield spu.compute(cycles)
@@ -162,10 +243,41 @@ class OffloadRuntime:
             for size in legal_command_sizes(task.output_bytes):
                 yield from spu.mfc_put(size=size, tag=_OUTPUT_TAG)
             stats.memory_write_bytes += task.output_bytes
-            yield from spu.wait_tags([_OUTPUT_TAG])
+            yield from self._wait(spu, [_OUTPUT_TAG], faulting)
             state.cache_output(worker, task)
             stats.tasks_per_spe[worker] += 1
-            state.complete(task)
+            state.inflight.finish(worker)
+            state.complete(task, env.now)
+
+    def _wait(self, spu, tags, faulting: bool):
+        """Tag-group wait: architectural (unbounded) normally, bounded
+        with MFC re-drive and backoff when faults may drop commands."""
+        if not faulting:
+            yield from spu.wait_tags(tags)
+            return
+        policy = self.resilience
+        yield from spu.wait_tags(
+            tags,
+            timeout=policy.dma_timeout_cycles,
+            retries=policy.dma_retries,
+            backoff=policy.dma_backoff,
+        )
+
+    def _reap_hung(self, env, state: "_RunState",
+                   policy: ResiliencePolicy) -> None:
+        """Declare workers that sat on one task past the hang timeout
+        lost, then interrupt their processes so they retire cleanly."""
+        for hung in state.inflight.expired(env.now, policy.hang_timeout_cycles):
+            if hung in state.lost:
+                continue
+            process = state.monitor.process_of(hung)
+            state.monitor.declare_lost(
+                hung,
+                FaultError(
+                    f"worker {hung} hung past {policy.hang_timeout_cycles} cycles"
+                ),
+            )
+            interrupt_if_alive(env, process, "hang quarantine")
 
     def _fetch_inputs(self, spu, state: "_RunState", stats: RuntimeStats,
                       worker: int, task: Task):
@@ -210,6 +322,11 @@ class _RunState:
         ]
         self.completed = 0
         self.waiters: List = []
+        # Resilience bookkeeping — untouched in a fault-free run.
+        self.inflight = InflightTable()
+        self.lost: Set[int] = set()
+        self.monitor: Optional[FailureMonitor] = None
+        self.finished_at = 0
         # Which SPEs hold a task's output in their LS (memory always has
         # a write-through copy, so eviction is a plain drop).
         self.residency: Dict[Task, Set[int]] = {}
@@ -254,12 +371,24 @@ class _RunState:
         self._cache_used[worker] += task.output_bytes
         self.residency.setdefault(task, set()).add(worker)
 
-    def complete(self, task: Task) -> None:
+    def purge_residency(self, worker: int) -> None:
+        """Forget every LS copy a quarantined worker held: consumers
+        must re-read the write-through copies from main memory."""
+        for holders in self.residency.values():
+            holders.discard(worker)
+        self._cache[worker].clear()
+        self._cache_used[worker] = 0
+
+    def wake(self) -> None:
+        waiters, self.waiters = self.waiters, []
+        for waiter in waiters:
+            waiter.succeed()
+
+    def complete(self, task: Task, now: int) -> None:
         self.completed += 1
+        self.finished_at = now
         for consumer in self.graph.consumers[task]:
             self.pending[consumer] -= 1
             if self.pending[consumer] == 0:
                 self.ready.append(consumer)
-        waiters, self.waiters = self.waiters, []
-        for waiter in waiters:
-            waiter.succeed()
+        self.wake()

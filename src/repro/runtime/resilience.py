@@ -1,0 +1,137 @@
+"""Recovery machinery for the offload runtime under injected faults.
+
+The paper's runtime guidelines assume every SPE answers; this module is
+what keeps a run correct when one doesn't (see :mod:`repro.sim.faults`):
+
+* :class:`ResiliencePolicy` — the knobs: how long a tag-group wait may
+  block before the MFC is re-driven (bounded retry with exponential
+  backoff), and how long a worker may sit on one task before the
+  scheduler declares it hung;
+* :class:`FailureMonitor` — observes the worker processes.  A worker
+  that dies of an *injected* fault (:class:`~repro.cell.errors.FaultError`)
+  is quarantined through a callback and its failure event defused, so
+  the run continues; any other failure keeps propagating, because a
+  genuine model bug must never be silently "recovered";
+* :class:`InflightTable` — which worker is working on which task since
+  when, the input of hang detection.
+
+Recovery itself is a scheduler action (:mod:`repro.runtime.offload`):
+the quarantined SPE's in-flight task goes back on the ready list and is
+re-dispatched to a surviving worker, which re-reads the write-through
+copies of its inputs from main memory — the forwarded LS state died
+with the SPE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cell.errors import FaultError
+from repro.sim import Environment, Event, Process
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Timeout/retry knobs for a fault-tolerant runtime run.
+
+    All values are CPU cycles.  ``dma_timeout_cycles`` bounds one
+    tag-group wait; each re-drive multiplies it by ``dma_backoff`` up to
+    ``dma_retries`` times.  ``hang_timeout_cycles`` is how long a worker
+    may hold one task before the scheduler declares the worker hung and
+    re-dispatches the task; idle workers re-check every
+    ``check_interval_cycles``.
+    """
+
+    dma_timeout_cycles: int = 200_000
+    dma_retries: int = 3
+    dma_backoff: int = 2
+    hang_timeout_cycles: int = 1_000_000
+    check_interval_cycles: int = 100_000
+
+    def __post_init__(self):
+        if self.dma_timeout_cycles < 1:
+            raise ValueError("dma_timeout_cycles must be >= 1")
+        if self.dma_retries < 0:
+            raise ValueError("dma_retries must be >= 0")
+        if self.dma_backoff < 1:
+            raise ValueError("dma_backoff must be >= 1")
+        if self.hang_timeout_cycles < 1:
+            raise ValueError("hang_timeout_cycles must be >= 1")
+        if self.check_interval_cycles < 1:
+            raise ValueError("check_interval_cycles must be >= 1")
+
+
+class InflightTable:
+    """Which worker started which task when (for hang detection)."""
+
+    def __init__(self):
+        self._inflight: Dict[int, Tuple[object, int]] = {}
+
+    def start(self, worker: int, task, now: int) -> None:
+        self._inflight[worker] = (task, now)
+
+    def finish(self, worker: int) -> None:
+        self._inflight.pop(worker, None)
+
+    def task_of(self, worker: int):
+        entry = self._inflight.get(worker)
+        return entry[0] if entry else None
+
+    def expired(self, now: int, timeout: int) -> List[int]:
+        """Workers that have held one task for longer than ``timeout``."""
+        return [
+            worker
+            for worker, (_task, since) in self._inflight.items()
+            if now - since > timeout
+        ]
+
+
+class FailureMonitor:
+    """Observes worker processes and turns injected-fault deaths into
+    quarantine callbacks instead of end-of-run crashes.
+
+    ``on_loss(worker, cause)`` runs at the simulation time the worker
+    died, before any other process resumes (event callbacks fire
+    in-line), so the scheduler state is repaired before survivors look
+    for work.
+    """
+
+    def __init__(self, on_loss: Callable[[int, BaseException], None]):
+        self.on_loss = on_loss
+        self.lost: List[int] = []
+        self._watched: Dict[int, Process] = {}
+
+    def watch(self, worker: int, process: Process) -> None:
+        self._watched[worker] = process
+        process.callbacks.append(
+            lambda event, worker=worker: self._observe(worker, event)
+        )
+
+    def process_of(self, worker: int) -> Optional[Process]:
+        return self._watched.get(worker)
+
+    def declare_lost(self, worker: int, cause: BaseException) -> None:
+        """Quarantine a worker that did not die on its own (a hang)."""
+        if worker in self.lost:
+            return
+        self.lost.append(worker)
+        self.on_loss(worker, cause)
+
+    def _observe(self, worker: int, event: Event) -> None:
+        if event._ok or not isinstance(event._value, FaultError):
+            return  # clean exit, or a real bug that must propagate
+        event._defused = True
+        if worker not in self.lost:
+            self.lost.append(worker)
+            self.on_loss(worker, event._value)
+
+
+def interrupt_if_alive(env: Environment, process: Optional[Process],
+                       cause: str) -> bool:
+    """Retire a hung process (its fault wrapper catches the Interrupt
+    and returns).  True when an interrupt was delivered."""
+    if process is None or not process.is_alive:
+        return False
+    process.interrupt(cause)
+    return True

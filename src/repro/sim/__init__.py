@@ -28,12 +28,24 @@ from repro.sim.core import (
     Event,
     Interrupt,
     Process,
+    ProgressGuard,
     SimulationError,
+    SimulationStall,
     Timeout,
+)
+from repro.sim.faults import (
+    FaultEngine,
+    FaultReport,
+    FaultSpecError,
+    NULL_FAULTS,
+    NullFaultEngine,
+    SpeFaultPlan,
+    parse_fault_spec,
 )
 from repro.sim.resources import Container, Resource, Store
 from repro.sim.monitor import BusyMonitor, Counter, TimeSeries
 from repro.sim.trace import (
+    FaultInjected,
     NULL_TRACE,
     NullTraceRecorder,
     TraceRecorder,
@@ -52,17 +64,27 @@ __all__ = [
     "Counter",
     "Environment",
     "Event",
+    "FaultEngine",
+    "FaultInjected",
+    "FaultReport",
+    "FaultSpecError",
     "Interrupt",
+    "NULL_FAULTS",
     "NULL_TRACE",
+    "NullFaultEngine",
     "NullTraceRecorder",
     "Process",
+    "ProgressGuard",
     "Resource",
     "SimulationError",
+    "SimulationStall",
+    "SpeFaultPlan",
     "Store",
     "TimeSeries",
     "Timeout",
     "TraceRecorder",
     "TraceSummary",
+    "parse_fault_spec",
     "read_chrome_trace",
     "records_from_chrome",
     "to_chrome_trace",

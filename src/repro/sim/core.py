@@ -11,11 +11,25 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from repro.sim.faults import NULL_FAULTS
 from repro.sim.trace import NULL_TRACE, ProcessResume, ProcessTerminate
 
 
 class SimulationError(RuntimeError):
     """Raised for illegal kernel operations (double trigger, bad yield...)."""
+
+
+class SimulationStall(SimulationError):
+    """The run watchdog fired: the event loop is spinning without the
+    clock advancing (livelock) or past its event budget.
+
+    ``blocked`` lists ``(proc_id, name, wait_description)`` for every
+    live non-daemon process at the moment the watchdog fired.
+    """
+
+    def __init__(self, message: str, blocked=()):
+        super().__init__(message)
+        self.blocked = list(blocked)
 
 
 class Interrupt(Exception):
@@ -131,24 +145,26 @@ class Process(Event):
     value (or the event's exception is thrown into it).
     """
 
-    # Trace identity; only computed when a recorder is attached (the
-    # class-level defaults keep attribute access safe untraced).
-    proc_id = 0
-    name = ""
-
-    def __init__(self, env: "Environment", generator: Generator):
+    def __init__(self, env: "Environment", generator: Generator,
+                 daemon: bool = False):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"process() needs a generator, got {generator!r}")
         super().__init__(env)
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        # Identity is always assigned: the deadlock/stall diagnostics
+        # name blocked processes even in untraced runs.
+        env._proc_count += 1
+        self.proc_id = env._proc_count
+        self.name = getattr(generator, "__name__", type(generator).__name__)
+        # Daemon processes (service loops that legitimately wait forever,
+        # like a memory bank's server) are exempt from the drained-queue
+        # deadlock check.
+        self.daemon = daemon
+        env._live_processes[self.proc_id] = self
         trace = env.trace
         self._trace = trace
         self._tracing = trace.enabled
-        if trace.enabled:
-            env._proc_count += 1
-            self.proc_id = env._proc_count
-            self.name = getattr(generator, "__name__", type(generator).__name__)
         # Kick the process off at the current time.
         start = Event(env)
         start._ok = True
@@ -192,6 +208,7 @@ class Process(Event):
                 target = self._generator.throw(event._value)
         except StopIteration as stop:
             self.env._active_process = None
+            self.env._live_processes.pop(self.proc_id, None)
             if self._tracing:
                 self._trace.emit(
                     ProcessTerminate(
@@ -202,6 +219,7 @@ class Process(Event):
             return
         except BaseException as exc:
             self.env._active_process = None
+            self.env._live_processes.pop(self.proc_id, None)
             if self._tracing:
                 self._trace.emit(
                     ProcessTerminate(
@@ -306,14 +324,19 @@ class Environment:
     when they are built, so swapping it mid-run has no effect.
     """
 
-    def __init__(self, initial_time: int = 0, trace=None):
+    def __init__(self, initial_time: int = 0, trace=None, faults=None):
         self.now = int(initial_time)
         self.trace = NULL_TRACE if trace is None else trace
+        self.faults = NULL_FAULTS if faults is None else faults
+        if self.faults.enabled:
+            self.faults.bind(self)
         self._queue: List = []
         self._sequence = 0
         self._proc_count = 0
         self._active_process: Optional[Process] = None
         self._failed_events: List[Event] = []
+        # proc_id -> live Process, for deadlock/stall diagnostics.
+        self._live_processes: dict = {}
 
     # -- construction helpers -------------------------------------------------
 
@@ -323,8 +346,8 @@ class Environment:
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator) -> Process:
-        return Process(self, generator)
+    def process(self, generator: Generator, daemon: bool = False) -> Process:
+        return Process(self, generator, daemon=daemon)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -350,19 +373,68 @@ class Environment:
         self.now = time
         event._run_callbacks()
 
-    def run(self, until: Optional[Any] = None) -> Any:
+    def run(
+        self,
+        until: Optional[Any] = None,
+        max_events: Optional[int] = None,
+        stall_after: Optional[int] = None,
+    ) -> Any:
         """Run until the queue drains, ``until`` time, or ``until`` event.
 
         Returns the value of the ``until`` event when one is given.
+
+        ``max_events`` caps the total number of events processed;
+        exceeding it raises :class:`SimulationStall` (a runaway run).
+        ``stall_after`` is the no-progress watchdog: if that many
+        consecutive events fire without the clock advancing, the run is
+        livelocked and :class:`SimulationStall` is raised with a
+        diagnostic naming every blocked process, what each is waiting
+        on, and the tail of the trace stream (when tracing).
+
+        When the queue drains with ``until=None`` while non-daemon
+        processes are still alive, the run did *not* complete — it
+        deadlocked — and :class:`SimulationError` is raised with the
+        same blocked-process diagnostic instead of returning ``None``.
         """
+        events_processed = 0
+        events_at_now = 0
+        last_now = self.now
+
+        def tick_watchdogs() -> None:
+            nonlocal events_processed, events_at_now, last_now
+            events_processed += 1
+            if max_events is not None and events_processed > max_events:
+                raise SimulationStall(
+                    f"simulation exceeded max_events={max_events} "
+                    f"(now={self.now})" + self._blocked_report(),
+                    blocked=self._blocked(),
+                )
+            if stall_after is None:
+                return
+            if self.now != last_now:
+                last_now = self.now
+                events_at_now = 0
+            events_at_now += 1
+            if events_at_now > stall_after:
+                raise SimulationStall(
+                    f"no-progress livelock: {events_at_now} events fired "
+                    f"at t={self.now} without the clock advancing"
+                    + self._blocked_report() + self._trace_tail(),
+                    blocked=self._blocked(),
+                )
+
+        watching = max_events is not None or stall_after is not None
         if isinstance(until, Event):
             stop_event = until
             while not stop_event.triggered:
                 if not self._queue:
                     raise SimulationError(
                         "event queue drained before the awaited event fired"
+                        + self._blocked_report()
                     )
                 self.step()
+                if watching:
+                    tick_watchdogs()
             self._raise_orphaned_failures()
             if not stop_event._ok:
                 stop_event._defused = True
@@ -375,10 +447,19 @@ class Environment:
                 self.now = horizon
                 break
             self.step()
+            if watching:
+                tick_watchdogs()
         else:
             if horizon is not None:
                 self.now = horizon
         self._raise_orphaned_failures()
+        if horizon is None:
+            blocked = self._blocked()
+            if blocked:
+                raise SimulationError(
+                    "event queue drained with processes still waiting "
+                    "(deadlock)" + self._blocked_report(),
+                )
         return None
 
     def _raise_orphaned_failures(self) -> None:
@@ -387,3 +468,77 @@ class Environment:
                 self._failed_events = []
                 raise event._value
         self._failed_events = []
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def _blocked(self) -> List:
+        """(proc_id, name, wait description) per live non-daemon process."""
+        return [
+            (proc.proc_id, proc.name, _describe_wait(proc._waiting_on))
+            for proc in self._live_processes.values()
+            if not proc.daemon
+        ]
+
+    def _blocked_report(self) -> str:
+        blocked = self._blocked()
+        if not blocked:
+            return ""
+        lines = [
+            f"  process {proc_id} ({name}) waiting on {wait}"
+            for proc_id, name, wait in blocked
+        ]
+        return "\nblocked processes:\n" + "\n".join(lines)
+
+    def _trace_tail(self, n: int = 10) -> str:
+        if not self.trace.enabled:
+            return ""
+        tail = self.trace.records[-n:]
+        if not tail:
+            return ""
+        return "\ntrace tail:\n" + "\n".join(f"  {record}" for record in tail)
+
+
+def _describe_wait(event: Optional[Event]) -> str:
+    if event is None:
+        return "nothing (scheduled to resume)"
+    if isinstance(event, Process):
+        return f"process {event.proc_id} ({event.name})"
+    if isinstance(event, Timeout):
+        return f"timeout(delay={event.delay})"
+    return repr(event)
+
+
+class ProgressGuard:
+    """A no-progress counter for unbounded service loops.
+
+    A loop calls :meth:`tick` once per iteration with a *progress key*
+    (anything that changes when real work happened — typically
+    ``(env.now, items_served)``).  If the key stays identical for more
+    than ``limit`` consecutive ticks the loop is spinning on a model bug
+    and the guard raises :class:`SimulationStall` with the environment's
+    blocked-process diagnostic, instead of spinning the event queue
+    forever.
+    """
+
+    def __init__(self, env: Environment, name: str, limit: int = 10_000):
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        self.env = env
+        self.name = name
+        self.limit = limit
+        self._last_key: Any = object()
+        self._spins = 0
+
+    def tick(self, key: Any) -> None:
+        if key != self._last_key:
+            self._last_key = key
+            self._spins = 0
+            return
+        self._spins += 1
+        if self._spins > self.limit:
+            raise SimulationStall(
+                f"service loop {self.name!r} made no progress for "
+                f"{self._spins} iterations at t={self.env.now}"
+                + self.env._blocked_report(),
+                blocked=self.env._blocked(),
+            )

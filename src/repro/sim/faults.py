@@ -1,0 +1,278 @@
+"""Deterministic, seed-driven fault injection for the chip models.
+
+The paper's guidelines assume a chip where every DMA completes and every
+SPE answers.  A production runtime must also behave well when they
+don't, so faults are a first-class mechanism here, not silent hangs: a
+:class:`FaultEngine` attaches to an
+:class:`~repro.sim.core.Environment` (exactly like the trace recorder —
+the shared do-nothing :data:`NULL_FAULTS` by default) and the hardware
+models consult it at the points where real Cell hardware misbehaves:
+
+* **MFC** — command stalls (a queued command takes an extra service
+  delay) and command drops (the command parks until the SPU program
+  re-drives its tag group, the model of a lost bus transaction);
+* **EIB** — ring-segment degradation / grant starvation (a committed
+  grant pays extra dead cycles);
+* **memory banks** — ECC-retry latency spikes (scrub-and-retry added to
+  a command's service time);
+* **SPE contexts** — crash (the program dies with
+  ``SpeCrashError``) or hang (the program blocks forever) after a
+  seed-chosen number of operations.
+
+Every decision comes from one ``random.Random(seed)`` stream, and the
+simulator itself is deterministic, so a given ``(spec, seed)`` pair
+reproduces the same faults at the same cycles run after run.  Models
+guard every consultation with a cached ``faults.enabled`` flag, so a run
+without an engine pays one attribute load and a branch.
+
+The fault spec grammar is ``kind:value`` pairs joined by commas::
+
+    spe_crash:1,dma_drop:0.02,ecc_retry:0.01
+
+``spe_crash`` / ``spe_hang`` take integer victim counts; the other kinds
+take per-event probabilities in ``[0, 1]``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.sim.trace import FaultInjected
+
+#: Spec kinds taking an integer victim count.
+COUNT_KINDS = ("spe_crash", "spe_hang")
+
+#: Spec kinds taking a per-event probability.
+RATE_KINDS = ("dma_stall", "dma_drop", "eib_degrade", "ecc_retry")
+
+FAULT_KINDS = COUNT_KINDS + RATE_KINDS
+
+#: Default magnitudes (cycles) of the latency-spike faults.
+DEFAULT_STALL_CYCLES = 2_000
+DEFAULT_DEGRADE_CYCLES = 500
+DEFAULT_ECC_RETRY_CYCLES = 1_200
+
+#: A crashed/hung SPE program dies after this many operations (yields),
+#: the exact point drawn from the seed stream per victim.
+SPE_FAULT_OPS_RANGE = (3, 40)
+
+
+class FaultSpecError(ValueError):
+    """A fault spec string that does not parse or is out of range."""
+
+
+def parse_fault_spec(spec: str) -> Dict[str, float]:
+    """Parse ``kind:value`` pairs (comma separated) into a dict.
+
+    >>> parse_fault_spec("spe_crash:1,dma_drop:0.02")
+    {'spe_crash': 1, 'dma_drop': 0.02}
+    """
+    faults: Dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" not in part:
+            raise FaultSpecError(
+                f"fault {part!r} is not of the form kind:value"
+            )
+        kind, _, raw = part.partition(":")
+        kind = kind.strip()
+        if kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {kind!r}; known: {', '.join(FAULT_KINDS)}"
+            )
+        try:
+            value = float(raw)
+        except ValueError:
+            raise FaultSpecError(f"fault {kind!r} has non-numeric value {raw!r}")
+        if kind in COUNT_KINDS:
+            if value != int(value) or value < 0:
+                raise FaultSpecError(
+                    f"fault {kind!r} takes a non-negative integer count, got {raw}"
+                )
+            faults[kind] = int(value)
+        else:
+            if not 0.0 <= value <= 1.0:
+                raise FaultSpecError(
+                    f"fault {kind!r} takes a probability in [0, 1], got {raw}"
+                )
+            faults[kind] = value
+    if not faults:
+        raise FaultSpecError(f"empty fault spec {spec!r}")
+    return faults
+
+
+@dataclass(frozen=True)
+class SpeFaultPlan:
+    """A context's fate: crash or hang after ``after_ops`` operations."""
+
+    kind: str  # "crash" | "hang"
+    after_ops: int
+
+
+class NullFaultEngine:
+    """The default engine: fault injection disabled, every probe skipped.
+
+    Models guard probes with ``if faults.enabled``, so the disabled cost
+    is one attribute read and a branch per potential fault site.
+    """
+
+    enabled = False
+    injected = 0
+
+    def counts(self) -> Dict[str, int]:
+        return {}
+
+
+#: Shared do-nothing engine every Environment starts with.
+NULL_FAULTS = NullFaultEngine()
+
+
+class FaultEngine:
+    """Seed-driven fault injector consulted by the hardware models.
+
+    ``spec`` is a parsed dict (see :func:`parse_fault_spec`) or a spec
+    string.  Magnitudes of the latency faults are per-engine knobs so
+    experiments can sweep severity without touching the models.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        spec,
+        seed: int = 0,
+        stall_cycles: int = DEFAULT_STALL_CYCLES,
+        degrade_cycles: int = DEFAULT_DEGRADE_CYCLES,
+        ecc_retry_cycles: int = DEFAULT_ECC_RETRY_CYCLES,
+    ):
+        if isinstance(spec, str):
+            spec = parse_fault_spec(spec)
+        unknown = set(spec) - set(FAULT_KINDS)
+        if unknown:
+            raise FaultSpecError(f"unknown fault kinds {sorted(unknown)}")
+        self.spec = dict(spec)
+        self.seed = seed
+        self.stall_cycles = stall_cycles
+        self.degrade_cycles = degrade_cycles
+        self.ecc_retry_cycles = ecc_retry_cycles
+        self._rng = random.Random(seed)
+        self._p_stall = float(spec.get("dma_stall", 0.0))
+        self._p_drop = float(spec.get("dma_drop", 0.0))
+        self._p_degrade = float(spec.get("eib_degrade", 0.0))
+        self._p_ecc = float(spec.get("ecc_retry", 0.0))
+        self._crash_budget = int(spec.get("spe_crash", 0))
+        self._hang_budget = int(spec.get("spe_hang", 0))
+        self.injected = 0
+        self._counts: Dict[str, int] = {}
+        self._env = None
+
+    def bind(self, env) -> None:
+        """Called by the Environment that adopts this engine (needed to
+        stamp trace records with simulation time)."""
+        self._env = env
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _record(self, site: str, kind: str, node: str, cycles: int) -> None:
+        self.injected += 1
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        env = self._env
+        if env is not None and env.trace.enabled:
+            env.trace.emit(
+                FaultInjected(
+                    ts=env.now, site=site, fault=kind, node=node, cycles=cycles
+                )
+            )
+
+    def counts(self) -> Dict[str, int]:
+        """Injected-fault counts by kind (for stats and reports)."""
+        return dict(self._counts)
+
+    # -- MFC -------------------------------------------------------------------
+
+    def mfc_stall_cycles(self, node: str) -> int:
+        """Extra service cycles for this command (0 = no fault)."""
+        if self._p_stall and self._rng.random() < self._p_stall:
+            self._record("mfc", "dma_stall", node, self.stall_cycles)
+            return self.stall_cycles
+        return 0
+
+    def mfc_dropped(self, node: str) -> bool:
+        """True when this command is lost and must be re-driven."""
+        if self._p_drop and self._rng.random() < self._p_drop:
+            self._record("mfc", "dma_drop", node, 0)
+            return True
+        return False
+
+    # -- EIB -------------------------------------------------------------------
+
+    def eib_penalty_cycles(self, src: str, dst: str) -> int:
+        """Extra dead cycles on a committed grant (segment degradation
+        or starvation by a misbehaving requester)."""
+        if self._p_degrade and self._rng.random() < self._p_degrade:
+            self._record("eib", "eib_degrade", f"{src}->{dst}", self.degrade_cycles)
+            return self.degrade_cycles
+        return 0
+
+    # -- memory ----------------------------------------------------------------
+
+    def bank_retry_cycles(self, bank: str) -> int:
+        """Extra service cycles from an ECC scrub-and-retry."""
+        if self._p_ecc and self._rng.random() < self._p_ecc:
+            self._record("memory", "ecc_retry", bank, self.ecc_retry_cycles)
+            return self.ecc_retry_cycles
+        return 0
+
+    # -- SPE contexts ----------------------------------------------------------
+
+    def spe_plan(self, logical_index: int) -> Optional[SpeFaultPlan]:
+        """The fate of a newly loaded SPE program, or None.
+
+        Victims are the first contexts loaded (deterministic); the
+        *moment* each dies is drawn from the seed stream, so different
+        seeds fail at different points of the run.
+        """
+        if self._crash_budget > 0:
+            self._crash_budget -= 1
+            after = self._rng.randint(*SPE_FAULT_OPS_RANGE)
+            return SpeFaultPlan(kind="crash", after_ops=after)
+        if self._hang_budget > 0:
+            self._hang_budget -= 1
+            after = self._rng.randint(*SPE_FAULT_OPS_RANGE)
+            return SpeFaultPlan(kind="hang", after_ops=after)
+        return None
+
+    def record_spe_fault(self, kind: str, node: str) -> None:
+        """Called by the context wrapper at the moment the fault fires."""
+        self._record("spe", f"spe_{kind}", node, 0)
+
+    def describe(self) -> str:
+        pairs = ",".join(f"{kind}:{value}" for kind, value in sorted(self.spec.items()))
+        return f"FaultEngine({pairs}, seed={self.seed})"
+
+    __repr__ = describe
+
+
+@dataclass
+class FaultReport:
+    """Summary of what an engine injected over one run."""
+
+    spec: Dict[str, float] = field(default_factory=dict)
+    seed: int = 0
+    injected: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_engine(cls, engine) -> "FaultReport":
+        if not engine.enabled:
+            return cls()
+        return cls(
+            spec=dict(engine.spec),
+            seed=engine.seed,
+            injected=engine.injected,
+            by_kind=engine.counts(),
+        )

@@ -184,9 +184,26 @@ class BankTurnaround:
     reason: str
 
 
+@dataclass(frozen=True)
+class FaultInjected:
+    """The fault engine fired at a model site (see
+    :mod:`repro.sim.faults`).  ``fault`` is the spec kind (the field is
+    not called ``kind`` because every exported record's args carry the
+    record-type discriminator under that key); ``cycles`` is the latency
+    added, 0 for drops/crashes/hangs whose cost shows up elsewhere."""
+
+    KIND = "fault.inject"
+    ts: int
+    site: str
+    fault: str
+    node: str
+    cycles: int
+
+
 RECORD_TYPES = (
     ProcessResume,
     ProcessTerminate,
+    FaultInjected,
     EibGrant,
     EibWait,
     EibRelease,
@@ -419,6 +436,19 @@ class TraceSummary:
             row["queue_cycles"] += complete.ts - complete.enqueued_at
         return nodes
 
+    # -- faults ---------------------------------------------------------------
+
+    def fault_stats(self) -> Dict[Tuple[str, str], Dict[str, int]]:
+        """Injected faults per (site, kind): count and added cycles."""
+        faults: Dict[Tuple[str, str], Dict[str, int]] = {}
+        for fault in self._of(FaultInjected):
+            row = faults.setdefault(
+                (fault.site, fault.fault), {"count": 0, "cycles": 0}
+            )
+            row["count"] += 1
+            row["cycles"] += fault.cycles
+        return faults
+
     # -- memory ---------------------------------------------------------------
 
     def bank_stats(self) -> Dict[str, Dict[str, int]]:
@@ -446,7 +476,7 @@ class TraceSummary:
 # ---------------------------------------------------------------------------
 
 #: Stable pid assignment for the exported process rows.
-_PIDS = {"EIB": 1, "MFC": 2, "Memory": 3, "Processes": 4}
+_PIDS = {"EIB": 1, "MFC": 2, "Memory": 3, "Processes": 4, "Faults": 5}
 
 #: Records exported as async spans: type -> (pid name, start attr).
 _SPAN_EXPORTS = {
@@ -472,6 +502,8 @@ def _tid(record) -> str:
         return record.node
     if isinstance(record, (BankActivate, BankTurnaround)):
         return record.bank
+    if isinstance(record, FaultInjected):
+        return record.site
     return "sched"
 
 
@@ -482,6 +514,8 @@ def _pid_name(record) -> str:
         return "MFC"
     if isinstance(record, (BankActivate, BankTurnaround)):
         return "Memory"
+    if isinstance(record, FaultInjected):
+        return "Faults"
     return "Processes"
 
 

@@ -10,6 +10,8 @@ and prints:
 * per-ring grants/conflicts/busy/bytes;
 * per-flow bytes and bandwidth over each flow's active window;
 * per-bank service/turnaround accounting and per-MFC queue statistics;
+* injected-fault accounting (site, kind, count, stolen cycles) when the
+  run carried a fault engine (``--faults``);
 * the saturation claims the trace supports
   (:mod:`repro.analysis.saturation`).
 
@@ -130,6 +132,16 @@ def render_report(
             "== MFC queues ==\n"
             + _table(["node", "enqueued", "completed", "bytes", "max_depth"],
                      mfc_rows)
+        )
+
+    fault_rows = [
+        [site, kind, row["count"], row["cycles"]]
+        for (site, kind), row in sorted(summary.fault_stats().items())
+    ]
+    if fault_rows:
+        sections.append(
+            "== faults ==\n"
+            + _table(["site", "kind", "count", "cycles"], fault_rows)
         )
 
     if interval:

@@ -1,0 +1,298 @@
+"""Fault-injection engine and runtime-resilience tests.
+
+Covers the spec grammar, the determinism guarantees (same ``(spec,
+seed)`` pair ⇒ same faults ⇒ same results; no engine ⇒ identical to a
+plain run), each hardware fault site, and the offload runtime's
+crash/hang recovery.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cell import CellChip, DmaTimeoutError
+from repro.libspe import SpeContext
+from repro.runtime import OffloadRuntime, ResiliencePolicy, wavefront
+from repro.sim import (
+    FaultEngine,
+    FaultInjected,
+    FaultReport,
+    FaultSpecError,
+    NULL_FAULTS,
+    TraceRecorder,
+    TraceSummary,
+    parse_fault_spec,
+)
+from repro.trace_report import render_report
+
+
+# -- spec grammar ------------------------------------------------------------------
+
+
+def test_parse_fault_spec_mixed():
+    assert parse_fault_spec("spe_crash:1,dma_drop:0.02,ecc_retry:0.5") == {
+        "spe_crash": 1,
+        "dma_drop": 0.02,
+        "ecc_retry": 0.5,
+    }
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "unknown_kind:1",
+        "spe_crash",  # no value
+        "spe_crash:1.5",  # count kinds take integers
+        "spe_crash:-1",
+        "dma_drop:1.5",  # probability out of range
+        "dma_drop:x",
+        "",
+    ],
+)
+def test_parse_fault_spec_rejects(spec):
+    with pytest.raises(FaultSpecError):
+        parse_fault_spec(spec)
+
+
+def test_null_engine_is_inert():
+    assert NULL_FAULTS.enabled is False
+    assert NULL_FAULTS.injected == 0
+    assert NULL_FAULTS.counts() == {}
+
+
+def test_environment_defaults_to_null_engine(chip):
+    assert chip.env.faults is NULL_FAULTS
+    assert chip.faults.enabled is False
+
+
+# -- determinism -------------------------------------------------------------------
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_engine_probe_stream_is_seed_deterministic(seed):
+    spec = "dma_stall:0.3,dma_drop:0.2,eib_degrade:0.25,ecc_retry:0.15"
+    a = FaultEngine(spec, seed=seed)
+    b = FaultEngine(spec, seed=seed)
+    trace_a = [
+        (a.mfc_stall_cycles("spe0"), a.mfc_dropped("spe0"),
+         a.eib_penalty_cycles("spe0", "mem0"), a.bank_retry_cycles("bank0"))
+        for _ in range(200)
+    ]
+    trace_b = [
+        (b.mfc_stall_cycles("spe0"), b.mfc_dropped("spe0"),
+         b.eib_penalty_cycles("spe0", "mem0"), b.bank_retry_cycles("bank0"))
+        for _ in range(200)
+    ]
+    assert trace_a == trace_b
+    assert a.counts() == b.counts()
+
+
+def _run_stats(policy, faults=None):
+    return OffloadRuntime(
+        wavefront(3, 3), n_spes=4, policy=policy, faults=faults
+    ).run()
+
+
+def _key(stats):
+    return (
+        stats.makespan_cycles,
+        stats.memory_read_bytes,
+        stats.memory_write_bytes,
+        stats.forwarded_bytes,
+        stats.faults_injected,
+        stats.tasks_retried,
+        stats.spes_lost,
+        stats.lost_workers,
+        tuple(sorted(stats.tasks_per_spe.items())),
+    )
+
+
+@pytest.mark.parametrize("policy", ["forward", "memory"])
+def test_same_fault_seed_reproduces_identical_run(policy):
+    spec = "spe_crash:1,dma_stall:0.1,ecc_retry:0.1"
+    first = _run_stats(policy, FaultEngine(spec, seed=7))
+    second = _run_stats(policy, FaultEngine(spec, seed=7))
+    assert _key(first) == _key(second)
+
+
+def test_engine_disabled_matches_plain_run():
+    plain = _run_stats("forward")
+    again = _run_stats("forward", faults=None)
+    assert _key(plain) == _key(again)
+    assert plain.faults_injected == 0
+    assert str(plain) == str(again)
+    assert "faults" not in str(plain)  # stats text unchanged without faults
+
+
+# -- hardware fault sites -----------------------------------------------------------
+
+
+def _chip_with(spec, seed=0, trace=None, **knobs):
+    return CellChip(faults=FaultEngine(spec, seed=seed, **knobs), trace=trace)
+
+
+def test_mfc_stall_delays_command():
+    out = {}
+
+    def program(spu, out):
+        yield from spu.mfc_get(size=4096, tag=0)
+        yield from spu.wait_tags([0])
+        out["cycles"] = spu.read_decrementer()
+
+    baseline_chip = CellChip()
+    SpeContext(baseline_chip, 0).load(program, out)
+    baseline_chip.run()
+    baseline = out["cycles"]
+
+    chip = _chip_with("dma_stall:1.0", stall_cycles=5_000)
+    SpeContext(chip, 0).load(program, out)
+    chip.run()
+    assert out["cycles"] >= baseline + 5_000
+    assert chip.faults.counts() == {"dma_stall": 1}
+
+
+def test_dropped_command_recovers_via_redrive():
+    out = {}
+
+    def program(spu, out):
+        yield from spu.mfc_get(size=4096, tag=0)
+        yield from spu.wait_tags([0], timeout=2_000, retries=2)
+        out["redriven"] = spu.spe.mfc.commands_redriven
+        out["parked"] = spu.spe.mfc.parked_commands()
+
+    chip = _chip_with("dma_drop:1.0")
+    SpeContext(chip, 0).load(program, out)
+    chip.run()
+    assert out["redriven"] == 1  # the drop was re-driven and completed
+    assert out["parked"] == 0
+    assert chip.faults.counts() == {"dma_drop": 1}
+
+
+def test_dropped_command_without_retries_times_out():
+    def program(spu):
+        yield from spu.mfc_get(size=4096, tag=0)
+        yield from spu.wait_tags([0], timeout=2_000, retries=0)
+
+    chip = _chip_with("dma_drop:1.0")
+    SpeContext(chip, 0).load(program)
+    with pytest.raises(DmaTimeoutError) as excinfo:
+        chip.run()
+    assert excinfo.value.tags == (0,)
+    assert excinfo.value.attempts == 1
+
+
+def test_ecc_retry_charges_the_bank():
+    def program(spu):
+        yield from spu.mfc_get(size=16384, tag=0)
+        yield from spu.wait_tags([0])
+
+    chip = _chip_with("ecc_retry:1.0")
+    SpeContext(chip, 0).load(program)
+    chip.run()
+    assert sum(b.fault_cycles for b in chip.memory.banks) > 0
+    assert chip.faults.counts()["ecc_retry"] >= 1
+
+
+def test_eib_degradation_charges_the_ring():
+    def program(spu, partner):
+        yield from spu.mfc_get(size=16384, tag=0, remote_spe=partner)
+        yield from spu.wait_tags([0])
+
+    chip = _chip_with("eib_degrade:1.0")
+    SpeContext(chip, 0).load(program, chip.spe(4))
+    chip.run()
+    assert chip.eib.fault_cycles > 0
+    assert chip.faults.counts()["eib_degrade"] >= 1
+
+
+# -- runtime recovery ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy", ["forward", "memory"])
+def test_runtime_survives_one_crashed_spe(policy):
+    graph = wavefront(4, 4)
+    stats = OffloadRuntime(
+        graph, n_spes=8, policy=policy, faults=FaultEngine("spe_crash:1", seed=7)
+    ).run()
+    assert stats.spes_lost == 1
+    assert stats.lost_workers == (0,)  # victims are the first contexts loaded
+    assert stats.tasks_retried >= 1
+    # Every task completed exactly once, crash or not.
+    assert sum(stats.tasks_per_spe.values()) == len(graph)
+
+
+@pytest.mark.parametrize("policy", ["forward", "memory"])
+def test_runtime_survives_one_hung_spe(policy):
+    graph = wavefront(4, 4)
+    stats = OffloadRuntime(
+        graph,
+        n_spes=8,
+        policy=policy,
+        faults=FaultEngine("spe_hang:1", seed=3),
+        resilience=ResiliencePolicy(
+            hang_timeout_cycles=200_000, check_interval_cycles=20_000
+        ),
+    ).run()
+    assert stats.spes_lost == 1
+    assert sum(stats.tasks_per_spe.values()) == len(graph)
+
+
+def test_runtime_completes_under_noisy_transfers():
+    graph = wavefront(3, 3)
+    stats = OffloadRuntime(
+        graph,
+        n_spes=4,
+        policy="forward",
+        faults=FaultEngine("dma_drop:0.05,dma_stall:0.05,ecc_retry:0.1", seed=11),
+    ).run()
+    assert sum(stats.tasks_per_spe.values()) == len(graph)
+    assert stats.faults_injected > 0
+
+
+def test_crash_without_monitor_still_propagates():
+    """Outside the resilient runtime, an injected crash is loud."""
+    from repro.cell.errors import SpeCrashError
+
+    def program(spu):
+        while True:
+            yield spu.compute(100)
+
+    chip = _chip_with("spe_crash:1", seed=1)
+    SpeContext(chip, 0).load(program)
+    with pytest.raises(SpeCrashError):
+        chip.run()
+
+
+# -- trace and reporting ------------------------------------------------------------
+
+
+def test_fault_records_reach_trace_and_report():
+    def program(spu):
+        yield from spu.mfc_get(size=16384, tag=0)
+        yield from spu.wait_tags([0])
+
+    recorder = TraceRecorder()
+    chip = _chip_with("ecc_retry:1.0,dma_stall:1.0", trace=recorder)
+    SpeContext(chip, 0).load(program)
+    chip.run()
+    fault_records = [r for r in recorder.records if isinstance(r, FaultInjected)]
+    assert fault_records
+    summary = TraceSummary(recorder.records)
+    stats = summary.fault_stats()
+    assert ("memory", "ecc_retry") in stats
+    assert ("mfc", "dma_stall") in stats
+    report = render_report(summary, cpu_hz=3.2e9)
+    assert "== faults ==" in report
+    assert "ecc_retry" in report
+
+
+def test_fault_report_from_engine():
+    engine = FaultEngine("dma_stall:1.0", seed=2)
+    for _ in range(5):
+        engine.mfc_stall_cycles("spe0")
+    report = FaultReport.from_engine(engine)
+    assert report.injected == 5
+    assert report.by_kind == {"dma_stall": 5}
+    assert report.seed == 2
+    assert FaultReport.from_engine(NULL_FAULTS).injected == 0

@@ -5,6 +5,7 @@ import pytest
 from repro.cell import CellChip
 from repro.cell.errors import CellError
 from repro.libspe import SpeContext, run_programs
+from repro.sim import SimulationError
 
 
 def test_context_runs_program_and_returns(chip):
@@ -154,5 +155,7 @@ def test_run_programs_detects_hang(config):
     def stuck(spu):
         yield spu.spe.env.event()  # waits forever
 
-    with pytest.raises(CellError):
+    # The kernel's drain-time deadlock diagnostic fires first and names
+    # the blocked process (run_programs' own check is the backstop).
+    with pytest.raises(SimulationError, match=r"stuck"):
         run_programs(chip, stuck, [0])

@@ -1,0 +1,138 @@
+"""Kernel watchdog and stall-diagnostic tests (repro.sim.core).
+
+The simulator must never fail silently: a livelock trips the
+``stall_after`` watchdog, an event-budget overrun trips ``max_events``,
+and a drained queue with processes still waiting is reported as a
+deadlock naming every blocked process and its wait target.
+"""
+
+import pytest
+
+from repro.sim import (
+    Environment,
+    ProgressGuard,
+    SimulationError,
+    SimulationStall,
+    TraceRecorder,
+)
+
+
+def test_stall_after_detects_zero_time_livelock():
+    env = Environment()
+
+    def spinner(env):
+        while True:
+            event = env.event()
+            event.succeed()
+            yield event  # resumes at the same timestamp, forever
+
+    def bystander(env):
+        yield env.event()  # legitimately blocked
+
+    env.process(spinner(env))
+    env.process(bystander(env), daemon=False)
+    with pytest.raises(SimulationStall) as excinfo:
+        env.run(stall_after=500)
+    message = str(excinfo.value)
+    assert "no-progress livelock" in message
+    assert "bystander" in message  # blocked processes are named
+    assert excinfo.value.blocked  # structured report available too
+
+
+def test_stall_after_allows_busy_but_advancing_runs():
+    env = Environment()
+
+    def ticker(env):
+        for _ in range(2000):
+            yield env.timeout(1)
+
+    env.process(ticker(env))
+    env.run(stall_after=500)  # clock advances every event: no stall
+    assert env.now == 2000
+
+
+def test_max_events_budget_trips():
+    env = Environment()
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1)
+
+    env.process(ticker(env))
+    with pytest.raises(SimulationStall, match="max_events"):
+        env.run(max_events=100)
+
+
+def test_drained_queue_with_blocked_process_is_a_deadlock():
+    env = Environment()
+
+    def one_shot(env):
+        yield env.timeout(5)
+
+    def waits_forever(env):
+        yield env.event()
+
+    env.process(one_shot(env))
+    env.process(waits_forever(env))
+    with pytest.raises(SimulationError) as excinfo:
+        env.run()
+    message = str(excinfo.value)
+    assert "deadlock" in message
+    assert "waits_forever" in message
+    assert "waiting on" in message
+
+
+def test_daemon_processes_are_exempt_from_deadlock_check():
+    env = Environment()
+
+    def service(env):
+        yield env.event()  # a server loop parked on its request queue
+
+    def client(env):
+        yield env.timeout(3)
+
+    env.process(service(env), daemon=True)
+    env.process(client(env))
+    env.run()  # drains cleanly: the daemon does not count as blocked
+    assert env.now == 3
+
+
+def test_stall_report_includes_trace_tail_when_tracing():
+    env = Environment(trace=TraceRecorder())
+
+    def spinner(env):
+        while True:
+            event = env.event()
+            event.succeed()
+            yield event
+
+    env.process(spinner(env))
+    with pytest.raises(SimulationStall, match="trace tail"):
+        env.run(stall_after=100)
+
+
+def test_run_until_event_drain_failure_names_blocked():
+    env = Environment()
+
+    def waits_forever(env):
+        yield env.event()
+
+    env.process(waits_forever(env))
+    target = env.event()  # nobody ever succeeds it
+    with pytest.raises(SimulationError, match="waits_forever"):
+        env.run(until=target)
+
+
+def test_progress_guard_trips_on_repeated_key():
+    env = Environment()
+    guard = ProgressGuard(env, "unit under test", limit=10)
+    with pytest.raises(SimulationStall, match="unit under test"):
+        for _ in range(20):
+            guard.tick(("same", 0))
+
+
+def test_progress_guard_resets_when_key_changes():
+    env = Environment()
+    guard = ProgressGuard(env, "unit under test", limit=10)
+    for i in range(1000):
+        guard.tick(("progress", i))  # key changes: never trips
