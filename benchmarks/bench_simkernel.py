@@ -1,0 +1,185 @@
+"""DES-kernel throughput microbenchmark: events/second, serial vs pool.
+
+The workload is a standard "DMA storm": all 8 SPEs stream GET+PUT
+against main memory (the figure-8 shape that saturates the banks), one
+fresh machine per repetition with seeded random placements — exactly
+what every sweep in this repository fans out.  The benchmark
+
+* counts the workload's event total once with an instrumented step
+  loop (simulations are deterministic, so every repetition of a spec
+  processes the same events),
+* times the repetitions serially (``jobs=1``, the in-process path) and
+  through the :class:`~repro.runtime.parallel.SweepExecutor` pool,
+* writes ``BENCH_simkernel.json`` so the kernel's performance
+  trajectory is tracked across PRs.
+
+Run standalone (full size)::
+
+    PYTHONPATH=src python benchmarks/bench_simkernel.py --jobs 4
+    PYTHONPATH=src python benchmarks/bench_simkernel.py --runs 16 --out /tmp/bench.json
+
+or as a pytest smoke (reduced size)::
+
+    pytest benchmarks/bench_simkernel.py -q -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from time import perf_counter
+from typing import Dict, List
+
+from repro.cell.chip import CellChip
+from repro.cell.config import CellConfig
+from repro.cell.topology import SpeMapping
+from repro.core.experiment import RunSpec
+from repro.core.kernels import DmaWorkload, dma_stream_kernel
+from repro.libspe import SpeContext
+from repro.runtime.parallel import SweepExecutor, default_jobs
+
+#: Placement seed of the first repetition (matches the experiments).
+SEED_BASE = 1000
+
+#: The storm: every SPE copies 4 KiB elements against main memory.
+STORM_ELEMENT_BYTES = 4096
+
+
+def storm_spec(seed: int, n_elements: int) -> RunSpec:
+    """One repetition of the DMA storm as a picklable spec."""
+    workload = DmaWorkload(
+        direction="copy",
+        element_bytes=STORM_ELEMENT_BYTES,
+        n_elements=n_elements,
+    )
+    config = CellConfig.paper_blade()
+    return RunSpec(
+        config=config,
+        seed=seed,
+        assignments=tuple((logical, workload) for logical in range(config.n_spes)),
+    )
+
+
+def count_events(spec: RunSpec) -> int:
+    """Events one repetition processes, counted with a step loop.
+
+    Deterministic: every repetition of the same spec (and, placement
+    aside, of sibling seeds) drains the same event count, so the timed
+    runs below can use the uninstrumented fast loop.
+    """
+    chip = CellChip(
+        config=spec.config,
+        mapping=SpeMapping.random(spec.seed, spec.config.n_spes),
+    )
+    for logical, workload in spec.assignments:
+        SpeContext(chip, logical, unrolled=spec.unrolled).load(
+            dma_stream_kernel, workload, {}, None
+        )
+    events = 0
+    env = chip.env
+    while env._queue:
+        env.step()
+        events += 1
+    return events
+
+
+def measure(jobs: int, specs: List[RunSpec], events_per_run: int) -> Dict:
+    """Wall-clock one pass over ``specs`` at a worker count."""
+    with SweepExecutor(jobs=jobs, cache=None) as executor:
+        if jobs > 1:
+            executor._ensure_pool()  # exclude pool start-up from the timing
+        begin = perf_counter()
+        samples = executor.samples(specs)
+        elapsed = perf_counter() - begin
+    assert len(samples) == len(specs)
+    total_events = events_per_run * len(specs)
+    return {
+        "jobs": jobs,
+        "runs": len(specs),
+        "seconds": elapsed,
+        "events": total_events,
+        "events_per_sec": total_events / elapsed,
+    }
+
+
+def run_benchmark(jobs: int, runs: int, n_elements: int, out: str) -> Dict:
+    specs = [storm_spec(SEED_BASE + i, n_elements) for i in range(runs)]
+    events_per_run = count_events(specs[0])
+    serial = measure(1, specs, events_per_run)
+    parallel = measure(jobs, specs, events_per_run) if jobs > 1 else None
+    report = {
+        "workload": {
+            "shape": "dma-storm",
+            "n_spes": specs[0].config.n_spes,
+            "element_bytes": STORM_ELEMENT_BYTES,
+            "n_elements": n_elements,
+            "events_per_run": events_per_run,
+        },
+        "serial": serial,
+        "parallel": parallel,
+        "speedup": (
+            serial["seconds"] / parallel["seconds"] if parallel else None
+        ),
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+    }
+    with open(out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return report
+
+
+def _print_report(report: Dict) -> None:
+    workload = report["workload"]
+    print(
+        f"dma-storm: {workload['n_spes']} SPEs x {workload['n_elements']} "
+        f"x {workload['element_bytes']} B, {workload['events_per_run']} events/run"
+    )
+    for label in ("serial", "parallel"):
+        row = report[label]
+        if row is None:
+            continue
+        print(
+            f"  {label:8s} jobs={row['jobs']}: {row['runs']} runs in "
+            f"{row['seconds']:.2f} s = {row['events_per_sec']:,.0f} events/s"
+        )
+    if report["speedup"]:
+        print(f"  speedup: {report['speedup']:.2f}x on {report['cpu_count']} core(s)")
+
+
+def test_simkernel_throughput():
+    """Pytest smoke: a reduced storm must clear a sanity floor and the
+    JSON artefact must land."""
+    report = run_benchmark(
+        jobs=2, runs=4, n_elements=64, out="BENCH_simkernel.json"
+    )
+    print()
+    _print_report(report)
+    assert report["workload"]["events_per_run"] > 1000
+    assert report["serial"]["events_per_sec"] > 10_000
+    assert report["parallel"]["runs"] == report["serial"]["runs"]
+    assert os.path.exists("BENCH_simkernel.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="pool width (default: one per CPU core)")
+    parser.add_argument("--runs", type=int, default=8,
+                        help="repetitions per mode (default 8)")
+    parser.add_argument("--elements", type=int, default=256,
+                        help="DMA elements per SPE per run (default 256)")
+    parser.add_argument("--out", default="BENCH_simkernel.json",
+                        help="output JSON path (default BENCH_simkernel.json)")
+    args = parser.parse_args(argv)
+    jobs = default_jobs() if args.jobs is None else args.jobs
+    report = run_benchmark(jobs, args.runs, args.elements, args.out)
+    _print_report(report)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,8 @@ against them, and :mod:`repro.core.report` renders the figures' data as
 text tables.
 """
 
-from repro.core.experiment import Experiment, ExperimentResult
+from repro.core.cache import ResultCache, repro_code_version
+from repro.core.experiment import Experiment, ExperimentResult, RunSpec, run_spec
 from repro.core.kernels import DmaWorkload, dma_stream_kernel
 from repro.core.ppe_bandwidth import PpeBandwidthExperiment
 from repro.core.results import BandwidthSample, BandwidthStats, SweepTable
@@ -35,8 +36,12 @@ __all__ = [
     "PairDistanceExperiment",
     "PairSyncExperiment",
     "PpeBandwidthExperiment",
+    "ResultCache",
+    "RunSpec",
     "SpeLocalStoreExperiment",
     "SpeMemoryExperiment",
     "SweepTable",
     "dma_stream_kernel",
+    "repro_code_version",
+    "run_spec",
 ]

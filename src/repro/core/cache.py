@@ -1,0 +1,150 @@
+"""Persistent, content-addressed cache of repetition results.
+
+A repetition (one :class:`~repro.core.experiment.RunSpec`) is a pure
+function of its inputs, so its :class:`~repro.core.results.BandwidthSample`
+can be reused across ``reproduce`` invocations.  The cache key is the
+SHA-256 of a canonical JSON rendering of
+
+* the complete :class:`~repro.cell.config.CellConfig` (every
+  architectural and calibration knob),
+* the kernel spec: each active SPE's :class:`~repro.core.kernels.DmaWorkload`
+  plus the ``unrolled`` flag,
+* the placement seed,
+* the **code version**: a digest over every ``.py`` file of the
+  ``repro`` package.
+
+Invalidation is purely by key: editing any model source changes the
+code version, so every old entry simply stops matching — stale files
+are never read, only orphaned (delete the cache directory to reclaim
+the space).  Corrupt or half-written entries read as misses.
+
+Layout::
+
+    .repro-cache/
+      ab/abcdef...0123.json    # {"gbps": ..., "nbytes": ..., "cycles": ..., "seed": ...}
+
+Writes go through a same-directory temp file and ``os.replace`` so a
+crashed run never leaves a truncated entry behind, and concurrent
+writers of the same key settle on one complete file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from typing import Optional
+
+from repro.core.results import BandwidthSample
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_code_version: Optional[str] = None
+
+
+def repro_code_version() -> str:
+    """Digest of every ``.py`` source of the installed ``repro`` package.
+
+    Computed once per process; any edit anywhere in the model, kernels,
+    runtime or experiment protocol yields a new version and therefore a
+    cold cache — the conservative choice, since the cache cannot know
+    which module feeds which number.
+    """
+    global _code_version
+    if _code_version is None:
+        import repro
+
+        root = os.path.dirname(os.path.abspath(repro.__file__))
+        digest = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(root)):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if not filename.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, filename)
+                digest.update(os.path.relpath(path, root).encode())
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+        _code_version = digest.hexdigest()
+    return _code_version
+
+
+class ResultCache:
+    """JSON-file cache of repetition samples under ``root``.
+
+    ``code_version`` defaults to :func:`repro_code_version`; tests pin
+    it to exercise invalidation without editing sources.
+    """
+
+    def __init__(self, root: str = DEFAULT_CACHE_DIR,
+                 code_version: Optional[str] = None):
+        self.root = root
+        self.code_version = (
+            repro_code_version() if code_version is None else code_version
+        )
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, spec) -> str:
+        """Content address of one repetition."""
+        payload = {
+            "code": self.code_version,
+            "config": dataclasses.asdict(spec.config),
+            "assignments": [
+                [logical, dataclasses.asdict(workload)]
+                for logical, workload in spec.assignments
+            ],
+            "seed": spec.seed,
+            "unrolled": spec.unrolled,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def get(self, spec) -> Optional[BandwidthSample]:
+        """The cached sample for a spec, or None (a miss)."""
+        try:
+            with open(self._path(self.key(spec))) as handle:
+                payload = json.load(handle)
+            sample = BandwidthSample(
+                gbps=payload["gbps"],
+                nbytes=payload["nbytes"],
+                cycles=payload["cycles"],
+                seed=payload["seed"],
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            # Missing, corrupt or half-written entries all read as
+            # misses; put() will rewrite them whole.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return sample
+
+    def put(self, spec, sample: BandwidthSample) -> None:
+        """Store a freshly simulated sample (atomic, last writer wins)."""
+        path = self._path(self.key(spec))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        payload = {
+            "gbps": sample.gbps,
+            "nbytes": sample.nbytes,
+            "cycles": sample.cycles,
+            "seed": sample.seed,
+        }
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=os.path.dirname(path), suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                json.dump(payload, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise

@@ -31,6 +31,61 @@ from repro.core.kernels import DmaWorkload, dma_stream_kernel
 from repro.core.results import BandwidthSample, BandwidthStats, SweepTable
 from repro.libspe import SpeContext
 
+#: Assignment of one workload to one logical SPE.
+Assignment = Tuple[int, DmaWorkload]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One repetition of one sweep cell, as a picklable value.
+
+    Everything a worker process needs to reproduce the repetition:
+    the machine, the seeded SPE placement, and each active SPE's
+    workload.  :func:`run_spec` is a pure function of this value, which
+    is what makes repetitions safe to fan out across processes
+    (:mod:`repro.runtime.parallel`) and to cache persistently
+    (:mod:`repro.core.cache`).
+    """
+
+    config: CellConfig
+    seed: int
+    assignments: Tuple[Assignment, ...]
+    unrolled: bool = True
+
+
+def run_spec(spec: RunSpec) -> BandwidthSample:
+    """Run one repetition on a fresh chip; the module-level entry point
+    worker processes import by name.
+
+    Workers build their own :class:`~repro.sim.Environment`, so tracing
+    and fault injection are never active inside a fanned-out repetition
+    (both attach at chip construction, and a spec carries neither).
+    """
+    if not spec.assignments:
+        raise ConfigError("no SPE assignments")
+    mapping = SpeMapping.random(spec.seed, spec.config.n_spes)
+    chip = CellChip(config=spec.config, mapping=mapping)
+    outs: List[Dict] = []
+    for logical, workload in spec.assignments:
+        partner = (
+            chip.spe(workload.partner_logical)
+            if workload.partner_logical is not None
+            else None
+        )
+        context = SpeContext(chip, logical, unrolled=spec.unrolled)
+        out: Dict = {}
+        context.load(dma_stream_kernel, workload, out, partner)
+        outs.append(out)
+    chip.run()
+    total_bytes = sum(out["bytes"] for out in outs)
+    elapsed = max(out["end"] for out in outs) - min(out["start"] for out in outs)
+    return BandwidthSample(
+        gbps=spec.config.clock.gbps(total_bytes, elapsed),
+        nbytes=total_bytes,
+        cycles=elapsed,
+        seed=spec.seed,
+    )
+
 #: Fewest commands a timed region may contain (steady-state guarantee).
 MIN_COMMANDS = 32
 
@@ -78,6 +133,7 @@ class Experiment:
         bytes_per_spe: int = DEFAULT_BYTES_PER_SPE,
         seed_base: int = 1000,
         unrolled: bool = True,
+        executor=None,
     ):
         if repetitions < 1:
             raise ConfigError(f"repetitions must be >= 1, got {repetitions}")
@@ -90,6 +146,10 @@ class Experiment:
         self.bytes_per_spe = bytes_per_spe
         self.seed_base = seed_base
         self.unrolled = unrolled
+        # Optional repetition executor (duck-typed:
+        # repro.runtime.parallel.SweepExecutor).  None = run every
+        # repetition inline, exactly the historical serial path.
+        self.executor = executor
 
     @classmethod
     def paper_scale(cls, **kwargs) -> "Experiment":
@@ -118,47 +178,47 @@ class Experiment:
         mapping = SpeMapping.random(seed, self.config.n_spes)
         return CellChip(config=self.config, mapping=mapping)
 
+    def spec_for(
+        self, seed: int, assignments: Sequence[Assignment]
+    ) -> RunSpec:
+        """The picklable :class:`RunSpec` of one repetition."""
+        return RunSpec(
+            config=self.config,
+            seed=seed,
+            assignments=tuple(assignments),
+            unrolled=self.unrolled,
+        )
+
     def run_assignments(
         self,
         seed: int,
-        assignments: Sequence[Tuple[int, DmaWorkload]],
+        assignments: Sequence[Assignment],
     ) -> BandwidthSample:
         """Run one repetition: each (logical SPE, workload) pair runs the
         stream kernel; returns the aggregate-bandwidth sample."""
-        if not assignments:
-            raise ConfigError("no SPE assignments")
-        chip = self.build_chip(seed)
-        outs: List[Dict] = []
-        for logical, workload in assignments:
-            partner = (
-                chip.spe(workload.partner_logical)
-                if workload.partner_logical is not None
-                else None
-            )
-            context = SpeContext(chip, logical, unrolled=self.unrolled)
-            out: Dict = {}
-            context.load(dma_stream_kernel, workload, out, partner)
-            outs.append(out)
-        chip.run()
-        total_bytes = sum(out["bytes"] for out in outs)
-        elapsed = max(out["end"] for out in outs) - min(out["start"] for out in outs)
-        return BandwidthSample(
-            gbps=self.config.clock.gbps(total_bytes, elapsed),
-            nbytes=total_bytes,
-            cycles=elapsed,
-            seed=seed,
-        )
+        return run_spec(self.spec_for(seed, assignments))
 
     def stats_over_seeds(
         self, assignments_for_seed
     ) -> BandwidthStats:
         """Repeat a run over all seeds.  ``assignments_for_seed(seed)``
-        returns the (logical, workload) list for one repetition."""
-        samples = [
-            self.run_assignments(seed, assignments_for_seed(seed))
+        returns the (logical, workload) list for one repetition.
+
+        With an :attr:`executor` attached, the repetitions go through it
+        instead of running inline: the executor may serve them from the
+        persistent cache, fan them out over worker processes, or defer
+        them until the whole sweep is planned — in which case the
+        returned object is a placeholder the executor later replaces in
+        every :class:`~repro.core.results.SweepTable`
+        (:meth:`repro.runtime.parallel.SweepExecutor.run`).
+        """
+        specs = [
+            self.spec_for(seed, assignments_for_seed(seed))
             for seed in self.seeds
         ]
-        return BandwidthStats.from_samples(samples)
+        if self.executor is not None:
+            return self.executor.stats(specs)
+        return BandwidthStats.from_samples([run_spec(spec) for spec in specs])
 
     # -- the part subclasses implement ---------------------------------------------
 

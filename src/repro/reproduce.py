@@ -9,6 +9,16 @@ directory::
     python -m repro.reproduce --paper-scale   # the paper's full protocol
     python -m repro.reproduce --outdir /tmp/cell
     python -m repro.reproduce --quick --trace out.json   # + chip trace
+    python -m repro.reproduce --jobs 8        # fan repetitions over 8 processes
+    python -m repro.reproduce --no-cache      # ignore .repro-cache/
+
+Repetitions are independent simulations; ``--jobs N`` (default: one per
+CPU core) fans them across a process pool with a deterministic ordered
+merge, so reports are byte-identical for every N (``--jobs 1`` is the
+serial path).  Completed repetitions are memoised in ``.repro-cache/``
+keyed by machine config, workloads, seed and code version; a re-run
+after an unrelated edit (or none) skips straight to the reports.
+``--no-cache`` bypasses the cache, ``--cache-dir`` relocates it.
 
 ``--trace PATH`` additionally runs a traced showcase workload (memory
 streams plus SPE couples) and writes a Chrome trace-event JSON loadable
@@ -32,7 +42,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis import GuidelineAdvisor, StreamingComparison
 from repro.core import (
@@ -41,13 +51,16 @@ from repro.core import (
     PairDistanceExperiment,
     PairSyncExperiment,
     PpeBandwidthExperiment,
+    ResultCache,
     SpeLocalStoreExperiment,
     SpeMemoryExperiment,
 )
 from repro.core import validation
+from repro.core.cache import DEFAULT_CACHE_DIR
 from repro.core.experiment import ExperimentResult
 from repro.core.report import format_series_chart, render_result, to_csv
 from repro.core.spe_pairs import SYNC_AFTER_ALL
+from repro.runtime.parallel import SweepExecutor, default_jobs
 
 #: Sweep presets: (element sizes, repetitions, bytes per SPE).
 PRESETS = {
@@ -82,6 +95,25 @@ def parse_args(argv=None) -> argparse.Namespace:
         metavar="N",
         help="seed for the deterministic fault stream (default 0)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the sweeps (default: one per CPU "
+        "core; 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the persistent result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        metavar="PATH",
+        help=f"result-cache directory (default {DEFAULT_CACHE_DIR})",
+    )
     scale = parser.add_mutually_exclusive_group()
     scale.add_argument("--quick", action="store_true")
     scale.add_argument("--paper-scale", action="store_true")
@@ -101,29 +133,43 @@ def _save_result(outdir: str, result: ExperimentResult) -> None:
         _write(outdir, f"{result.name}.{table_name}.csv", to_csv(table))
 
 
-def run_all(preset: str, outdir: str) -> List[validation.ClaimCheck]:
+def run_all(
+    preset: str, outdir: str, executor: Optional[SweepExecutor] = None
+) -> List[validation.ClaimCheck]:
+    """Run every experiment and write the reports.
+
+    ``executor`` routes each experiment's repetitions through a
+    :class:`~repro.runtime.parallel.SweepExecutor` (process fan-out
+    and/or the persistent result cache); ``None`` keeps the historical
+    inline-serial path.
+    """
     sizes, repetitions, volume = PRESETS[preset]
     os.makedirs(outdir, exist_ok=True)
     checks: List[validation.ClaimCheck] = []
 
+    def execute(experiment) -> ExperimentResult:
+        if executor is None:
+            return experiment.run()
+        return executor.run(experiment)
+
     print("[1/8] PPE bandwidth (Figures 3, 4, 6)")
     ppe: Dict[str, ExperimentResult] = {}
     for level in ("l1", "l2", "mem"):
-        ppe[level] = PpeBandwidthExperiment(level).run()
+        ppe[level] = execute(PpeBandwidthExperiment(level))
         _save_result(outdir, ppe[level])
     checks += validation.check_ppe(ppe)
 
     print("[2/8] SPU <-> local store (section 4.2.2)")
-    localstore = SpeLocalStoreExperiment().run()
+    localstore = execute(SpeLocalStoreExperiment())
     _save_result(outdir, localstore)
     checks += validation.check_localstore(localstore)
 
     print("[3/8] SPE <-> memory (Figure 8)")
-    memory = SpeMemoryExperiment(
+    memory = execute(SpeMemoryExperiment(
         element_sizes=sizes,
         repetitions=min(3, repetitions),
         bytes_per_spe=volume,
-    ).run()
+    ))
     _save_result(outdir, memory)
     checks += validation.check_spe_memory(memory)
     _write(
@@ -141,34 +187,34 @@ def run_all(preset: str, outdir: str) -> List[validation.ClaimCheck]:
     )
 
     print("[4/8] pair distance (Figure 9 setup)")
-    distance = PairDistanceExperiment(
+    distance = execute(PairDistanceExperiment(
         element_sizes=(16384,), repetitions=repetitions, bytes_per_spe=volume
-    ).run()
+    ))
     _save_result(outdir, distance)
     checks += validation.check_pair_distance(distance)
 
     print("[5/8] sync delay (Figure 10)")
     sync_sizes = tuple(sorted(set(sizes) | {512, 1024, 4096, 16384}))
-    sync = PairSyncExperiment(
+    sync = execute(PairSyncExperiment(
         sync_policies=(1, 2, 4, 16, SYNC_AFTER_ALL),
         element_sizes=sync_sizes,
         repetitions=2,
         bytes_per_spe=volume,
-    ).run()
+    ))
     _save_result(outdir, sync)
     checks += validation.check_pair_sync(sync)
 
     print("[6/8] couples (Figures 12/13)")
-    couples = CouplesExperiment(
+    couples = execute(CouplesExperiment(
         element_sizes=sizes, repetitions=repetitions, bytes_per_spe=volume
-    ).run()
+    ))
     _save_result(outdir, couples)
     checks += validation.check_couples(couples)
 
     print("[7/8] cycle (Figures 15/16)")
-    cycle = CycleExperiment(
+    cycle = execute(CycleExperiment(
         element_sizes=sizes, repetitions=repetitions, bytes_per_spe=volume
-    ).run()
+    ))
     _save_result(outdir, cycle)
     checks += validation.check_cycle(cycle, couples)
 
@@ -290,7 +336,17 @@ def run_faulted(spec: str, seed: int) -> bool:
 def main(argv=None) -> int:
     args = parse_args(argv)
     preset = "quick" if args.quick else "paper" if args.paper_scale else "default"
-    checks = run_all(preset, args.outdir)
+    jobs = default_jobs() if args.jobs is None else args.jobs
+    if jobs < 1:
+        print(f"--jobs must be >= 1, got {jobs}")
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    executor = SweepExecutor(jobs=jobs, cache=cache)
+    try:
+        checks = run_all(preset, args.outdir, executor=executor)
+    finally:
+        executor.close()
+    print(f"sweep execution: {executor.describe()}")
     trace_ok = True
     if args.trace:
         trace_ok = run_traced(preset, args.trace)

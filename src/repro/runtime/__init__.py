@@ -26,6 +26,7 @@ point.
 """
 
 from repro.runtime.offload import OffloadRuntime, RuntimeStats
+from repro.runtime.parallel import DeferredStats, SweepExecutor, default_jobs
 from repro.runtime.resilience import (
     FailureMonitor,
     InflightTable,
@@ -34,11 +35,14 @@ from repro.runtime.resilience import (
 from repro.runtime.task import Task, TaskGraph, chain, fan_out_fan_in, wavefront
 
 __all__ = [
+    "DeferredStats",
     "FailureMonitor",
     "InflightTable",
     "OffloadRuntime",
     "ResiliencePolicy",
     "RuntimeStats",
+    "SweepExecutor",
+    "default_jobs",
     "Task",
     "TaskGraph",
     "chain",

@@ -1,0 +1,184 @@
+"""Parallel sweep execution: fan independent repetitions over processes.
+
+The paper's protocol repeats every bandwidth experiment with a fresh
+machine and a new random SPE placement per repetition, so a sweep is a
+large set of *independent* simulations.  :class:`SweepExecutor` runs
+them through a ``multiprocessing`` pool while keeping the results
+deterministic and bit-identical to the serial path:
+
+* every repetition is a picklable :class:`~repro.core.experiment.RunSpec`
+  value, and :func:`~repro.core.experiment.run_spec` is a pure function
+  of it — same spec, same sample, whichever process runs it;
+* results are merged back in **submission order** (``Pool.map``
+  preserves order), so each sweep cell reduces over exactly the same
+  sample sequence as a serial run, and report CSVs come out
+  byte-identical for any ``--jobs`` value;
+* workers build their own simulation environments, so tracing and fault
+  injection never leak into a fanned-out repetition (worker isolation);
+* a :class:`~repro.core.cache.ResultCache` can be attached: cache hits
+  are served in the parent without touching the pool, misses are
+  simulated and then written back.
+
+With ``jobs=1`` no pool is created and repetitions run inline — the
+historical serial path, used as the determinism oracle by the tests.
+
+Deferred execution: an experiment's ``run()`` builds its sweep cell by
+cell, each cell asking for its repetitions' statistics mid-loop.  To
+let one pool chew on the *whole* sweep instead of barrier-synchronising
+per cell (a cell has only a handful of repetitions — nowhere near
+enough to keep N workers busy), :meth:`SweepExecutor.stats` returns a
+lightweight :class:`DeferredStats` placeholder when a pool is in play;
+:meth:`SweepExecutor.run` resolves every placeholder in the result's
+tables after ``run()`` returns, in one ordered ``Pool.map`` over all
+collected repetitions.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence, Union
+
+from repro.core.experiment import Experiment, ExperimentResult, RunSpec, run_spec
+from repro.core.results import BandwidthSample, BandwidthStats
+
+
+def default_jobs() -> int:
+    """The default worker count: every core the host offers."""
+    return os.cpu_count() or 1
+
+
+class DeferredStats:
+    """Placeholder for a cell's statistics, resolved after the sweep.
+
+    Holds the slice of the executor's pending-spec list that belongs to
+    one sweep cell.  An experiment must not read through it during
+    ``run()`` (none of the experiments do — cells are only written into
+    tables); :meth:`SweepExecutor.run` replaces every placeholder with
+    the real :class:`~repro.core.results.BandwidthStats` before the
+    result reaches reports or validation.
+    """
+
+    __slots__ = ("start", "count")
+
+    def __init__(self, start: int, count: int):
+        self.start = start
+        self.count = count
+
+    def __repr__(self) -> str:
+        return f"<DeferredStats [{self.start}:{self.start + self.count}]>"
+
+
+class SweepExecutor:
+    """Runs repetitions serially, from cache, or across a process pool.
+
+    ``jobs`` is the worker count (``None`` = one per CPU core).
+    ``cache`` is an optional :class:`~repro.core.cache.ResultCache`.
+    The executor owns at most one pool; :meth:`close` (or use as a
+    context manager) tears it down.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, cache=None):
+        jobs = default_jobs() if jobs is None else jobs
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.simulated = 0
+        self._pending: List[RunSpec] = []
+        self._pool = None
+
+    # -- experiment-facing API -------------------------------------------------
+
+    def stats(
+        self, specs: Sequence[RunSpec]
+    ) -> Union[BandwidthStats, DeferredStats]:
+        """Statistics over one cell's repetitions.
+
+        Serial (``jobs == 1``): runs (or cache-serves) the repetitions
+        immediately, in seed order — byte-identical to the inline path.
+        Parallel: queues the specs and returns a :class:`DeferredStats`
+        placeholder for :meth:`run` to resolve.
+        """
+        if self.jobs == 1:
+            return BandwidthStats.from_samples(self.samples(list(specs)))
+        start = len(self._pending)
+        self._pending.extend(specs)
+        return DeferredStats(start, len(specs))
+
+    def run(self, experiment: Experiment) -> ExperimentResult:
+        """Run an experiment through this executor and resolve every
+        deferred cell with one ordered fan-out over the whole sweep."""
+        experiment.executor = self
+        result = experiment.run()
+        if self._pending:
+            samples = self.samples(self._pending)
+            self._pending = []
+            for table in result.tables.values():
+                for key, cell in table.cells.items():
+                    if isinstance(cell, DeferredStats):
+                        table.cells[key] = BandwidthStats.from_samples(
+                            samples[cell.start:cell.start + cell.count]
+                        )
+        return result
+
+    # -- execution -------------------------------------------------------------
+
+    def samples(self, specs: List[RunSpec]) -> List[BandwidthSample]:
+        """One sample per spec, in order: cache hits served in-process,
+        misses simulated (inline or across the pool) and written back."""
+        cache = self.cache
+        out: List[Optional[BandwidthSample]] = [None] * len(specs)
+        misses: List[int] = []
+        if cache is None:
+            misses = list(range(len(specs)))
+        else:
+            for index, spec in enumerate(specs):
+                sample = cache.get(spec)
+                if sample is None:
+                    misses.append(index)
+                else:
+                    out[index] = sample
+        if misses:
+            pool = self._ensure_pool() if self.jobs > 1 else None
+            if pool is None:
+                fresh = [run_spec(specs[index]) for index in misses]
+            else:
+                chunksize = max(1, len(misses) // (self.jobs * 4))
+                fresh = pool.map(
+                    run_spec, [specs[index] for index in misses], chunksize
+                )
+            self.simulated += len(misses)
+            for index, sample in zip(misses, fresh):
+                out[index] = sample
+                if cache is not None:
+                    cache.put(specs[index], sample)
+        return out  # type: ignore[return-value]
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            # Workers inherit nothing mutable from the parent: run_spec
+            # rebuilds chip, environment, trace (NULL) and faults (NULL)
+            # from the picklable spec alone.
+            self._pool = multiprocessing.get_context().Pool(self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        parts = [f"jobs={self.jobs}", f"simulated={self.simulated}"]
+        if self.cache is not None:
+            parts.append(
+                f"cache: {self.cache.hits} hit(s) / {self.cache.misses} miss(es)"
+            )
+        return ", ".join(parts)

@@ -4,11 +4,25 @@ Time is an integer in arbitrary units (the Cell models use CPU cycles).
 Events are scheduled on a binary heap keyed by ``(time, sequence)`` so
 simultaneous events fire in a deterministic FIFO order, which keeps every
 simulation in this repository reproducible run-to-run.
+
+Hot-path invariants (the trace stream is the oracle — see
+docs/MODEL.md):
+
+* every resumption of a process goes through the heap, even when the
+  yielded event is already triggered: the fast path uses a lightweight
+  :class:`_Relay` instead of a full :class:`Event`, but it occupies the
+  exact same heap slot (one ``_schedule`` call, one sequence number) the
+  relay event used to, so event ordering is byte-identical;
+* ``run()`` without watchdogs executes a tight inlined loop; the
+  watchdog variant (``max_events``/``stall_after``) is a separate loop
+  so untraced, unwatched runs never pay a per-event guard;
+* kernel time is an integer; :class:`Timeout` coerces integral floats
+  and rejects non-integral delays outright.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.sim.faults import NULL_FAULTS
@@ -55,6 +69,8 @@ class Event:
     event by yielding it.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "__weakref__")
+
     def __init__(self, env: "Environment"):
         self.env = env
         self.callbacks: List[Callable[["Event"], None]] = []
@@ -82,11 +98,13 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self)
+        env = self.env
+        env._sequence = sequence = env._sequence + 1
+        heappush(env._queue, (env.now, sequence, self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -98,7 +116,7 @@ class Event:
         """
         if not isinstance(exception, BaseException):
             raise TypeError(f"fail() needs an exception, got {exception!r}")
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
@@ -122,20 +140,78 @@ class Timeout(Event):
     Unlike a plain :class:`Event`, a Timeout schedules itself; it becomes
     *triggered* only when the clock reaches its fire time, so a process
     yielding it really does suspend for ``delay`` units.
+
+    Kernel time is an integer (CPU cycles).  Integral floats (``5.0``)
+    are coerced to ``int`` for callers that computed a delay through a
+    float expression; a non-integral delay (``5.5``) raises
+    :class:`ValueError` — silently truncating it would make run-to-run
+    determinism depend on float rounding in model code.
     """
 
+    __slots__ = ("delay", "_payload")
+
     def __init__(self, env: "Environment", delay: int, value: Any = None):
+        if type(delay) is not int:
+            try:
+                coerced = int(delay)
+            except (TypeError, ValueError):
+                raise TypeError(
+                    f"timeout delay must be an integer cycle count, "
+                    f"got {delay!r}"
+                ) from None
+            if coerced != delay:
+                raise ValueError(
+                    f"non-integral timeout delay {delay!r}: kernel time "
+                    f"is an integer cycle count"
+                )
+            delay = coerced
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        # Inlined Event.__init__: Timeout construction is the hottest
+        # allocation in DMA-bound runs.
+        self.env = env
+        self.callbacks = []
+        self._value = _PENDING
+        self._ok = None
+        self._defused = False
         self.delay = delay
         self._payload = value
-        env._schedule(self, delay=delay)
+        env._sequence = sequence = env._sequence + 1
+        heappush(env._queue, (env.now + delay, sequence, self))
 
     def _run_callbacks(self) -> None:
         self._ok = True
         self._value = self._payload
-        super()._run_callbacks()
+        callbacks, self.callbacks = self.callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class _Relay:
+    """A lightweight, pre-decided resume slot for exactly one process.
+
+    Scheduled on the heap wherever the kernel used to schedule a relay
+    :class:`Event` (process start, resuming off an already-triggered
+    yield target, interrupt delivery), so event ordering is identical to
+    the Event-based implementation — without allocating the callbacks
+    list and dict a full Event carries.  ``Process._resume`` accepts it
+    in place of an Event (it only reads ``_ok``/``_value`` and sets
+    ``_defused``).  ``Process.interrupt`` detaches a relay by setting
+    ``cancelled``: the heap slot still fires, but resumes nobody.
+    """
+
+    __slots__ = ("proc", "_ok", "_value", "_defused", "cancelled")
+
+    def __init__(self, proc: "Process", ok: bool, value: Any):
+        self.proc = proc
+        self._ok = ok
+        self._value = value
+        self._defused = False
+        self.cancelled = False
+
+    def _run_callbacks(self) -> None:
+        if not self.cancelled:
+            self.proc._resume(self)
 
 
 class Process(Event):
@@ -145,13 +221,17 @@ class Process(Event):
     value (or the event's exception is thrown into it).
     """
 
+    __slots__ = (
+        "_generator", "_waiting_on", "proc_id", "name", "daemon",
+        "_trace", "_tracing",
+    )
+
     def __init__(self, env: "Environment", generator: Generator,
                  daemon: bool = False):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"process() needs a generator, got {generator!r}")
         super().__init__(env)
         self._generator = generator
-        self._waiting_on: Optional[Event] = None
         # Identity is always assigned: the deadlock/stall diagnostics
         # name blocked processes even in untraced runs.
         env._proc_count += 1
@@ -165,11 +245,13 @@ class Process(Event):
         trace = env.trace
         self._trace = trace
         self._tracing = trace.enabled
-        # Kick the process off at the current time.
-        start = Event(env)
-        start._ok = True
-        start._value = None
-        start.callbacks.append(self._resume)
+        # Kick the process off at the current time.  The start relay is
+        # tracked in _waiting_on so an interrupt() *before the start
+        # fires* detaches it like any other wait target — otherwise the
+        # generator would be started normally and later resumed a second
+        # time by the stale start callback.
+        start = _Relay(self, True, None)
+        self._waiting_on: Optional[Event] = start
         env._schedule(start)
 
     @property
@@ -180,25 +262,31 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self.triggered:
             raise SimulationError("cannot interrupt a terminated process")
-        interrupt_event = Event(self.env)
-        interrupt_event._ok = False
-        interrupt_event._value = Interrupt(cause)
-        interrupt_event._defused = True
         # Detach from whatever we were waiting on so that the original
-        # event's later trigger does not resume us twice.
+        # event's later trigger does not resume us twice.  A relay (the
+        # start slot, or a resume off an already-triggered target) is
+        # cancelled in place; a real event has our callback removed.
         waited = self._waiting_on
-        if waited is not None and self._resume in waited.callbacks:
-            waited.callbacks.remove(self._resume)
+        if waited is not None:
+            if type(waited) is _Relay:
+                waited.cancelled = True
+            else:
+                try:
+                    waited.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
         self._waiting_on = None
-        interrupt_event.callbacks.append(self._resume)
-        self.env._schedule(interrupt_event)
+        relay = _Relay(self, False, Interrupt(cause))
+        relay._defused = True
+        self.env._schedule(relay)
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
         if self._tracing:
             self._trace.emit(
-                ProcessResume(ts=self.env.now, proc_id=self.proc_id, name=self.name)
+                ProcessResume(ts=env.now, proc_id=self.proc_id, name=self.name)
             )
         try:
             if event._ok:
@@ -207,54 +295,56 @@ class Process(Event):
                 event._defused = True
                 target = self._generator.throw(event._value)
         except StopIteration as stop:
-            self.env._active_process = None
-            self.env._live_processes.pop(self.proc_id, None)
+            env._active_process = None
+            env._live_processes.pop(self.proc_id, None)
             if self._tracing:
                 self._trace.emit(
                     ProcessTerminate(
-                        ts=self.env.now, proc_id=self.proc_id, name=self.name, ok=True
+                        ts=env.now, proc_id=self.proc_id, name=self.name, ok=True
                     )
                 )
             self.succeed(stop.value)
             return
         except BaseException as exc:
-            self.env._active_process = None
-            self.env._live_processes.pop(self.proc_id, None)
+            env._active_process = None
+            env._live_processes.pop(self.proc_id, None)
             if self._tracing:
                 self._trace.emit(
                     ProcessTerminate(
-                        ts=self.env.now, proc_id=self.proc_id, name=self.name, ok=False
+                        ts=env.now, proc_id=self.proc_id, name=self.name, ok=False
                     )
                 )
             self.fail(exc)
             return
-        self.env._active_process = None
+        env._active_process = None
 
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process yielded {target!r}; processes may only yield Events"
             )
-        if target.triggered:
-            # Already done: resume immediately (at the current time) via
-            # an internal relay event.  The relay is tracked in
-            # _waiting_on so interrupt() detaches it like any other wait
-            # target — otherwise the generator would be resumed twice,
-            # once with the Interrupt and once with the stale value.
-            resume = Event(self.env)
-            resume._ok = target._ok
-            resume._value = target._value
-            if not target._ok:
-                target._defused = True
-            resume.callbacks.append(self._resume)
-            self.env._schedule(resume)
-            self._waiting_on = resume
-        else:
+        if target._value is _PENDING:
             self._waiting_on = target
             target.callbacks.append(self._resume)
+        else:
+            # Already done: resume at the current time via a lightweight
+            # relay occupying the same heap slot a relay Event used to,
+            # so ordering is unchanged.  The relay is tracked in
+            # _waiting_on so interrupt() detaches (cancels) it like any
+            # other wait target — otherwise the generator would be
+            # resumed twice, once with the Interrupt and once with the
+            # stale value.
+            relay = _Relay(self, target._ok, target._value)
+            if not target._ok:
+                target._defused = True
+            env._sequence = sequence = env._sequence + 1
+            heappush(env._queue, (env.now, sequence, relay))
+            self._waiting_on = relay
 
 
 class _Condition(Event):
     """Base for AllOf / AnyOf."""
+
+    __slots__ = ("_events", "_pending")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -291,6 +381,8 @@ class _Condition(Event):
 class AllOf(_Condition):
     """Succeeds when every component event has succeeded."""
 
+    __slots__ = ()
+
     def _check(self, initial: bool) -> None:
         if self._pending == 0 and not self.triggered:
             self.succeed(self._values())
@@ -302,6 +394,8 @@ class AnyOf(_Condition):
     An empty event list succeeds immediately with ``[]``, matching
     ``AllOf([])`` — there is no component left to wait for.
     """
+
+    __slots__ = ()
 
     def _check(self, initial: bool) -> None:
         if self.triggered:
@@ -358,8 +452,8 @@ class Environment:
     # -- scheduling ------------------------------------------------------------
 
     def _schedule(self, event: Event, delay: int = 0) -> None:
-        self._sequence += 1
-        heapq.heappush(self._queue, (self.now + delay, self._sequence, event))
+        self._sequence = sequence = self._sequence + 1
+        heappush(self._queue, (self.now + delay, sequence, event))
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the queue is empty."""
@@ -369,7 +463,7 @@ class Environment:
 
     def step(self) -> None:
         """Process a single event."""
-        time, _seq, event = heapq.heappop(self._queue)
+        time, _seq, event = heappop(self._queue)
         self.now = time
         event._run_callbacks()
 
@@ -395,6 +489,68 @@ class Environment:
         processes are still alive, the run did *not* complete — it
         deadlocked — and :class:`SimulationError` is raised with the
         same blocked-process diagnostic instead of returning ``None``.
+        """
+        if max_events is not None or stall_after is not None:
+            return self._run_watched(until, max_events, stall_after)
+
+        # Unwatched fast path: the heap pop and callback dispatch are
+        # inlined (no per-event step() call, no watchdog guard).  Event
+        # processing order is identical to the watched loop.
+        queue = self._queue
+        pop = heappop
+        if isinstance(until, Event):
+            stop_event = until
+            while stop_event._value is _PENDING:
+                if not queue:
+                    raise SimulationError(
+                        "event queue drained before the awaited event fired"
+                        + self._blocked_report()
+                    )
+                time, _seq, event = pop(queue)
+                self.now = time
+                event._run_callbacks()
+            self._raise_orphaned_failures()
+            if not stop_event._ok:
+                stop_event._defused = True
+                raise stop_event._value
+            return stop_event._value
+
+        if until is None:
+            while queue:
+                time, _seq, event = pop(queue)
+                self.now = time
+                event._run_callbacks()
+            self._raise_orphaned_failures()
+            if self._blocked():
+                raise SimulationError(
+                    "event queue drained with processes still waiting "
+                    "(deadlock)" + self._blocked_report(),
+                )
+            return None
+
+        horizon = int(until)
+        while queue:
+            if queue[0][0] > horizon:
+                self.now = horizon
+                break
+            time, _seq, event = pop(queue)
+            self.now = time
+            event._run_callbacks()
+        else:
+            self.now = horizon
+        self._raise_orphaned_failures()
+        return None
+
+    def _run_watched(
+        self,
+        until: Optional[Any],
+        max_events: Optional[int],
+        stall_after: Optional[int],
+    ) -> Any:
+        """The ``run`` loop with the event-budget / no-progress watchdogs.
+
+        Kept out of :meth:`run` so unwatched runs never pay the per-event
+        bookkeeping; processes events in exactly the same order.
         """
         events_processed = 0
         events_at_now = 0
@@ -423,7 +579,6 @@ class Environment:
                     blocked=self._blocked(),
                 )
 
-        watching = max_events is not None or stall_after is not None
         if isinstance(until, Event):
             stop_event = until
             while not stop_event.triggered:
@@ -433,8 +588,7 @@ class Environment:
                         + self._blocked_report()
                     )
                 self.step()
-                if watching:
-                    tick_watchdogs()
+                tick_watchdogs()
             self._raise_orphaned_failures()
             if not stop_event._ok:
                 stop_event._defused = True
@@ -447,8 +601,7 @@ class Environment:
                 self.now = horizon
                 break
             self.step()
-            if watching:
-                tick_watchdogs()
+            tick_watchdogs()
         else:
             if horizon is not None:
                 self.now = horizon
@@ -499,7 +652,7 @@ class Environment:
 
 
 def _describe_wait(event: Optional[Event]) -> str:
-    if event is None:
+    if event is None or type(event) is _Relay:
         return "nothing (scheduled to resume)"
     if isinstance(event, Process):
         return f"process {event.proc_id} ({event.name})"

@@ -1,0 +1,165 @@
+"""Regression tests for the DES-kernel hot-path rework.
+
+The fast path replaced the per-yield relay *Event* with a slotted
+``_Relay`` that occupies the exact same heap slot, and split ``run()``
+into an inlined unwatched loop and a watched loop.  These tests pin the
+behavioural edges of that rework:
+
+* interrupting a process *before its start relay fires* detaches the
+  start slot — the generator must never be started and then resumed a
+  second time with the Interrupt;
+* timeout delays are integer cycle counts: integral floats coerce,
+  fractional delays and non-numbers are rejected loudly;
+* the unwatched and watched loops process events in the same order.
+"""
+
+import pytest
+
+from repro.sim import Environment, Interrupt
+from repro.sim.core import Timeout
+
+
+class TestInterruptBeforeStart:
+    def test_generator_never_starts(self):
+        env = Environment()
+        log = []
+
+        def victim(env):
+            log.append("started")
+            yield env.timeout(1)
+            log.append("finished")
+
+        proc = env.process(victim(env))
+
+        def waiter(env, proc):
+            try:
+                yield proc
+            except Interrupt as interrupt:
+                log.append(("interrupted", interrupt.cause, env.now))
+
+        env.process(waiter(env, proc))
+        proc.interrupt("too early")
+        env.run()
+        # The victim's body never ran — not even its first statement —
+        # and the waiter saw exactly one termination, the Interrupt.
+        assert log == [("interrupted", "too early", 0)]
+        assert proc.triggered and not proc.ok
+
+    def test_no_second_resume_from_stale_start(self):
+        env = Environment()
+        resumes = []
+
+        def victim(env):
+            try:
+                yield env.timeout(5)
+                resumes.append("value")
+            except Interrupt:
+                resumes.append("interrupt")
+
+        proc = env.process(victim(env))
+        proc.interrupt()
+
+        def defuser(env, proc):
+            try:
+                yield proc
+            except Interrupt:
+                pass
+
+        env.process(defuser(env, proc))
+        env.run()
+        # Before the fix the cancelled start slot still fired, starting
+        # the generator normally *after* the Interrupt had terminated
+        # it; the body must observe no resume at all.
+        assert resumes == []
+
+    def test_interrupt_then_restartable_environment(self):
+        # The cancelled start relay must be inert when it pops: the
+        # queue drains cleanly and later processes run normally.
+        env = Environment()
+        ran = []
+
+        def victim(env):
+            ran.append("victim")
+            yield env.timeout(1)
+
+        proc = env.process(victim(env))
+
+        def catcher(env, proc):
+            try:
+                yield proc
+            except Interrupt:
+                ran.append("caught")
+
+        env.process(catcher(env, proc))
+        proc.interrupt()
+
+        def bystander(env):
+            yield env.timeout(3)
+            ran.append(("bystander", env.now))
+
+        env.process(bystander(env))
+        env.run()
+        assert ran == ["caught", ("bystander", 3)]
+
+
+class TestTimeoutDelayValidation:
+    def test_integral_float_coerces_to_int(self):
+        env = Environment()
+        timeout = env.timeout(5.0)
+        assert type(timeout.delay) is int and timeout.delay == 5
+
+    def test_fractional_delay_raises_value_error(self):
+        env = Environment()
+        with pytest.raises(ValueError, match="non-integral"):
+            env.timeout(5.5)
+
+    def test_non_numeric_delay_raises_type_error(self):
+        env = Environment()
+        with pytest.raises(TypeError, match="integer cycle count"):
+            env.timeout("soon")
+
+    def test_negative_delay_still_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError, match="negative"):
+            env.timeout(-1)
+
+    def test_direct_timeout_construction_validates_too(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            Timeout(env, 0.25)
+
+    def test_coerced_delay_fires_on_time(self):
+        env = Environment()
+        fired = []
+
+        def proc(env):
+            yield env.timeout(10.0)
+            fired.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert fired == [10]
+
+
+class TestWatchedLoopParity:
+    def _workload(self, env, log):
+        def producer(env, k):
+            for i in range(3):
+                yield env.timeout(k)
+                log.append((env.now, k, i))
+
+        for k in (2, 3, 5):
+            env.process(producer(env, k))
+
+    def test_same_order_with_and_without_watchdogs(self):
+        unwatched = []
+        env = Environment()
+        self._workload(env, unwatched)
+        env.run()
+
+        watched = []
+        env = Environment()
+        self._workload(env, watched)
+        env.run(max_events=10_000, stall_after=10_000)
+
+        assert unwatched == watched and len(unwatched) == 9

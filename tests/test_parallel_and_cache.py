@@ -1,0 +1,185 @@
+"""Tests for the parallel sweep executor and the persistent result cache.
+
+The determinism contract under test: for any ``--jobs`` value, and for
+any mix of cold and warm cache, a reproduction run must produce
+byte-identical report files and the same validation verdicts as the
+historical serial path.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro import reproduce
+from repro.cell.config import CellConfig
+from repro.core.cache import ResultCache, repro_code_version
+from repro.core.experiment import RunSpec, run_spec
+from repro.core.kernels import DmaWorkload
+from repro.core.results import BandwidthSample
+from repro.runtime.parallel import DeferredStats, SweepExecutor, default_jobs
+
+
+def make_spec(seed=1000, n_elements=16, element_bytes=16384, n_spes=2):
+    workload = DmaWorkload(
+        direction="get", element_bytes=element_bytes, n_elements=n_elements
+    )
+    return RunSpec(
+        config=CellConfig.paper_blade(),
+        seed=seed,
+        assignments=tuple((logical, workload) for logical in range(n_spes)),
+    )
+
+
+@pytest.fixture
+def micro_preset(monkeypatch):
+    """Shrink the quick preset to a smoke-sized sweep."""
+    monkeypatch.setitem(reproduce.PRESETS, "quick", ((16384,), 1, 2 ** 20))
+
+
+def read_tree(outdir):
+    """{relative path: bytes} for every file under ``outdir``."""
+    tree = {}
+    for dirpath, _dirnames, filenames in os.walk(outdir):
+        for filename in filenames:
+            path = os.path.join(dirpath, filename)
+            with open(path, "rb") as handle:
+                tree[os.path.relpath(path, outdir)] = handle.read()
+    return tree
+
+
+class TestRunSpec:
+    def test_pickles_round_trip(self):
+        spec = make_spec()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+
+    def test_run_spec_is_pure(self):
+        spec = make_spec()
+        assert run_spec(spec) == run_spec(spec)
+
+
+class TestSweepExecutor:
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(jobs=0)
+
+    def test_serial_stats_returned_immediately(self):
+        specs = [make_spec(seed) for seed in (1000, 1001)]
+        with SweepExecutor(jobs=1) as executor:
+            stats = executor.stats(specs)
+        assert stats.n_samples == 2
+        assert executor.simulated == 2
+
+    def test_parallel_stats_deferred_then_equal_to_serial(self):
+        specs = [make_spec(seed) for seed in (1000, 1001, 1002)]
+        with SweepExecutor(jobs=1) as serial:
+            expected = serial.samples(list(specs))
+        with SweepExecutor(jobs=2) as parallel:
+            placeholder = parallel.stats(specs)
+            assert isinstance(placeholder, DeferredStats)
+            got = parallel.samples(list(specs))
+        assert got == expected
+
+    def test_pool_samples_match_inline_run_spec(self):
+        specs = [make_spec(seed) for seed in (1000, 1001)]
+        inline = [run_spec(spec) for spec in specs]
+        with SweepExecutor(jobs=2) as executor:
+            assert executor.samples(specs) == inline
+
+
+class TestResultCache:
+    def test_key_is_stable_across_instances(self, tmp_path):
+        spec = make_spec()
+        a = ResultCache(str(tmp_path), code_version="v1")
+        b = ResultCache(str(tmp_path), code_version="v1")
+        assert a.key(spec) == b.key(spec)
+
+    def test_seed_changes_key(self, tmp_path):
+        cache = ResultCache(str(tmp_path), code_version="v1")
+        assert cache.key(make_spec(seed=1)) != cache.key(make_spec(seed=2))
+
+    def test_workload_changes_key(self, tmp_path):
+        cache = ResultCache(str(tmp_path), code_version="v1")
+        assert cache.key(make_spec(n_elements=16)) != cache.key(
+            make_spec(n_elements=17)
+        )
+
+    def test_code_version_changes_key(self, tmp_path):
+        spec = make_spec()
+        old = ResultCache(str(tmp_path), code_version="v1")
+        new = ResultCache(str(tmp_path), code_version="v2")
+        assert old.key(spec) != new.key(spec)
+
+    def test_put_get_round_trip_is_exact(self, tmp_path):
+        spec = make_spec()
+        cache = ResultCache(str(tmp_path))
+        assert cache.get(spec) is None
+        sample = run_spec(spec)
+        cache.put(spec, sample)
+        assert cache.get(spec) == sample
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        spec = make_spec()
+        cache = ResultCache(str(tmp_path))
+        cache.put(spec, BandwidthSample(gbps=1.0, nbytes=1, cycles=1, seed=0))
+        path = cache._path(cache.key(spec))
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        assert cache.get(spec) is None
+
+    def test_repro_code_version_is_stable_in_process(self):
+        assert repro_code_version() == repro_code_version()
+        assert len(repro_code_version()) == 64
+
+    def test_executor_serves_hits_without_simulating(self, tmp_path):
+        specs = [make_spec(seed) for seed in (1000, 1001)]
+        cache = ResultCache(str(tmp_path))
+        with SweepExecutor(jobs=1, cache=cache) as cold:
+            first = cold.samples(list(specs))
+        assert cold.simulated == 2 and cache.misses == 2
+        warm_cache = ResultCache(str(tmp_path))
+        with SweepExecutor(jobs=1, cache=warm_cache) as warm:
+            second = warm.samples(list(specs))
+        assert warm.simulated == 0 and warm_cache.hits == 2
+        assert second == first
+
+
+class TestReproduceEquivalence:
+    """--jobs and the cache must not change a single output byte."""
+
+    def run_all(self, outdir, jobs, cache=None):
+        executor = SweepExecutor(jobs=jobs, cache=cache)
+        try:
+            checks = reproduce.run_all("quick", str(outdir), executor=executor)
+        finally:
+            executor.close()
+        return checks, executor
+
+    def test_serial_and_parallel_outputs_byte_identical(
+        self, tmp_path, micro_preset
+    ):
+        checks1, _ = self.run_all(tmp_path / "serial", jobs=1)
+        checks2, _ = self.run_all(tmp_path / "parallel", jobs=2)
+        assert read_tree(tmp_path / "serial") == read_tree(tmp_path / "parallel")
+        assert [(c.claim_id, c.passed) for c in checks1] == [
+            (c.claim_id, c.passed) for c in checks2
+        ]
+
+    def test_cache_hit_rerun_outputs_byte_identical(self, tmp_path, micro_preset):
+        cache_dir = str(tmp_path / "cache")
+        cold_cache = ResultCache(cache_dir)
+        checks1, cold = self.run_all(tmp_path / "cold", jobs=1, cache=cold_cache)
+        assert cold.simulated > 0
+        warm_cache = ResultCache(cache_dir)
+        checks2, warm = self.run_all(tmp_path / "warm", jobs=1, cache=warm_cache)
+        # Every repetition of the rerun is served from the cache.
+        assert warm.simulated == 0 and warm_cache.hits > 0
+        assert read_tree(tmp_path / "cold") == read_tree(tmp_path / "warm")
+        assert [(c.claim_id, c.passed) for c in checks1] == [
+            (c.claim_id, c.passed) for c in checks2
+        ]

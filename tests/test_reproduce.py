@@ -18,6 +18,22 @@ def test_parse_args_defaults():
     args = reproduce.parse_args([])
     assert args.outdir == "repro-out"
     assert not args.quick and not args.paper_scale
+    assert args.jobs is None
+    assert not args.no_cache
+    assert args.cache_dir == reproduce.DEFAULT_CACHE_DIR
+
+
+def test_parse_args_jobs_and_cache_flags():
+    args = reproduce.parse_args(
+        ["--jobs", "4", "--no-cache", "--cache-dir", "/tmp/c"]
+    )
+    assert args.jobs == 4
+    assert args.no_cache
+    assert args.cache_dir == "/tmp/c"
+
+
+def test_main_rejects_nonpositive_jobs(tmp_path):
+    assert reproduce.main(["--jobs", "0", "--outdir", str(tmp_path)]) == 2
 
 
 def test_quick_and_paper_scale_are_exclusive():
@@ -49,9 +65,10 @@ def test_run_all_writes_reports_and_passes(tmp_path, micro_preset):
 def test_main_returns_zero_on_success(tmp_path, micro_preset, monkeypatch):
     calls = {}
 
-    def fake_run_all(preset, outdir):
+    def fake_run_all(preset, outdir, executor=None):
         calls["preset"] = preset
         calls["outdir"] = outdir
+        calls["executor"] = executor
         return [
             validation.ClaimCheck(
                 claim_id="x",
@@ -66,13 +83,14 @@ def test_main_returns_zero_on_success(tmp_path, micro_preset, monkeypatch):
     monkeypatch.setattr(reproduce, "run_all", fake_run_all)
     assert reproduce.main(["--quick", "--outdir", str(tmp_path)]) == 0
     assert calls["preset"] == "quick"
+    assert calls["executor"] is not None
 
 
 def test_main_returns_nonzero_on_failure(tmp_path, monkeypatch):
     monkeypatch.setattr(
         reproduce,
         "run_all",
-        lambda preset, outdir: [
+        lambda preset, outdir, executor=None: [
             validation.ClaimCheck(
                 claim_id="x",
                 description="d",
