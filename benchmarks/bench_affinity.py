@@ -38,7 +38,7 @@ def test_affinity_gain(run_once):
     print(f"{'pattern':<10} {'planned':>9} {'lottery':>9} {'adversarial':>12}")
     for name, (planned, lottery, adversarial) in rows.items():
         print(f"{name:<10} {planned:9.1f} {lottery:9.1f} {adversarial:12.1f}")
-    for name, (planned, lottery, adversarial) in rows.items():
+    for planned, lottery, adversarial in rows.values():
         assert planned > lottery > adversarial
     # Planned couples recover essentially the whole peak.
     assert rows["couples"][0] > 0.9 * 134.4

@@ -43,5 +43,5 @@ def test_fig10_sync_delay(run_once, bench_params):
     # Monotone (up to noise) in the sync delay at every element size.
     for element in experiment.element_sizes:
         series = [table.mean(policy, element) for policy in (1, 2, 4, 16, SYNC_AFTER_ALL)]
-        for earlier, later in zip(series, series[1:]):
+        for earlier, later in zip(series, series[1:], strict=False):
             assert later >= earlier - 0.1

@@ -30,7 +30,6 @@ import json
 import os
 import sys
 from time import perf_counter
-from typing import Dict, List
 
 from repro.cell.chip import CellChip
 from repro.cell.config import CellConfig
@@ -85,7 +84,7 @@ def count_events(spec: RunSpec) -> int:
     return events
 
 
-def measure(jobs: int, specs: List[RunSpec], events_per_run: int) -> Dict:
+def measure(jobs: int, specs: list[RunSpec], events_per_run: int) -> dict:
     """Wall-clock one pass over ``specs`` at a worker count."""
     with SweepExecutor(jobs=jobs, cache=None) as executor:
         if jobs > 1:
@@ -104,7 +103,7 @@ def measure(jobs: int, specs: List[RunSpec], events_per_run: int) -> Dict:
     }
 
 
-def run_benchmark(jobs: int, runs: int, n_elements: int, out: str) -> Dict:
+def run_benchmark(jobs: int, runs: int, n_elements: int, out: str) -> dict:
     specs = [storm_spec(SEED_BASE + i, n_elements) for i in range(runs)]
     events_per_run = count_events(specs[0])
     serial = measure(1, specs, events_per_run)
@@ -131,7 +130,7 @@ def run_benchmark(jobs: int, runs: int, n_elements: int, out: str) -> Dict:
     return report
 
 
-def _print_report(report: Dict) -> None:
+def _print_report(report: dict) -> None:
     workload = report["workload"]
     print(
         f"dma-storm: {workload['n_spes']} SPEs x {workload['n_elements']} "

@@ -19,12 +19,22 @@ def spu_main(spu, partner, out, element_bytes=16384, n_elements=256):
 
     GET commands join tag group 0 and PUT commands tag group 1; the
     single wait at the end is the paper's 'delay synchronisation as much
-    as possible' rule.
+    as possible' rule.  GETs land in the lower half of the local store
+    and PUTs stage from the upper half, each direction rotating through
+    as many element-sized buffers as its half holds, so in-flight
+    transfers never touch the same bytes (run under
+    ``reproduce --sanitize`` to have the model check that claim).
     """
+    half = spu.spe.local_store.size // 2
+    nbuf = max(1, half // element_bytes)
     start = spu.read_decrementer()
-    for _ in range(n_elements):
-        yield from spu.mfc_get(size=element_bytes, tag=0, remote_spe=partner)
-        yield from spu.mfc_put(size=element_bytes, tag=1, remote_spe=partner)
+    for i in range(n_elements):
+        get_offset = (i % nbuf) * element_bytes
+        put_offset = half + get_offset
+        yield from spu.mfc_get(size=element_bytes, tag=0, remote_spe=partner,
+                               local_offset=get_offset, remote_offset=get_offset)
+        yield from spu.mfc_put(size=element_bytes, tag=1, remote_spe=partner,
+                               local_offset=put_offset, remote_offset=put_offset)
     yield from spu.wait_tags([0, 1])
     out["cycles"] = spu.read_decrementer() - start
     out["bytes"] = 2 * element_bytes * n_elements

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.cell.config import CellConfig
 from repro.cell.errors import ConfigError
@@ -65,7 +65,7 @@ class AblationStudy:
         self.metric = metric
         self.base_config = base_config or CellConfig.paper_blade()
 
-    def run(self) -> List[AblationPoint]:
+    def run(self) -> list[AblationPoint]:
         points = []
         for value in self.values:
             config = perturb(self.base_config, self.parameter, value)
@@ -79,7 +79,7 @@ class AblationStudy:
         return points
 
     @staticmethod
-    def format(points: List[AblationPoint], unit: str = "GB/s") -> str:
+    def format(points: list[AblationPoint], unit: str = "GB/s") -> str:
         lines = [f"ablation of {points[0].parameter}"]
         for point in points:
             lines.append(f"  {point.value!r:>12} -> {point.metric:8.2f} {unit}")

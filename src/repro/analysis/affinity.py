@@ -20,7 +20,6 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 from repro.cell.chip import CellChip
 from repro.cell.config import CellConfig
@@ -38,7 +37,7 @@ class CommunicationPattern:
     (the shape of both the couples and the cycle experiments).
     """
 
-    flows: Tuple[Tuple[int, int, float], ...]
+    flows: tuple[tuple[int, int, float], ...]
 
     def __post_init__(self):
         for a, b, weight in self.flows:
@@ -52,14 +51,14 @@ class CommunicationPattern:
         return 1 + max(max(a, b) for a, b, _w in self.flows)
 
     @classmethod
-    def couples(cls, n_spes: int = 8) -> "CommunicationPattern":
+    def couples(cls, n_spes: int = 8) -> CommunicationPattern:
         """Pairs (0,1), (2,3), ... — the Figure 12/13 workload."""
         if n_spes % 2:
             raise ConfigError("couples need an even SPE count")
         return cls(tuple((i, i + 1, 1.0) for i in range(0, n_spes, 2)))
 
     @classmethod
-    def cycle(cls, n_spes: int = 8) -> "CommunicationPattern":
+    def cycle(cls, n_spes: int = 8) -> CommunicationPattern:
         """A ring 0->1->...->0 — the Figure 15/16 workload."""
         if n_spes < 2:
             raise ConfigError("a cycle needs at least 2 SPEs")
@@ -69,7 +68,7 @@ class CommunicationPattern:
 def mapping_cost(
     pattern: CommunicationPattern,
     mapping: SpeMapping,
-    topology: Optional[RingTopology] = None,
+    topology: RingTopology | None = None,
 ) -> float:
     """Span pressure of a placement: for every physical span and
     direction, the amount of flow weight crossing it beyond what the two
@@ -77,7 +76,7 @@ def mapping_cost(
     (longer paths occupy more spans for longer)."""
     topology = topology or RingTopology()
     rings_per_direction = 2
-    load: Dict[Tuple[int, int], float] = {}
+    load: dict[tuple[int, int], float] = {}
     distance_term = 0.0
     for a, b, weight in pattern.flows:
         for src, dst in ((mapping.node(a), mapping.node(b)),
@@ -96,7 +95,7 @@ def mapping_cost(
 
 def plan_mapping(
     pattern: CommunicationPattern,
-    topology: Optional[RingTopology] = None,
+    topology: RingTopology | None = None,
     n_spes: int = 8,
     objective: str = "best",
     max_evaluations: int = 50000,
@@ -144,7 +143,7 @@ def _candidate_permutations(n_spes: int, max_evaluations: int, seed: int):
 def measure_mapping(
     pattern: CommunicationPattern,
     mapping: SpeMapping,
-    config: Optional[CellConfig] = None,
+    config: CellConfig | None = None,
     element_bytes: int = 16384,
     n_elements: int = 64,
 ) -> float:
@@ -152,7 +151,7 @@ def measure_mapping(
     under the given placement; returns aggregate GB/s."""
     config = config or CellConfig.paper_blade()
     chip = CellChip(config=config, mapping=mapping)
-    outs: List[dict] = []
+    outs: list[dict] = []
     for a, b, _weight in pattern.flows:
         workload = DmaWorkload(
             direction="copy",

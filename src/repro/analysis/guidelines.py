@@ -9,7 +9,6 @@ experiment was not run are simply omitted — the advisor never guesses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from repro.core.experiment import ExperimentResult
 from repro.core.spe_pairs import SYNC_AFTER_ALL
@@ -31,11 +30,11 @@ class GuidelineAdvisor:
     """Collects experiment results and emits the rules they support."""
 
     def __init__(self):
-        self._ppe: Dict[str, ExperimentResult] = {}
-        self._memory: Optional[ExperimentResult] = None
-        self._sync: Optional[ExperimentResult] = None
-        self._couples: Optional[ExperimentResult] = None
-        self._cycle: Optional[ExperimentResult] = None
+        self._ppe: dict[str, ExperimentResult] = {}
+        self._memory: ExperimentResult | None = None
+        self._sync: ExperimentResult | None = None
+        self._couples: ExperimentResult | None = None
+        self._cycle: ExperimentResult | None = None
 
     # -- feeding results -----------------------------------------------------------
 
@@ -56,8 +55,8 @@ class GuidelineAdvisor:
 
     # -- the rules -----------------------------------------------------------------
 
-    def guidelines(self) -> List[Guideline]:
-        rules: List[Guideline] = []
+    def guidelines(self) -> list[Guideline]:
+        rules: list[Guideline] = []
         for build in (
             self._rule_vectorize,
             self._rule_two_threads_beyond_l1,
@@ -72,7 +71,7 @@ class GuidelineAdvisor:
                 rules.append(rule)
         return rules
 
-    def _rule_vectorize(self) -> Optional[Guideline]:
+    def _rule_vectorize(self) -> Guideline | None:
         if "l1" not in self._ppe:
             return None
         table = self._ppe["l1"].table("bandwidth")
@@ -89,7 +88,7 @@ class GuidelineAdvisor:
             advantage=wide / narrow,
         )
 
-    def _rule_two_threads_beyond_l1(self) -> Optional[Guideline]:
+    def _rule_two_threads_beyond_l1(self) -> Guideline | None:
         if "l2" not in self._ppe:
             return None
         table = self._ppe["l2"].table("bandwidth")
@@ -106,7 +105,7 @@ class GuidelineAdvisor:
             advantage=two / one,
         )
 
-    def _rule_two_spes_for_memory(self) -> Optional[Guideline]:
+    def _rule_two_spes_for_memory(self) -> Guideline | None:
         if self._memory is None:
             return None
         table = self._memory.table("get")
@@ -122,7 +121,7 @@ class GuidelineAdvisor:
             advantage=two / one,
         )
 
-    def _rule_dont_use_all_eight_for_memory(self) -> Optional[Guideline]:
+    def _rule_dont_use_all_eight_for_memory(self) -> Guideline | None:
         if self._memory is None:
             return None
         table = self._memory.table("get")
@@ -140,7 +139,7 @@ class GuidelineAdvisor:
             advantage=four / eight,
         )
 
-    def _rule_delay_synchronisation(self) -> Optional[Guideline]:
+    def _rule_delay_synchronisation(self) -> Guideline | None:
         if self._sync is None:
             return None
         table = self._sync.table("sync")
@@ -160,7 +159,7 @@ class GuidelineAdvisor:
             advantage=delayed / eager,
         )
 
-    def _rule_lists_for_small_elements(self) -> Optional[Guideline]:
+    def _rule_lists_for_small_elements(self) -> Guideline | None:
         if self._couples is None:
             return None
         elem = self._couples.table("elem")
@@ -183,7 +182,7 @@ class GuidelineAdvisor:
             advantage=list_bw / elem_bw,
         )
 
-    def _rule_avoid_eib_saturation(self) -> Optional[Guideline]:
+    def _rule_avoid_eib_saturation(self) -> Guideline | None:
         if self._couples is None or self._cycle is None:
             return None
         couples = self._couples.table("elem")

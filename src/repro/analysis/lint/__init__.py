@@ -1,0 +1,51 @@
+"""simlint: static analysis for SPU programs and sim processes.
+
+The paper's programming guidelines are synchronisation discipline, and
+every one has a misuse mode that silently corrupts a bandwidth number or
+livelocks the simulator.  This package catches them before a run:
+
+* ``SL101``/``SL102`` — tag-group synchronisation (LS data consumed
+  before its GET landed; programs returning with DMA in flight);
+* ``SL201`` — zero-time livelock loops in sim processes;
+* ``SL301``/``SL302`` — DMA size/alignment legality and the sub-128 B
+  efficiency cliff, checked with the MFC's own ``validate_transfer``;
+* ``SL401`` — fractional cycle delays (kernel time is an integer);
+* ``SL501`` — wall clocks / unseeded RNGs that would break the
+  byte-identical replay the result cache and parallel executor assume.
+
+Run it as ``python -m repro.lint <paths>`` or programmatically::
+
+    from repro.analysis.lint import lint_callable
+    assert lint_callable(my_kernel) == []
+
+The *runtime* complement — the DMA hazard sanitizer that checks actual
+overlap/ordering of in-flight commands — lives in
+:mod:`repro.sim.sanitizer` and is enabled with ``reproduce --sanitize``.
+"""
+
+from repro.analysis.lint.engine import (
+    LintError,
+    iter_python_files,
+    lint_callable,
+    lint_file,
+    lint_paths,
+    lint_source,
+    select_rules,
+)
+from repro.analysis.lint.findings import Finding, Severity
+from repro.analysis.lint.rules import RULES, Rule, RuleContext
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "RULES",
+    "Rule",
+    "RuleContext",
+    "Severity",
+    "iter_python_files",
+    "lint_callable",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "select_rules",
+]

@@ -1,0 +1,186 @@
+"""The simlint engine: walk sources, classify functions, run rules.
+
+Three entry points:
+
+* :func:`lint_paths` — files and/or directories (the CLI's path);
+* :func:`lint_source` — one source string (fixtures and tests);
+* :func:`lint_callable` — a live function object (``inspect``-based, so a
+  test can assert a kernel it just defined is clean).
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import os
+import textwrap
+from collections.abc import Callable, Iterable
+
+from repro.analysis.lint.findings import Finding
+from repro.analysis.lint.rules import RULES, FunctionInfo, Rule, RuleContext
+
+#: Directories never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".repro-cache"})
+
+
+class LintError(ValueError):
+    """A path that cannot be linted (missing file, syntax error)."""
+
+
+def _classify_functions(tree: ast.Module) -> list[FunctionInfo]:
+    functions: list[FunctionInfo] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                body = ast.Module(body=child.body, type_ignores=[])
+                is_generator = any(
+                    isinstance(grand, (ast.Yield, ast.YieldFrom))
+                    for grand in _walk_without_functions(body)
+                )
+                params = child.args.posonlyargs + child.args.args
+                first = params[0].arg if params else None
+                if first in ("self", "cls") and len(params) > 1:
+                    first = params[1].arg
+                functions.append(
+                    FunctionInfo(
+                        node=child,
+                        qualname=qualname,
+                        is_generator=is_generator,
+                        first_param=first,
+                    )
+                )
+                visit(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}{child.name}.")
+    visit(tree, "")
+    return functions
+
+
+def _walk_without_functions(node: ast.AST) -> Iterable[ast.AST]:
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def select_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Rule]:
+    """Resolve ``--select``/``--ignore`` prefixes against the registry.
+
+    Prefix matching mirrors ruff: ``SL3`` selects SL301 and SL302.
+    Unknown prefixes raise :class:`LintError` rather than silently
+    matching nothing.
+    """
+    def matches(rule: Rule, prefixes: Iterable[str]) -> bool:
+        return any(
+            rule.id.startswith(prefix) or rule.name == prefix
+            for prefix in prefixes
+        )
+
+    chosen = list(RULES.values())
+    if select is not None:
+        prefixes = list(select)
+        for prefix in prefixes:
+            if not any(matches(rule, [prefix]) for rule in chosen):
+                raise LintError(f"--select {prefix!r} matches no rule")
+        chosen = [rule for rule in chosen if matches(rule, prefixes)]
+    if ignore:
+        chosen = [rule for rule in chosen if not matches(rule, ignore)]
+    return chosen
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Iterable[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one source string; findings carry ``path`` as their file."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        raise LintError(f"{path}: {error}") from error
+    context = RuleContext(
+        tree=tree, path=path, functions=_classify_functions(tree)
+    )
+    findings: list[Finding] = []
+    for rule in rules if rules is not None else RULES.values():
+        findings.extend(rule.check(context))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_file(path: str, rules: Iterable[Rule] | None = None) -> list[Finding]:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as error:
+        raise LintError(f"cannot read {path}: {error}") from error
+    return lint_source(source, path=path, rules=rules)
+
+
+def iter_python_files(paths: Iterable[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for root, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in _SKIP_DIRS
+                )
+                files.extend(
+                    os.path.join(root, name)
+                    for name in sorted(filenames)
+                    if name.endswith(".py")
+                )
+        else:
+            raise LintError(f"no such file or directory: {path}")
+    return files
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Iterable[Rule] | None = None
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    rules = list(rules) if rules is not None else list(RULES.values())
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules=rules))
+    return findings
+
+
+def lint_callable(
+    target: Callable, rules: Iterable[Rule] | None = None
+) -> list[Finding]:
+    """Lint a live function: its source is parsed in isolation, with
+    findings anchored to the defining file and real line numbers."""
+    try:
+        source = textwrap.dedent(inspect.getsource(target))
+        path = inspect.getsourcefile(target) or "<callable>"
+        _source_lines, start = inspect.getsourcelines(target)
+    except (OSError, TypeError) as error:
+        raise LintError(f"cannot get source of {target!r}: {error}") from error
+    findings = lint_source(source, path=path, rules=rules)
+    offset = start - 1
+    return [
+        Finding(
+            rule=f.rule,
+            name=f.name,
+            severity=f.severity,
+            path=f.path,
+            line=f.line + offset,
+            col=f.col,
+            message=f.message,
+        )
+        for f in findings
+    ]

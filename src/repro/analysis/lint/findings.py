@@ -1,0 +1,62 @@
+"""Finding and severity types shared by every simlint rule.
+
+A :class:`Finding` is one diagnostic anchored to a source location; the
+engine collects them across files and the CLI renders them as
+``path:line:col: SEVERITY RULE message`` lines (the format editors and CI
+annotations already understand).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+class Severity(enum.IntEnum):
+    """How bad a finding is.  Ordered so thresholds compare naturally."""
+
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> Severity:
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; choose from "
+                f"{', '.join(s.name.lower() for s in cls)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violation at a source location."""
+
+    rule: str
+    name: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.severity} {self.rule} [{self.name}] {self.message}"
+        )
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "name": self.name,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }

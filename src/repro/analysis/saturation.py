@@ -12,7 +12,6 @@ machine-checkable form of the paper's explanatory sentences.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
 
 from repro.sim.trace import TraceSummary
 
@@ -42,7 +41,7 @@ class SaturationClaim:
 class SaturationReport:
     """All the claims a trace supports, most severe first."""
 
-    def __init__(self, claims: List[SaturationClaim], duration: int):
+    def __init__(self, claims: list[SaturationClaim], duration: int):
         self.claims = claims
         self.duration = duration
 
@@ -51,10 +50,10 @@ class SaturationReport:
         cls,
         summary: TraceSummary,
         queue_depth: int = 16,
-        duration: Optional[int] = None,
-    ) -> "SaturationReport":
+        duration: int | None = None,
+    ) -> SaturationReport:
         span = duration if duration is not None else summary.duration
-        claims: List[SaturationClaim] = []
+        claims: list[SaturationClaim] = []
         claims += _ring_claims(summary, span)
         claims += _bank_claims(summary, span)
         claims += _mfc_claims(summary, queue_depth)
@@ -62,7 +61,7 @@ class SaturationReport:
         claims.sort(key=lambda claim: claim.value, reverse=True)
         return cls(claims, span)
 
-    def by_mechanism(self, mechanism: str) -> List[SaturationClaim]:
+    def by_mechanism(self, mechanism: str) -> list[SaturationClaim]:
         return [c for c in self.claims if c.mechanism == mechanism]
 
     def render(self) -> str:
@@ -71,8 +70,8 @@ class SaturationReport:
         return "\n".join(f"- {claim}" for claim in self.claims)
 
 
-def _ring_claims(summary: TraceSummary, span: int) -> List[SaturationClaim]:
-    claims: List[SaturationClaim] = []
+def _ring_claims(summary: TraceSummary, span: int) -> list[SaturationClaim]:
+    claims: list[SaturationClaim] = []
     for ring, row in sorted(summary.per_ring().items()):
         if not row["grants"]:
             continue
@@ -107,8 +106,8 @@ def _ring_claims(summary: TraceSummary, span: int) -> List[SaturationClaim]:
     return claims
 
 
-def _bank_claims(summary: TraceSummary, span: int) -> List[SaturationClaim]:
-    claims: List[SaturationClaim] = []
+def _bank_claims(summary: TraceSummary, span: int) -> list[SaturationClaim]:
+    claims: list[SaturationClaim] = []
     for bank, row in sorted(summary.bank_stats().items()):
         if span > 0:
             busy_fraction = row["busy_cycles"] / span
@@ -142,8 +141,8 @@ def _bank_claims(summary: TraceSummary, span: int) -> List[SaturationClaim]:
     return claims
 
 
-def _mfc_claims(summary: TraceSummary, queue_depth: int) -> List[SaturationClaim]:
-    claims: List[SaturationClaim] = []
+def _mfc_claims(summary: TraceSummary, queue_depth: int) -> list[SaturationClaim]:
+    claims: list[SaturationClaim] = []
     for node, row in sorted(summary.mfc_stats().items()):
         if not row["enqueued"]:
             continue
@@ -164,8 +163,8 @@ def _mfc_claims(summary: TraceSummary, queue_depth: int) -> List[SaturationClaim
     return claims
 
 
-def _flow_claims(summary: TraceSummary) -> List[SaturationClaim]:
-    claims: List[SaturationClaim] = []
+def _flow_claims(summary: TraceSummary) -> list[SaturationClaim]:
+    claims: list[SaturationClaim] = []
     for (src, dst), row in sorted(summary.per_flow().items()):
         active = row["bytes"] and row["wait_cycles"]
         if not active:
@@ -191,10 +190,10 @@ def _flow_claims(summary: TraceSummary) -> List[SaturationClaim]:
 def flow_bandwidth_table(
     summary: TraceSummary,
     cpu_hz: float,
-) -> List[Tuple[str, str, int, float]]:
+) -> list[tuple[str, str, int, float]]:
     """(src, dst, bytes, GB/s over the flow's active window) rows,
     largest flows first — the per-flow view of a run's bandwidth."""
-    rows: List[Tuple[str, str, int, float]] = []
+    rows: list[tuple[str, str, int, float]] = []
     for (src, dst), row in summary.per_flow().items():
         if not row["bytes"]:
             continue

@@ -1,9 +1,7 @@
 """Small numeric helpers the analysis and report layers share."""
 
 from __future__ import annotations
-
-from typing import List, Optional, Sequence, Tuple
-
+from collections.abc import Sequence
 
 def efficiency(measured_gbps: float, peak_gbps: float) -> float:
     """Fraction of a peak actually sustained."""
@@ -14,8 +12,8 @@ def efficiency(measured_gbps: float, peak_gbps: float) -> float:
     return measured_gbps / peak_gbps
 
 def speedup_series(
-    series: Sequence[Tuple[object, float]]
-) -> List[Tuple[object, float]]:
+    series: Sequence[tuple[object, float]]
+) -> list[tuple[object, float]]:
     """Normalise a (x, GB/s) series to its first point."""
     if not series:
         raise ValueError("empty series")
@@ -26,8 +24,8 @@ def speedup_series(
 
 
 def scaling_efficiency(
-    series: Sequence[Tuple[int, float]]
-) -> List[Tuple[int, float]]:
+    series: Sequence[tuple[int, float]]
+) -> list[tuple[int, float]]:
     """Weak-scaling efficiency: measured / (n * per-unit baseline).
 
     ``series`` maps unit counts to aggregate GB/s; the first entry is
@@ -43,9 +41,9 @@ def scaling_efficiency(
 
 
 def crossover(
-    series_a: Sequence[Tuple[float, float]],
-    series_b: Sequence[Tuple[float, float]],
-) -> Optional[float]:
+    series_a: Sequence[tuple[float, float]],
+    series_b: Sequence[tuple[float, float]],
+) -> float | None:
     """First x at which series_a stops losing to series_b.
 
     Both series must share their x values in ascending order.  Returns
@@ -55,11 +53,11 @@ def crossover(
     if [x for x, _ in series_a] != [x for x, _ in series_b]:
         raise ValueError("series must share x values")
     behind = None
-    for (x, a_value), (_x, b_value) in zip(series_a, series_b):
+    for (x, a_value), (_x, b_value) in zip(series_a, series_b, strict=True):
         if a_value < b_value:
             behind = True
-        elif behind:
+            continue
+        if behind:
             return x
-        else:
-            behind = False
+        behind = False
     return None

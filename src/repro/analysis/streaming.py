@@ -18,7 +18,7 @@ for every byte moved — and measures end-to-end throughput.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.cell.chip import CellChip
 from repro.cell.config import CellConfig
@@ -52,7 +52,7 @@ class _Inbox:
 
     def __init__(self, spu: SpuRuntime):
         self.spu = spu
-        self._buffered: Dict[int, List[int]] = {READY: [], ACK: []}
+        self._buffered: dict[int, list[int]] = {READY: [], ACK: []}
 
     def expect(self, kind: int):
         """Sub-generator: the next token of ``kind`` (buffers others)."""
@@ -127,13 +127,13 @@ def build_pipeline(
     chunk_bytes: int,
     n_chunks: int,
     compute_cycles: int = 0,
-) -> List[Dict]:
+) -> list[dict]:
     """Wire a pull pipeline over the given SPEs; returns the per-stage
     timing dicts (filled once the chip runs)."""
     if len(logical_indices) < 2:
         raise ConfigError("a pipeline needs at least a source and a sink")
     contexts = [SpeContext(chip, logical) for logical in logical_indices]
-    outs: List[Dict] = [{} for _ in contexts]
+    outs: list[dict] = [{} for _ in contexts]
     last = len(contexts) - 1
     for position, context in enumerate(contexts):
         if position == 0:
@@ -186,7 +186,7 @@ class StreamingComparison:
 
     def __init__(
         self,
-        config: Optional[CellConfig] = None,
+        config: CellConfig | None = None,
         chunk_bytes: int = 16384,
         chunks_per_stream_unit: int = 64,
         compute_cycles: int = 0,
@@ -207,7 +207,7 @@ class StreamingComparison:
             [spe for pipeline in pipelines for spe in pipeline]
         )
         chunks_each = total_chunks // len(pipelines)
-        outs: List[Dict] = []
+        outs: list[dict] = []
         for pipeline in pipelines:
             outs.extend(
                 build_pipeline(
@@ -226,7 +226,7 @@ class StreamingComparison:
             gbps=self.config.clock.gbps(total_bytes, elapsed),
         )
 
-    def run(self) -> Dict[str, StreamingResult]:
+    def run(self) -> dict[str, StreamingResult]:
         """Both configurations, same total data volume."""
         single = self._run([list(range(8))], "one 8-SPE stream")
         double = self._run(

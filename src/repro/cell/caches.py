@@ -9,19 +9,18 @@ the experiment framework picks for each level.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from repro.cell.config import PpeConfig
 from repro.cell.errors import ConfigError
 
 #: The three residence levels the paper measures.
-LEVELS: Tuple[str, ...] = ("l1", "l2", "mem")
+LEVELS: tuple[str, ...] = ("l1", "l2", "mem")
 
 #: Memory operations the paper measures at every level.
-OPS: Tuple[str, ...] = ("load", "store", "copy")
+OPS: tuple[str, ...] = ("load", "store", "copy")
 
 #: Element sizes the paper sweeps: 1 char up to a full VMX register.
-ELEMENT_SIZES: Tuple[int, ...] = (1, 2, 4, 8, 16)
+ELEMENT_SIZES: tuple[int, ...] = (1, 2, 4, 8, 16)
 
 
 @dataclass(frozen=True)

@@ -9,7 +9,7 @@ exactly like re-running the paper's binary.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any
 
 from repro.cell.config import CellConfig
 from repro.cell.eib import Eib
@@ -18,7 +18,7 @@ from repro.cell.memory import MemorySystem
 from repro.cell.ppe import PpeModel
 from repro.cell.spe import Spe
 from repro.cell.topology import RingTopology, SpeMapping
-from repro.sim import Environment
+from repro.sim import DmaSanitizer, Environment, FaultEngine, TraceRecorder
 
 
 class CellChip:
@@ -27,17 +27,22 @@ class CellChip:
 
     def __init__(
         self,
-        config: Optional[CellConfig] = None,
-        mapping: Optional[SpeMapping] = None,
-        topology: Optional[RingTopology] = None,
-        trace=None,
-        faults=None,
+        config: CellConfig | None = None,
+        mapping: SpeMapping | None = None,
+        topology: RingTopology | None = None,
+        trace: TraceRecorder | None = None,
+        faults: FaultEngine | None = None,
+        sanitizer: DmaSanitizer | None = None,
     ):
         """``trace`` is an optional :class:`repro.sim.TraceRecorder`;
         when given, every model on the chip emits structured records
         into it (see :mod:`repro.sim.trace`).  ``faults`` is an optional
         :class:`repro.sim.FaultEngine`; when given, every model injects
-        its typed faults deterministically (see :mod:`repro.sim.faults`)."""
+        its typed faults deterministically (see :mod:`repro.sim.faults`).
+        ``sanitizer`` is an optional :class:`repro.sim.DmaSanitizer`;
+        when given, every MFC reports command enqueue/completion so
+        unordered overlapping transfers are flagged as data races (see
+        :mod:`repro.sim.sanitizer`)."""
         self.config = config or CellConfig.paper_blade()
         self.topology = topology or RingTopology()
         self.mapping = mapping or SpeMapping.identity(self.config.n_spes)
@@ -52,12 +57,14 @@ class CellChip:
                 f"topology has {len(physical_spes)} SPE positions, config "
                 f"needs {self.config.n_spes}"
             )
-        self.env = Environment(trace=trace, faults=faults)
+        self.env = Environment(trace=trace, faults=faults,
+                               sanitizer=sanitizer)
         self.trace = self.env.trace
         self.faults = self.env.faults
+        self.sanitizer = self.env.sanitizer
         self.eib = Eib(self.env, self.topology, self.config)
         self.memory = MemorySystem(self.env, self.config)
-        self.spes: List[Spe] = [
+        self.spes: list[Spe] = [
             Spe(self.env, logical, self.mapping.node(logical), self)
             for logical in range(self.config.n_spes)
         ]
@@ -70,7 +77,8 @@ class CellChip:
             )
         return self.spes[logical_index]
 
-    def run(self, until=None, max_events=None, stall_after=None):
+    def run(self, until: Any | None = None, max_events: int | None = None,
+            stall_after: int | None = None) -> Any:
         """Advance the simulation (delegates to the environment; the
         watchdog knobs are forwarded — see
         :meth:`repro.sim.Environment.run`)."""

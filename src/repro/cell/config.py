@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
 
 from repro.cell.errors import ConfigError
 
@@ -255,26 +254,26 @@ class PpeConfig:
     saturating_element_bytes: int = 8
     # Effective plateau bytes/cycle per (level, op, threads).
     # L1 load: half the 16 B/cycle peak, no gain from 16 B elements.
-    l1_load_plateau: Tuple[float, float] = (8.0, 8.0)  # (1 thread, 2 threads)
+    l1_load_plateau: tuple[float, float] = (8.0, 8.0)  # (1 thread, 2 threads)
     # L1 store: limited by the write-through path to L2; 16 B elements
     # and a second thread recover part of it.
-    l1_store_plateau: Tuple[float, float] = (5.0, 6.4)
-    l1_store_16b_bonus: Tuple[float, float] = (1.3, 1.6)
+    l1_store_plateau: tuple[float, float] = (5.0, 6.4)
+    l1_store_16b_bonus: tuple[float, float] = (1.3, 1.6)
     # L1 copy counts read+write bytes; half peak for one thread, 16 B
     # elements show a significant advantage over 8 B.
-    l1_copy_plateau: Tuple[float, float] = (4.4, 5.2)
-    l1_copy_16b_bonus: Tuple[float, float] = (1.8, 1.85)
+    l1_copy_plateau: tuple[float, float] = (4.4, 5.2)
+    l1_copy_16b_bonus: tuple[float, float] = (1.8, 1.85)
     # L2: bound by outstanding L1 misses; stores almost twice the loads
     # for one thread; per-thread miss structures double with 2 threads.
-    l2_load_plateau: Tuple[float, float] = (1.6, 2.8)
-    l2_store_plateau: Tuple[float, float] = (3.0, 4.2)
-    l2_copy_plateau: Tuple[float, float] = (2.1, 3.4)
+    l2_load_plateau: tuple[float, float] = (1.6, 2.8)
+    l2_store_plateau: tuple[float, float] = (3.0, 4.2)
+    l2_copy_plateau: tuple[float, float] = (2.1, 3.4)
     # Memory: loads match L2 loads (same pending-miss limit); stores are
     # far lower (memory write throughput, saturated L2-to-memory queue).
     # Everything here stays under the paper's "very low (under 6)".
-    mem_load_plateau: Tuple[float, float] = (1.6, 2.8)
-    mem_store_plateau: Tuple[float, float] = (0.95, 1.2)
-    mem_copy_plateau: Tuple[float, float] = (0.75, 1.0)
+    mem_load_plateau: tuple[float, float] = (1.6, 2.8)
+    mem_store_plateau: tuple[float, float] = (0.95, 1.2)
+    mem_copy_plateau: tuple[float, float] = (0.75, 1.0)
 
     def plateau(self, level: str, op: str, threads: int) -> float:
         """Effective plateau bytes/cycle for a level ('l1','l2','mem'),
@@ -313,13 +312,13 @@ class CellConfig:
             raise ConfigError(f"n_spes must be >= 1, got {self.n_spes}")
 
     @classmethod
-    def paper_blade(cls) -> "CellConfig":
+    def paper_blade(cls) -> CellConfig:
         """The paper's machine: one CBE of a dual-Cell blade at 2.1 GHz,
         both memory banks reachable (256 MB local + 256 MB through the
         IOIF), Linux with 64 KB pages, libspe 1.1."""
         return cls()
 
-    def replace(self, **kwargs) -> "CellConfig":
+    def replace(self, **kwargs) -> CellConfig:
         """A copy with top-level fields replaced (ablation helper)."""
         return dataclasses.replace(self, **kwargs)
 
@@ -366,7 +365,7 @@ class CellConfig:
             return self.eib.ioif_bytes_per_cpu_cycle
         return self.eib_bytes_per_cpu_cycle
 
-    def describe(self) -> Dict[str, float]:
+    def describe(self) -> dict[str, float]:
         """Headline rates, for reports."""
         return {
             "cpu_ghz": self.clock.cpu_hz / 1e9,

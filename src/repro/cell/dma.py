@@ -18,7 +18,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.cell.errors import DmaAlignmentError, DmaSizeError
 
@@ -99,7 +99,7 @@ class DmaCommand:
     tag: int = 0
     local_offset: int = 0
     remote_offset: int = 0
-    remote_node: Optional[str] = None
+    remote_node: str | None = None
     # Ordering variants (the MFC's <cmd>f / <cmd>b forms): a *fenced*
     # command is ordered after all earlier commands of its tag group; a
     # *barriered* command after all earlier commands in the queue.
@@ -150,7 +150,7 @@ class DmaList:
     elements: Sequence[DmaListElement]
     tag: int = 0
     local_offset: int = 0
-    remote_node: Optional[str] = None
+    remote_node: str | None = None
     command_id: int = field(default_factory=lambda: next(_command_ids))
 
     def __post_init__(self):
@@ -174,13 +174,13 @@ class DmaList:
         element_size: int,
         n_elements: int,
         tag: int = 0,
-        remote_node: Optional[str] = None,
-    ) -> "DmaList":
+        remote_node: str | None = None,
+    ) -> DmaList:
         """Build a list of ``n_elements`` equal chunks, contiguous on the
         remote side — the shape every benchmark in the paper uses."""
         if n_elements < 1:
             raise DmaSizeError(f"n_elements must be >= 1, got {n_elements}")
-        elements: List[DmaListElement] = [
+        elements: list[DmaListElement] = [
             DmaListElement(size=element_size, remote_offset=i * element_size)
             for i in range(n_elements)
         ]
@@ -193,7 +193,7 @@ class DmaList:
         )
 
 
-def legal_command_sizes(nbytes: int) -> List[int]:
+def legal_command_sizes(nbytes: int) -> list[int]:
     """Split an arbitrary byte count into legal single-command sizes:
     16 KiB pieces plus a quadword-aligned remainder.
 
@@ -203,7 +203,7 @@ def legal_command_sizes(nbytes: int) -> List[int]:
     """
     if nbytes <= 0:
         raise DmaSizeError(f"cannot split {nbytes} bytes")
-    sizes: List[int] = []
+    sizes: list[int] = []
     remaining = nbytes
     while remaining >= MAX_TRANSFER_BYTES:
         sizes.append(MAX_TRANSFER_BYTES)
@@ -222,8 +222,8 @@ def split_into_commands(
     direction: DmaDirection,
     target: TargetKind,
     tag: int = 0,
-    remote_node: Optional[str] = None,
-) -> List[DmaCommand]:
+    remote_node: str | None = None,
+) -> list[DmaCommand]:
     """Split a buffer into equal DMA-elem commands, as the paper's
     DMA-elem benchmarks do.  ``total_bytes`` must divide evenly."""
     if element_size <= 0:

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Generator, List, Optional, Tuple
+from collections.abc import Generator
 
 from repro.cell.config import CellConfig
 from repro.cell.errors import ConfigError
@@ -43,8 +43,8 @@ class TransferGrant:
     grant had to wait behind other requesters.
     """
 
-    ring: "Ring"
-    spans: Tuple[int, ...]
+    ring: Ring
+    spans: tuple[int, ...]
     span_set: frozenset
     src: str
     dst: str
@@ -59,7 +59,7 @@ class Ring:
         self.name = name
         self.direction = direction
         self.max_transfers = max_transfers
-        self._active: List[frozenset] = []
+        self._active: list[frozenset] = []
         self._occupied: set = set()
 
     @property
@@ -95,16 +95,16 @@ class Eib:
         self.env = env
         self.topology = topology
         self.config = config
-        self.rings: List[Ring] = []
+        self.rings: list[Ring] = []
         for direction, label in ((CLOCKWISE, "cw"), (COUNTERCLOCKWISE, "ccw")):
             for i in range(config.eib.rings_per_direction):
                 self.rings.append(
                     Ring(f"{label}{i}", direction, config.eib.max_transfers_per_ring)
                 )
-        self._out_busy: Dict[str, bool] = {node: False for node in topology.order}
-        self._in_busy: Dict[str, bool] = {node: False for node in topology.order}
-        self._waiters: Deque[Tuple[Event, str, str]] = deque()
-        self._span_sets: Dict[Tuple[str, str, int], frozenset] = {}
+        self._out_busy: dict[str, bool] = {node: False for node in topology.order}
+        self._in_busy: dict[str, bool] = {node: False for node in topology.order}
+        self._waiters: deque[tuple[Event, str, str]] = deque()
+        self._span_sets: dict[tuple[str, str, int], frozenset] = {}
         # Statistics the analysis layer reads.
         self.grants = 0
         self.conflicts = 0
@@ -159,7 +159,7 @@ class Eib:
                 EibTransfer(ts=self.env.now, src=src, dst=dst, nbytes=nbytes)
             )
 
-    def utilization(self) -> Dict[str, float]:
+    def utilization(self) -> dict[str, float]:
         """Busy fraction of each ring over the run so far."""
         return {
             name: monitor.utilization()
@@ -203,7 +203,7 @@ class Eib:
             self._span_sets[key] = cached
         return cached
 
-    def _try_grant(self, src: str, dst: str) -> Optional[TransferGrant]:
+    def _try_grant(self, src: str, dst: str) -> TransferGrant | None:
         """Find a free path; does NOT commit resources."""
         if self._out_busy[src] or self._in_busy[dst]:
             return None
@@ -260,8 +260,8 @@ class Eib:
 
         Grants are committed here, before the waiting processes resume,
         so two releases in the same cycle cannot double-book a path."""
-        still_waiting: Deque[Tuple[Event, str, str]] = deque()
-        granted: List[Tuple[Event, TransferGrant]] = []
+        still_waiting: deque[tuple[Event, str, str]] = deque()
+        granted: list[tuple[Event, TransferGrant]] = []
         while self._waiters:
             event, src, dst = self._waiters.popleft()
             grant = self._try_grant(src, dst)
@@ -294,11 +294,12 @@ class Eib:
             if src == grant.src or dst == grant.dst:
                 count += 1
                 continue
-            if grant.ring.direction in self.topology.directions_by_distance(src, dst):
-                if not grant.span_set.isdisjoint(
-                    self._span_set(src, dst, grant.ring.direction)
-                ):
-                    count += 1
+            if grant.ring.direction in self.topology.directions_by_distance(
+                src, dst
+            ) and not grant.span_set.isdisjoint(
+                self._span_set(src, dst, grant.ring.direction)
+            ):
+                count += 1
         return count
 
     @staticmethod

@@ -10,7 +10,12 @@ watchdog diagnosis, not a model error) is re-exported here for the same
 one-stop import.
 """
 
+from typing import TYPE_CHECKING
+
 from repro.sim.core import SimulationStall  # noqa: F401  (re-export)
+
+if TYPE_CHECKING:
+    from collections.abc import Iterable
 
 
 class CellError(Exception):
@@ -80,7 +85,7 @@ class SpeCrashError(FaultError):
 class DmaTimeoutError(FaultError):
     """A tag-group wait exceeded its timeout and exhausted its retries."""
 
-    def __init__(self, node: str, tags, waited_cycles: int, attempts: int):
+    def __init__(self, node: str, tags: "Iterable[int]", waited_cycles: int, attempts: int):
         tags = tuple(tags)
         super().__init__(
             f"tag group(s) {tags} on {node} still busy after "

@@ -10,10 +10,14 @@ layouts the benchmarks use.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+
+from typing import TYPE_CHECKING
 
 from repro.cell.config import LocalStoreConfig
 from repro.cell.errors import LocalStoreError
+
+if TYPE_CHECKING:
+    from repro.sim.sanitizer import DmaSanitizer
 
 
 @dataclass(frozen=True)
@@ -32,11 +36,19 @@ class Allocation:
 class LocalStore:
     """Bump allocator over the LS address space."""
 
-    def __init__(self, config: Optional[LocalStoreConfig] = None):
+    def __init__(self, config: LocalStoreConfig | None = None,
+                 node: str | None = None,
+                 sanitizer: DmaSanitizer | None = None):
+        """``node``/``sanitizer`` let the DMA hazard sanitizer resolve
+        flagged byte ranges back to named allocations (see
+        :mod:`repro.sim.sanitizer`); both default to off."""
         self.config = config or LocalStoreConfig()
         self._cursor = 0
-        self._allocations: Dict[str, Allocation] = {}
+        self._allocations: dict[str, Allocation] = {}
         self._anonymous = 0
+        self._node = node
+        self._sanitizer = sanitizer
+        self._sanitizing = sanitizer is not None and sanitizer.enabled
 
     @property
     def size(self) -> int:
@@ -50,7 +62,7 @@ class LocalStore:
     def remaining(self) -> int:
         return self.size - self._cursor
 
-    def alloc(self, nbytes: int, name: Optional[str] = None, align: int = 16) -> Allocation:
+    def alloc(self, nbytes: int, name: str | None = None, align: int = 16) -> Allocation:
         """Reserve ``nbytes`` aligned to ``align``; raises when it cannot fit."""
         if nbytes <= 0:
             raise LocalStoreError(f"allocation of {nbytes} bytes")
@@ -70,6 +82,8 @@ class LocalStore:
         allocation = Allocation(name=name, offset=offset, size=nbytes)
         self._allocations[name] = allocation
         self._cursor = offset + nbytes
+        if self._sanitizing:
+            self._sanitizer.note_allocation(self._node, allocation)
         return allocation
 
     def get(self, name: str) -> Allocation:

@@ -52,7 +52,7 @@ class Mailbox:
         """Blocking read: the event's value is the message."""
         return self._store.get()
 
-    def try_read(self):
+    def try_read(self) -> int | None:
         """Non-blocking read; None when empty."""
         if self.count == 0:
             return None

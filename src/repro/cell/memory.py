@@ -27,7 +27,6 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional
 
 from repro.cell.config import CellConfig
 from repro.cell.errors import ConfigError
@@ -73,11 +72,11 @@ class MemoryBank:
         self.node = node
         self.peak = peak_bytes_per_cpu_cycle
         self.config = config
-        self._pending: Deque[MemoryRequest] = deque()
-        self._wakeup: Optional[Event] = None
-        self._recent: Deque[str] = deque(maxlen=config.memory.requester_window)
-        self._prev_requester: Optional[str] = None
-        self._prev_direction: Optional[str] = None
+        self._pending: deque[MemoryRequest] = deque()
+        self._wakeup: Event | None = None
+        self._recent: deque[str] = deque(maxlen=config.memory.requester_window)
+        self._prev_requester: str | None = None
+        self._prev_direction: str | None = None
         self.bytes_served = 0
         self.commands_served = 0
         self.fault_cycles = 0
@@ -222,10 +221,10 @@ class MemorySystem:
         )
         # Weighted round-robin (Bresenham) state per requester, standing
         # in for which 64 KB page of its buffer a command touches.
-        self._placement_accumulator: Dict[str, float] = {}
+        self._placement_accumulator: dict[str, float] = {}
 
     @property
-    def banks(self):
+    def banks(self) -> tuple["MemoryBank", "MemoryBank"]:
         return (self.local_bank, self.remote_bank)
 
     def assign_bank(self, requester: str) -> MemoryBank:
@@ -251,7 +250,7 @@ class MemorySystem:
     def bytes_served(self) -> int:
         return sum(bank.bytes_served for bank in self.banks)
 
-    def describe(self) -> Dict[str, float]:
+    def describe(self) -> dict[str, float]:
         return {
             "local_peak_gbps": self.local_bank.peak_gbps,
             "remote_peak_gbps": self.remote_bank.peak_gbps,

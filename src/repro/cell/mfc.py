@@ -23,7 +23,7 @@ that lives in the SPU program (:mod:`repro.libspe`).
 from __future__ import annotations
 
 import math
-from typing import Dict, Generator, List, Optional, Tuple
+from collections.abc import Generator, Iterable
 
 from repro.cell.dma import (
     DmaCommand,
@@ -40,7 +40,7 @@ from repro.sim.trace import MfcComplete, MfcEnqueue, MfcIssue
 class Mfc:
     """The DMA engine of one SPE (identified by its physical node name)."""
 
-    def __init__(self, env: Environment, node: str, chip: "CellChip"):
+    def __init__(self, env: Environment, node: str, chip: CellChip):
         self.env = env
         self.node = node
         self.chip = chip
@@ -48,14 +48,14 @@ class Mfc:
         self._slots = Resource(env, capacity=self.config.mfc.queue_depth)
         # The PPE-visible proxy command queue is shallower (8 entries).
         self._proxy_slots = Resource(env, capacity=8)
-        self._outstanding: Dict[int, int] = {tag: 0 for tag in range(32)}
-        self._tag_waiters: List[Tuple[Event, Tuple[int, ...]]] = []
+        self._outstanding: dict[int, int] = {tag: 0 for tag in range(32)}
+        self._tag_waiters: list[tuple[Event, tuple[int, ...]]] = []
         # Ordering state for fenced/barriered commands.
-        self._tag_enqueued: Dict[int, int] = {tag: 0 for tag in range(32)}
-        self._tag_completed: Dict[int, int] = {tag: 0 for tag in range(32)}
+        self._tag_enqueued: dict[int, int] = {tag: 0 for tag in range(32)}
+        self._tag_completed: dict[int, int] = {tag: 0 for tag in range(32)}
         self._total_enqueued = 0
         self._total_completed = 0
-        self._order_waiters: List[Tuple[Event, Optional[int], int]] = []
+        self._order_waiters: list[tuple[Event, int | None, int]] = []
         # Next cycle at which the memory path can dispatch another byte.
         self._memory_path_free_at = 0
         self.commands_completed = 0
@@ -68,14 +68,19 @@ class Mfc:
         # no-fault path to one branch per command.
         self._faults = env.faults
         self._faulting = env.faults.enabled
+        # DMA hazard sanitizer (repro.sim.sanitizer); same cached-guard
+        # pattern, and the sanitizer is a pure observer, so enabling it
+        # cannot perturb the event stream.
+        self._sanitizer = env.sanitizer
+        self._sanitizing = env.sanitizer.enabled
         # Dropped (injected-fault) commands parked per tag, waiting for
         # the SPU program to re-drive them.
-        self._parked: Dict[int, List[Event]] = {}
+        self._parked: dict[int, list[Event]] = {}
         self.commands_redriven = 0
 
     # -- SPU-facing API ----------------------------------------------------------
 
-    def enqueue(self, command) -> Generator[Event, object, None]:
+    def enqueue(self, command: DmaCommand | DmaList) -> Generator[Event, object, None]:
         """Put a command (DmaCommand or DmaList) in the queue.
 
         A sub-generator (``yield from``): it returns as soon as the
@@ -161,7 +166,7 @@ class Mfc:
         """Commands of a tag group still in flight."""
         return self._outstanding[tag]
 
-    def tag_group_quiet(self, tags) -> Event:
+    def tag_group_quiet(self, tags: Iterable[int]) -> Event:
         """Event that fires when every listed tag group is empty —
         the model's ``mfc_read_tag_status_all``."""
         tags = tuple(tags)
@@ -175,7 +180,7 @@ class Mfc:
         self._tag_waiters.append((event, tags))
         return event
 
-    def redrive(self, tags) -> int:
+    def redrive(self, tags: Iterable[int]) -> int:
         """Restart the parked (dropped) commands of the listed tag
         groups — the model's MFC command re-drive after a transfer was
         lost.  Returns how many commands were restarted."""
@@ -190,7 +195,7 @@ class Mfc:
         self.commands_redriven += restarted
         return restarted
 
-    def parked_commands(self, tags=None) -> int:
+    def parked_commands(self, tags: Iterable[int] | None = None) -> int:
         """Dropped commands currently waiting for a re-drive."""
         if tags is None:
             return sum(len(parked) for parked in self._parked.values())
@@ -202,7 +207,7 @@ class Mfc:
 
     # -- ordering (fence / barrier) ------------------------------------------------
 
-    def _ordering_threshold(self, command) -> Optional[Tuple[Optional[int], int]]:
+    def _ordering_threshold(self, command) -> tuple[int | None, int] | None:
         """(tag-or-None, completion count to wait for), or None."""
         if isinstance(command, DmaCommand) and command.barrier:
             return (None, self._total_enqueued)
@@ -214,13 +219,15 @@ class Mfc:
         self._tag_enqueued[command.tag] += 1
         self._total_enqueued += 1
         self._outstanding[command.tag] += 1
+        if self._sanitizing:
+            self._sanitizer.command_enqueued(self.node, command)
 
-    def _ordering_satisfied(self, tag: Optional[int], threshold: int) -> bool:
+    def _ordering_satisfied(self, tag: int | None, threshold: int) -> bool:
         if tag is None:
             return self._total_completed >= threshold
         return self._tag_completed[tag] >= threshold
 
-    def _wait_ordering(self, ordering: Optional[Tuple[Optional[int], int]]):
+    def _wait_ordering(self, ordering: tuple[int | None, int] | None):
         if ordering is None:
             return
         tag, threshold = ordering
@@ -237,7 +244,7 @@ class Mfc:
         command: DmaCommand,
         slot,
         slots: Resource,
-        ordering: Optional[Tuple[Optional[int], int]] = None,
+        ordering: tuple[int | None, int] | None = None,
         cmd_id: int = 0,
         enqueued_at: int = 0,
     ):
@@ -302,7 +309,7 @@ class Mfc:
                     nbytes=dma_list.size,
                 )
             )
-        pending: List[Event] = []
+        pending: list[Event] = []
         for n_elements, nbytes in self._list_bursts(dma_list.elements):
             yield self.env.timeout(self.config.mfc.list_element_cycles * n_elements)
             token = inflight.request()
@@ -343,11 +350,11 @@ class Mfc:
             self._parked.setdefault(tag, []).append(resume)
             yield resume
 
-    def _list_bursts(self, elements) -> List[Tuple[int, int]]:
+    def _list_bursts(self, elements) -> list[tuple[int, int]]:
         """Coalesce consecutive list elements into (count, bytes) bursts
         of at most one EIB grant quantum each."""
         quantum = self.config.eib.grant_quantum_bytes
-        bursts: List[Tuple[int, int]] = []
+        bursts: list[tuple[int, int]] = []
         count = 0
         nbytes = 0
         for element in elements:
@@ -423,6 +430,8 @@ class Mfc:
         self._tag_completed[command.tag] += 1
         self._total_completed += 1
         self.commands_completed += 1
+        if self._sanitizing:
+            self._sanitizer.command_completed(self.node, command)
         self._wake_tag_waiters()
         self._wake_order_waiters()
 

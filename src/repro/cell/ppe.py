@@ -28,14 +28,13 @@ Constraints modelled per (level, op, threads):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.cell.caches import CacheHierarchy, ELEMENT_SIZES, LEVELS, OPS
 from repro.cell.config import CellConfig
 from repro.cell.errors import ConfigError
 
 #: Human-readable description of each path's plateau limiter.
-_PLATEAU_REASON: Dict[str, str] = {
+_PLATEAU_REASON: dict[str, str] = {
     "l1_load": "L1 load port sustains half the 16 B/cycle peak",
     "l1_store": "write-through L2 store-queue drain",
     "l1_copy": "load/store slots shared on the single LSU port",
@@ -107,12 +106,11 @@ class PpeModel:
         """The bandwidth plus the name of the binding constraint."""
         self._check(level, op, element_bytes, threads)
         saturating = self.config.ppe.saturating_element_bytes
-        if element_bytes < saturating:
-            limiter = (
-                f"issue rate: one {element_bytes} B access per cycle per thread"
-            )
-        else:
-            limiter = _PLATEAU_REASON[f"{level}_{op}"]
+        limiter = (
+            f"issue rate: one {element_bytes} B access per cycle per thread"
+            if element_bytes < saturating
+            else _PLATEAU_REASON[f"{level}_{op}"]
+        )
         return PpeBandwidthPoint(
             level=level,
             op=op,

@@ -29,14 +29,16 @@ class Spe:
         env: Environment,
         logical_index: int,
         node: str,
-        chip: "CellChip",
+        chip: CellChip,
     ):
         self.env = env
         self.logical_index = logical_index
         self.node = node
         self.chip = chip
         self.config: CellConfig = chip.config
-        self.local_store = LocalStore(self.config.local_store)
+        self.local_store = LocalStore(
+            self.config.local_store, node=node, sanitizer=env.sanitizer
+        )
         self.mfc = Mfc(env, node, chip)
         # Cleared when an injected fault kills this SPE's context; a
         # dead SPE's local store is gone, so schedulers must stop

@@ -14,13 +14,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.cell.errors import ConfigError
 
 #: Physical ring order of the CBE's twelve EIB elements.  SPE names here
 #: are *physical* positions.
-DEFAULT_RING_ORDER: Tuple[str, ...] = (
+DEFAULT_RING_ORDER: tuple[str, ...] = (
     "PPE",
     "SPE1",
     "SPE3",
@@ -54,7 +54,7 @@ class RingTopology:
             raise ConfigError(f"duplicate nodes in ring order: {order}")
         if len(order) < 3:
             raise ConfigError("a ring needs at least three nodes")
-        self.order: Tuple[str, ...] = tuple(order)
+        self.order: tuple[str, ...] = tuple(order)
         self._index = {node: i for i, node in enumerate(self.order)}
         # Paths and routing decisions are pure functions of the fixed
         # ring order; memoise them (the EIB arbiter asks constantly).
@@ -80,7 +80,7 @@ class RingTopology:
             return delta
         return (len(self) - delta) % len(self)
 
-    def path(self, src: str, dst: str, direction: int) -> Tuple[int, ...]:
+    def path(self, src: str, dst: str, direction: int) -> tuple[int, ...]:
         """Spans occupied travelling from src to dst in a direction."""
         key = (src, dst, direction)
         cached = self._path_cache.get(key)
@@ -91,7 +91,7 @@ class RingTopology:
             raise ConfigError(f"transfer from {src!r} to itself")
         n = len(self)
         i = self.index(src)
-        spans: List[int] = []
+        spans: list[int] = []
         for _ in range(self.hops(src, dst, direction)):
             if direction == CLOCKWISE:
                 spans.append(i)
@@ -103,7 +103,7 @@ class RingTopology:
         self._path_cache[key] = result
         return result
 
-    def directions_by_distance(self, src: str, dst: str) -> List[int]:
+    def directions_by_distance(self, src: str, dst: str) -> list[int]:
         """Directions ordered shortest-first, restricted to legal (at most
         half-ring) travel.  Both are returned on a tie."""
         key = (src, dst)
@@ -130,13 +130,12 @@ class RingTopology:
         if direction not in (CLOCKWISE, COUNTERCLOCKWISE):
             raise ConfigError(f"direction must be +1 or -1, got {direction}")
 
-    def spe_nodes(self) -> List[str]:
+    def spe_nodes(self) -> list[str]:
         """Physical SPE node names in physical-index order."""
-        spes = sorted(
+        return sorted(
             (node for node in self.order if node.startswith("SPE")),
             key=lambda node: int(node[3:]),
         )
-        return spes
 
 
 @dataclass(frozen=True)
@@ -146,7 +145,7 @@ class SpeMapping:
     ``physical_of[i]`` is the physical position of logical SPE ``i``.
     """
 
-    physical_of: Tuple[int, ...]
+    physical_of: tuple[int, ...]
 
     def __post_init__(self):
         if sorted(self.physical_of) != list(range(len(self.physical_of))):
@@ -167,11 +166,11 @@ class SpeMapping:
         return f"SPE{self.physical_of[logical]}"
 
     @classmethod
-    def identity(cls, n_spes: int = 8) -> "SpeMapping":
+    def identity(cls, n_spes: int = 8) -> SpeMapping:
         return cls(tuple(range(n_spes)))
 
     @classmethod
-    def random(cls, seed: int, n_spes: int = 8) -> "SpeMapping":
+    def random(cls, seed: int, n_spes: int = 8) -> SpeMapping:
         """The mapping the OS happened to pick on one run: a seeded
         shuffle, so runs are reproducible and a seed sweep plays the role
         of the paper's ten repetitions."""

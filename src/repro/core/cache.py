@@ -30,19 +30,19 @@ writers of the same key settle on one complete file.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import os
 import tempfile
-from typing import Optional
 
 from repro.core.results import BandwidthSample
 
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
 
-_code_version: Optional[str] = None
+_code_version: str | None = None
 
 
 def repro_code_version() -> str:
@@ -80,7 +80,7 @@ class ResultCache:
     """
 
     def __init__(self, root: str = DEFAULT_CACHE_DIR,
-                 code_version: Optional[str] = None):
+                 code_version: str | None = None):
         self.root = root
         self.code_version = (
             repro_code_version() if code_version is None else code_version
@@ -106,7 +106,7 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
 
-    def get(self, spec) -> Optional[BandwidthSample]:
+    def get(self, spec) -> BandwidthSample | None:
         """The cached sample for a spec, or None (a miss)."""
         try:
             with open(self._path(self.key(spec))) as handle:
@@ -143,8 +143,6 @@ class ResultCache:
                 json.dump(payload, handle)
             os.replace(handle.name, path)
         except BaseException:
-            try:
+            with contextlib.suppress(OSError):
                 os.unlink(handle.name)
-            except OSError:
-                pass
             raise

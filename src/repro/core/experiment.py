@@ -21,7 +21,7 @@ restores 32 MiB.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.cell.chip import CellChip
 from repro.cell.config import CellConfig
@@ -32,7 +32,7 @@ from repro.core.results import BandwidthSample, BandwidthStats, SweepTable
 from repro.libspe import SpeContext
 
 #: Assignment of one workload to one logical SPE.
-Assignment = Tuple[int, DmaWorkload]
+Assignment = tuple[int, DmaWorkload]
 
 
 @dataclass(frozen=True)
@@ -49,7 +49,7 @@ class RunSpec:
 
     config: CellConfig
     seed: int
-    assignments: Tuple[Assignment, ...]
+    assignments: tuple[Assignment, ...]
     unrolled: bool = True
 
 
@@ -65,7 +65,7 @@ def run_spec(spec: RunSpec) -> BandwidthSample:
         raise ConfigError("no SPE assignments")
     mapping = SpeMapping.random(spec.seed, spec.config.n_spes)
     chip = CellChip(config=spec.config, mapping=mapping)
-    outs: List[Dict] = []
+    outs: list[dict] = []
     for logical, workload in spec.assignments:
         partner = (
             chip.spe(workload.partner_logical)
@@ -73,7 +73,7 @@ def run_spec(spec: RunSpec) -> BandwidthSample:
             else None
         )
         context = SpeContext(chip, logical, unrolled=spec.unrolled)
-        out: Dict = {}
+        out: dict = {}
         context.load(dma_stream_kernel, workload, out, partner)
         outs.append(out)
     chip.run()
@@ -99,7 +99,7 @@ DEFAULT_BYTES_PER_SPE = 2 * 2 ** 20
 PAPER_BYTES_PER_SPE = 32 * 2 ** 20
 
 #: The element-size sweep of every DMA figure: 128 B .. 16 KiB.
-DMA_ELEMENT_SIZES: Tuple[int, ...] = (128, 256, 512, 1024, 2048, 4096, 8192, 16384)
+DMA_ELEMENT_SIZES: tuple[int, ...] = (128, 256, 512, 1024, 2048, 4096, 8192, 16384)
 
 
 @dataclass
@@ -108,8 +108,8 @@ class ExperimentResult:
 
     name: str
     description: str
-    tables: Dict[str, SweepTable] = field(default_factory=dict)
-    notes: List[str] = field(default_factory=list)
+    tables: dict[str, SweepTable] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
 
     def table(self, name: str) -> SweepTable:
         if name not in self.tables:
@@ -128,7 +128,7 @@ class Experiment:
 
     def __init__(
         self,
-        config: Optional[CellConfig] = None,
+        config: CellConfig | None = None,
         repetitions: int = 10,
         bytes_per_spe: int = DEFAULT_BYTES_PER_SPE,
         seed_base: int = 1000,
@@ -152,7 +152,7 @@ class Experiment:
         self.executor = executor
 
     @classmethod
-    def paper_scale(cls, **kwargs) -> "Experiment":
+    def paper_scale(cls, **kwargs) -> Experiment:
         """The experiment at the paper's full 32 MiB per SPE."""
         kwargs.setdefault("bytes_per_spe", PAPER_BYTES_PER_SPE)
         return cls(**kwargs)
@@ -160,7 +160,7 @@ class Experiment:
     # -- repetition / sizing policy -----------------------------------------------
 
     @property
-    def seeds(self) -> List[int]:
+    def seeds(self) -> list[int]:
         return [self.seed_base + i for i in range(self.repetitions)]
 
     def n_elements_for(self, element_bytes: int) -> int:

@@ -17,7 +17,6 @@ here as workload parameters:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 from repro.cell.errors import ConfigError
 from repro.cell.spe import Spe
@@ -31,6 +30,41 @@ MODES = ("elem", "list")
 
 
 @dataclass(frozen=True)
+class _Window:
+    """A rotating run of DMA buffers inside a disjoint LS region.
+
+    The paper's codes double-buffer; the model's equivalent is rotating
+    each direction's commands through as many element-sized buffers as
+    its LS window holds, so an in-flight transfer and the next command
+    touch different bytes (the DMA hazard sanitizer checks exactly
+    this).  The remote side mirrors the local offset, which keeps GET
+    and PUT ranges disjoint on the far side too and trivially satisfies
+    the MFC's matching-alignment rule.
+    """
+
+    base: int
+    nbuf: int
+    element_bytes: int
+
+    def offset(self, index: int) -> int:
+        return self.base + (index % self.nbuf) * self.element_bytes
+
+
+def _buffer_windows(spu: SpuRuntime, workload: DmaWorkload) -> dict[int, _Window]:
+    """Per-tag rotating buffer windows (GET = tag 0, PUT = tag 1)."""
+    ls = spu.spe.local_store.size
+    elem = workload.element_bytes
+    if workload.direction == "copy":
+        half = ls // 2
+        return {
+            0: _Window(base=0, nbuf=max(1, half // elem), element_bytes=elem),
+            1: _Window(base=half, nbuf=max(1, half // elem), element_bytes=elem),
+        }
+    tag = 0 if workload.direction == "get" else 1
+    return {tag: _Window(base=0, nbuf=max(1, ls // elem), element_bytes=elem)}
+
+
+@dataclass(frozen=True)
 class DmaWorkload:
     """Everything one SPE does in a timed run."""
 
@@ -38,8 +72,8 @@ class DmaWorkload:
     element_bytes: int
     n_elements: int
     mode: str = "elem"
-    sync_every: Optional[int] = None
-    partner_logical: Optional[int] = None  # None = main memory
+    sync_every: int | None = None
+    partner_logical: int | None = None  # None = main memory
 
     def __post_init__(self):
         if self.direction not in DIRECTIONS:
@@ -61,8 +95,8 @@ class DmaWorkload:
 def dma_stream_kernel(
     spu: SpuRuntime,
     workload: DmaWorkload,
-    out: Dict,
-    partner: Optional[Spe] = None,
+    out: dict,
+    partner: Spe | None = None,
 ):
     """The timed SPU program.  Writes ``cycles`` and ``bytes`` to ``out``.
 
@@ -73,24 +107,28 @@ def dma_stream_kernel(
         raise ConfigError("workload targets an SPE but no partner was given")
 
     tags = {"get": (0,), "put": (1,), "copy": (0, 1)}[workload.direction]
+    windows = _buffer_windows(spu, workload)
 
     # Warm-up lap: touch the buffers once so the timed region has no
     # first-touch effects (the paper warms TLBs and page tables the same
     # way).  One command per direction is enough in the model.
     for tag in tags:
+        offset = windows[tag].offset(0)
         if tag == 0:
             yield from spu.mfc_get(
-                size=workload.element_bytes, tag=tag, remote_spe=partner
+                size=workload.element_bytes, tag=tag, remote_spe=partner,
+                local_offset=offset, remote_offset=offset,
             )
         else:
             yield from spu.mfc_put(
-                size=workload.element_bytes, tag=tag, remote_spe=partner
+                size=workload.element_bytes, tag=tag, remote_spe=partner,
+                local_offset=offset, remote_offset=offset,
             )
     yield from spu.wait_tags(tags)
 
     start = spu.read_decrementer()
     if workload.mode == "elem":
-        yield from _elem_loop(spu, workload, partner, tags)
+        yield from _elem_loop(spu, workload, partner, tags, windows)
     else:
         yield from _list_loop(spu, workload, partner, tags)
     yield from spu.wait_tags(tags)
@@ -102,17 +140,21 @@ def dma_stream_kernel(
     out["bytes"] = workload.total_bytes
 
 
-def _elem_loop(spu, workload, partner, tags):
+def _elem_loop(spu, workload, partner, tags, windows):
     issued = 0
     since_sync = 0
     for _ in range(workload.n_elements):
         if workload.direction in ("get", "copy"):
+            offset = windows[0].offset(issued)
             yield from spu.mfc_get(
-                size=workload.element_bytes, tag=0, remote_spe=partner
+                size=workload.element_bytes, tag=0, remote_spe=partner,
+                local_offset=offset, remote_offset=offset,
             )
         if workload.direction in ("put", "copy"):
+            offset = windows[1].offset(issued)
             yield from spu.mfc_put(
-                size=workload.element_bytes, tag=1, remote_spe=partner
+                size=workload.element_bytes, tag=1, remote_spe=partner,
+                local_offset=offset, remote_offset=offset,
             )
         issued += 1
         since_sync += 1

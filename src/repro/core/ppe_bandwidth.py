@@ -9,8 +9,7 @@ here.
 """
 
 from __future__ import annotations
-
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.cell.caches import ELEMENT_SIZES, LEVELS, OPS
 from repro.cell.chip import CellChip
@@ -89,10 +88,9 @@ class PpeBandwidthExperiment(Experiment):
                     notes.append(
                         f"{op}/{threads}t/{element}B limited by: {point.limiter}"
                     )
-        result = ExperimentResult(
+        return ExperimentResult(
             name=self.name,
             description=self.description,
             tables={"bandwidth": table},
             notes=notes,
         )
-        return result

@@ -11,7 +11,6 @@ Values are GB/s unless stated otherwise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 #: Architectural peaks, section 1/3.
 PEAKS = {
@@ -62,7 +61,7 @@ PAIR = {
 
 #: Section 4.2.4 (Figures 12/13) anchors.
 COUPLES = {
-    # 2 and 4 SPEs: "near peak performance"
+    # 2 and 4 SPEs: near peak performance
     "small_team_peak_fraction": 0.85,
     # "the average performance is around 95 and 81 for DMA-elem and
     #  DMA-list transfers respectively ... 70% and 60% of the peak
@@ -132,7 +131,7 @@ class ShapeClaim:
 
     claim_id: str
     description: str
-    paper_value: Optional[float] = None
+    paper_value: float | None = None
     tolerance_fraction: float = 0.25
 
     def band(self):

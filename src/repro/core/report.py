@@ -9,7 +9,7 @@ whole experiment; ``to_csv`` exports for plotting.
 from __future__ import annotations
 
 import io
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.core.experiment import ExperimentResult
 from repro.core.results import SweepTable
@@ -35,7 +35,7 @@ def format_table(
     column_axis = table.axes[-1]
     row_axes = table.axes[:-1]
     columns = table.axis_values(column_axis)
-    row_keys: List[Tuple] = []
+    row_keys: list[tuple] = []
     for key in table.cells:
         row_key = key[:-1]
         if row_key not in row_keys:
@@ -45,7 +45,7 @@ def format_table(
     header = title or f"{table.name} ({statistic}, GB/s)"
     out.write(header + "\n")
     row_label_width = max(
-        [len(" ".join(f"{a}={_axis_label(v)}" for a, v in zip(row_axes, rk)))
+        [len(" ".join(f"{a}={_axis_label(v)}" for a, v in zip(row_axes, rk, strict=True)))
          for rk in row_keys]
         + [len("/".join(row_axes))]
     )
@@ -58,7 +58,7 @@ def format_table(
     out.write("-" * (row_label_width + 3 + 9 * len(columns)) + "\n")
     for row_key in row_keys:
         label = " ".join(
-            f"{axis}={_axis_label(value)}" for axis, value in zip(row_axes, row_key)
+            f"{axis}={_axis_label(value)}" for axis, value in zip(row_axes, row_key, strict=True)
         )
         cells = []
         for column in columns:
@@ -72,7 +72,7 @@ def format_table(
 
 
 def format_placement_statistics(
-    table: SweepTable, fixed_key: Tuple, title: str = ""
+    table: SweepTable, fixed_key: tuple, title: str = ""
 ) -> str:
     """The Figure 13/16 view: min/max/median/mean for one configuration
     across element sizes."""
@@ -111,7 +111,7 @@ def render_result(result: ExperimentResult, statistic: str = "mean") -> str:
 def format_series_chart(
     table: SweepTable,
     axis: str,
-    series_fixed: Sequence[Tuple[str, dict]],
+    series_fixed: Sequence[tuple[str, dict]],
     width: int = 50,
     title: str = "",
     peak: float = None,

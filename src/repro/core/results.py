@@ -10,8 +10,7 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
-
+from collections.abc import Iterable, Mapping, Sequence
 
 @dataclass(frozen=True)
 class BandwidthSample:
@@ -20,7 +19,7 @@ class BandwidthSample:
     gbps: float
     nbytes: int
     cycles: int
-    seed: Optional[int] = None
+    seed: int | None = None
 
     def __post_init__(self):
         if self.nbytes <= 0:
@@ -42,7 +41,7 @@ class BandwidthStats:
     n_samples: int
 
     @classmethod
-    def from_samples(cls, samples: Sequence[BandwidthSample]) -> "BandwidthStats":
+    def from_samples(cls, samples: Sequence[BandwidthSample]) -> BandwidthStats:
         if not samples:
             raise ValueError("no samples to reduce")
         values = [sample.gbps for sample in samples]
@@ -75,10 +74,10 @@ class SweepTable:
     """
 
     name: str
-    axes: Tuple[str, ...]
-    cells: Dict[Tuple, BandwidthStats] = field(default_factory=dict)
+    axes: tuple[str, ...]
+    cells: dict[tuple, BandwidthStats] = field(default_factory=dict)
 
-    def put(self, key: Tuple, stats: BandwidthStats) -> None:
+    def put(self, key: tuple, stats: BandwidthStats) -> None:
         if len(key) != len(self.axes):
             raise ValueError(
                 f"key {key} does not match axes {self.axes} of {self.name!r}"
@@ -94,18 +93,18 @@ class SweepTable:
         """Shortcut: the mean bandwidth at a key."""
         return self.get(*key).mean
 
-    def axis_values(self, axis: str) -> List:
+    def axis_values(self, axis: str) -> list:
         """Distinct values of one axis, in insertion order."""
         if axis not in self.axes:
             raise KeyError(f"{self.name!r} has axes {self.axes}, not {axis!r}")
         position = self.axes.index(axis)
-        seen: List = []
+        seen: list = []
         for key in self.cells:
             if key[position] not in seen:
                 seen.append(key[position])
         return seen
 
-    def series(self, axis: str, fixed: Mapping[str, object]) -> List[Tuple[object, float]]:
+    def series(self, axis: str, fixed: Mapping[str, object]) -> list[tuple[object, float]]:
         """A (axis value, mean GB/s) series with the other axes fixed —
         one curve of a figure."""
         for name in fixed:
@@ -114,13 +113,13 @@ class SweepTable:
         position = self.axes.index(axis)
         points = []
         for key, stats in self.cells.items():
-            bound = dict(zip(self.axes, key))
+            bound = dict(zip(self.axes, key, strict=True))
             if all(bound[name] == value for name, value in fixed.items()):
                 points.append((key[position], stats.mean))
         points.sort(key=lambda pair: pair[0])
         return points
 
-    def rows(self) -> Iterable[Tuple[Tuple, BandwidthStats]]:
+    def rows(self) -> Iterable[tuple[tuple, BandwidthStats]]:
         return self.cells.items()
 
     def __len__(self) -> int:

@@ -15,8 +15,7 @@ paper's findings:
 """
 
 from __future__ import annotations
-
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.cell.errors import ConfigError
 from repro.core.experiment import (
@@ -32,8 +31,8 @@ COUPLE_COUNTS = (2, 4, 8)
 
 
 def couple_assignments(
-    n_spes: int, workload_for: "callable"
-) -> List[Tuple[int, DmaWorkload]]:
+    n_spes: int, workload_for: callable
+) -> list[tuple[int, DmaWorkload]]:
     """(initiator, workload) pairs: SPE 0 with 1, 2 with 3, ..."""
     if n_spes % 2:
         raise ConfigError(f"couples need an even SPE count, got {n_spes}")

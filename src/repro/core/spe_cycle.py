@@ -17,8 +17,7 @@ findings:
 """
 
 from __future__ import annotations
-
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.cell.errors import ConfigError
 from repro.core.experiment import (
@@ -34,8 +33,8 @@ CYCLE_COUNTS = (2, 4, 8)
 
 
 def cycle_assignments(
-    n_spes: int, workload_for: "callable"
-) -> List[Tuple[int, DmaWorkload]]:
+    n_spes: int, workload_for: callable
+) -> list[tuple[int, DmaWorkload]]:
     """(initiator, workload) for each SPE against its logical neighbour."""
     if n_spes < 2:
         raise ConfigError(f"a cycle needs at least 2 SPEs, got {n_spes}")

@@ -8,8 +8,7 @@ streaming loop, evaluated with the structural SPU model.
 """
 
 from __future__ import annotations
-
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.cell.chip import CellChip
 from repro.cell.spe import SPU_ELEMENT_SIZES

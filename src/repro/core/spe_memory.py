@@ -14,8 +14,7 @@ recommended policy.  The paper's findings this experiment reproduces:
 """
 
 from __future__ import annotations
-
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.experiment import (
     DMA_ELEMENT_SIZES,

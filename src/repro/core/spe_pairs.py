@@ -13,8 +13,7 @@ partner's local store (peak 33.6 GB/s).  Two experiments:
 """
 
 from __future__ import annotations
-
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.experiment import (
     DMA_ELEMENT_SIZES,

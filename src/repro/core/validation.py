@@ -13,7 +13,6 @@ These checks are also what ``tests/test_paper_shapes.py`` asserts, so
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from repro.core import reference
 from repro.core.experiment import ExperimentResult
@@ -68,11 +67,11 @@ def _check_ratio(
 # -- Figure 8 -------------------------------------------------------------------
 
 
-def check_spe_memory(result: ExperimentResult, element: int = 16384) -> List[ClaimCheck]:
+def check_spe_memory(result: ExperimentResult, element: int = 16384) -> list[ClaimCheck]:
     ref = reference.SPE_MEMORY
     get = result.table("get")
     copy = result.table("copy")
-    checks = [
+    return [
         _check_ratio(
             "fig8-one-spe",
             "a single SPE sustains ~10 GB/s against memory",
@@ -116,13 +115,12 @@ def check_spe_memory(result: ExperimentResult, element: int = 16384) -> List[Cla
             float("inf"),
         ),
     ]
-    return checks
 
 
 # -- Figures 9/10 ------------------------------------------------------------------
 
 
-def check_pair_sync(result: ExperimentResult, peak: float = 33.6) -> List[ClaimCheck]:
+def check_pair_sync(result: ExperimentResult, peak: float = 33.6) -> list[ClaimCheck]:
     ref = reference.PAIR
     table = result.table("sync")
     delayed_16k = table.mean(SYNC_AFTER_ALL, 16384)
@@ -162,7 +160,7 @@ def check_pair_sync(result: ExperimentResult, peak: float = 33.6) -> List[ClaimC
     ]
 
 
-def check_pair_distance(result: ExperimentResult) -> List[ClaimCheck]:
+def check_pair_distance(result: ExperimentResult) -> list[ClaimCheck]:
     ref = reference.PAIR
     table = result.table("distance")
     element = max(table.axis_values("element_bytes"))
@@ -183,7 +181,7 @@ def check_pair_distance(result: ExperimentResult) -> List[ClaimCheck]:
 # -- Figures 12/13 ------------------------------------------------------------------
 
 
-def check_couples(result: ExperimentResult, element: int = 16384) -> List[ClaimCheck]:
+def check_couples(result: ExperimentResult, element: int = 16384) -> list[ClaimCheck]:
     ref = reference.COUPLES
     peaks = reference.PEAKS
     elem = result.table("elem")
@@ -234,9 +232,9 @@ def check_couples(result: ExperimentResult, element: int = 16384) -> List[ClaimC
 
 def check_cycle(
     result: ExperimentResult,
-    couples_result: Optional[ExperimentResult] = None,
+    couples_result: ExperimentResult | None = None,
     element: int = 16384,
-) -> List[ClaimCheck]:
+) -> list[ClaimCheck]:
     ref = reference.CYCLE
     peaks = reference.PEAKS
     elem = result.table("elem")
@@ -297,7 +295,7 @@ def check_cycle(
 # -- Figures 3/4/6 ----------------------------------------------------------------------
 
 
-def check_ppe(results: Dict[str, ExperimentResult]) -> List[ClaimCheck]:
+def check_ppe(results: dict[str, ExperimentResult]) -> list[ClaimCheck]:
     """``results`` maps level ('l1','l2','mem') to the experiment result."""
     ref = reference.PPE
     l1 = results["l1"].table("bandwidth")
@@ -375,7 +373,7 @@ def check_ppe(results: Dict[str, ExperimentResult]) -> List[ClaimCheck]:
     ]
 
 
-def check_localstore(result: ExperimentResult) -> List[ClaimCheck]:
+def check_localstore(result: ExperimentResult) -> list[ClaimCheck]:
     table = result.table("bandwidth")
     return [
         _check_ratio(
@@ -388,7 +386,7 @@ def check_localstore(result: ExperimentResult) -> List[ClaimCheck]:
     ]
 
 
-def summarize(checks: List[ClaimCheck]) -> str:
+def summarize(checks: list[ClaimCheck]) -> str:
     lines = [str(check) for check in checks]
     passed = sum(1 for check in checks if check.passed)
     lines.append(f"{passed}/{len(checks)} claims reproduced")

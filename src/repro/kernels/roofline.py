@@ -11,7 +11,6 @@ single-vs-multi-SPE result moves every bandwidth-bound kernel's roof.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 from repro.cell.config import CellConfig
 from repro.cell.errors import ConfigError
@@ -34,10 +33,10 @@ class RooflinePoint:
     n_spes: int
     predicted_gflops: float
     bound: str  # "bandwidth" or "compute"
-    measured: Optional[KernelRun] = None
+    measured: KernelRun | None = None
 
     @property
-    def model_error(self) -> Optional[float]:
+    def model_error(self) -> float | None:
         """|measured - predicted| / predicted, when a run is attached."""
         if self.measured is None:
             return None
@@ -49,9 +48,9 @@ class RooflineModel:
 
     def __init__(
         self,
-        config: Optional[CellConfig] = None,
-        compute: Optional[SpuComputeModel] = None,
-        memory_bandwidth_gbps: Optional[dict] = None,
+        config: CellConfig | None = None,
+        compute: SpuComputeModel | None = None,
+        memory_bandwidth_gbps: dict | None = None,
     ):
         self.config = config or CellConfig.paper_blade()
         self.compute = compute or SpuComputeModel(self.config)
@@ -108,7 +107,7 @@ class RooflineModel:
         )
 
     @staticmethod
-    def format(points: List[RooflinePoint]) -> str:
+    def format(points: list[RooflinePoint]) -> str:
         lines = [
             f"{'kernel':<24} {'SPEs':>4} {'FLOP/B':>7} {'bound':>9} "
             f"{'predicted':>10} {'measured':>9}"

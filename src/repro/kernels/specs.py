@@ -10,7 +10,6 @@ matrix product, and a streaming (STREAM-triad) benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 from repro.cell.errors import ConfigError
 from repro.kernels.compute import Precision
@@ -31,7 +30,7 @@ class KernelSpec:
     """
 
     name: str
-    read_bytes: Tuple[int, ...]
+    read_bytes: tuple[int, ...]
     write_bytes: int
     flops_per_iteration: float
     precision: Precision = Precision.SINGLE

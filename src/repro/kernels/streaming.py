@@ -10,7 +10,6 @@ across SPEs: each SPE streams its own slice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from repro.cell.chip import CellChip
 from repro.cell.config import CellConfig
@@ -30,29 +29,62 @@ _WRITE_TAG = 2
 _dma_sizes = legal_command_sizes
 
 
+def _ceil16(nbytes: int) -> int:
+    return (nbytes + 15) & ~15
+
+
 def _kernel_program(spu, spec: KernelSpec, compute: SpuComputeModel,
-                    n_iterations: int, out: Dict):
-    def issue_reads(tag):
+                    n_iterations: int, out: dict):
+    # LS layout: two read buffers (one per read tag) then the write
+    # staging buffer, each 16 B aligned.  Input streams from main memory
+    # walk forward one read stride per iteration; output lands past the
+    # whole input region.  Local and remote cursors advance in lockstep
+    # through the same command sizes, so they always share 16 B
+    # alignment, and no two in-flight commands touch the same bytes —
+    # the layout the DMA hazard sanitizer certifies.
+    read_stride = sum(_ceil16(nbytes) for nbytes in spec.read_bytes)
+    write_stride = _ceil16(spec.write_bytes)
+    read_base = {_READ_TAGS[0]: 0, _READ_TAGS[1]: read_stride}
+    write_base = 2 * read_stride
+    write_ea_base = n_iterations * read_stride
+
+    def issue_reads(tag, iteration):
+        local = read_base[tag]
+        remote = iteration * read_stride
         for stream_bytes in spec.read_bytes:
             for size in _dma_sizes(stream_bytes):
-                yield from spu.mfc_get(size=size, tag=tag)
+                yield from spu.mfc_get(
+                    size=size, tag=tag,
+                    local_offset=local, remote_offset=remote,
+                )
+                local += size
+                remote += size
+            local = _ceil16(local)
+            remote = _ceil16(remote)
 
     compute_cycles = compute.cycles_for_flops(
         spec.flops_per_iteration, spec.precision
     )
     start = spu.read_decrementer()
-    yield from issue_reads(_READ_TAGS[0])
+    yield from issue_reads(_READ_TAGS[0], 0)
     for iteration in range(n_iterations):
         current = _READ_TAGS[iteration % 2]
         upcoming = _READ_TAGS[(iteration + 1) % 2]
         if iteration + 1 < n_iterations:
-            yield from issue_reads(upcoming)
+            yield from issue_reads(upcoming, iteration + 1)
         yield from spu.wait_tags([current])
         if compute_cycles:
             yield spu.compute(compute_cycles)
         if spec.write_bytes:
+            local = write_base
+            remote = write_ea_base + iteration * write_stride
             for size in _dma_sizes(spec.write_bytes):
-                yield from spu.mfc_put(size=size, tag=_WRITE_TAG)
+                yield from spu.mfc_put(
+                    size=size, tag=_WRITE_TAG,
+                    local_offset=local, remote_offset=remote,
+                )
+                local += size
+                remote += size
     yield from spu.wait_tags([_READ_TAGS[0], _READ_TAGS[1], _WRITE_TAG])
     out["start"] = start
     out["end"] = spu.read_decrementer()
@@ -88,8 +120,8 @@ def run_kernel(
     spec: KernelSpec,
     n_spes: int = 4,
     iterations_per_spe: int = 64,
-    config: Optional[CellConfig] = None,
-    compute: Optional[SpuComputeModel] = None,
+    config: CellConfig | None = None,
+    compute: SpuComputeModel | None = None,
     seed: int = 77,
 ) -> KernelRun:
     """Run a kernel data-parallel across ``n_spes`` SPEs and measure it."""
@@ -106,9 +138,9 @@ def run_kernel(
         )
     compute = compute or SpuComputeModel(config)
     chip = CellChip(config=config, mapping=SpeMapping.random(seed, config.n_spes))
-    outs: List[Dict] = []
+    outs: list[dict] = []
     for logical in range(n_spes):
-        out: Dict = {}
+        out: dict = {}
         SpeContext(chip, logical).load(
             _kernel_program, spec, compute, iterations_per_spe, out
         )

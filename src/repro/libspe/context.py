@@ -20,8 +20,8 @@ synchronisation sequence.
 """
 
 from __future__ import annotations
-
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any
+from collections.abc import Callable, Generator, Iterable
 
 from repro.cell.chip import CellChip
 from repro.cell.dma import DmaCommand, DmaDirection, DmaList, TargetKind
@@ -68,7 +68,7 @@ class SpuRuntime:
         self,
         size: int,
         tag: int = 0,
-        remote_spe: Optional[Spe] = None,
+        remote_spe: Spe | None = None,
         local_offset: int = 0,
         remote_offset: int = 0,
         fence: bool = False,
@@ -84,7 +84,7 @@ class SpuRuntime:
         self,
         size: int,
         tag: int = 0,
-        remote_spe: Optional[Spe] = None,
+        remote_spe: Spe | None = None,
         local_offset: int = 0,
         remote_offset: int = 0,
         fence: bool = False,
@@ -117,7 +117,7 @@ class SpuRuntime:
         element_size: int,
         n_elements: int,
         tag: int = 0,
-        remote_spe: Optional[Spe] = None,
+        remote_spe: Spe | None = None,
     ) -> Generator[Event, object, None]:
         """GET through a DMA list of equal elements."""
         yield from self._issue_list(
@@ -129,7 +129,7 @@ class SpuRuntime:
         element_size: int,
         n_elements: int,
         tag: int = 0,
-        remote_spe: Optional[Spe] = None,
+        remote_spe: Spe | None = None,
     ) -> Generator[Event, object, None]:
         """PUT through a DMA list of equal elements."""
         yield from self._issue_list(
@@ -139,7 +139,7 @@ class SpuRuntime:
     def wait_tags(
         self,
         tags: Iterable[int],
-        timeout: Optional[int] = None,
+        timeout: int | None = None,
         retries: int = 0,
         backoff: int = 2,
     ) -> Generator[Event, object, None]:
@@ -191,17 +191,18 @@ class SpuRuntime:
         direction: DmaDirection,
         size: int,
         tag: int,
-        remote_spe: Optional[Spe],
+        remote_spe: Spe | None,
         local_offset: int,
         remote_offset: int,
         fence: bool = False,
         barrier: bool = False,
     ):
         yield self.env.timeout(self._elem_issue_cycles)
-        if remote_spe is None:
-            target, node = TargetKind.MAIN_MEMORY, None
-        else:
-            target, node = TargetKind.LOCAL_STORE, remote_spe.node
+        target, node = (
+            (TargetKind.MAIN_MEMORY, None)
+            if remote_spe is None
+            else (TargetKind.LOCAL_STORE, remote_spe.node)
+        )
         command = DmaCommand(
             direction=direction,
             target=target,
@@ -221,7 +222,7 @@ class SpuRuntime:
         element_size: int,
         n_elements: int,
         tag: int,
-        remote_spe: Optional[Spe],
+        remote_spe: Spe | None,
     ):
         limit = self.spe.config.mfc.list_max_elements
         if n_elements > limit:
@@ -229,10 +230,11 @@ class SpuRuntime:
                 f"a DMA list holds at most {limit} elements, got {n_elements}"
             )
         yield self.env.timeout(self.spe.config.mfc.list_issue_cycles)
-        if remote_spe is None:
-            target, node = TargetKind.MAIN_MEMORY, None
-        else:
-            target, node = TargetKind.LOCAL_STORE, remote_spe.node
+        target, node = (
+            (TargetKind.MAIN_MEMORY, None)
+            if remote_spe is None
+            else (TargetKind.LOCAL_STORE, remote_spe.node)
+        )
         dma_list = DmaList.uniform(
             direction=direction,
             target=target,
@@ -251,7 +253,7 @@ class SpeContext:
         self.chip = chip
         self.spe = chip.spe(logical_index)
         self.runtime = SpuRuntime(self.spe, unrolled=unrolled)
-        self.process: Optional[Process] = None
+        self.process: Process | None = None
 
     def load(self, program: Callable, *args: Any, **kwargs: Any) -> Process:
         """Start ``program(runtime, *args, **kwargs)`` on this SPE.
@@ -285,7 +287,7 @@ class SpeContext:
         spe = self.spe
         ops = 0
         send_value: Any = None
-        throw_exc: Optional[BaseException] = None
+        throw_exc: BaseException | None = None
         while True:
             try:
                 if throw_exc is None:
@@ -322,9 +324,9 @@ def run_programs(
     chip: CellChip,
     program: Callable,
     logical_indices: Iterable[int],
-    args_for: Optional[Callable[[int], tuple]] = None,
+    args_for: Callable[[int], tuple] | None = None,
     unrolled: bool = True,
-) -> List[SpeContext]:
+) -> list[SpeContext]:
     """Load the same program on several SPEs and run to completion.
 
     ``args_for(logical_index)`` supplies per-SPE arguments (defaults to

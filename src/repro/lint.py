@@ -1,0 +1,112 @@
+"""simlint CLI: static analysis for SPU programs and sim processes.
+
+Checks the rule catalog in :mod:`repro.analysis.lint` over files or
+directories and prints ``path:line:col: severity RULE [name] message``
+diagnostics.  Exit status is non-zero when any finding is reported, so a
+clean run gates CI the same way the test suite does::
+
+    python -m repro.lint examples src/repro/kernels
+    python -m repro.lint --select SL2,SL5 src
+    python -m repro.lint --list-rules
+    python -m repro.lint --format json examples
+
+``--min-severity error`` reports (and fails on) errors only;
+``--select``/``--ignore`` take rule-id prefixes (``SL3`` covers SL301
+and SL302) or rule names (``yieldless-loop``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.lint import (
+    RULES,
+    Finding,
+    LintError,
+    Severity,
+    lint_paths,
+    select_rules,
+)
+
+
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule-id prefixes or names to run",
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="RULES",
+        help="comma-separated rule-id prefixes or names to skip",
+    )
+    parser.add_argument(
+        "--min-severity", default="warning", choices=["warning", "error"],
+        help="report findings at or above this severity (default: warning)",
+    )
+    parser.add_argument(
+        "--format", default="text", choices=["text", "json"],
+        dest="output_format", help="diagnostic output format",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser.parse_args(argv)
+
+
+def _split(arg: str | None) -> list[str] | None:
+    if arg is None:
+        return None
+    return [part.strip() for part in arg.split(",") if part.strip()]
+
+
+def list_rules() -> str:
+    return "\n".join(
+        f"{rule.id}  {rule.name:<22} {str(rule.severity):<7} {rule.summary}"
+        for rule in RULES.values()
+    )
+
+
+def render(findings: list[Finding], output_format: str) -> str:
+    if output_format == "json":
+        return json.dumps([f.to_json() for f in findings], indent=2)
+    lines = [finding.format() for finding in findings]
+    errors = sum(1 for f in findings if f.severity >= Severity.ERROR)
+    warnings = len(findings) - errors
+    lines.append(
+        f"{len(findings)} finding(s): {errors} error(s), {warnings} warning(s)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv)
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    if not args.paths:
+        print("error: no paths given (or use --list-rules)", file=sys.stderr)
+        return 2
+    threshold = Severity.parse(args.min_severity)
+    try:
+        rules = select_rules(_split(args.select), _split(args.ignore))
+        findings = lint_paths(args.paths, rules=rules)
+    except LintError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    findings = [f for f in findings if f.severity >= threshold]
+    if findings or args.output_format == "text":
+        print(render(findings, args.output_format))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

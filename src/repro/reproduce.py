@@ -34,6 +34,12 @@ crashed SPEs and re-dispatching their work::
     python -m repro.reproduce --quick --faults spe_crash:1 --fault-seed 7
     python -m repro.reproduce --quick --faults dma_drop:0.02,ecc_retry:0.05
 
+``--sanitize`` additionally runs the DMA hazard sanitizer showcase
+(:mod:`repro.sim.sanitizer`): the shipped double-buffered kernels must
+run hazard-free, and a deliberately unsynchronised DMA pair must be
+flagged.  The sanitizer is a pure observer — with or without it, runs
+are byte-identical.
+
 Exit status is non-zero if any paper claim fails to reproduce.
 """
 
@@ -42,7 +48,6 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Dict, List, Optional
 
 from repro.analysis import GuidelineAdvisor, StreamingComparison
 from repro.core import (
@@ -87,6 +92,13 @@ def parse_args(argv=None) -> argparse.Namespace:
         default=None,
         help="run the fault-tolerance showcase with this fault spec "
         "(e.g. spe_crash:1 or dma_drop:0.02,ecc_retry:0.05)",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the DMA hazard sanitizer showcase: the shipped "
+        "kernels must be hazard-free and a deliberately unsynchronised "
+        "pair must be flagged",
     )
     parser.add_argument(
         "--fault-seed",
@@ -134,8 +146,8 @@ def _save_result(outdir: str, result: ExperimentResult) -> None:
 
 
 def run_all(
-    preset: str, outdir: str, executor: Optional[SweepExecutor] = None
-) -> List[validation.ClaimCheck]:
+    preset: str, outdir: str, executor: SweepExecutor | None = None
+) -> list[validation.ClaimCheck]:
     """Run every experiment and write the reports.
 
     ``executor`` routes each experiment's repetitions through a
@@ -145,7 +157,7 @@ def run_all(
     """
     sizes, repetitions, volume = PRESETS[preset]
     os.makedirs(outdir, exist_ok=True)
-    checks: List[validation.ClaimCheck] = []
+    checks: list[validation.ClaimCheck] = []
 
     def execute(experiment) -> ExperimentResult:
         if executor is None:
@@ -153,7 +165,7 @@ def run_all(
         return executor.run(experiment)
 
     print("[1/8] PPE bandwidth (Figures 3, 4, 6)")
-    ppe: Dict[str, ExperimentResult] = {}
+    ppe: dict[str, ExperimentResult] = {}
     for level in ("l1", "l2", "mem"):
         ppe[level] = execute(PpeBandwidthExperiment(level))
         _save_result(outdir, ppe[level])
@@ -261,7 +273,7 @@ def run_traced(preset: str, path: str, seed: int = 1000) -> bool:
     # Memory streams on SPEs 0-3 (bank + MFC records), couples on
     # 4/5 and 6/7 (ring-conflict records): every record type fires.
     for logical in range(4):
-        out: Dict = {}
+        out: dict = {}
         workload = DmaWorkload(
             direction="get", element_bytes=element_bytes, n_elements=n_elements
         )
@@ -297,6 +309,73 @@ def run_traced(preset: str, path: str, seed: int = 1000) -> bool:
         print(f"trace/live counter mismatch: {counters} vs {live}")
         return False
     return True
+
+
+def run_sanitized(preset: str, seed: int = 1000) -> bool:
+    """Run the DMA hazard sanitizer showcase (``--sanitize``).
+
+    Two runs, both with the sanitizer attached (the sanitizer is a pure
+    observer, so the simulations are byte-identical to unsanitized ones):
+
+    * the showcase workload (memory streams plus SPE couples) with the
+      shipped double-buffered kernels — must report **zero** hazards;
+    * a deliberately unsynchronised GET/GET pair reusing one LS buffer
+      with no intervening tag wait — the sanitizer must flag it.
+
+    Returns True when both behave as claimed.
+    """
+    from repro.cell.chip import CellChip
+    from repro.cell.topology import SpeMapping
+    from repro.core.kernels import DmaWorkload, dma_stream_kernel
+    from repro.libspe import SpeContext
+    from repro.sim import DmaSanitizer
+
+    sizes, _repetitions, volume = PRESETS[preset]
+    # The largest paper elements (16 KiB against main memory) genuinely
+    # reuse LS buffers — 16 in-flight commands fill the whole 256 KiB
+    # local store — so the clean showcase runs the largest size whose
+    # rotation provably fits (see docs/MODEL.md, "Correctness tooling").
+    element_bytes = max(s for s in sizes if s <= 4096)
+    n_elements = max(32, min(256, volume // element_bytes))
+    sanitizer = DmaSanitizer()
+    chip = CellChip(mapping=SpeMapping.random(seed, 8), sanitizer=sanitizer)
+    for logical in range(4):
+        workload = DmaWorkload(
+            direction="get", element_bytes=element_bytes, n_elements=n_elements
+        )
+        SpeContext(chip, logical).load(dma_stream_kernel, workload, {}, None)
+    for a, b in ((4, 5), (6, 7)):
+        workload = DmaWorkload(
+            direction="copy",
+            element_bytes=element_bytes,
+            n_elements=n_elements,
+            partner_logical=b,
+        )
+        SpeContext(chip, a).load(dma_stream_kernel, workload, {}, chip.spe(b))
+    chip.run()
+    print(f"sanitized showcase: {sanitizer.report()}")
+    ok = True
+    if sanitizer.findings:
+        print("  FAIL: the shipped kernels must run hazard-free")
+        ok = False
+
+    def racy_pair(spu, out):
+        # Two GETs into the same LS bytes, same tag group, no wait
+        # between them: the canonical unsynchronised DMA pair.
+        yield from spu.mfc_get(size=4096, tag=0)
+        yield from spu.mfc_get(size=4096, tag=0)
+        yield from spu.wait_tags([0])
+        out["done"] = True
+
+    racy_sanitizer = DmaSanitizer()
+    racy_chip = CellChip(sanitizer=racy_sanitizer)
+    SpeContext(racy_chip, 0).load(racy_pair, {})
+    racy_chip.run()
+    print(f"racy pair: {racy_sanitizer.report()}")
+    if not racy_sanitizer.findings:
+        print("  FAIL: the unsynchronised pair must be flagged")
+        ok = False
+    return ok
 
 
 def run_faulted(spec: str, seed: int) -> bool:
@@ -353,9 +432,15 @@ def main(argv=None) -> int:
     faults_ok = True
     if args.faults:
         faults_ok = run_faulted(args.faults, args.fault_seed)
+    sanitize_ok = True
+    if args.sanitize:
+        sanitize_ok = run_sanitized(preset)
     print()
     print(validation.summarize(checks))
-    passed = all(check.passed for check in checks) and trace_ok and faults_ok
+    passed = (
+        all(check.passed for check in checks)
+        and trace_ok and faults_ok and sanitize_ok
+    )
     return 0 if passed else 1
 
 

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.cell.chip import CellChip
 from repro.cell.config import CellConfig
@@ -68,12 +67,12 @@ class RuntimeStats:
     memory_write_bytes: int = 0
     forwarded_bytes: int = 0
     ls_hit_bytes: int = 0
-    tasks_per_spe: Dict[int, int] = field(default_factory=dict)
+    tasks_per_spe: dict[int, int] = field(default_factory=dict)
     # Resilience accounting (all zero in a fault-free run).
     faults_injected: int = 0
     tasks_retried: int = 0
     spes_lost: int = 0
-    lost_workers: Tuple[int, ...] = ()
+    lost_workers: tuple[int, ...] = ()
 
     @property
     def memory_traffic_bytes(self) -> int:
@@ -106,14 +105,14 @@ class OffloadRuntime:
         graph: TaskGraph,
         n_spes: int = 8,
         policy: str = "forward",
-        config: Optional[CellConfig] = None,
-        compute: Optional[SpuComputeModel] = None,
+        config: CellConfig | None = None,
+        compute: SpuComputeModel | None = None,
         precision: Precision = Precision.SINGLE,
         ls_cache_bytes: int = 131072,
         forward_fanout_limit: int = 4,
         seed: int = 11,
         faults=None,
-        resilience: Optional[ResiliencePolicy] = None,
+        resilience: ResiliencePolicy | None = None,
     ):
         if policy not in POLICIES:
             raise ConfigError(f"policy must be one of {POLICIES}, got {policy!r}")
@@ -184,7 +183,7 @@ class OffloadRuntime:
 
     # -- fault recovery -----------------------------------------------------------
 
-    def _on_worker_loss(self, chip: CellChip, state: "_RunState",
+    def _on_worker_loss(self, chip: CellChip, state: _RunState,
                         stats: RuntimeStats, worker: int,
                         cause: BaseException) -> None:
         """Quarantine a dead worker and put its work back on the market.
@@ -208,7 +207,7 @@ class OffloadRuntime:
 
     # -- the SPU worker program -----------------------------------------------------
 
-    def _worker(self, spu, chip: CellChip, state: "_RunState", stats: RuntimeStats,
+    def _worker(self, spu, chip: CellChip, state: _RunState, stats: RuntimeStats,
                 worker: int):
         env = spu.spe.env
         faulting = env.faults.enabled
@@ -263,7 +262,7 @@ class OffloadRuntime:
             backoff=policy.dma_backoff,
         )
 
-    def _reap_hung(self, env, state: "_RunState",
+    def _reap_hung(self, env, state: _RunState,
                    policy: ResiliencePolicy) -> None:
         """Declare workers that sat on one task past the hang timeout
         lost, then interrupt their processes so they retire cleanly."""
@@ -279,7 +278,7 @@ class OffloadRuntime:
             )
             interrupt_if_alive(env, process, "hang quarantine")
 
-    def _fetch_inputs(self, spu, state: "_RunState", stats: RuntimeStats,
+    def _fetch_inputs(self, spu, state: _RunState, stats: RuntimeStats,
                       worker: int, task: Task):
         for dep in task.depends_on:
             holders = state.residency.get(dep, set())
@@ -314,28 +313,28 @@ class _RunState:
     def __init__(self, graph: TaskGraph, n_spes: int, ls_cache_bytes: int):
         self.graph = graph
         self.ls_cache_bytes = ls_cache_bytes
-        self.pending: Dict[Task, int] = {
+        self.pending: dict[Task, int] = {
             task: len(task.depends_on) for task in graph.tasks
         }
-        self.ready: List[Task] = [
+        self.ready: list[Task] = [
             task for task in graph.tasks if not task.depends_on
         ]
         self.completed = 0
-        self.waiters: List = []
+        self.waiters: list = []
         # Resilience bookkeeping — untouched in a fault-free run.
         self.inflight = InflightTable()
-        self.lost: Set[int] = set()
-        self.monitor: Optional[FailureMonitor] = None
+        self.lost: set[int] = set()
+        self.monitor: FailureMonitor | None = None
         self.finished_at = 0
         # Which SPEs hold a task's output in their LS (memory always has
         # a write-through copy, so eviction is a plain drop).
-        self.residency: Dict[Task, Set[int]] = {}
-        self._cache: Dict[int, Deque[Tuple[Task, int]]] = {
+        self.residency: dict[Task, set[int]] = {}
+        self._cache: dict[int, deque[tuple[Task, int]]] = {
             worker: deque() for worker in range(n_spes)
         }
-        self._cache_used: Dict[int, int] = {worker: 0 for worker in range(n_spes)}
+        self._cache_used: dict[int, int] = {worker: 0 for worker in range(n_spes)}
 
-    def pick(self, worker: int) -> Optional[Task]:
+    def pick(self, worker: int) -> Task | None:
         """Pop the ready task with the most bytes resident on ``worker``."""
         if not self.ready:
             return None

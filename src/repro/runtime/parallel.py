@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import List, Optional, Sequence, Union
+from collections.abc import Sequence
 
 from repro.core.experiment import Experiment, ExperimentResult, RunSpec, run_spec
 from repro.core.results import BandwidthSample, BandwidthStats
@@ -78,21 +78,21 @@ class SweepExecutor:
     context manager) tears it down.
     """
 
-    def __init__(self, jobs: Optional[int] = None, cache=None):
+    def __init__(self, jobs: int | None = None, cache=None):
         jobs = default_jobs() if jobs is None else jobs
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.cache = cache
         self.simulated = 0
-        self._pending: List[RunSpec] = []
+        self._pending: list[RunSpec] = []
         self._pool = None
 
     # -- experiment-facing API -------------------------------------------------
 
     def stats(
         self, specs: Sequence[RunSpec]
-    ) -> Union[BandwidthStats, DeferredStats]:
+    ) -> BandwidthStats | DeferredStats:
         """Statistics over one cell's repetitions.
 
         Serial (``jobs == 1``): runs (or cache-serves) the repetitions
@@ -124,12 +124,12 @@ class SweepExecutor:
 
     # -- execution -------------------------------------------------------------
 
-    def samples(self, specs: List[RunSpec]) -> List[BandwidthSample]:
+    def samples(self, specs: list[RunSpec]) -> list[BandwidthSample]:
         """One sample per spec, in order: cache hits served in-process,
         misses simulated (inline or across the pool) and written back."""
         cache = self.cache
-        out: List[Optional[BandwidthSample]] = [None] * len(specs)
-        misses: List[int] = []
+        out: list[BandwidthSample | None] = [None] * len(specs)
+        misses: list[int] = []
         if cache is None:
             misses = list(range(len(specs)))
         else:
@@ -149,7 +149,7 @@ class SweepExecutor:
                     run_spec, [specs[index] for index in misses], chunksize
                 )
             self.simulated += len(misses)
-            for index, sample in zip(misses, fresh):
+            for index, sample in zip(misses, fresh, strict=True):
                 out[index] = sample
                 if cache is not None:
                     cache.put(specs[index], sample)
@@ -169,7 +169,7 @@ class SweepExecutor:
             self._pool.join()
             self._pool = None
 
-    def __enter__(self) -> "SweepExecutor":
+    def __enter__(self) -> SweepExecutor:
         return self
 
     def __exit__(self, *exc_info) -> None:

@@ -25,7 +25,7 @@ with the SPE.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from collections.abc import Callable
 
 from repro.cell.errors import FaultError
 from repro.sim import Environment, Event, Process
@@ -66,7 +66,7 @@ class InflightTable:
     """Which worker started which task when (for hang detection)."""
 
     def __init__(self):
-        self._inflight: Dict[int, Tuple[object, int]] = {}
+        self._inflight: dict[int, tuple[object, int]] = {}
 
     def start(self, worker: int, task, now: int) -> None:
         self._inflight[worker] = (task, now)
@@ -78,7 +78,7 @@ class InflightTable:
         entry = self._inflight.get(worker)
         return entry[0] if entry else None
 
-    def expired(self, now: int, timeout: int) -> List[int]:
+    def expired(self, now: int, timeout: int) -> list[int]:
         """Workers that have held one task for longer than ``timeout``."""
         return [
             worker
@@ -99,8 +99,8 @@ class FailureMonitor:
 
     def __init__(self, on_loss: Callable[[int, BaseException], None]):
         self.on_loss = on_loss
-        self.lost: List[int] = []
-        self._watched: Dict[int, Process] = {}
+        self.lost: list[int] = []
+        self._watched: dict[int, Process] = {}
 
     def watch(self, worker: int, process: Process) -> None:
         self._watched[worker] = process
@@ -108,7 +108,7 @@ class FailureMonitor:
             lambda event, worker=worker: self._observe(worker, event)
         )
 
-    def process_of(self, worker: int) -> Optional[Process]:
+    def process_of(self, worker: int) -> Process | None:
         return self._watched.get(worker)
 
     def declare_lost(self, worker: int, cause: BaseException) -> None:
@@ -127,7 +127,7 @@ class FailureMonitor:
             self.on_loss(worker, event._value)
 
 
-def interrupt_if_alive(env: Environment, process: Optional[Process],
+def interrupt_if_alive(env: Environment, process: Process | None,
                        cause: str) -> bool:
     """Retire a hung process (its fault wrapper catches the Interrupt
     and returns).  True when an interrupt was delivered."""

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.cell.errors import ConfigError
 
@@ -30,7 +30,7 @@ class Task:
     flops: float
     output_bytes: int
     external_input_bytes: int = 0
-    depends_on: Tuple["Task", ...] = ()
+    depends_on: tuple["Task", ...] = ()
     task_id: int = field(default_factory=lambda: next(_task_ids))
 
     def __post_init__(self):
@@ -65,7 +65,7 @@ class TaskGraph:
     def __init__(self, tasks: Sequence[Task]):
         if not tasks:
             raise ConfigError("a task graph needs at least one task")
-        self.tasks: List[Task] = list(tasks)
+        self.tasks: list[Task] = list(tasks)
         known = set(self.tasks)
         for task in self.tasks:
             for dep in task.depends_on:
@@ -75,13 +75,13 @@ class TaskGraph:
                         "is not in the graph"
                     )
         self._check_acyclic()
-        self.consumers: Dict[Task, List[Task]] = {task: [] for task in self.tasks}
+        self.consumers: dict[Task, list[Task]] = {task: [] for task in self.tasks}
         for task in self.tasks:
             for dep in task.depends_on:
                 self.consumers[dep].append(task)
 
     def _check_acyclic(self) -> None:
-        state: Dict[Task, int] = {}
+        state: dict[Task, int] = {}
 
         def visit(task: Task) -> None:
             if state.get(task) == 1:
@@ -107,7 +107,7 @@ class TaskGraph:
     def critical_path_flops(self) -> float:
         """FLOPs along the longest dependency chain (a lower bound on
         serial work, ignoring all data movement)."""
-        memo: Dict[Task, float] = {}
+        memo: dict[Task, float] = {}
 
         def depth(task: Task) -> float:
             if task not in memo:
@@ -128,7 +128,7 @@ def chain(
     """A linear pipeline: stage i consumes stage i-1's block."""
     if n_stages < 1:
         raise ConfigError(f"chain needs >= 1 stage, got {n_stages}")
-    tasks: List[Task] = []
+    tasks: list[Task] = []
     for stage in range(n_stages):
         tasks.append(
             Task(
@@ -190,12 +190,12 @@ def wavefront(
     """
     if width < 1 or steps < 1:
         raise ConfigError("wavefront needs width >= 1 and steps >= 1")
-    rows: List[List[Task]] = []
+    rows: list[list[Task]] = []
     for t in range(steps):
-        row: List[Task] = []
+        row: list[Task] = []
         for i in range(width):
             if t == 0:
-                deps: Tuple[Task, ...] = ()
+                deps: tuple[Task, ...] = ()
                 external = block_bytes
             else:
                 neighbours = range(max(0, i - 1), min(width, i + 2))

@@ -44,7 +44,13 @@ from repro.sim.faults import (
 )
 from repro.sim.resources import Container, Resource, Store
 from repro.sim.monitor import BusyMonitor, Counter, TimeSeries
+from repro.sim.sanitizer import (
+    DmaSanitizer,
+    NULL_SANITIZER,
+    NullSanitizer,
+)
 from repro.sim.trace import (
+    DmaHazard,
     FaultInjected,
     NULL_TRACE,
     NullTraceRecorder,
@@ -62,6 +68,8 @@ __all__ = [
     "BusyMonitor",
     "Container",
     "Counter",
+    "DmaHazard",
+    "DmaSanitizer",
     "Environment",
     "Event",
     "FaultEngine",
@@ -70,8 +78,10 @@ __all__ = [
     "FaultSpecError",
     "Interrupt",
     "NULL_FAULTS",
+    "NULL_SANITIZER",
     "NULL_TRACE",
     "NullFaultEngine",
+    "NullSanitizer",
     "NullTraceRecorder",
     "Process",
     "ProgressGuard",

@@ -23,10 +23,17 @@ docs/MODEL.md):
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any
+from collections.abc import Callable, Generator, Iterable
 
-from repro.sim.faults import NULL_FAULTS
-from repro.sim.trace import NULL_TRACE, ProcessResume, ProcessTerminate
+from repro.sim.faults import NULL_FAULTS, FaultEngine
+from repro.sim.sanitizer import NULL_SANITIZER, DmaSanitizer
+from repro.sim.trace import (
+    NULL_TRACE,
+    ProcessResume,
+    ProcessTerminate,
+    TraceRecorder,
+)
 
 
 class SimulationError(RuntimeError):
@@ -41,7 +48,7 @@ class SimulationStall(SimulationError):
     live non-daemon process at the moment the watchdog fired.
     """
 
-    def __init__(self, message: str, blocked=()):
+    def __init__(self, message: str, blocked: Iterable[tuple] = ()):
         super().__init__(message)
         self.blocked = list(blocked)
 
@@ -71,11 +78,11 @@ class Event:
 
     __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "__weakref__")
 
-    def __init__(self, env: "Environment"):
+    def __init__(self, env: Environment):
         self.env = env
-        self.callbacks: List[Callable[["Event"], None]] = []
+        self.callbacks: list[Callable[["Event"], None]] = []
         self._value: Any = _PENDING
-        self._ok: Optional[bool] = None
+        self._ok: bool | None = None
         self._defused = False
 
     @property
@@ -96,7 +103,7 @@ class Event:
             raise SimulationError("event has not been triggered yet")
         return self._value
 
-    def succeed(self, value: Any = None) -> "Event":
+    def succeed(self, value: Any = None) -> Event:
         """Trigger the event successfully with ``value``."""
         if self._value is not _PENDING:
             raise SimulationError(f"{self!r} has already been triggered")
@@ -107,7 +114,7 @@ class Event:
         heappush(env._queue, (env.now, sequence, self))
         return self
 
-    def fail(self, exception: BaseException) -> "Event":
+    def fail(self, exception: BaseException) -> Event:
         """Trigger the event with an exception.
 
         The exception is re-raised inside every waiting process.  If no
@@ -150,7 +157,7 @@ class Timeout(Event):
 
     __slots__ = ("delay", "_payload")
 
-    def __init__(self, env: "Environment", delay: int, value: Any = None):
+    def __init__(self, env: Environment, delay: int, value: Any = None):
         if type(delay) is not int:
             try:
                 coerced = int(delay)
@@ -202,7 +209,7 @@ class _Relay:
 
     __slots__ = ("proc", "_ok", "_value", "_defused", "cancelled")
 
-    def __init__(self, proc: "Process", ok: bool, value: Any):
+    def __init__(self, proc: Process, ok: bool, value: Any):
         self.proc = proc
         self._ok = ok
         self._value = value
@@ -226,7 +233,7 @@ class Process(Event):
         "_trace", "_tracing",
     )
 
-    def __init__(self, env: "Environment", generator: Generator,
+    def __init__(self, env: Environment, generator: Generator,
                  daemon: bool = False):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise TypeError(f"process() needs a generator, got {generator!r}")
@@ -251,7 +258,7 @@ class Process(Event):
         # generator would be started normally and later resumed a second
         # time by the stale start callback.
         start = _Relay(self, True, None)
-        self._waiting_on: Optional[Event] = start
+        self._waiting_on: Event | None = start
         env._schedule(start)
 
     @property
@@ -271,7 +278,7 @@ class Process(Event):
             if type(waited) is _Relay:
                 waited.cancelled = True
             else:
-                try:
+                try:  # noqa: SIM105 - bare try beats suppress() on this path
                     waited.callbacks.remove(self._resume)
                 except ValueError:
                     pass
@@ -346,7 +353,7 @@ class _Condition(Event):
 
     __slots__ = ("_events", "_pending")
 
-    def __init__(self, env: "Environment", events: Iterable[Event]):
+    def __init__(self, env: Environment, events: Iterable[Event]):
         super().__init__(env)
         self._events = list(events)
         for event in self._events:
@@ -374,7 +381,7 @@ class _Condition(Event):
     def _check(self, initial: bool) -> None:
         raise NotImplementedError
 
-    def _values(self) -> List[Any]:
+    def _values(self) -> list[Any]:
         return [e._value for e in self._events if e.triggered and e._ok]
 
 
@@ -418,17 +425,26 @@ class Environment:
     when they are built, so swapping it mid-run has no effect.
     """
 
-    def __init__(self, initial_time: int = 0, trace=None, faults=None):
+    def __init__(
+        self,
+        initial_time: int = 0,
+        trace: TraceRecorder | None = None,
+        faults: FaultEngine | None = None,
+        sanitizer: DmaSanitizer | None = None,
+    ):
         self.now = int(initial_time)
         self.trace = NULL_TRACE if trace is None else trace
         self.faults = NULL_FAULTS if faults is None else faults
         if self.faults.enabled:
             self.faults.bind(self)
-        self._queue: List = []
+        self.sanitizer = NULL_SANITIZER if sanitizer is None else sanitizer
+        if self.sanitizer.enabled:
+            self.sanitizer.bind(self)
+        self._queue: list = []
         self._sequence = 0
         self._proc_count = 0
-        self._active_process: Optional[Process] = None
-        self._failed_events: List[Event] = []
+        self._active_process: Process | None = None
+        self._failed_events: list[Event] = []
         # proc_id -> live Process, for deadlock/stall diagnostics.
         self._live_processes: dict = {}
 
@@ -455,7 +471,7 @@ class Environment:
         self._sequence = sequence = self._sequence + 1
         heappush(self._queue, (self.now + delay, sequence, event))
 
-    def peek(self) -> Optional[int]:
+    def peek(self) -> int | None:
         """Time of the next scheduled event, or None if the queue is empty."""
         if not self._queue:
             return None
@@ -469,9 +485,9 @@ class Environment:
 
     def run(
         self,
-        until: Optional[Any] = None,
-        max_events: Optional[int] = None,
-        stall_after: Optional[int] = None,
+        until: Any | None = None,
+        max_events: int | None = None,
+        stall_after: int | None = None,
     ) -> Any:
         """Run until the queue drains, ``until`` time, or ``until`` event.
 
@@ -543,9 +559,9 @@ class Environment:
 
     def _run_watched(
         self,
-        until: Optional[Any],
-        max_events: Optional[int],
-        stall_after: Optional[int],
+        until: Any | None,
+        max_events: int | None,
+        stall_after: int | None,
     ) -> Any:
         """The ``run`` loop with the event-budget / no-progress watchdogs.
 
@@ -624,7 +640,7 @@ class Environment:
 
     # -- diagnostics ----------------------------------------------------------
 
-    def _blocked(self) -> List:
+    def _blocked(self) -> list:
         """(proc_id, name, wait description) per live non-daemon process."""
         return [
             (proc.proc_id, proc.name, _describe_wait(proc._waiting_on))
@@ -651,7 +667,7 @@ class Environment:
         return "\ntrace tail:\n" + "\n".join(f"  {record}" for record in tail)
 
 
-def _describe_wait(event: Optional[Event]) -> str:
+def _describe_wait(event: Event | None) -> str:
     if event is None or type(event) is _Relay:
         return "nothing (scheduled to resume)"
     if isinstance(event, Process):

@@ -37,9 +37,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING
 
 from repro.sim.trace import FaultInjected
+
+if TYPE_CHECKING:
+    from repro.sim.core import Environment
 
 #: Spec kinds taking an integer victim count.
 COUNT_KINDS = ("spe_crash", "spe_hang")
@@ -63,13 +66,13 @@ class FaultSpecError(ValueError):
     """A fault spec string that does not parse or is out of range."""
 
 
-def parse_fault_spec(spec: str) -> Dict[str, float]:
+def parse_fault_spec(spec: str) -> dict[str, float]:
     """Parse ``kind:value`` pairs (comma separated) into a dict.
 
     >>> parse_fault_spec("spe_crash:1,dma_drop:0.02")
     {'spe_crash': 1, 'dma_drop': 0.02}
     """
-    faults: Dict[str, float] = {}
+    faults: dict[str, float] = {}
     for part in spec.split(","):
         part = part.strip()
         if not part:
@@ -87,7 +90,9 @@ def parse_fault_spec(spec: str) -> Dict[str, float]:
         try:
             value = float(raw)
         except ValueError:
-            raise FaultSpecError(f"fault {kind!r} has non-numeric value {raw!r}")
+            raise FaultSpecError(
+                f"fault {kind!r} has non-numeric value {raw!r}"
+            ) from None
         if kind in COUNT_KINDS:
             if value != int(value) or value < 0:
                 raise FaultSpecError(
@@ -123,7 +128,7 @@ class NullFaultEngine:
     enabled = False
     injected = 0
 
-    def counts(self) -> Dict[str, int]:
+    def counts(self) -> dict[str, int]:
         return {}
 
 
@@ -143,7 +148,7 @@ class FaultEngine:
 
     def __init__(
         self,
-        spec,
+        spec: str | dict[str, float],
         seed: int = 0,
         stall_cycles: int = DEFAULT_STALL_CYCLES,
         degrade_cycles: int = DEFAULT_DEGRADE_CYCLES,
@@ -167,10 +172,10 @@ class FaultEngine:
         self._crash_budget = int(spec.get("spe_crash", 0))
         self._hang_budget = int(spec.get("spe_hang", 0))
         self.injected = 0
-        self._counts: Dict[str, int] = {}
+        self._counts: dict[str, int] = {}
         self._env = None
 
-    def bind(self, env) -> None:
+    def bind(self, env: Environment) -> None:
         """Called by the Environment that adopts this engine (needed to
         stamp trace records with simulation time)."""
         self._env = env
@@ -188,7 +193,7 @@ class FaultEngine:
                 )
             )
 
-    def counts(self) -> Dict[str, int]:
+    def counts(self) -> dict[str, int]:
         """Injected-fault counts by kind (for stats and reports)."""
         return dict(self._counts)
 
@@ -229,7 +234,7 @@ class FaultEngine:
 
     # -- SPE contexts ----------------------------------------------------------
 
-    def spe_plan(self, logical_index: int) -> Optional[SpeFaultPlan]:
+    def spe_plan(self, logical_index: int) -> SpeFaultPlan | None:
         """The fate of a newly loaded SPE program, or None.
 
         Victims are the first contexts loaded (deterministic); the
@@ -261,13 +266,13 @@ class FaultEngine:
 class FaultReport:
     """Summary of what an engine injected over one run."""
 
-    spec: Dict[str, float] = field(default_factory=dict)
+    spec: dict[str, float] = field(default_factory=dict)
     seed: int = 0
     injected: int = 0
-    by_kind: Dict[str, int] = field(default_factory=dict)
+    by_kind: dict[str, int] = field(default_factory=dict)
 
     @classmethod
-    def from_engine(cls, engine) -> "FaultReport":
+    def from_engine(cls, engine: FaultEngine | NullFaultEngine) -> FaultReport:
         if not engine.enabled:
             return cls()
         return cls(

@@ -9,8 +9,6 @@ the analysis layer turns into the paper's explanatory claims (e.g. "the
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
-
 from repro.sim.core import Environment, SimulationError
 
 
@@ -25,7 +23,7 @@ class BusyMonitor:
         self.env = env
         self.name = name
         self._level = 0
-        self._changes: List[Tuple[int, int]] = [(env.now, 0)]
+        self._changes: list[tuple[int, int]] = [(env.now, 0)]
 
     @property
     def level(self) -> int:
@@ -41,25 +39,25 @@ class BusyMonitor:
         self._level -= 1
         self._changes.append((self.env.now, self._level))
 
-    def busy_time(self, until: Optional[int] = None) -> int:
+    def busy_time(self, until: int | None = None) -> int:
         """Total time with occupancy level >= 1."""
         return self._time_at(lambda level: level >= 1, until)
 
-    def level_time_integral(self, until: Optional[int] = None) -> int:
+    def level_time_integral(self, until: int | None = None) -> int:
         """Integral of occupancy level over time (level-weighted busy time)."""
         end = self.env.now if until is None else until
         total = 0
-        for (t0, level), (t1, _next_level) in zip(self._changes, self._changes[1:]):
+        for (t0, level), (t1, _next_level) in zip(self._changes, self._changes[1:], strict=False):
             total += level * (min(t1, end) - min(t0, end))
         last_t, last_level = self._changes[-1]
         if last_t < end:
             total += last_level * (end - last_t)
         return total
 
-    def _time_at(self, predicate, until: Optional[int]) -> int:
+    def _time_at(self, predicate, until: int | None) -> int:
         end = self.env.now if until is None else until
         total = 0
-        for (t0, level), (t1, _next_level) in zip(self._changes, self._changes[1:]):
+        for (t0, level), (t1, _next_level) in zip(self._changes, self._changes[1:], strict=False):
             if predicate(level):
                 total += min(t1, end) - min(t0, end)
         last_t, last_level = self._changes[-1]
@@ -67,7 +65,7 @@ class BusyMonitor:
             total += end - last_t
         return total
 
-    def utilization(self, until: Optional[int] = None) -> float:
+    def utilization(self, until: int | None = None) -> float:
         """Fraction of elapsed time the server was busy (level >= 1)."""
         end = self.env.now if until is None else until
         start = self._changes[0][0]
@@ -83,12 +81,12 @@ class TimeSeries:
     def __init__(self, env: Environment, name: str = ""):
         self.env = env
         self.name = name
-        self.samples: List[Tuple[int, float]] = []
+        self.samples: list[tuple[int, float]] = []
 
     def record(self, value: float) -> None:
         self.samples.append((self.env.now, value))
 
-    def values(self) -> List[float]:
+    def values(self) -> list[float]:
         return [v for _t, v in self.samples]
 
     def mean(self) -> float:

@@ -9,7 +9,7 @@ hardware-model arbitration deterministic.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, List, Optional
+from typing import Any
 
 from repro.sim.core import Environment, Event, SimulationError
 
@@ -17,7 +17,7 @@ from repro.sim.core import Environment, Event, SimulationError
 class Request(Event):
     """A pending or granted claim on a :class:`Resource`."""
 
-    def __init__(self, resource: "Resource"):
+    def __init__(self, resource: Resource):
         super().__init__(resource.env)
         self.resource = resource
 
@@ -30,8 +30,8 @@ class Resource:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.env = env
         self.capacity = capacity
-        self.users: List[Request] = []
-        self.queue: Deque[Request] = deque()
+        self.users: list[Request] = []
+        self.queue: deque[Request] = deque()
 
     @property
     def count(self) -> int:
@@ -67,14 +67,14 @@ class Resource:
 class Store:
     """An unordered-capacity FIFO buffer of Python objects."""
 
-    def __init__(self, env: Environment, capacity: Optional[int] = None):
+    def __init__(self, env: Environment, capacity: int | None = None):
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
         self.env = env
         self.capacity = capacity
-        self.items: Deque[Any] = deque()
-        self._getters: Deque[Event] = deque()
-        self._putters: Deque[Event] = deque()
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[Event] = deque()
         self._put_payload: dict = {}
 
     def put(self, item: Any) -> Event:
@@ -129,8 +129,8 @@ class Container:
         self.env = env
         self.capacity = capacity
         self.level = init
-        self._getters: Deque = deque()  # (event, amount)
-        self._putters: Deque = deque()
+        self._getters: deque = deque()  # (event, amount)
+        self._putters: deque = deque()
 
     def put(self, amount: float) -> Event:
         if amount <= 0:

@@ -1,0 +1,300 @@
+"""Runtime DMA hazard sanitizer: happens-before over MFC tag groups.
+
+The static rules in :mod:`repro.analysis.lint` catch what is decidable
+from source; this module catches what is not — whether two *actual*
+in-flight commands touched overlapping bytes with no ordering between
+them.  It is the model's equivalent of a thread sanitizer, specialised to
+the MFC's memory model:
+
+* commands in one MFC queue complete **out of order**, even within a tag
+  group — a tag group is a *completion-detection* domain, not an
+  ordering domain;
+* the only intra-queue ordering edges are a **fenced** command (ordered
+  after earlier commands of its tag group) and a **barriered** command
+  (ordered after every earlier command in the queue);
+* the only cross-command happens-before the SPU can construct is
+  **tag-group completion**: ``wait_tags`` blocks until a group is quiet,
+  so a command enqueued afterwards cannot overlap those transfers.
+
+That yields a simple and exact check: when command *B* is enqueued while
+command *A* is still in flight on the same MFC, no completion edge can
+exist between them; if *B* carries no fence/barrier covering *A* and the
+two touch overlapping local-store or effective-address ranges with at
+least one write, the pair is a data race on real hardware.  (Commands on
+*different* MFCs are never checked: ordering between SPEs flows through
+mailboxes and signals the MFC cannot see, so flagging cross-SPE overlap
+would be noise by construction.)
+
+The sanitizer is a pure observer: it never yields, never schedules, and
+never touches simulation state, so enabling it cannot change a single
+event — ``--sanitize`` off or on, the trace stream is byte-identical.
+Hazards are recorded as :class:`~repro.sim.trace.DmaHazard` findings on
+the sanitizer itself and, when a trace recorder is attached, emitted
+into the trace stream too.
+
+Attach it like the trace recorder and fault engine::
+
+    from repro.sim.sanitizer import DmaSanitizer
+    sanitizer = DmaSanitizer()
+    chip = CellChip(sanitizer=sanitizer)
+    ...
+    for hazard in sanitizer.findings: print(hazard)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.trace import DmaHazard
+
+if TYPE_CHECKING:
+    from repro.cell.dma import DmaCommand, DmaList
+    from repro.cell.local_store import Allocation
+    from repro.sim.core import Environment
+
+#: Address space name for main memory (EA side of a transfer).
+EA_SPACE = "ea"
+
+#: Default cap on retained findings (a racy loop floods otherwise).
+DEFAULT_CAPACITY = 10_000
+
+
+def ls_space(node: str) -> str:
+    """Address-space name of a local store."""
+    return f"ls:{node}"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One byte range a command touches: [lo, hi) in ``space``."""
+
+    space: str
+    lo: int
+    hi: int
+    writes: bool
+
+
+def command_accesses(node: str, command: DmaCommand | DmaList) -> tuple[Access, ...]:
+    """The byte ranges a command touches, on both sides of the transfer.
+
+    A GET writes the issuing SPE's local store and reads the remote side;
+    a PUT reads the local store and writes the remote side.  A DMA list
+    is summarised by its bounding ranges (local cursor span, min..max of
+    the element offsets) — coarser than per-element, never misses an
+    overlap that exists.
+
+    Duck-typed on the :mod:`repro.cell.dma` command shapes (a DMA list
+    has ``elements``) so the sim layer keeps zero import-time
+    dependencies on the hardware models.
+    """
+    is_get = command.direction.name == "GET"
+    elements = getattr(command, "elements", None)
+    local_lo = command.local_offset
+    local_hi = local_lo + command.size
+    if elements is not None:
+        remote_lo = min(e.remote_offset for e in elements)
+        remote_hi = max(e.remote_offset + e.size for e in elements)
+    else:
+        remote_lo = command.remote_offset
+        remote_hi = remote_lo + command.size
+    remote_space = (
+        EA_SPACE
+        if command.target.name == "MAIN_MEMORY"
+        else ls_space(command.remote_node or "?")
+    )
+    return (
+        Access(space=ls_space(node), lo=local_lo, hi=local_hi, writes=is_get),
+        Access(space=remote_space, lo=remote_lo, hi=remote_hi,
+               writes=not is_get),
+    )
+
+
+def _ordered_after(
+    earlier: DmaCommand | DmaList, later: DmaCommand | DmaList
+) -> bool:
+    """True when the MFC guarantees ``later`` starts after ``earlier``
+    completes: a barrier covers the whole queue, a fence its tag group."""
+    if getattr(later, "barrier", False):
+        return True
+    return bool(getattr(later, "fence", False)) and later.tag == earlier.tag
+
+
+class NullSanitizer:
+    """The default sanitizer: disabled, every hook skipped.
+
+    Models guard hooks with ``if sanitizer.enabled`` (cached, like trace
+    and faults), so the disabled cost is one attribute load and a branch
+    per command.
+    """
+
+    enabled = False
+
+    def bind(self, env: Environment) -> None:  # pragma: no cover - no-op
+        pass
+
+    def command_enqueued(self, node: str, command) -> None:  # pragma: no cover
+        pass
+
+    def command_completed(self, node: str, command) -> None:  # pragma: no cover
+        pass
+
+    def note_allocation(self, node: str | None, allocation) -> None:  # pragma: no cover
+        pass
+
+    @property
+    def findings(self) -> list[DmaHazard]:
+        return []
+
+    def __len__(self) -> int:
+        return 0
+
+
+#: Shared do-nothing sanitizer every Environment starts with.
+NULL_SANITIZER = NullSanitizer()
+
+
+class DmaSanitizer:
+    """Tracks in-flight MFC commands and flags unordered overlap.
+
+    One instance watches every MFC on a chip (hooks carry the node).
+    Purely observational — see the module docstring for the memory model
+    and why enabling it cannot perturb the simulation.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int | None = DEFAULT_CAPACITY):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.capacity = capacity
+        self.findings: list[DmaHazard] = []
+        self.dropped = 0
+        self.commands_checked = 0
+        self._env: Environment | None = None
+        # node -> {command_id: (command, accesses)}
+        self._inflight: dict[str, dict[int, tuple[object, tuple[Access, ...]]]] = {}
+        # (node, allocation name) -> Allocation, for readable reports.
+        self._allocations: dict[str, list["Allocation"]] = {}
+
+    def bind(self, env: Environment) -> None:
+        """Called by the Environment so hazards carry timestamps and can
+        ride the trace stream."""
+        self._env = env
+
+    # -- model hooks ----------------------------------------------------------
+
+    def command_enqueued(self, node: str, command) -> None:
+        """A command occupied an MFC queue slot: race-check it against
+        every command still in flight on this MFC, then track it."""
+        self.commands_checked += 1
+        accesses = command_accesses(node, command)
+        inflight = self._inflight.setdefault(node, {})
+        for earlier, earlier_accesses in inflight.values():
+            if _ordered_after(earlier, command):
+                continue
+            for before in earlier_accesses:
+                for after in accesses:
+                    if (
+                        before.space == after.space
+                        and before.lo < after.hi
+                        and after.lo < before.hi
+                        and (before.writes or after.writes)
+                    ):
+                        self._record(node, earlier, command, before, after)
+        inflight[command.command_id] = (command, accesses)
+
+    def command_completed(self, node: str, command) -> None:
+        inflight = self._inflight.get(node)
+        if inflight is not None:
+            inflight.pop(command.command_id, None)
+
+    def note_allocation(self, node: str | None, allocation: Allocation) -> None:
+        """Local stores report named allocations so hazard reports can
+        say which buffer a range belongs to."""
+        if node is None:
+            return
+        self._allocations.setdefault(ls_space(node), []).append(allocation)
+
+    # -- recording ------------------------------------------------------------
+
+    def _record(
+        self,
+        node: str,
+        earlier,
+        later,
+        before: Access,
+        after: Access,
+    ) -> None:
+        kind = (
+            "write-write" if before.writes and after.writes
+            else "write-read" if before.writes
+            else "read-write"
+        )
+        hazard = DmaHazard(
+            ts=self._env.now if self._env is not None else 0,
+            node=node,
+            space=before.space,
+            hazard=kind,
+            first_cmd=earlier.command_id,
+            second_cmd=later.command_id,
+            first_tag=earlier.tag,
+            second_tag=later.tag,
+            lo=max(before.lo, after.lo),
+            hi=min(before.hi, after.hi),
+        )
+        if self.capacity is not None and len(self.findings) >= self.capacity:
+            self.dropped += 1
+        else:
+            self.findings.append(hazard)
+        if self._env is not None and self._env.trace.enabled:
+            self._env.trace.emit(hazard)
+
+    # -- reporting ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def inflight(self, node: str | None = None) -> int:
+        """Commands currently tracked (all nodes, or one)."""
+        if node is not None:
+            return len(self._inflight.get(node, ()))
+        return sum(len(commands) for commands in self._inflight.values())
+
+    def _describe_range(self, space: str, lo: int, hi: int) -> str:
+        base = f"[{lo:#x}, {hi:#x})"
+        names = [
+            allocation.name
+            for allocation in self._allocations.get(space, ())
+            if allocation.offset < hi and lo < allocation.end
+        ]
+        if names:
+            return f"{base} ({', '.join(names)})"
+        return base
+
+    def describe(self, hazard: DmaHazard) -> str:
+        """One human-readable line for a hazard finding."""
+        return (
+            f"t={hazard.ts} {hazard.node}: {hazard.hazard} race on "
+            f"{hazard.space} {self._describe_range(hazard.space, hazard.lo, hazard.hi)}: "
+            f"cmd {hazard.first_cmd} (tag {hazard.first_tag}) vs "
+            f"cmd {hazard.second_cmd} (tag {hazard.second_tag}) with no "
+            f"fence/barrier/tag-wait between them"
+        )
+
+    def report(self, limit: int = 20) -> str:
+        """Multi-line summary of the findings (first ``limit`` shown)."""
+        if not self.findings:
+            return (
+                f"dma-sanitizer: no hazards in {self.commands_checked} "
+                f"commands"
+            )
+        lines = [
+            f"dma-sanitizer: {len(self.findings)} hazard(s) in "
+            f"{self.commands_checked} commands"
+            + (f" ({self.dropped} dropped)" if self.dropped else "")
+        ]
+        lines += [f"  {self.describe(h)}" for h in self.findings[:limit]]
+        if len(self.findings) > limit:
+            lines.append(f"  ... and {len(self.findings) - limit} more")
+        return "\n".join(lines)

@@ -29,8 +29,8 @@ from __future__ import annotations
 import json
 from collections import deque
 from dataclasses import asdict, dataclass, fields
-from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
-
+from typing import Any
+from collections.abc import Iterable
 #: Default ring-buffer capacity (records). ~100 B/record -> ~100 MB max.
 DEFAULT_CAPACITY = 1_000_000
 
@@ -74,7 +74,7 @@ class EibGrant:
     src: str
     dst: str
     ring: str
-    spans: Tuple[int, ...]
+    spans: tuple[int, ...]
     immediate: bool
 
 
@@ -200,10 +200,33 @@ class FaultInjected:
     cycles: int
 
 
+@dataclass(frozen=True)
+class DmaHazard:
+    """The DMA sanitizer flagged two concurrent commands touching
+    overlapping bytes with no ordering edge (see
+    :mod:`repro.sim.sanitizer`).  ``hazard`` is the race flavour
+    (``write-write``/``write-read``/``read-write``); ``space`` names the
+    address space (``ls:<node>`` or ``ea``); [``lo``, ``hi``) is the
+    overlapping byte range."""
+
+    KIND = "sanitizer.hazard"
+    ts: int
+    node: str
+    space: str
+    hazard: str
+    first_cmd: int
+    second_cmd: int
+    first_tag: int
+    second_tag: int
+    lo: int
+    hi: int
+
+
 RECORD_TYPES = (
     ProcessResume,
     ProcessTerminate,
     FaultInjected,
+    DmaHazard,
     EibGrant,
     EibWait,
     EibRelease,
@@ -235,7 +258,7 @@ class NullTraceRecorder:
         pass
 
     @property
-    def records(self) -> List:
+    def records(self) -> list:
         return []
 
     def __len__(self) -> int:
@@ -256,11 +279,11 @@ class TraceRecorder:
 
     enabled = True
 
-    def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY):
+    def __init__(self, capacity: int | None = DEFAULT_CAPACITY):
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
         self.capacity = capacity
-        self._records: Deque = deque(maxlen=capacity)
+        self._records: deque = deque(maxlen=capacity)
         self.dropped = 0
 
     def emit(self, record) -> None:
@@ -269,7 +292,7 @@ class TraceRecorder:
         self._records.append(record)
 
     @property
-    def records(self) -> List:
+    def records(self) -> list:
         return list(self._records)
 
     def clear(self) -> None:
@@ -279,7 +302,7 @@ class TraceRecorder:
     def __len__(self) -> int:
         return len(self._records)
 
-    def summary(self) -> "TraceSummary":
+    def summary(self) -> TraceSummary:
         return TraceSummary(self.records)
 
 
@@ -301,10 +324,10 @@ class TraceSummary:
         self.records = list(records)
 
     @classmethod
-    def from_recorder(cls, recorder: TraceRecorder) -> "TraceSummary":
+    def from_recorder(cls, recorder: TraceRecorder) -> TraceSummary:
         return cls(recorder.records)
 
-    def _of(self, record_type) -> List:
+    def _of(self, record_type) -> list:
         return [r for r in self.records if isinstance(r, record_type)]
 
     @property
@@ -319,7 +342,7 @@ class TraceSummary:
 
     # -- EIB ------------------------------------------------------------------
 
-    def counters(self) -> Dict[str, int]:
+    def counters(self) -> dict[str, int]:
         """The live ``Eib`` counters, rebuilt from the stream."""
         grants = self._of(EibGrant)
         return {
@@ -329,11 +352,11 @@ class TraceSummary:
             "bytes_moved": sum(t.nbytes for t in self._of(EibTransfer)),
         }
 
-    def per_ring(self) -> Dict[str, Dict[str, int]]:
+    def per_ring(self) -> dict[str, dict[str, int]]:
         """Per-ring grants, conflicts, busy cycles and bytes."""
-        rings: Dict[str, Dict[str, int]] = {}
+        rings: dict[str, dict[str, int]] = {}
 
-        def entry(name: str) -> Dict[str, int]:
+        def entry(name: str) -> dict[str, int]:
             return rings.setdefault(
                 name, {"grants": 0, "conflicts": 0, "busy_cycles": 0, "bytes": 0}
             )
@@ -349,12 +372,12 @@ class TraceSummary:
             row["bytes"] += release.nbytes
         return rings
 
-    def per_flow(self) -> Dict[Tuple[str, str], Dict[str, int]]:
+    def per_flow(self) -> dict[tuple[str, str], dict[str, int]]:
         """Per (src, dst) flow: bytes landed, grant count, wait cycles,
         first/last landing time."""
-        flows: Dict[Tuple[str, str], Dict[str, int]] = {}
+        flows: dict[tuple[str, str], dict[str, int]] = {}
 
-        def entry(src: str, dst: str) -> Dict[str, int]:
+        def entry(src: str, dst: str) -> dict[str, int]:
             return flows.setdefault(
                 (src, dst),
                 {
@@ -382,7 +405,7 @@ class TraceSummary:
 
     def flow_timeline(
         self, interval: int
-    ) -> Dict[Tuple[str, str], List[Tuple[int, int]]]:
+    ) -> dict[tuple[str, str], list[tuple[int, int]]]:
         """Bytes landed per ``interval``-cycle bucket per (src, dst) flow.
 
         Buckets are keyed by their start time; empty buckets between a
@@ -391,12 +414,12 @@ class TraceSummary:
         """
         if interval < 1:
             raise ValueError(f"interval must be >= 1, got {interval}")
-        landings: Dict[Tuple[str, str], Dict[int, int]] = {}
+        landings: dict[tuple[str, str], dict[int, int]] = {}
         for release in self._of(EibRelease):
             bucket = (release.ts // interval) * interval
             flow = landings.setdefault((release.src, release.dst), {})
             flow[bucket] = flow.get(bucket, 0) + release.nbytes
-        timelines: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
+        timelines: dict[tuple[str, str], list[tuple[int, int]]] = {}
         for flow_key, buckets in landings.items():
             lo, hi = min(buckets), max(buckets)
             timelines[flow_key] = [
@@ -407,11 +430,11 @@ class TraceSummary:
 
     # -- MFC ------------------------------------------------------------------
 
-    def mfc_stats(self) -> Dict[str, Dict[str, int]]:
+    def mfc_stats(self) -> dict[str, dict[str, int]]:
         """Per-node enqueue/complete counts, bytes and queue high-water."""
-        nodes: Dict[str, Dict[str, int]] = {}
+        nodes: dict[str, dict[str, int]] = {}
 
-        def entry(node: str) -> Dict[str, int]:
+        def entry(node: str) -> dict[str, int]:
             return nodes.setdefault(
                 node,
                 {
@@ -438,9 +461,9 @@ class TraceSummary:
 
     # -- faults ---------------------------------------------------------------
 
-    def fault_stats(self) -> Dict[Tuple[str, str], Dict[str, int]]:
+    def fault_stats(self) -> dict[tuple[str, str], dict[str, int]]:
         """Injected faults per (site, kind): count and added cycles."""
-        faults: Dict[Tuple[str, str], Dict[str, int]] = {}
+        faults: dict[tuple[str, str], dict[str, int]] = {}
         for fault in self._of(FaultInjected):
             row = faults.setdefault(
                 (fault.site, fault.fault), {"count": 0, "cycles": 0}
@@ -451,9 +474,9 @@ class TraceSummary:
 
     # -- memory ---------------------------------------------------------------
 
-    def bank_stats(self) -> Dict[str, Dict[str, int]]:
+    def bank_stats(self) -> dict[str, dict[str, int]]:
         """Per-bank commands, bytes, busy cycles and turnaround cycles."""
-        banks: Dict[str, Dict[str, int]] = {}
+        banks: dict[str, dict[str, int]] = {}
         for activate in self._of(BankActivate):
             row = banks.setdefault(
                 activate.bank,
@@ -476,7 +499,8 @@ class TraceSummary:
 # ---------------------------------------------------------------------------
 
 #: Stable pid assignment for the exported process rows.
-_PIDS = {"EIB": 1, "MFC": 2, "Memory": 3, "Processes": 4, "Faults": 5}
+_PIDS = {"EIB": 1, "MFC": 2, "Memory": 3, "Processes": 4, "Faults": 5,
+         "Sanitizer": 6}
 
 #: Records exported as async spans: type -> (pid name, start attr).
 _SPAN_EXPORTS = {
@@ -485,7 +509,7 @@ _SPAN_EXPORTS = {
 }
 
 
-def _record_args(record) -> Dict[str, Any]:
+def _record_args(record) -> dict[str, Any]:
     args = asdict(record)
     args["kind"] = record.KIND
     return args
@@ -504,6 +528,8 @@ def _tid(record) -> str:
         return record.bank
     if isinstance(record, FaultInjected):
         return record.site
+    if isinstance(record, DmaHazard):
+        return record.node
     return "sched"
 
 
@@ -516,14 +542,16 @@ def _pid_name(record) -> str:
         return "Memory"
     if isinstance(record, FaultInjected):
         return "Faults"
+    if isinstance(record, DmaHazard):
+        return "Sanitizer"
     return "Processes"
 
 
 def to_chrome_trace(
     records: Iterable,
-    cpu_hz: Optional[float] = None,
-    metadata: Optional[Dict[str, Any]] = None,
-) -> Dict[str, Any]:
+    cpu_hz: float | None = None,
+    metadata: dict[str, Any] | None = None,
+) -> dict[str, Any]:
     """Convert records to the Chrome trace-event JSON object format.
 
     Spans (EIB path occupancy, bank service, MFC command lifetime) become
@@ -537,7 +565,7 @@ def to_chrome_trace(
     loads fine.
     """
     scale = 1e6 / cpu_hz if cpu_hz else 1.0
-    events: List[Dict[str, Any]] = []
+    events: list[dict[str, Any]] = []
     for name, pid in _PIDS.items():
         events.append(
             {
@@ -601,7 +629,7 @@ def to_chrome_trace(
                     "args": args,
                 }
             )
-    trace: Dict[str, Any] = {
+    trace: dict[str, Any] = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
         "otherData": {"generator": "repro.sim.trace", "cpu_hz": cpu_hz},
@@ -611,14 +639,14 @@ def to_chrome_trace(
     return trace
 
 
-def records_from_chrome(trace: Dict[str, Any]) -> List:
+def records_from_chrome(trace: dict[str, Any]) -> list:
     """Rebuild the record stream from a Chrome trace produced by
     :func:`to_chrome_trace` (inverse up to record order, which is kept)."""
     if "traceEvents" not in trace:
         raise ValueError(
             "not a Chrome trace-event file: no 'traceEvents' key"
         )
-    records: List = []
+    records: list = []
     for event in trace["traceEvents"]:
         args = event.get("args") or {}
         kind = args.get("kind")
@@ -639,15 +667,15 @@ def records_from_chrome(trace: Dict[str, Any]) -> List:
 def write_chrome_trace(
     path: str,
     records: Iterable,
-    cpu_hz: Optional[float] = None,
-    metadata: Optional[Dict[str, Any]] = None,
+    cpu_hz: float | None = None,
+    metadata: dict[str, Any] | None = None,
 ) -> None:
     """Serialise records to a Chrome trace-event JSON file."""
     with open(path, "w") as handle:
         json.dump(to_chrome_trace(records, cpu_hz, metadata), handle)
 
 
-def read_chrome_trace(path: str) -> Tuple[List, Dict[str, Any]]:
+def read_chrome_trace(path: str) -> tuple[list, dict[str, Any]]:
     """Load a trace file; returns (records, otherData metadata)."""
     with open(path) as handle:
         trace = json.load(handle)

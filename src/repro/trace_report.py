@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
 
 from repro.analysis.saturation import SaturationReport, flow_bandwidth_table
 from repro.sim.trace import TraceSummary, read_chrome_trace
@@ -48,7 +47,7 @@ def parse_args(argv=None) -> argparse.Namespace:
     return parser.parse_args(argv)
 
 
-def _table(headers: List[str], rows: List[List[str]]) -> str:
+def _table(headers: list[str], rows: list[list[str]]) -> str:
     widths = [
         max(len(str(header)), *(len(str(row[i])) for row in rows))
         if rows
@@ -56,12 +55,12 @@ def _table(headers: List[str], rows: List[List[str]]) -> str:
         for i, header in enumerate(headers)
     ]
     lines = [
-        "  ".join(str(header).ljust(width) for header, width in zip(headers, widths)),
+        "  ".join(str(header).ljust(width) for header, width in zip(headers, widths, strict=True)),
         "  ".join("-" * width for width in widths),
     ]
     for row in rows:
         lines.append(
-            "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+            "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths, strict=True))
         )
     return "\n".join(lines)
 
@@ -69,11 +68,11 @@ def _table(headers: List[str], rows: List[List[str]]) -> str:
 def render_report(
     summary: TraceSummary,
     cpu_hz: float,
-    recorded_counters: Optional[dict] = None,
-    interval: Optional[int] = None,
+    recorded_counters: dict | None = None,
+    interval: int | None = None,
 ) -> str:
     """The full text report; pure function so tests can assert on it."""
-    sections: List[str] = []
+    sections: list[str] = []
     counters = summary.counters()
     lines = [f"{name:>12}: {value}" for name, value in counters.items()]
     if recorded_counters:

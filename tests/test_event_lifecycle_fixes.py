@@ -11,6 +11,8 @@ Three silent-corruption bugs fixed together with the tracing subsystem:
 * a ``Container`` get/put larger than the capacity queued forever.
 """
 
+import contextlib
+
 import pytest
 
 from repro.sim import (
@@ -104,10 +106,8 @@ class TestInterruptPretriggeredEvent:
         def victim(env):
             event = env.event()
             event.succeed(123)
-            try:
+            with contextlib.suppress(Interrupt):
                 yield event
-            except Interrupt:
-                pass
             # The detached relay is still in the queue; this timeout must
             # be woken exactly once, by the clock.
             value = yield env.timeout(10, value="clock")

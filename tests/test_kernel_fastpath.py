@@ -13,6 +13,8 @@ behavioural edges of that rework:
 * the unwatched and watched loops process events in the same order.
 """
 
+import contextlib
+
 import pytest
 
 from repro.sim import Environment, Interrupt
@@ -60,10 +62,8 @@ class TestInterruptBeforeStart:
         proc.interrupt()
 
         def defuser(env, proc):
-            try:
+            with contextlib.suppress(Interrupt):
                 yield proc
-            except Interrupt:
-                pass
 
         env.process(defuser(env, proc))
         env.run()

@@ -1,0 +1,483 @@
+"""simlint: one positive and one negative fixture per rule, engine
+behaviour (selection, classification, callable linting) and the CLI
+contract (diagnostics format, exit codes)."""
+
+import json
+
+import pytest
+
+from repro.analysis.lint import (
+    LintError,
+    RULES,
+    Severity,
+    lint_callable,
+    lint_paths,
+    lint_source,
+    select_rules,
+)
+from repro.lint import main as lint_main
+
+
+def rule_ids(findings):
+    return [finding.rule for finding in findings]
+
+
+def lint_only(source, rule_id):
+    return lint_source(source, rules=select_rules([rule_id]))
+
+
+# ---------------------------------------------------------------------------
+# SL101: local-store data consumed before its GET landed
+# ---------------------------------------------------------------------------
+
+def test_sl101_fires_on_compute_before_wait():
+    source = """
+def program(spu):
+    yield from spu.mfc_get(size=4096, tag=3)
+    yield spu.compute(100)
+    yield from spu.wait_tags([3])
+"""
+    findings = lint_only(source, "SL101")
+    assert rule_ids(findings) == ["SL101"]
+    assert "tag group(s) {3}" in findings[0].message
+
+
+def test_sl101_clean_when_waited_first():
+    source = """
+def program(spu):
+    yield from spu.mfc_get(size=4096, tag=3)
+    yield from spu.wait_tags([3])
+    yield spu.compute(100)
+"""
+    assert lint_only(source, "SL101") == []
+
+
+def test_sl101_put_does_not_dirty_reads():
+    # PUT reads the LS; computing while a PUT is in flight is fine.
+    source = """
+def program(spu):
+    yield from spu.mfc_put(size=4096, tag=1)
+    yield spu.compute(100)
+    yield from spu.wait_tags([1])
+"""
+    assert lint_only(source, "SL101") == []
+
+
+def test_sl101_branch_dirtiness_is_unioned():
+    source = """
+def program(spu, fast):
+    if fast:
+        yield from spu.mfc_get(size=4096, tag=0)
+    else:
+        yield from spu.wait_tags([0])
+    yield spu.compute(10)
+    yield from spu.wait_tags([0])
+"""
+    assert rule_ids(lint_only(source, "SL101")) == ["SL101"]
+
+
+def test_sl101_unknown_wait_clears_everything():
+    source = """
+def program(spu, tags):
+    yield from spu.mfc_get(size=4096, tag=0)
+    yield from spu.wait_tags(tags)
+    yield spu.compute(10)
+"""
+    assert lint_only(source, "SL101") == []
+
+
+# ---------------------------------------------------------------------------
+# SL102: program can return with DMA in flight
+# ---------------------------------------------------------------------------
+
+def test_sl102_fires_on_missing_final_wait():
+    source = """
+def program(spu, out):
+    yield from spu.mfc_get(size=4096, tag=0)
+    out["done"] = True
+"""
+    findings = lint_only(source, "SL102")
+    assert rule_ids(findings) == ["SL102"]
+    assert "'program'" in findings[0].message
+
+
+def test_sl102_clean_with_final_wait():
+    source = """
+def program(spu, out):
+    yield from spu.mfc_get(size=4096, tag=0)
+    yield from spu.wait_tags([0])
+"""
+    assert lint_only(source, "SL102") == []
+
+
+def test_sl102_helpers_exempt():
+    # A leading-underscore helper's caller owns the synchronisation
+    # (the shape of repro.core.kernels._elem_loop).
+    source = """
+def _issue(spu, n):
+    for _ in range(n):
+        yield from spu.mfc_get(size=4096, tag=0)
+"""
+    assert lint_only(source, "SL102") == []
+
+
+# ---------------------------------------------------------------------------
+# SL201: zero-time livelock loops
+# ---------------------------------------------------------------------------
+
+def test_sl201_fires_on_yieldless_while_true():
+    source = """
+def server(env):
+    yield env.timeout(1)
+    while True:
+        env.poll()
+"""
+    findings = lint_only(source, "SL201")
+    assert rule_ids(findings) == ["SL201"]
+    assert "livelock" in findings[0].message
+
+
+def test_sl201_fires_on_unchanging_test():
+    source = """
+def server(env, n):
+    yield env.timeout(1)
+    while n < 10:
+        x = 1
+"""
+    assert rule_ids(lint_only(source, "SL201")) == ["SL201"]
+
+
+def test_sl201_fires_on_infinite_for():
+    source = """
+import itertools
+
+def server(env):
+    yield env.timeout(1)
+    for _ in itertools.count():
+        pass
+"""
+    assert rule_ids(lint_only(source, "SL201")) == ["SL201"]
+
+
+def test_sl201_clean_when_loop_yields_breaks_or_mutates():
+    source = """
+def server(env, n):
+    while True:
+        yield env.timeout(10)
+
+def poller(env):
+    yield env.timeout(1)
+    while True:
+        if env.done:
+            break
+        env.tick()
+
+def counter(env, n):
+    yield env.timeout(1)
+    while n < 10:
+        n += 1
+"""
+    assert lint_only(source, "SL201") == []
+
+
+def test_sl201_ignores_plain_functions():
+    # Not a generator: an ordinary busy loop is not a sim livelock.
+    source = """
+def spin(flag):
+    while True:
+        pass
+"""
+    assert lint_only(source, "SL201") == []
+
+
+# ---------------------------------------------------------------------------
+# SL301 / SL302: DMA legality and efficiency
+# ---------------------------------------------------------------------------
+
+def test_sl301_fires_on_illegal_constants():
+    source = """
+def program(spu):
+    yield from spu.mfc_get(size=100, tag=0)
+    yield from spu.mfc_get(size=4096, tag=0, local_offset=8)
+    yield from spu.mfc_getl(element_size=20, n_elements=4, tag=0)
+    yield from spu.mfc_putl(element_size=128, n_elements=4096, tag=0)
+    yield from spu.wait_tags([0])
+"""
+    findings = lint_only(source, "SL301")
+    assert rule_ids(findings) == ["SL301"] * 4
+
+
+def test_sl301_clean_on_legal_and_unknown_sizes():
+    source = """
+def program(spu, nbytes):
+    yield from spu.mfc_get(size=16384, tag=0)
+    yield from spu.mfc_get(size=8, tag=0)
+    yield from spu.mfc_get(size=nbytes, tag=0)
+    yield from spu.wait_tags([0])
+"""
+    assert lint_only(source, "SL301") == []
+
+
+def test_sl302_warns_on_sub_packet_transfers():
+    source = """
+def program(spu):
+    yield from spu.mfc_get(size=64, tag=0)
+    yield from spu.wait_tags([0])
+"""
+    findings = lint_only(source, "SL302")
+    assert rule_ids(findings) == ["SL302"]
+    assert findings[0].severity == Severity.WARNING
+
+
+def test_sl302_silent_on_efficient_or_illegal_sizes():
+    # 128 B is efficient; 100 B is illegal (SL301's finding, not SL302's).
+    source = """
+def program(spu):
+    yield from spu.mfc_get(size=128, tag=0)
+    yield from spu.mfc_get(size=100, tag=0)
+    yield from spu.wait_tags([0])
+"""
+    assert lint_only(source, "SL302") == []
+
+
+# ---------------------------------------------------------------------------
+# SL401: kernel time is an integer
+# ---------------------------------------------------------------------------
+
+def test_sl401_fires_on_float_and_division_delays():
+    source = """
+def process(env, budget):
+    yield env.timeout(10.5)
+    yield env.timeout(budget / 2)
+    yield spu.compute(3.0)
+"""
+    findings = lint_only(source, "SL401")
+    assert rule_ids(findings) == ["SL401"] * 3
+
+
+def test_sl401_clean_on_integer_delays():
+    source = """
+def process(env, budget):
+    yield env.timeout(10)
+    yield env.timeout(budget // 2)
+"""
+    assert lint_only(source, "SL401") == []
+
+
+# ---------------------------------------------------------------------------
+# SL501: nondeterminism in sim code
+# ---------------------------------------------------------------------------
+
+def test_sl501_fires_on_global_rng_and_wall_clock():
+    source = """
+import random
+import time
+
+def process(env):
+    yield env.timeout(random.randint(1, 10))
+    start = time.monotonic()
+"""
+    findings = lint_only(source, "SL501")
+    assert rule_ids(findings) == ["SL501"] * 2
+    assert any("random.randint" in f.message for f in findings)
+    assert any("time.monotonic" in f.message for f in findings)
+
+
+def test_sl501_seeded_rng_is_sanctioned():
+    source = """
+import random
+
+def process(env, seed):
+    rng = random.Random(seed)
+    yield env.timeout(rng.randint(1, 10))
+"""
+    assert lint_only(source, "SL501") == []
+
+
+def test_sl501_unseeded_factory_is_flagged():
+    source = """
+import random
+
+def process(env):
+    rng = random.Random()
+    yield env.timeout(1)
+"""
+    assert rule_ids(lint_only(source, "SL501")) == ["SL501"]
+
+
+def test_sl501_ignores_non_sim_functions():
+    source = """
+import random
+
+def shuffle_cli_output(rows):
+    random.shuffle(rows)
+    return rows
+"""
+    assert lint_only(source, "SL501") == []
+
+
+def test_sl501_tracks_import_aliases():
+    source = """
+from time import monotonic as clock
+
+def process(env):
+    yield env.timeout(1)
+    t = clock()
+"""
+    assert rule_ids(lint_only(source, "SL501")) == ["SL501"]
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+def test_select_rules_prefix_and_name():
+    assert {rule.id for rule in select_rules(["SL3"])} == {"SL301", "SL302"}
+    assert [rule.id for rule in select_rules(["yieldless-loop"])] == ["SL201"]
+    ignored = select_rules(None, ["SL302"])
+    assert "SL302" not in {rule.id for rule in ignored}
+
+
+def test_select_rules_rejects_unknown_prefix():
+    with pytest.raises(LintError, match="matches no rule"):
+        select_rules(["SL9"])
+
+
+def test_lint_source_rejects_syntax_errors():
+    with pytest.raises(LintError, match="broken.py"):
+        lint_source("def broken(:\n", path="broken.py")
+
+
+def test_findings_sorted_and_formatted():
+    source = """
+def program(spu):
+    yield from spu.mfc_get(size=100, tag=0)
+    yield from spu.mfc_get(size=64, tag=0)
+"""
+    findings = lint_source(source, path="fixture.py")
+    assert [f.line for f in findings] == sorted(f.line for f in findings)
+    rendered = findings[0].format()
+    assert rendered.startswith("fixture.py:3:")
+    assert "SL301" in rendered and "error" in rendered
+
+
+def test_lint_callable_maps_lines_to_defining_file():
+    def bad_process(env):
+        yield env.timeout(1.5)
+
+    findings = lint_callable(bad_process)
+    assert rule_ids(findings) == ["SL401"]
+    assert findings[0].path.endswith("test_lint.py")
+    import inspect
+    _lines, start = inspect.getsourcelines(bad_process)
+    assert start < findings[0].line <= start + 2
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    (tmp_path / "good.py").write_text(
+        "def program(spu):\n"
+        "    yield from spu.mfc_get(size=4096, tag=0)\n"
+        "    yield from spu.wait_tags([0])\n"
+    )
+    nested = tmp_path / "sub"
+    nested.mkdir()
+    (nested / "bad.py").write_text(
+        "def program(spu):\n"
+        "    yield from spu.mfc_get(size=100, tag=0)\n"
+        "    yield from spu.wait_tags([0])\n"
+    )
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "junk.py").write_text("def broken(:\n")
+    findings = lint_paths([str(tmp_path)])
+    assert rule_ids(findings) == ["SL301"]
+    assert findings[0].path.endswith("bad.py")
+
+
+def test_lint_paths_rejects_missing_path():
+    with pytest.raises(LintError, match="no such file"):
+        lint_paths(["/nonexistent/simlint-fixture"])
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+@pytest.fixture
+def racy_file(tmp_path):
+    path = tmp_path / "racy.py"
+    path.write_text(
+        "def program(spu):\n"
+        "    yield from spu.mfc_get(size=64, tag=0)\n"
+        "    yield spu.compute(10)\n"
+        "    yield from spu.wait_tags([0])\n"
+    )
+    return str(path)
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean.py"
+    path.write_text(
+        "def program(spu):\n"
+        "    yield from spu.mfc_get(size=4096, tag=0)\n"
+        "    yield from spu.wait_tags([0])\n"
+        "    yield spu.compute(10)\n"
+    )
+    return str(path)
+
+
+def test_cli_exit_codes(racy_file, clean_file, capsys):
+    assert lint_main([clean_file]) == 0
+    assert lint_main([racy_file]) == 1
+    out = capsys.readouterr().out
+    assert "SL101" in out and "SL302" in out
+    assert "error(s)" in out
+
+
+def test_cli_min_severity_filters_warnings(racy_file, tmp_path, capsys):
+    warning_only = tmp_path / "warn.py"
+    warning_only.write_text(
+        "def program(spu):\n"
+        "    yield from spu.mfc_get(size=64, tag=0)\n"
+        "    yield from spu.wait_tags([0])\n"
+    )
+    assert lint_main([str(warning_only)]) == 1
+    assert lint_main(["--min-severity", "error", str(warning_only)]) == 0
+    capsys.readouterr()
+
+
+def test_cli_select_and_json(racy_file, capsys):
+    assert lint_main(["--select", "SL3", "--format", "json", racy_file]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [entry["rule"] for entry in payload] == ["SL302"]
+    assert payload[0]["severity"] == "warning"
+
+
+def test_cli_usage_errors(racy_file, capsys):
+    assert lint_main([]) == 2
+    assert lint_main(["--select", "NOPE", racy_file]) == 2
+    assert lint_main(["/nonexistent/simlint-fixture"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULES:
+        assert rule_id in out
+
+
+# ---------------------------------------------------------------------------
+# Dogfood: the shipped code must stay clean
+# ---------------------------------------------------------------------------
+
+def test_shipped_examples_and_kernels_are_clean():
+    import os
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    targets = [
+        os.path.join(root, "examples"),
+        os.path.join(root, "src", "repro", "kernels"),
+        os.path.join(root, "src", "repro", "core"),
+    ]
+    findings = lint_paths(targets)
+    assert findings == [], "\n".join(f.format() for f in findings)

@@ -67,16 +67,16 @@ def test_random_mapping_is_permutation(seed):
 def test_local_store_allocations_never_overlap(sizes, aligns):
     ls = LocalStore()
     allocations = []
-    for i, (size, align) in enumerate(zip(sizes, aligns)):
+    for i, (size, align) in enumerate(zip(sizes, aligns, strict=False)):
         try:
             allocations.append(ls.alloc(size, name=f"a{i}", align=align))
         except LocalStoreError:
             break
     intervals = sorted((a.offset, a.end) for a in allocations)
-    for (start1, end1), (start2, _end2) in zip(intervals, intervals[1:]):
+    for (_start1, end1), (start2, _end2) in zip(intervals, intervals[1:], strict=False):
         assert end1 <= start2
     assert all(a.end <= ls.size for a in allocations)
-    for a, align in zip(allocations, aligns):
+    for a, align in zip(allocations, aligns, strict=False):
         assert a.offset % align == 0
 
 
