@@ -35,7 +35,7 @@ from repro.cell.chip import CellChip
 from repro.cell.config import CellConfig
 from repro.cell.topology import SpeMapping
 from repro.core.experiment import RunSpec
-from repro.core.kernels import DmaWorkload, dma_stream_kernel
+from repro.core.kernels import DmaWorkload, FastStreamKernel, dma_stream_kernel
 from repro.libspe import SpeContext
 from repro.runtime.parallel import SweepExecutor, default_jobs
 
@@ -61,21 +61,30 @@ def storm_spec(seed: int, n_elements: int) -> RunSpec:
     )
 
 
-def count_events(spec: RunSpec) -> int:
+def count_events(spec: RunSpec, engine: str = "reference") -> int:
     """Events one repetition processes, counted with a step loop.
 
     Deterministic: every repetition of the same spec (and, placement
     aside, of sibling seeds) drains the same event count, so the timed
-    runs below can use the uninstrumented fast loop.
+    runs below can use the uninstrumented fast loop.  The fast engine
+    coalesces provably-inert heap slots, so its count is lower for the
+    same byte-identical result — both are reported.
     """
     chip = CellChip(
         config=spec.config,
         mapping=SpeMapping.random(spec.seed, spec.config.n_spes),
+        engine=engine,
     )
     for logical, workload in spec.assignments:
-        SpeContext(chip, logical, unrolled=spec.unrolled).load(
-            dma_stream_kernel, workload, {}, None
-        )
+        if chip.engine == "fast":
+            FastStreamKernel(
+                chip.env, chip.spe(logical), workload, {},
+                unrolled=spec.unrolled,
+            )
+        else:
+            SpeContext(chip, logical, unrolled=spec.unrolled).load(
+                dma_stream_kernel, workload, {}, None
+            )
     events = 0
     env = chip.env
     while env._queue:
@@ -84,9 +93,15 @@ def count_events(spec: RunSpec) -> int:
     return events
 
 
-def measure(jobs: int, specs: list[RunSpec], events_per_run: int) -> dict:
-    """Wall-clock one pass over ``specs`` at a worker count."""
-    with SweepExecutor(jobs=jobs, cache=None) as executor:
+def measure(
+    jobs: int,
+    specs: list[RunSpec],
+    events_per_run: int,
+    engine: str = "reference",
+) -> tuple[dict, list]:
+    """Wall-clock one pass over ``specs`` at a worker count; returns the
+    timing row and the samples (so callers can assert engine identity)."""
+    with SweepExecutor(jobs=jobs, cache=None, engine=engine) as executor:
         if jobs > 1:
             executor._ensure_pool()  # exclude pool start-up from the timing
         begin = perf_counter()
@@ -96,18 +111,25 @@ def measure(jobs: int, specs: list[RunSpec], events_per_run: int) -> dict:
     total_events = events_per_run * len(specs)
     return {
         "jobs": jobs,
+        "engine": engine,
         "runs": len(specs),
         "seconds": elapsed,
         "events": total_events,
         "events_per_sec": total_events / elapsed,
-    }
+    }, samples
 
 
 def run_benchmark(jobs: int, runs: int, n_elements: int, out: str) -> dict:
     specs = [storm_spec(SEED_BASE + i, n_elements) for i in range(runs)]
     events_per_run = count_events(specs[0])
-    serial = measure(1, specs, events_per_run)
-    parallel = measure(jobs, specs, events_per_run) if jobs > 1 else None
+    events_per_run_fast = count_events(specs[0], engine="fast")
+    serial, serial_samples = measure(1, specs, events_per_run)
+    fast, fast_samples = measure(1, specs, events_per_run_fast, engine="fast")
+    # The engines' contract, re-checked where the speedup is claimed.
+    assert fast_samples == serial_samples, "fast engine diverged from reference"
+    parallel = (
+        measure(jobs, specs, events_per_run)[0] if jobs > 1 else None
+    )
     report = {
         "workload": {
             "shape": "dma-storm",
@@ -115,12 +137,15 @@ def run_benchmark(jobs: int, runs: int, n_elements: int, out: str) -> dict:
             "element_bytes": STORM_ELEMENT_BYTES,
             "n_elements": n_elements,
             "events_per_run": events_per_run,
+            "events_per_run_fast": events_per_run_fast,
         },
         "serial": serial,
+        "fast": fast,
         "parallel": parallel,
         "speedup": (
             serial["seconds"] / parallel["seconds"] if parallel else None
         ),
+        "fast_speedup": serial["seconds"] / fast["seconds"],
         "cpu_count": os.cpu_count(),
         "python": sys.version.split()[0],
     }
@@ -136,7 +161,7 @@ def _print_report(report: dict) -> None:
         f"dma-storm: {workload['n_spes']} SPEs x {workload['n_elements']} "
         f"x {workload['element_bytes']} B, {workload['events_per_run']} events/run"
     )
-    for label in ("serial", "parallel"):
+    for label in ("serial", "fast", "parallel"):
         row = report[label]
         if row is None:
             continue
@@ -144,6 +169,7 @@ def _print_report(report: dict) -> None:
             f"  {label:8s} jobs={row['jobs']}: {row['runs']} runs in "
             f"{row['seconds']:.2f} s = {row['events_per_sec']:,.0f} events/s"
         )
+    print(f"  fast engine: {report['fast_speedup']:.2f}x over serial reference")
     if report["speedup"]:
         print(f"  speedup: {report['speedup']:.2f}x on {report['cpu_count']} core(s)")
 
@@ -159,6 +185,15 @@ def test_simkernel_throughput():
     assert report["workload"]["events_per_run"] > 1000
     assert report["serial"]["events_per_sec"] > 10_000
     assert report["parallel"]["runs"] == report["serial"]["runs"]
+    # The fast row must be present and byte-identical (run_benchmark
+    # asserts sample equality); its speedup is environment-dependent,
+    # so the smoke pins presence and consistency, not a ratio.
+    assert report["fast"]["engine"] == "fast"
+    assert report["fast"]["runs"] == report["serial"]["runs"]
+    assert 0 < report["workload"]["events_per_run_fast"] < (
+        report["workload"]["events_per_run"]
+    )
+    assert report["fast_speedup"] > 0
     assert os.path.exists("BENCH_simkernel.json")
 
 

@@ -19,6 +19,7 @@ from repro.cell.ppe import PpeModel
 from repro.cell.spe import Spe
 from repro.cell.topology import RingTopology, SpeMapping
 from repro.sim import DmaSanitizer, Environment, FaultEngine, TraceRecorder
+from repro.sim.engine_fast import FastEnvironment, resolve_engine
 
 
 class CellChip:
@@ -33,6 +34,7 @@ class CellChip:
         trace: TraceRecorder | None = None,
         faults: FaultEngine | None = None,
         sanitizer: DmaSanitizer | None = None,
+        engine: str = "reference",
     ):
         """``trace`` is an optional :class:`repro.sim.TraceRecorder`;
         when given, every model on the chip emits structured records
@@ -42,7 +44,10 @@ class CellChip:
         ``sanitizer`` is an optional :class:`repro.sim.DmaSanitizer`;
         when given, every MFC reports command enqueue/completion so
         unordered overlapping transfers are flagged as data races (see
-        :mod:`repro.sim.sanitizer`)."""
+        :mod:`repro.sim.sanitizer`).  ``engine`` selects the execution
+        engine (``"reference"`` or ``"fast"``); attaching any enabled
+        observer falls the chip back to the reference engine, so results
+        never depend on the choice (see :mod:`repro.sim.engine_fast`)."""
         self.config = config or CellConfig.paper_blade()
         self.topology = topology or RingTopology()
         self.mapping = mapping or SpeMapping.identity(self.config.n_spes)
@@ -57,8 +62,11 @@ class CellChip:
                 f"topology has {len(physical_spes)} SPE positions, config "
                 f"needs {self.config.n_spes}"
             )
-        self.env = Environment(trace=trace, faults=faults,
-                               sanitizer=sanitizer)
+        self.engine = resolve_engine(
+            engine, trace=trace, faults=faults, sanitizer=sanitizer
+        )
+        env_cls = FastEnvironment if self.engine == "fast" else Environment
+        self.env = env_cls(trace=trace, faults=faults, sanitizer=sanitizer)
         self.trace = self.env.trace
         self.faults = self.env.faults
         self.sanitizer = self.env.sanitizer

@@ -18,7 +18,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from collections.abc import Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.cell.errors import DmaAlignmentError, DmaSizeError
 
@@ -191,6 +191,45 @@ class DmaList:
             tag=tag,
             remote_node=remote_node,
         )
+
+
+def coalesce_bursts(sizes: Iterable[int], quantum: int) -> list[tuple[int, int]]:
+    """Coalesce consecutive element sizes into (count, bytes) bursts of
+    at most one EIB grant quantum each — the MFC's list-streaming rule.
+
+    An element larger than the quantum still forms its own burst (the
+    flush only triggers when a burst already holds something).
+    """
+    bursts: list[tuple[int, int]] = []
+    count = 0
+    nbytes = 0
+    for size in sizes:
+        if count and nbytes + size > quantum:
+            bursts.append((count, nbytes))
+            count, nbytes = 0, 0
+        count += 1
+        nbytes += size
+    if count:
+        bursts.append((count, nbytes))
+    return bursts
+
+
+def uniform_bursts(
+    element_size: int, n_elements: int, quantum: int
+) -> list[tuple[int, int]]:
+    """:func:`coalesce_bursts` for equal-sized elements, in closed form.
+
+    Equal elements pack ``quantum // element_size`` (at least one) per
+    burst, so the burst list is ``full`` maximal bursts plus an optional
+    remainder — no per-element loop.  ``tests/test_engine_fast.py``
+    pins equality with the generic fold.
+    """
+    per = quantum // element_size if element_size <= quantum else 1
+    full, rest = divmod(n_elements, per)
+    bursts = [(per, per * element_size)] * full
+    if rest:
+        bursts.append((rest, rest * element_size))
+    return bursts
 
 
 def legal_command_sizes(nbytes: int) -> list[int]:

@@ -29,6 +29,7 @@ from repro.cell.config import CellConfig
 from repro.cell.errors import ConfigError
 from repro.cell.topology import CLOCKWISE, COUNTERCLOCKWISE, RingTopology
 from repro.sim import BusyMonitor, Environment, Event
+from repro.sim.core import Completion
 from repro.sim.trace import EibGrant, EibRelease, EibTransfer, EibWait
 
 #: Extra CPU cycles of pipeline latency per hop travelled.
@@ -79,8 +80,10 @@ class Ring:
         self._occupied |= span_set
 
     def remove(self, span_set: frozenset) -> None:
+        # Active span sets are pairwise disjoint (can_accept admits only
+        # disjoint sets), so subtraction equals rebuilding the union.
         self._active.remove(span_set)
-        self._occupied = set().union(*self._active) if self._active else set()
+        self._occupied -= span_set
 
 
 class Eib:
@@ -103,8 +106,18 @@ class Eib:
                 )
         self._out_busy: dict[str, bool] = {node: False for node in topology.order}
         self._in_busy: dict[str, bool] = {node: False for node in topology.order}
-        self._waiters: deque[tuple[Event, str, str]] = deque()
+        # Reference waiters are Events; coalescing-engine waiters are
+        # actors.  Both answer succeed(grant), which is all the drain
+        # uses.
+        self._waiters: deque[tuple[Completion, str, str]] = deque()
         self._span_sets: dict[tuple[str, str, int], frozenset] = {}
+        self._rates: dict[tuple[str, str], float] = {}
+        # Coalescing-engine memos: the pure-topology part of _try_grant
+        # and the chunk schedule of a transfer, keyed per path.  Both
+        # are derived from the same reference methods, so the *decision*
+        # tables cannot drift from the reference decision code.
+        self._fast_choices: dict[tuple[str, str], tuple] = {}
+        self._chunk_plans: dict[tuple[str, str, int], tuple] = {}
         # Statistics the analysis layer reads.
         self.grants = 0
         self.conflicts = 0
@@ -128,10 +141,7 @@ class Eib:
             raise ConfigError(f"EIB transfer from {src!r} to itself")
         if nbytes <= 0:
             raise ConfigError(f"EIB transfer of {nbytes} bytes")
-        rate = min(
-            self.config.node_rate_bytes_per_cpu_cycle(src),
-            self.config.node_rate_bytes_per_cpu_cycle(dst),
-        )
+        rate = self.fast_rate(src, dst)
         quantum = self.config.eib.grant_quantum_bytes
         remaining = nbytes
         while remaining > 0:
@@ -158,6 +168,69 @@ class Eib:
             self._trace.emit(
                 EibTransfer(ts=self.env.now, src=src, dst=dst, nbytes=nbytes)
             )
+
+    def fast_rate(self, src: str, dst: str) -> float:
+        """Path rate (bytes per CPU cycle), memoised per (src, dst) —
+        the coalescing engine asks once per chunk, so the two config
+        lookups would otherwise dominate."""
+        key = (src, dst)
+        rate = self._rates.get(key)
+        if rate is None:
+            rate = min(
+                self.config.node_rate_bytes_per_cpu_cycle(src),
+                self.config.node_rate_bytes_per_cpu_cycle(dst),
+            )
+            self._rates[key] = rate
+        return rate
+
+    def fast_path_choices(
+        self, src: str, dst: str
+    ) -> tuple[tuple[Ring, tuple, frozenset, int], ...]:
+        """The arbitration candidates for a path, in the exact order
+        :meth:`_try_grant` tries them: ``(ring, spans, span set, hop
+        latency cycles)`` per (direction, ring) pair.  Memoised — the
+        candidates are pure topology, only ring *occupancy* changes
+        over time, and grant checks probe that occupancy inline."""
+        key = (src, dst)
+        choices = self._fast_choices.get(key)
+        if choices is None:
+            built = []
+            for direction in self.topology.directions_by_distance(src, dst):
+                spans = self.topology.path(src, dst, direction)
+                if len(spans) > self.config.eib.max_hops:
+                    continue
+                span_set = self._span_set(src, dst, direction)
+                latency = len(spans) * HOP_LATENCY_CYCLES
+                for ring in self.rings:
+                    if ring.direction == direction:
+                        built.append((ring, spans, span_set, latency))
+            choices = tuple(built)
+            self._fast_choices[key] = choices
+        return choices
+
+    def fast_chunks(self, src: str, dst: str, nbytes: int) -> tuple[int, ...]:
+        """The grant-quantum chunk schedule of :meth:`transfer` as a
+        memoised tuple of per-chunk hold cycles (arbitration + data) —
+        the per-chunk ``min``/``ceil`` arithmetic is invariant per
+        (path, size), every chunk pays the same fixed arbitration cost,
+        and the chunk byte counts are not needed downstream (movers
+        account bytes from their own ``nbytes``), so only the cycle
+        totals are kept."""
+        key = (src, dst, nbytes)
+        plan = self._chunk_plans.get(key)
+        if plan is None:
+            rate = self.fast_rate(src, dst)
+            quantum = self.config.eib.grant_quantum_bytes
+            arbitration = self.config.eib.arbitration_cycles
+            built = []
+            remaining = nbytes
+            while remaining > 0:
+                chunk = min(remaining, quantum)
+                built.append(arbitration + math.ceil(chunk / rate))
+                remaining -= chunk
+            plan = tuple(built)
+            self._chunk_plans[key] = plan
+        return plan
 
     def utilization(self) -> dict[str, float]:
         """Busy fraction of each ring over the run so far."""
@@ -204,19 +277,19 @@ class Eib:
         return cached
 
     def _try_grant(self, src: str, dst: str) -> TransferGrant | None:
-        """Find a free path; does NOT commit resources."""
+        """Find a free path; does NOT commit resources.  Candidates come
+        from the memoised table (same order this method historically
+        built inline); only the occupancy probe runs per call."""
         if self._out_busy[src] or self._in_busy[dst]:
             return None
-        for direction in self.topology.directions_by_distance(src, dst):
-            spans = self.topology.path(src, dst, direction)
-            if len(spans) > self.config.eib.max_hops:
-                continue
-            span_set = self._span_set(src, dst, direction)
-            for ring in self.rings:
-                if ring.direction == direction and ring.can_accept(span_set):
-                    return TransferGrant(
-                        ring=ring, spans=spans, span_set=span_set, src=src, dst=dst
-                    )
+        for ring, spans, span_set, _latency in self.fast_path_choices(src, dst):
+            if (
+                len(ring._active) < ring.max_transfers
+                and ring._occupied.isdisjoint(span_set)
+            ):
+                return TransferGrant(
+                    ring=ring, spans=spans, span_set=span_set, src=src, dst=dst
+                )
         return None
 
     def _commit(self, grant: TransferGrant, immediate: bool) -> None:
@@ -260,17 +333,42 @@ class Eib:
 
         Grants are committed here, before the waiting processes resume,
         so two releases in the same cycle cannot double-book a path."""
+        waiters = self._waiters
+        if not waiters:
+            return
+        out_busy = self._out_busy
+        in_busy = self._in_busy
         still_waiting: deque[tuple[Event, str, str]] = deque()
-        granted: list[tuple[Event, TransferGrant]] = []
-        while self._waiters:
-            event, src, dst = self._waiters.popleft()
-            grant = self._try_grant(src, dst)
-            if grant is None:
-                still_waiting.append((event, src, dst))
+        granted: list[tuple[Event, TransferGrant]] | None = None
+        while waiters:
+            waiter = waiters.popleft()
+            _event, src, dst = waiter
+            # The busy-port probe of _try_grant, open-coded: most queued
+            # flows fail right here (each commit below busies a port
+            # pair), and the probe is two dict hits.
+            if out_busy[src] or in_busy[dst]:
+                still_waiting.append(waiter)
+                continue
+            for ring, spans, span_set, _latency in self.fast_path_choices(
+                src, dst
+            ):
+                if (
+                    len(ring._active) < ring.max_transfers
+                    and ring._occupied.isdisjoint(span_set)
+                ):
+                    grant = TransferGrant(
+                        ring=ring, spans=spans, span_set=span_set, src=src, dst=dst
+                    )
+                    self._commit(grant, immediate=False)
+                    if granted is None:
+                        granted = []
+                    granted.append((waiter[0], grant))
+                    break
             else:
-                self._commit(grant, immediate=False)
-                granted.append((event, grant))
+                still_waiting.append(waiter)
         self._waiters = still_waiting
+        if granted is None:
+            return
         for event, grant in granted:
             if not self._memory_side(grant):
                 grant.penalty_cycles = (

@@ -27,10 +27,14 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappush
+from itertools import islice
+from typing import Any
 
 from repro.cell.config import CellConfig
 from repro.cell.errors import ConfigError
 from repro.sim import BusyMonitor, Environment, Event, ProgressGuard
+from repro.sim.core import Completion
 from repro.sim.trace import BankActivate, BankTurnaround
 
 #: Direction labels for bank accounting.
@@ -45,7 +49,8 @@ class MemoryRequest:
     requester: str
     nbytes: int
     direction: str
-    done: Event = field(repr=False, default=None)
+    # Reference engine: an Event; fast engine: the waiting actor.
+    done: Completion | None = field(repr=False, default=None)
 
     def __post_init__(self):
         if self.direction not in (READ, WRITE):
@@ -72,7 +77,7 @@ class MemoryBank:
         self.node = node
         self.peak = peak_bytes_per_cpu_cycle
         self.config = config
-        self._pending: deque[MemoryRequest] = deque()
+        self._pending: deque[Any] = deque()
         self._wakeup: Event | None = None
         self._recent: deque[str] = deque(maxlen=config.memory.requester_window)
         self._prev_requester: str | None = None
@@ -83,13 +88,35 @@ class MemoryBank:
         self.monitor = BusyMonitor(env, name)
         self._faults = env.faults
         self._faulting = env.faults.enabled
-        # The server legitimately waits forever between requests, so it
-        # is a daemon process (exempt from the deadlock check), and its
-        # unbounded loop is watched by a no-progress guard.
-        env.process(self._serve(), daemon=True)
+        # Service-plan memos: the ceil/round arithmetic of _plan_service
+        # depends only on (nbytes, duplex), the transfer length, and the
+        # requester spread — all small key spaces in a streaming run.
+        self._transfer_memo: dict[tuple[int, bool], int] = {}
+        self._turnaround_memo: dict[int, int] = {}
+        self._switch_memo: dict[tuple[int, int], int] = {}
+        self._sched_window = config.memory.scheduler_window
+        if env.coalescing:
+            # The coalescing engine drives the bank as a flat actor
+            # (submit_fast / _fast_start / _fast_complete) instead of a
+            # server generator: same pick, same plan, same heap slots.
+            # _run_callbacks holds the current continuation directly
+            # (same dispatch convention as FastActor).
+            self._fast_current: Any = None
+            self._idle = True
+            self._run_callbacks = self._fast_start
+        else:
+            # The server legitimately waits forever between requests, so
+            # it is a daemon process (exempt from the deadlock check),
+            # and its unbounded loop is watched by a no-progress guard.
+            env.process(self._serve(), daemon=True)
 
     def submit(self, request: MemoryRequest) -> Event:
         """Queue a command; the returned event fires when the bank is done."""
+        if self.env.coalescing:
+            raise ConfigError(
+                f"bank {self.name} has no server process under the "
+                "coalescing engine; use submit_fast"
+            )
         if request.done is not None:
             raise ConfigError("memory request submitted twice")
         request.done = self.env.event()
@@ -98,35 +125,176 @@ class MemoryBank:
             self._wakeup.succeed()
         return request.done
 
-    def _pick(self) -> MemoryRequest:
+    # -- coalescing-engine service path ---------------------------------------
+    #
+    # The fast engine puts the bank itself on the heap: one slot to wake
+    # an idle bank (where the reference engine pops the wakeup relay and
+    # picks), one slot per service interval (where it pops the service
+    # timeout).  Picking, planning and completion bookkeeping are the
+    # *same methods* the generator uses, so the two paths cannot drift.
+
+    def submit_fast(self, request: Any) -> None:
+        """Queue a command whose ``done`` is a fast-engine waiter.
+
+        ``request`` is anything MemoryRequest-shaped — requester,
+        nbytes, direction, done.  The fast movers submit themselves
+        (they carry those attributes), which skips a per-command
+        request allocation."""
+        if self._idle:
+            self._idle = False
+            # The idle bank's wakeup relay; run it inline when nothing
+            # else shares the tick (then no other submitter can slip a
+            # request in front of this pick — the proven-exact
+            # zero-delay coalescing of repro.sim.engine_fast).
+            env = self.env
+            queue = env._queue
+            if queue and queue[0][0] == env.now:
+                self._pending.append(request)
+                # _run_callbacks is _fast_start whenever the bank idles.
+                env._sequence = sequence = env._sequence + 1
+                heappush(queue, (env.now, sequence, self))
+            else:
+                # Idle bank, empty queue: this request is the only
+                # candidate — exactly what _pick would pop.
+                transfer, overhead, _reason = self._plan_service(request)
+                self._fast_current = request
+                self._run_callbacks = self._fast_complete
+                env._sequence = sequence = env._sequence + 1
+                heappush(
+                    queue, (env.now + transfer + overhead, sequence, self)
+                )
+        else:
+            self._pending.append(request)
+
+    def _fast_start(self) -> None:
+        request = self._pick()
+        transfer, overhead, _reason = self._plan_service(request)
+        self._fast_current = request
+        self._run_callbacks = self._fast_complete
+        # Occupancy monitors are a reference-engine observability
+        # feature; the fast engine skips them (documented in MODEL.md).
+        env = self.env
+        env._sequence = sequence = env._sequence + 1
+        heappush(env._queue, (env.now + transfer + overhead, sequence, self))
+
+    def _fast_complete(self) -> None:
+        request = self._fast_current
+        self._fast_current = None
+        # _finish_service, inlined (the same four assignments).
+        self._prev_requester = request.requester
+        self._prev_direction = request.direction
+        self.bytes_served += request.nbytes
+        self.commands_served += 1
+        env = self.env
+        queue = env._queue
+        if queue and queue[0][0] == env.now:
+            request.done.succeed()
+            if self._pending:
+                self._fast_start()
+            else:
+                self._idle = True
+                self._run_callbacks = self._fast_start
+        else:
+            # Completion relay run inline: push the next service
+            # interval first — its sequence number precedes every push
+            # the woken requester makes, exactly as in the reference
+            # server — then run the requester's continuation directly.
+            if self._pending:
+                self._fast_start()
+            else:
+                self._idle = True
+                self._run_callbacks = self._fast_start
+            done: Any = request.done
+            done._run_callbacks()
+
+    def _pick(self) -> Any:
         """Command reordering: within the scheduler window, prefer a
         different requester (hides the same-requester turnaround) and,
         second, the opposite direction (duplex overlap) — what a real
         memory controller's command queue does."""
-        window = min(len(self._pending), self.config.memory.scheduler_window)
-
-        def score(request: MemoryRequest) -> int:
-            penalty = 0
-            if request.requester == self._prev_requester:
-                penalty += 2
-            if request.direction == self._prev_direction:
-                penalty += 1
-            return penalty
-
+        pending = self._pending
+        if len(pending) == 1:
+            return pending.popleft()
+        window = min(len(pending), self._sched_window)
+        prev_requester = self._prev_requester
+        prev_direction = self._prev_direction
         best_index = 0
-        best_score = None
-        for index in range(window):
-            current = score(self._pending[index])
-            if best_score is None or current < best_score:
-                best_index, best_score = index, current
-                if current == 0:
+        best_score = 4
+        # islice, not pending[index]: indexing a deque is O(index).
+        for index, request in enumerate(islice(pending, window)):
+            score = 0
+            if request.requester == prev_requester:
+                score += 2
+            if request.direction == prev_direction:
+                score += 1
+            if score < best_score:
+                best_index, best_score = index, score
+                if score == 0:
                     break
-        chosen = self._pending[best_index]
-        del self._pending[best_index]
+        chosen = pending[best_index]
+        del pending[best_index]
         return chosen
 
+    def _plan_service(self, request: Any) -> tuple[int, int, str | None]:
+        """(service cycles, overhead cycles, turnaround reason) for the
+        next command, advancing the recency window and fault state.
+        Shared verbatim by the server generator and the fast path."""
+        self._recent.append(request.requester)
+        duplex = bool(self._prev_direction) and request.direction != self._prev_direction
+        tkey = (request.nbytes, duplex)
+        cached = self._transfer_memo.get(tkey)
+        if cached is None:
+            memcfg = self.config.memory
+            transfer = math.ceil(request.nbytes / self.peak)
+            if duplex:
+                # Read/write alternation overlaps part of the service.
+                transfer = math.ceil(transfer * (1.0 - memcfg.duplex_overlap_fraction))
+            self._transfer_memo[tkey] = transfer
+        else:
+            transfer = cached
+        overhead = 0
+        turnaround_reason = None
+        if request.requester == self._prev_requester:
+            cached = self._turnaround_memo.get(transfer)
+            if cached is None:
+                cached = round(
+                    self.config.memory.same_requester_turnaround_fraction * transfer
+                )
+                self._turnaround_memo[transfer] = cached
+            overhead = cached
+            turnaround_reason = "same-requester"
+        elif self._prev_requester is not None:
+            spread = len(set(self._recent))
+            skey = (transfer, spread)
+            cached = self._switch_memo.get(skey)
+            if cached is None:
+                memcfg = self.config.memory
+                fraction = memcfg.requester_switch_fraction * (
+                    1.0
+                    + memcfg.requester_spread_factor
+                    * max(0, spread - memcfg.requester_spread_threshold)
+                )
+                cached = round(fraction * transfer)
+                self._switch_memo[skey] = cached
+            overhead = cached
+            turnaround_reason = "switch"
+        if self._faulting:
+            # ECC scrub-and-retry: the command's data was corrupt
+            # on first read and the bank re-serves it after a spike.
+            retry = self._faults.bank_retry_cycles(self.name)
+            if retry:
+                overhead += retry
+                self.fault_cycles += retry
+        return transfer, overhead, turnaround_reason
+
+    def _finish_service(self, request: Any) -> None:
+        """Post-service bookkeeping, shared by both engines."""
+        self._prev_requester = request.requester
+        self._prev_direction = request.direction
+        self.bytes_served += request.nbytes
+        self.commands_served += 1
+
     def _serve(self):
-        memcfg = self.config.memory
         trace = self.env.trace
         tracing = trace.enabled
         guard = ProgressGuard(self.env, f"bank {self.name}")
@@ -137,32 +305,7 @@ class MemoryBank:
                 yield self._wakeup
                 self._wakeup = None
             request = self._pick()
-            self._recent.append(request.requester)
-            transfer = math.ceil(request.nbytes / self.peak)
-            if request.direction != self._prev_direction and self._prev_direction:
-                # Read/write alternation overlaps part of the service.
-                transfer = math.ceil(transfer * (1.0 - memcfg.duplex_overlap_fraction))
-            overhead = 0
-            turnaround_reason = None
-            if request.requester == self._prev_requester:
-                overhead = round(memcfg.same_requester_turnaround_fraction * transfer)
-                turnaround_reason = "same-requester"
-            elif self._prev_requester is not None:
-                spread = len(set(self._recent))
-                fraction = memcfg.requester_switch_fraction * (
-                    1.0
-                    + memcfg.requester_spread_factor
-                    * max(0, spread - memcfg.requester_spread_threshold)
-                )
-                overhead = round(fraction * transfer)
-                turnaround_reason = "switch"
-            if self._faulting:
-                # ECC scrub-and-retry: the command's data was corrupt
-                # on first read and the bank re-serves it after a spike.
-                retry = self._faults.bank_retry_cycles(self.name)
-                if retry:
-                    overhead += retry
-                    self.fault_cycles += retry
+            transfer, overhead, turnaround_reason = self._plan_service(request)
             if tracing:
                 trace.emit(
                     BankActivate(
@@ -188,10 +331,7 @@ class MemoryBank:
             self.monitor.acquire()
             yield self.env.timeout(transfer + overhead)
             self.monitor.release()
-            self._prev_requester = request.requester
-            self._prev_direction = request.direction
-            self.bytes_served += request.nbytes
-            self.commands_served += 1
+            self._finish_service(request)
             request.done.succeed()
 
     @property
@@ -222,6 +362,7 @@ class MemorySystem:
         # Weighted round-robin (Bresenham) state per requester, standing
         # in for which 64 KB page of its buffer a command touches.
         self._placement_accumulator: dict[str, float] = {}
+        self._placement_fraction = config.memory.local_placement_fraction
 
     @property
     def banks(self) -> tuple["MemoryBank", "MemoryBank"]:
@@ -229,7 +370,7 @@ class MemorySystem:
 
     def assign_bank(self, requester: str) -> MemoryBank:
         """Bank holding the page the requester's next command touches."""
-        fraction = self.config.memory.local_placement_fraction
+        fraction = self._placement_fraction
         # Start so the first page lands locally (Linux first-touch).
         acc = self._placement_accumulator.get(requester, 1.0 - fraction) + fraction
         if acc >= 1.0 - 1e-12:

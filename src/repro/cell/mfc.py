@@ -23,7 +23,10 @@ that lives in the SPU program (:mod:`repro.libspe`).
 from __future__ import annotations
 
 import math
+from collections import deque
+from heapq import heappush
 from collections.abc import Generator, Iterable
+from typing import Any
 
 from repro.cell.dma import (
     DmaCommand,
@@ -31,10 +34,53 @@ from repro.cell.dma import (
     DmaList,
     EFFICIENT_MIN_BYTES,
     TargetKind,
+    coalesce_bursts,
+    uniform_bursts,
 )
+from repro.cell.eib import HOP_LATENCY_CYCLES
 from repro.cell.errors import CellError
+from repro.cell.memory import READ, WRITE
 from repro.sim import AllOf, Environment, Event, Resource
+from repro.sim.core import Completion
+from repro.sim.engine_fast import FastActor
 from repro.sim.trace import MfcComplete, MfcEnqueue, MfcIssue
+
+
+class _FastSlots:
+    """MFC queue-slot accounting for the coalescing engine.
+
+    The reference engine's :class:`~repro.sim.resources.Resource` makes
+    a slot grant cost two heap slots (the request's succeed plus the
+    resume relay); those are an adjacent same-time pair, so the fast
+    path merges them into the single ``_after(0, ...)`` hop its caller
+    schedules.  A queue-full wait costs one slot at release in both
+    engines: :meth:`release` wakes the oldest waiter directly.
+    """
+
+    __slots__ = ("capacity", "count", "queue")
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.count = 0
+        self.queue: deque[Completion] = deque()
+
+    def acquire(self) -> bool:
+        """Claim a slot now if one is free."""
+        if self.count < self.capacity:
+            self.count += 1
+            return True
+        return False
+
+    def wait(self, waiter: Completion) -> None:
+        self.queue.append(waiter)
+
+    def release(self, request=None) -> None:
+        """Free a slot, handing it straight to the oldest waiter —
+        signature-compatible with Resource.release for Mfc._finish."""
+        if self.queue:
+            self.queue.popleft().succeed()
+        else:
+            self.count -= 1
 
 
 class Mfc:
@@ -49,7 +95,8 @@ class Mfc:
         # The PPE-visible proxy command queue is shallower (8 entries).
         self._proxy_slots = Resource(env, capacity=8)
         self._outstanding: dict[int, int] = {tag: 0 for tag in range(32)}
-        self._tag_waiters: list[tuple[Event, tuple[int, ...]]] = []
+        # Reference waiters are Events; fast-engine waiters are actors.
+        self._tag_waiters: list[tuple[Completion, tuple[int, ...]]] = []
         # Ordering state for fenced/barriered commands.
         self._tag_enqueued: dict[int, int] = {tag: 0 for tag in range(32)}
         self._tag_completed: dict[int, int] = {tag: 0 for tag in range(32)}
@@ -77,6 +124,30 @@ class Mfc:
         # the SPU program to re-drive them.
         self._parked: dict[int, list[Event]] = {}
         self.commands_redriven = 0
+        if env.coalescing:
+            # Fast-engine state: slot accounting plus the config scalars
+            # the per-chunk hot path reads (attribute chains through the
+            # config dataclasses are measurable at millions of chunks).
+            self._fast_slots: _FastSlots | None = _FastSlots(
+                self.config.mfc.queue_depth
+            )
+            self._fast_quantum = self.config.eib.grant_quantum_bytes
+            self._fast_arbitration = self.config.eib.arbitration_cycles
+            self._fast_completion = self.config.mfc.completion_cycles
+            self._fast_elem_cycles = self.config.mfc.list_element_cycles
+            self._fast_small_penalty = self.config.mfc.small_transfer_penalty_cycles
+            self._fast_mem_rate = self.config.mfc.memory_path_bytes_per_cpu_cycle
+            self._fast_inflight_limit = self.config.mfc.list_inflight_limit
+            # Direct bus/memory handles (built before the SPEs) and the
+            # memoised memory-path occupancy per transfer size.
+            self._fast_eib = chip.eib
+            self._fast_memory = chip.memory
+            self._fast_mem_cycles: dict[int, int] = {}
+            # (src, dst, nbytes) -> (chunk plan, path choices): one
+            # lookup per EIB leg instead of two into the Eib memos.
+            self._fast_legs: dict[tuple[str, str, int], tuple] = {}
+        else:
+            self._fast_slots = None
 
     # -- SPU-facing API ----------------------------------------------------------
 
@@ -203,7 +274,59 @@ class Mfc:
 
     @property
     def queue_free_slots(self) -> int:
+        if self._fast_slots is not None:
+            return self.config.mfc.queue_depth - self._fast_slots.count
         return self.config.mfc.queue_depth - self._slots.count
+
+    # -- coalescing-engine API ---------------------------------------------------
+    #
+    # The fast twins of enqueue/tag_group_quiet.  The waiter is always a
+    # FastActor; model decisions and bookkeeping go through the same
+    # methods the reference path uses (_register_enqueue, _finish, the
+    # tag-waiter lists), so the two engines share one timing model.
+
+    def fast_claim_slot(self, waiter: Completion) -> bool:
+        """Claim a queue slot now (True) or join the slot queue (False);
+        a queued waiter is resumed by the next completion's release."""
+        if self._fast_slots.acquire():
+            return True
+        self._fast_slots.wait(waiter)
+        return False
+
+    def fast_spawn(
+        self,
+        direction: DmaDirection,
+        target: TargetKind,
+        remote_node: str | None,
+        size: int,
+        tag: int,
+        n_elements: int | None = None,
+    ) -> None:
+        """Start the flat executor for a claimed slot: the second half of
+        :meth:`enqueue`.  The caller has already validated the transfer
+        shape (the machines carry only what :meth:`_finish` reads)."""
+        machine: FastDmaCommand | FastDmaList
+        if n_elements is None:
+            machine = FastDmaCommand(
+                self.env, self, direction, target, remote_node, size, tag
+            )
+        else:
+            machine = FastDmaList(
+                self.env, self, direction, target, remote_node, size, n_elements, tag
+            )
+        self._register_enqueue(machine)
+
+    def fast_tags_quiet(self, tags: Iterable[int], waiter: Completion) -> bool:
+        """True when every listed tag group is already empty, else park
+        the waiter on the shared tag-waiter list (woken by _finish)."""
+        tags = tuple(tags)
+        for tag in tags:
+            if tag not in self._outstanding:
+                raise CellError(f"unknown tag group {tag}")
+        if all(self._outstanding[tag] == 0 for tag in tags):
+            return True
+        self._tag_waiters.append((waiter, tags))
+        return False
 
     # -- ordering (fence / barrier) ------------------------------------------------
 
@@ -353,19 +476,10 @@ class Mfc:
     def _list_bursts(self, elements) -> list[tuple[int, int]]:
         """Coalesce consecutive list elements into (count, bytes) bursts
         of at most one EIB grant quantum each."""
-        quantum = self.config.eib.grant_quantum_bytes
-        bursts: list[tuple[int, int]] = []
-        count = 0
-        nbytes = 0
-        for element in elements:
-            if count and nbytes + element.size > quantum:
-                bursts.append((count, nbytes))
-                count, nbytes = 0, 0
-            count += 1
-            nbytes += element.size
-        if count:
-            bursts.append((count, nbytes))
-        return bursts
+        return coalesce_bursts(
+            (element.size for element in elements),
+            self.config.eib.grant_quantum_bytes,
+        )
 
     def _list_burst(
         self,
@@ -435,7 +549,45 @@ class Mfc:
         self._wake_tag_waiters()
         self._wake_order_waiters()
 
+    def _finish_fast(self, command) -> None:
+        """:meth:`_finish` for the coalescing engine, with the slot
+        hand-off relay run inline when provably safe.
+
+        The reference releases the queue slot first, but the release
+        only *pushes* the woken kernel's relay — nothing in the rest of
+        ``_finish`` reads or writes slot state, so moving the hand-off
+        to the tail is exact.  There, when nothing else shares the tick,
+        the woken kernel runs inline: it still precedes any tag-waiter
+        wakes this finish pushed (the reference relay carries a smaller
+        sequence number than those wakes), and every push it makes lands
+        after theirs, exactly as when it is popped off the heap.  The
+        sanitizer branch of ``_finish`` is dropped: the fast engine
+        never runs with an observer attached (resolve_engine).
+        """
+        slots = self._fast_slots
+        env = self.env
+        queue = env._queue
+        if slots.queue and not (queue and queue[0][0] == env.now):
+            tag = command.tag
+            outstanding = self._outstanding
+            outstanding[tag] -= 1
+            if outstanding[tag] < 0:
+                raise CellError(f"tag group {tag} under-run")
+            self._tag_completed[tag] += 1
+            self._total_completed += 1
+            self.commands_completed += 1
+            if self._tag_waiters:
+                self._wake_tag_waiters()
+            if self._order_waiters:
+                self._wake_order_waiters()
+            waiter: Any = slots.queue.popleft()
+            waiter._run_callbacks()
+        else:
+            self._finish(command, None, slots)
+
     def _wake_tag_waiters(self) -> None:
+        if not self._tag_waiters:
+            return
         still_waiting = []
         for event, tags in self._tag_waiters:
             if all(self._outstanding[tag] == 0 for tag in tags):
@@ -445,6 +597,8 @@ class Mfc:
         self._tag_waiters = still_waiting
 
     def _wake_order_waiters(self) -> None:
+        if not self._order_waiters:
+            return
         still_waiting = []
         for event, tag, threshold in self._order_waiters:
             if self._ordering_satisfied(tag, threshold):
@@ -452,3 +606,393 @@ class Mfc:
             else:
                 still_waiting.append((event, tag, threshold))
         self._order_waiters = still_waiting
+
+
+# -- coalescing-engine command machines ------------------------------------------
+#
+# Flat-actor twins of _execute_command / _execute_list / _move /
+# Eib.transfer.  Each state method corresponds to one resume point of the
+# reference generators; every _after/_park/succeed below occupies exactly
+# the heap slot its generator counterpart occupied (modulo the three
+# proven-exact coalescings documented in repro.sim.engine_fast).  The
+# machines never see fences, barriers, faults, tracing or the sanitizer:
+# the fast kernels issue none of the former, and resolve_engine falls
+# back to the reference engine when any observer is attached.
+
+
+class _FastMover(FastActor):
+    """The data-movement states shared by commands and list bursts:
+    Mfc._move (small-transfer penalty, memory-path pacing, bank service)
+    fused with Eib.transfer's chunk/arbitrate/hold loop.
+
+    The EIB leg runs off two per-path memos (`Eib.fast_path_choices`,
+    `Eib.fast_chunks`) that tabulate exactly what `_try_grant` and the
+    chunk loop would compute, and inlines commit/release (ring occupancy,
+    port flags, ring monitor) without the trace branches — the grant
+    *decisions* and their order are byte-identical to the reference."""
+
+    __slots__ = (
+        "mfc",
+        "_mv_direction",
+        "_mv_target",
+        "_mv_remote",
+        "_mv_after",
+        "_mv_bank",
+        # MemoryRequest-shaped attributes: the mover submits *itself* to
+        # MemoryBank.submit_fast, so no per-command request allocation.
+        # `direction` here is the bank direction (READ/WRITE string), set
+        # just before each submit; the DMA direction is `_mv_direction`.
+        "nbytes",
+        "requester",
+        "direction",
+        "done",
+        "_eib_src",
+        "_eib_dst",
+        "_eib_after",
+        "_eib_plan",
+        "_eib_choices",
+        "_eib_i",
+        "_eib_ring",
+        "_eib_span_set",
+        "_eib_wait_started",
+    )
+
+    # -- Mfc._move ---------------------------------------------------------------
+
+    def _move_begin(self) -> None:
+        if self.nbytes < EFFICIENT_MIN_BYTES:
+            self._after(self.mfc._fast_small_penalty, self._mv_paced)
+        else:
+            self._mv_paced()
+
+    def _mv_paced(self) -> None:
+        mfc = self.mfc
+        if self._mv_target is TargetKind.MAIN_MEMORY:
+            nbytes = self.nbytes
+            cycles = mfc._fast_mem_cycles.get(nbytes)
+            if cycles is None:
+                cycles = math.ceil(nbytes / mfc._fast_mem_rate)
+                mfc._fast_mem_cycles[nbytes] = cycles
+            now = self.env.now
+            free = mfc._memory_path_free_at
+            start = now if now > free else free
+            mfc._memory_path_free_at = start + cycles
+            if start > now:
+                self._after(start - now, self._mv_route)
+            else:
+                self._mv_route()
+        else:
+            if self._mv_remote == mfc.node:
+                raise CellError("LS-to-LS DMA with itself")
+            if self._mv_direction is DmaDirection.GET:
+                self._eib_begin(self._mv_remote, mfc.node, self._mv_done)
+            else:
+                self._eib_begin(mfc.node, self._mv_remote, self._mv_done)
+
+    def _mv_route(self) -> None:
+        mfc = self.mfc
+        bank = mfc._fast_memory.assign_bank(mfc.node)
+        self._mv_bank = bank
+        if self._mv_direction is DmaDirection.GET:
+            self.direction = READ
+            self._park(self._mv_read_done)
+            bank.submit_fast(self)
+        else:
+            self._eib_begin(mfc.node, bank.node, self._mv_put_bank)
+
+    def _mv_read_done(self) -> None:
+        self._eib_begin(self._mv_bank.node, self.mfc.node, self._mv_done)
+
+    def _mv_put_bank(self) -> None:
+        self.direction = WRITE
+        self._park(self._mv_done)
+        self._mv_bank.submit_fast(self)
+
+    def _mv_done(self) -> None:
+        self.mfc.bytes_transferred += self.nbytes
+        self._mv_after()
+
+    # -- Eib.transfer ------------------------------------------------------------
+
+    def _eib_begin(self, src: str, dst: str, after) -> None:
+        self._eib_src = src
+        self._eib_dst = dst
+        self._eib_after = after
+        mfc = self.mfc
+        key = (src, dst, self.nbytes)
+        leg = mfc._fast_legs.get(key)
+        if leg is None:
+            eib = mfc._fast_eib
+            leg = (
+                eib.fast_chunks(src, dst, self.nbytes),
+                eib.fast_path_choices(src, dst),
+            )
+            mfc._fast_legs[key] = leg
+        self._eib_plan, self._eib_choices = leg
+        self._eib_i = 0
+        self._eib_chunk()
+
+    def _eib_chunk(self) -> None:
+        eib = self.mfc._fast_eib
+        src = self._eib_src
+        dst = self._eib_dst
+        eib.grants += 1
+        if not (eib._out_busy[src] or eib._in_busy[dst]):
+            for ring, _spans, span_set, latency in self._eib_choices:
+                if (
+                    len(ring._active) < ring.max_transfers
+                    and ring._occupied.isdisjoint(span_set)
+                ):
+                    # Eib._commit, minus trace and occupancy monitors
+                    # (a reference-engine observability feature).
+                    ring._active.append(span_set)
+                    ring._occupied |= span_set
+                    eib._out_busy[src] = True
+                    eib._in_busy[dst] = True
+                    self._eib_ring = ring
+                    self._eib_span_set = span_set
+                    # Hold the path for hop latency + chunk cycles (the
+                    # chunk cycles include the fixed arbitration cost).
+                    plan = self._eib_plan
+                    i = self._eib_i
+                    hold = latency + plan[i]
+                    env = self.env
+                    queue = env._queue
+                    n = len(plan)
+                    if i + 1 < n and not eib._waiters:
+                        # Whole-leg merge: when no flow is queued and no
+                        # event fires strictly before this leg's last
+                        # chunk would end, the reference's remaining
+                        # boundary pops are pure release/regrant
+                        # round-trips — no contender can arrive (every
+                        # arrival needs a pop, and the next pop is at or
+                        # after the merged end), the ring states other
+                        # than ours are untouched, so each regrant picks
+                        # this same ring and pays this same latency.
+                        # Ties at the merged end still pop before our
+                        # hold-end event in both engines (smaller
+                        # sequence numbers).  Only the grant counter
+                        # needs the skipped chunks added back.
+                        total = hold
+                        for j in range(i + 1, n):
+                            total += latency + plan[j]
+                        if not queue or queue[0][0] >= env.now + total:
+                            eib.grants += n - i - 1
+                            self._eib_i = n - 1
+                            self._run_callbacks = self._eib_chunk_done
+                            env._sequence = sequence = env._sequence + 1
+                            heappush(
+                                queue, (env.now + total, sequence, self)
+                            )
+                            return
+                    self._run_callbacks = self._eib_chunk_done
+                    env._sequence = sequence = env._sequence + 1
+                    heappush(queue, (env.now + hold, sequence, self))
+                    return
+        eib.conflicts += 1
+        eib._waiters.append((self, src, dst))
+        self._eib_wait_started = self.env.now
+        self._park(self._eib_granted)
+
+    def _eib_granted(self) -> None:
+        # Committed for us by Eib._drain_waiters; unpack the grant.
+        eib = self.mfc._fast_eib
+        eib.wait_cycles += self.env.now - self._eib_wait_started
+        grant = self._value
+        self._eib_ring = grant.ring
+        self._eib_span_set = grant.span_set
+        self._after(
+            grant.penalty_cycles
+            + len(grant.spans) * HOP_LATENCY_CYCLES
+            + self._eib_plan[self._eib_i],
+            self._eib_chunk_done,
+        )
+
+    def _eib_chunk_done(self) -> None:
+        eib = self.mfc._fast_eib
+        # Eib._release, minus trace and monitors (active span sets are
+        # pairwise disjoint, so subtraction equals the union rebuild).
+        ring = self._eib_ring
+        span_set = self._eib_span_set
+        ring._active.remove(span_set)
+        ring._occupied -= span_set
+        eib._out_busy[self._eib_src] = False
+        eib._in_busy[self._eib_dst] = False
+        if eib._waiters:
+            eib._drain_waiters()
+        i = self._eib_i + 1
+        if i < len(self._eib_plan):
+            self._eib_i = i
+            self._eib_chunk()
+        else:
+            eib.bytes_moved += self.nbytes
+            self._eib_after()
+
+
+class FastDmaCommand(_FastMover):
+    """Flat twin of _execute_command for a plain (unordered) command.
+
+    Carries ``tag`` because that is all _register_enqueue and _finish
+    read from a command when no sanitizer is attached."""
+
+    __slots__ = ("tag",)
+
+    def __init__(self, env, mfc: Mfc, direction, target, remote_node, nbytes, tag):
+        self.env = env
+        self._value = None
+        self.mfc = mfc
+        self.tag = tag
+        self._mv_direction = direction
+        self._mv_target = target
+        self._mv_remote = remote_node
+        self.nbytes = nbytes
+        self.requester = mfc.node
+        self.done = self
+        # No _mv_after: this class fuses it into its _mv_done override.
+        # The executor's start relay, inlined when nothing else shares
+        # the tick (nothing the move touches is read by the issuing
+        # kernel's remaining same-pop work, and the chain always parks
+        # or schedules ahead before completing).
+        queue = env._queue
+        if queue and queue[0][0] == env.now:
+            self._run_callbacks = self._move_begin
+            env._sequence = sequence = env._sequence + 1
+            heappush(queue, (env.now, sequence, self))
+        else:
+            self._move_begin()
+
+    def _mv_done(self) -> None:
+        # The base _mv_done plus the completion-latency slot, fused.
+        mfc = self.mfc
+        mfc.bytes_transferred += self.nbytes
+        self._run_callbacks = self._complete
+        env = self.env
+        env._sequence = sequence = env._sequence + 1
+        heappush(env._queue, (env.now + mfc._fast_completion, sequence, self))
+
+    def _complete(self) -> None:
+        self.mfc._finish_fast(self)
+
+
+class FastDmaList(FastActor):
+    """Flat twin of _execute_list: fetch-paced burst issue behind the
+    in-flight token window, then drain, then completion."""
+
+    __slots__ = (
+        "mfc",
+        "tag",
+        "direction",
+        "target",
+        "remote_node",
+        "_bursts",
+        "_burst_i",
+        "_cur_nbytes",
+        "_outstanding_bursts",
+        "_inflight",
+        "_token_waiting",
+        "_all_issued",
+    )
+
+    def __init__(
+        self, env, mfc: Mfc, direction, target, remote_node,
+        element_size, n_elements, tag,
+    ):
+        super().__init__(env)
+        self.mfc = mfc
+        self.tag = tag
+        self.direction = direction
+        self.target = target
+        self.remote_node = remote_node
+        self._bursts = uniform_bursts(element_size, n_elements, mfc._fast_quantum)
+        self._burst_i = 0
+        self._outstanding_bursts = 0
+        self._inflight = 0
+        self._token_waiting = False
+        self._all_issued = False
+        # The executor's start relay (see FastDmaCommand).
+        self._hop(self._next_burst)
+
+    def _next_burst(self) -> None:
+        i = self._burst_i
+        if i < len(self._bursts):
+            n, nbytes = self._bursts[i]
+            self._cur_nbytes = nbytes
+            self._after(self.mfc._fast_elem_cycles * n, self._fetched)
+        else:
+            self._all_issued = True
+            if self._outstanding_bursts == 0:
+                # Unreachable in practice (the last burst was spawned in
+                # this very pop, so it is still outstanding) but kept to
+                # mirror the reference's AllOf-over-pending defensively.
+                self._after(0, self._drained)
+            else:
+                self._park(self._drained)
+
+    def _fetched(self) -> None:
+        if self._inflight < self.mfc._fast_inflight_limit:
+            self._inflight += 1
+            self._hop(self._token)
+        else:
+            self._token_waiting = True
+            self._park(self._token)
+
+    def _token(self) -> None:
+        self._outstanding_bursts += 1
+        _FastListBurst(self.env, self, self._cur_nbytes)
+        self._burst_i += 1
+        self._next_burst()
+
+    def _release_token(self) -> None:
+        """Resource.release's fast twin: hand the token straight to this
+        list's parked issue loop, or just decrement."""
+        if self._token_waiting:
+            self._token_waiting = False
+            self.succeed()
+        else:
+            self._inflight -= 1
+
+    def _burst_done(self) -> None:
+        self._outstanding_bursts -= 1
+        if self._all_issued and self._outstanding_bursts == 0:
+            # The AllOf trigger slot of the reference engine.
+            self._hop(self._drained)
+
+    def _drained(self) -> None:
+        self._after(self.mfc._fast_completion, self._complete)
+
+    def _complete(self) -> None:
+        self.mfc._finish_fast(self)
+
+
+class _FastListBurst(_FastMover):
+    """Flat twin of _list_burst: one coalesced span of list elements."""
+
+    __slots__ = ("dma_list",)
+
+    def __init__(self, env, dma_list: FastDmaList, nbytes: int):
+        self.env = env
+        self._value = None
+        self.mfc = dma_list.mfc
+        self.dma_list = dma_list
+        self.nbytes = nbytes
+        self.requester = self.mfc.node
+        self.done = self
+        # The executor's start relay (see FastDmaCommand).
+        self._hop(self._start)
+
+    def _start(self) -> None:
+        dma_list = self.dma_list
+        self._mv_direction = dma_list.direction
+        self._mv_target = dma_list.target
+        self._mv_remote = dma_list.remote_node
+        self._mv_after = self._moved
+        self._move_begin()
+
+    def _moved(self) -> None:
+        # Token release first, then the done-event slot — the reference
+        # burst releases its in-flight token before done.succeed().
+        self.dma_list._release_token()
+        self._hop(self._notify)
+
+    def _notify(self) -> None:
+        self.dma_list._burst_done()

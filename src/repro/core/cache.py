@@ -106,28 +106,56 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
 
-    def get(self, spec) -> BandwidthSample | None:
-        """The cached sample for a spec, or None (a miss)."""
+    @staticmethod
+    def _decode(payload) -> BandwidthSample | None:
+        """A sample from a JSON payload, or None if the entry is mistyped.
+
+        JSON round-trips ``1.0`` and ``"1.0"`` and ``null`` equally
+        happily, and :class:`BandwidthSample`'s own validation only
+        checks *ranges* — a string ``gbps`` would sail through comparisons
+        into :class:`~repro.core.results.BandwidthStats` and poison the
+        reduction.  Exact ``type()`` checks (not ``isinstance``) also
+        reject booleans, which Python would otherwise accept as ints.
+        """
+        if type(payload) is not dict:
+            return None
+        gbps = payload.get("gbps")
+        nbytes = payload.get("nbytes")
+        cycles = payload.get("cycles")
+        seed = payload.get("seed")
+        if type(gbps) not in (int, float):
+            return None
+        if type(nbytes) is not int or type(cycles) is not int or type(seed) is not int:
+            return None
+        return BandwidthSample(gbps=gbps, nbytes=nbytes, cycles=cycles, seed=seed)
+
+    def get(self, spec, key: str | None = None) -> BandwidthSample | None:
+        """The cached sample for a spec, or None (a miss).
+
+        ``key`` lets a caller that already computed :meth:`key` (to pair
+        this lookup with a later :meth:`put`) skip recomputing it.
+        """
+        if key is None:
+            key = self.key(spec)
         try:
-            with open(self._path(self.key(spec))) as handle:
+            with open(self._path(key)) as handle:
                 payload = json.load(handle)
-            sample = BandwidthSample(
-                gbps=payload["gbps"],
-                nbytes=payload["nbytes"],
-                cycles=payload["cycles"],
-                seed=payload["seed"],
-            )
+            sample = self._decode(payload)
+            if sample is None:
+                raise ValueError(f"mistyped cache entry {key}")
         except (OSError, ValueError, KeyError, TypeError):
-            # Missing, corrupt or half-written entries all read as
-            # misses; put() will rewrite them whole.
+            # Missing, corrupt, half-written or mistyped entries all
+            # read as misses; put() will rewrite them whole.
             self.misses += 1
             return None
         self.hits += 1
         return sample
 
-    def put(self, spec, sample: BandwidthSample) -> None:
+    def put(self, spec, sample: BandwidthSample, key: str | None = None) -> None:
         """Store a freshly simulated sample (atomic, last writer wins)."""
-        path = self._path(self.key(spec))
+        if key is None:
+            key = self.key(spec)
+        path = self._path(key)
         os.makedirs(os.path.dirname(path), exist_ok=True)
         payload = {
             "gbps": sample.gbps,

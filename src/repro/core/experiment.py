@@ -27,7 +27,7 @@ from repro.cell.chip import CellChip
 from repro.cell.config import CellConfig
 from repro.cell.errors import ConfigError
 from repro.cell.topology import SpeMapping
-from repro.core.kernels import DmaWorkload, dma_stream_kernel
+from repro.core.kernels import DmaWorkload, FastStreamKernel, dma_stream_kernel
 from repro.core.results import BandwidthSample, BandwidthStats, SweepTable
 from repro.libspe import SpeContext
 
@@ -53,18 +53,23 @@ class RunSpec:
     unrolled: bool = True
 
 
-def run_spec(spec: RunSpec) -> BandwidthSample:
+def run_spec(spec: RunSpec, engine: str = "reference") -> BandwidthSample:
     """Run one repetition on a fresh chip; the module-level entry point
     worker processes import by name.
 
     Workers build their own :class:`~repro.sim.Environment`, so tracing
     and fault injection are never active inside a fanned-out repetition
     (both attach at chip construction, and a spec carries neither).
+
+    ``engine`` picks the execution engine; the returned sample is
+    identical for every engine (the fast engine replays the reference
+    heap schedule — see :mod:`repro.sim.engine_fast`), which is why the
+    result cache keys on the spec alone.
     """
     if not spec.assignments:
         raise ConfigError("no SPE assignments")
     mapping = SpeMapping.random(spec.seed, spec.config.n_spes)
-    chip = CellChip(config=spec.config, mapping=mapping)
+    chip = CellChip(config=spec.config, mapping=mapping, engine=engine)
     outs: list[dict] = []
     for logical, workload in spec.assignments:
         partner = (
@@ -72,9 +77,15 @@ def run_spec(spec: RunSpec) -> BandwidthSample:
             if workload.partner_logical is not None
             else None
         )
-        context = SpeContext(chip, logical, unrolled=spec.unrolled)
         out: dict = {}
-        context.load(dma_stream_kernel, workload, out, partner)
+        if chip.engine == "fast":
+            FastStreamKernel(
+                chip.env, chip.spe(logical), workload, out,
+                partner=partner, unrolled=spec.unrolled,
+            )
+        else:
+            context = SpeContext(chip, logical, unrolled=spec.unrolled)
+            context.load(dma_stream_kernel, workload, out, partner)
         outs.append(out)
     chip.run()
     total_bytes = sum(out["bytes"] for out in outs)

@@ -116,6 +116,14 @@ def parse_args(argv=None) -> argparse.Namespace:
         "core; 1 = serial)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("reference", "fast"),
+        default="reference",
+        help="simulation engine for the sweeps: the per-event reference "
+        "engine or the coalescing fast engine (identical results; runs "
+        "with trace/fault/sanitizer observers always use reference)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="do not read or write the persistent result cache",
@@ -420,7 +428,7 @@ def main(argv=None) -> int:
         print(f"--jobs must be >= 1, got {jobs}")
         return 2
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    executor = SweepExecutor(jobs=jobs, cache=cache)
+    executor = SweepExecutor(jobs=jobs, cache=cache, engine=args.engine)
     try:
         checks = run_all(preset, args.outdir, executor=executor)
     finally:

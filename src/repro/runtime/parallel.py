@@ -35,12 +35,14 @@ collected repetitions.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import os
 from collections.abc import Sequence
 
 from repro.core.experiment import Experiment, ExperimentResult, RunSpec, run_spec
 from repro.core.results import BandwidthSample, BandwidthStats
+from repro.sim.engine_fast import ENGINES
 
 
 def default_jobs() -> int:
@@ -74,16 +76,28 @@ class SweepExecutor:
 
     ``jobs`` is the worker count (``None`` = one per CPU core).
     ``cache`` is an optional :class:`~repro.core.cache.ResultCache`.
+    ``engine`` picks the simulation engine for every repetition this
+    executor runs (``"reference"`` or ``"fast"``); both produce
+    identical samples, so the cache is engine-agnostic.
     The executor owns at most one pool; :meth:`close` (or use as a
     context manager) tears it down.
     """
 
-    def __init__(self, jobs: int | None = None, cache=None):
+    def __init__(self, jobs: int | None = None, cache=None,
+                 engine: str = "reference"):
         jobs = default_jobs() if jobs is None else jobs
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         self.jobs = jobs
         self.cache = cache
+        self.engine = engine
+        # functools.partial keeps the callable picklable for Pool.map.
+        self._run_spec = (
+            run_spec if engine == "reference"
+            else functools.partial(run_spec, engine=engine)
+        )
         self.simulated = 0
         self._pending: list[RunSpec] = []
         self._pool = None
@@ -109,17 +123,24 @@ class SweepExecutor:
     def run(self, experiment: Experiment) -> ExperimentResult:
         """Run an experiment through this executor and resolve every
         deferred cell with one ordered fan-out over the whole sweep."""
-        experiment.executor = self
-        result = experiment.run()
-        if self._pending:
-            samples = self.samples(self._pending)
+        # The pending list must not outlive this call: if run() (or the
+        # resolution fan-out) raises, leftover specs would shift the
+        # start offsets of every DeferredStats a *later* experiment
+        # queues on this executor, resolving its cells against the wrong
+        # slice of samples.
+        try:
+            experiment.executor = self
+            result = experiment.run()
+            if self._pending:
+                samples = self.samples(self._pending)
+                for table in result.tables.values():
+                    for key, cell in table.cells.items():
+                        if isinstance(cell, DeferredStats):
+                            table.cells[key] = BandwidthStats.from_samples(
+                                samples[cell.start:cell.start + cell.count]
+                            )
+        finally:
             self._pending = []
-            for table in result.tables.values():
-                for key, cell in table.cells.items():
-                    if isinstance(cell, DeferredStats):
-                        table.cells[key] = BandwidthStats.from_samples(
-                            samples[cell.start:cell.start + cell.count]
-                        )
         return result
 
     # -- execution -------------------------------------------------------------
@@ -130,11 +151,16 @@ class SweepExecutor:
         cache = self.cache
         out: list[BandwidthSample | None] = [None] * len(specs)
         misses: list[int] = []
+        keys: list[str] = []
         if cache is None:
             misses = list(range(len(specs)))
         else:
+            # Compute each key once and thread it through get *and* the
+            # put after a miss — canonical JSON + SHA-256 over the full
+            # config is not free at cold-sweep scale.
+            keys = [cache.key(spec) for spec in specs]
             for index, spec in enumerate(specs):
-                sample = cache.get(spec)
+                sample = cache.get(spec, key=keys[index])
                 if sample is None:
                     misses.append(index)
                 else:
@@ -142,17 +168,17 @@ class SweepExecutor:
         if misses:
             pool = self._ensure_pool() if self.jobs > 1 else None
             if pool is None:
-                fresh = [run_spec(specs[index]) for index in misses]
+                fresh = [self._run_spec(specs[index]) for index in misses]
             else:
                 chunksize = max(1, len(misses) // (self.jobs * 4))
                 fresh = pool.map(
-                    run_spec, [specs[index] for index in misses], chunksize
+                    self._run_spec, [specs[index] for index in misses], chunksize
                 )
             self.simulated += len(misses)
             for index, sample in zip(misses, fresh, strict=True):
                 out[index] = sample
                 if cache is not None:
-                    cache.put(specs[index], sample)
+                    cache.put(specs[index], sample, key=keys[index])
         return out  # type: ignore[return-value]
 
     def _ensure_pool(self):

@@ -24,6 +24,8 @@ Typical usage::
 from repro.sim.core import (
     AllOf,
     AnyOf,
+    Completion,
+    Engine,
     Environment,
     Event,
     Interrupt,
@@ -32,6 +34,12 @@ from repro.sim.core import (
     SimulationError,
     SimulationStall,
     Timeout,
+)
+from repro.sim.engine_fast import (
+    ENGINES,
+    FastActor,
+    FastEnvironment,
+    resolve_engine,
 )
 from repro.sim.faults import (
     FaultEngine,
@@ -66,12 +74,17 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "BusyMonitor",
+    "Completion",
     "Container",
     "Counter",
     "DmaHazard",
     "DmaSanitizer",
+    "ENGINES",
+    "Engine",
     "Environment",
     "Event",
+    "FastActor",
+    "FastEnvironment",
     "FaultEngine",
     "FaultInjected",
     "FaultReport",
@@ -96,6 +109,7 @@ __all__ = [
     "TraceSummary",
     "parse_fault_spec",
     "read_chrome_trace",
+    "resolve_engine",
     "records_from_chrome",
     "to_chrome_trace",
     "write_chrome_trace",

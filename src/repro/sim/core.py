@@ -23,7 +23,7 @@ docs/MODEL.md):
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Any
+from typing import Any, Protocol, runtime_checkable
 from collections.abc import Callable, Generator, Iterable
 
 from repro.sim.faults import NULL_FAULTS, FaultEngine
@@ -65,6 +65,49 @@ class Interrupt(Exception):
 
 
 _PENDING = object()
+
+
+@runtime_checkable
+class Completion(Protocol):
+    """Anything a model can notify when an awaited occurrence fires.
+
+    The reference engine's waiters are :class:`Event` objects; the
+    coalescing engine's (:mod:`repro.sim.engine_fast`) are flat actor
+    state machines.  Both expose the same ``succeed`` surface, so the
+    hardware models' waiter lists (EIB arbitration queue, MFC tag/order
+    waiters, memory-bank completions) hold either interchangeably.
+    """
+
+    def succeed(self, value: Any = None) -> Any: ...
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """The event-loop surface the hardware models and drivers rely on.
+
+    :class:`Environment` is the reference implementation (one event per
+    occurrence); ``repro.sim.engine_fast.FastEnvironment`` is the
+    coalescing one.  ``engine_name`` identifies the implementation in
+    reports, and ``coalescing`` tells models whether to submit interval
+    descriptions (flat callback actors) instead of generator processes.
+    """
+
+    now: int
+    engine_name: str
+    coalescing: bool
+
+    def schedule(self, item: Any, delay: int = 0) -> None: ...
+
+    def peek(self) -> int | None: ...
+
+    def step(self) -> None: ...
+
+    def run(
+        self,
+        until: Any | None = None,
+        max_events: int | None = None,
+        stall_after: int | None = None,
+    ) -> Any: ...
 
 
 class Event:
@@ -416,6 +459,10 @@ class AnyOf(_Condition):
 class Environment:
     """The event loop.  ``now`` is the current integer simulation time.
 
+    This is the **reference engine** of the :class:`Engine` protocol:
+    one heap slot per occurrence, generator processes, byte-identical
+    ordering — the oracle every other engine is gated against.
+
     ``trace`` is the tracing sink (:mod:`repro.sim.trace`): the shared
     do-nothing :data:`~repro.sim.trace.NULL_TRACE` by default, or a
     :class:`~repro.sim.trace.TraceRecorder` to capture a structured
@@ -424,6 +471,12 @@ class Environment:
     construction time: processes and hardware models cache ``env.trace``
     when they are built, so swapping it mid-run has no effect.
     """
+
+    #: Engine-protocol identity (subclasses override).
+    engine_name = "reference"
+    #: True when models should submit coalescible interval descriptions
+    #: (flat callback actors) instead of generator processes.
+    coalescing = False
 
     def __init__(
         self,
@@ -470,6 +523,14 @@ class Environment:
     def _schedule(self, event: Event, delay: int = 0) -> None:
         self._sequence = sequence = self._sequence + 1
         heappush(self._queue, (self.now + delay, sequence, event))
+
+    def schedule(self, item: Any, delay: int = 0) -> None:
+        """Public scheduling entry of the :class:`Engine` protocol: put
+        any item with a ``_run_callbacks()`` method on the heap at
+        ``now + delay``.  The coalescing engine's actors schedule
+        themselves through this; it is exactly :meth:`_schedule`."""
+        self._sequence = sequence = self._sequence + 1
+        heappush(self._queue, (self.now + delay, sequence, item))
 
     def peek(self) -> int | None:
         """Time of the next scheduled event, or None if the queue is empty."""

@@ -1,0 +1,187 @@
+"""The coalescing fast engine: flat actor state machines on the heap.
+
+The reference engine (:class:`~repro.sim.core.Environment` driving
+generator processes) spends most of a DMA-bound run resuming 4-deep
+``yield from`` chains — kernel → intrinsic → MFC → EIB/bank — one full
+generator resume per heap pop.  Bandwidth-limited streaming loops are
+described exactly by piecewise occupancy intervals (Treibig & Hager),
+so a bulk transfer does not need a generator frame per hop: the fast
+engine replaces each per-command generator pipeline with a flat
+**actor** whose continuation is a plain bound method, re-assigned per
+state transition and dispatched straight off the heap.
+
+Equivalence contract (the reference engine is the byte-identical
+oracle, gated by ``tests/test_engine_fast.py``):
+
+* every actor occupies exactly the heap slots the generator pipeline
+  occupied — same times, same relative order — except for three
+  *proven-exact* coalescings: no-op pops are elided (process
+  terminations, already-granted request events whose pop runs no
+  callbacks), adjacent same-pop push pairs (a pre-granted request's
+  succeed plus the resume relay) merge into one slot, and an actor may
+  run a zero-delay hop inline when nothing else is scheduled at the
+  current time;
+* model *decisions* (bank scheduling, EIB arbitration, pacing) run the
+  reference code itself — the fast paths call ``Eib._try_grant`` /
+  ``_commit`` / ``_release``, ``MemoryBank._pick`` / ``_plan_service``
+  and ``Mfc._finish`` directly, so there is no second copy of the
+  timing model to drift;
+* the fast engine only drives **unobserved** runs: trace, faults,
+  sanitizer and watchdog-style observation need per-event resolution,
+  so :func:`resolve_engine` silently falls back to the reference engine
+  whenever any observer is attached.  ``run_spec`` results are
+  therefore contractually identical across engines, which is why the
+  persistent result cache key does *not* include the engine.
+"""
+
+from __future__ import annotations
+
+from heapq import heappush
+from typing import Any
+from collections.abc import Callable
+
+from repro.sim.core import Environment, SimulationError
+from repro.sim.faults import FaultEngine
+from repro.sim.sanitizer import DmaSanitizer
+from repro.sim.trace import TraceRecorder
+
+#: The engines a driver may request.
+ENGINES = ("reference", "fast")
+
+
+def resolve_engine(
+    engine: str,
+    trace: TraceRecorder | None = None,
+    faults: FaultEngine | None = None,
+    sanitizer: DmaSanitizer | None = None,
+) -> str:
+    """Validate an engine request and apply the observer-fallback rule.
+
+    The fast engine coalesces occurrences that observers need to see
+    one by one, so any attached-and-enabled observer (trace recorder,
+    fault engine, DMA sanitizer) downgrades ``fast`` to ``reference``
+    for the whole run.  Results are identical either way — the fallback
+    only costs speed, never bytes.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if engine == "fast":
+        for observer in (trace, faults, sanitizer):
+            if observer is not None and observer.enabled:
+                return "reference"
+    return engine
+
+
+class FastActor:
+    """Base of every fast-engine state machine.
+
+    ``_run_callbacks`` is an *instance slot* holding the current
+    continuation (a bound method), so a heap pop dispatches straight
+    into model code — no generator resume, no callback list.  The name
+    matches :class:`~repro.sim.core.Event` on purpose: the reference
+    run loop drives actors unchanged.
+    """
+
+    __slots__ = ("env", "_run_callbacks", "_value")
+
+    def __init__(self, env: FastEnvironment):
+        self.env = env
+        self._value: Any = None
+        self._run_callbacks: Callable[[], None] = self._unscheduled
+
+    def _unscheduled(self) -> None:
+        raise SimulationError(f"{type(self).__name__} fired with no continuation")
+
+    def succeed(self, value: Any = None) -> None:
+        """:class:`~repro.sim.core.Completion` surface: deliver a value
+        and schedule the parked continuation at the current time —
+        exactly where the reference engine pushes the waiter's event."""
+        self._value = value
+        env = self.env
+        env._sequence = sequence = env._sequence + 1
+        heappush(env._queue, (env.now, sequence, self))
+
+    # -- scheduling helpers (hot path: heappush inlined) ----------------------
+
+    def _after(self, delay: int, continuation: Callable[[], None]) -> None:
+        """Run ``continuation`` ``delay`` cycles from now (one heap slot).
+
+        A non-zero delay always takes a real heap slot.  (Advancing the
+        clock and inlining the continuation — a "time warp" — is NOT
+        exact even when the slot would be the next pop: the warped chain
+        returns into ancestor frames that then read the mutated ``now``,
+        e.g. a kernel issuing its next command after an inlined DMA
+        ctor.  Only zero-delay hops, which leave ``now`` untouched, may
+        be inlined; see :meth:`_hop`.)
+        """
+        self._run_callbacks = continuation
+        env = self.env
+        env._sequence = sequence = env._sequence + 1
+        heappush(env._queue, (env.now + delay, sequence, self))
+
+    def _park(self, continuation: Callable[[], None]) -> None:
+        """Suspend until some waiter list calls :meth:`succeed`."""
+        self._run_callbacks = continuation
+
+    def _hop(self, continuation: Callable[[], None]) -> None:
+        """A zero-delay hop: occupy one heap slot at the current time.
+
+        When nothing else is scheduled at ``now`` the slot provably
+        cannot interleave with anything, so the continuation runs
+        inline — same observable order, one pop cheaper.
+        """
+        env = self.env
+        queue = env._queue
+        if queue and queue[0][0] == env.now:
+            self._run_callbacks = continuation
+            env._sequence = sequence = env._sequence + 1
+            heappush(queue, (env.now, sequence, self))
+        else:
+            continuation()
+
+
+class FastEnvironment(Environment):
+    """The coalescing engine: the reference event loop, driving actors.
+
+    Everything of :class:`~repro.sim.core.Environment` still works —
+    generator processes, timeouts, resources, the watched and unwatched
+    run loops — because actors are popped and dispatched through the
+    same ``_run_callbacks()`` call.  What changes is what the *models*
+    put on the heap: with ``coalescing`` set, memory banks skip their
+    server generators (:meth:`repro.cell.memory.MemoryBank.submit_fast`)
+    and kernels run as :class:`repro.core.kernels.FastStreamKernel`
+    actors instead of SPU generator programs.
+    """
+
+    engine_name = "fast"
+    coalescing = True
+
+    def __init__(self, *args: Any, **kwargs: Any):
+        super().__init__(*args, **kwargs)
+        for observer in (self.trace, self.faults, self.sanitizer):
+            if observer.enabled:
+                raise SimulationError(
+                    "the fast engine runs unobserved only; resolve_engine() "
+                    "should have fallen back to the reference engine"
+                )
+        # Registered FastStreamKernel-style actors, for the deadlock
+        # diagnostic (actors are not processes, so the base _blocked()
+        # cannot see them).
+        self._fast_kernels: list[Any] = []
+
+    def register_kernel(self, kernel: Any) -> None:
+        """Track a top-level actor with a ``finished`` flag and ``name``."""
+        self._fast_kernels.append(kernel)
+
+    def _blocked(self) -> list:
+        blocked = super()._blocked()
+        for index, kernel in enumerate(self._fast_kernels):
+            if not getattr(kernel, "finished", True):
+                blocked.append(
+                    (
+                        -(index + 1),
+                        getattr(kernel, "name", type(kernel).__name__),
+                        "fast-engine actor still running",
+                    )
+                )
+        return blocked

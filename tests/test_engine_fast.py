@@ -1,0 +1,153 @@
+"""Gates for the coalescing fast engine (:mod:`repro.sim.engine_fast`).
+
+The contract under test: for any spec, ``run_spec(spec, engine="fast")``
+returns the *same bytes* as the reference engine — same gbps, nbytes,
+cycles, seed — because the fast engine replays the reference heap
+schedule minus provably-inert slots.  The reference engine is the
+oracle; every mismatch here is a fast-engine bug by definition.
+"""
+
+import pytest
+
+from repro.cell.chip import CellChip
+from repro.cell.config import CellConfig
+from repro.cell.dma import coalesce_bursts, uniform_bursts
+from repro.core.experiment import RunSpec, run_spec
+from repro.core.kernels import DmaWorkload
+from repro.runtime.parallel import SweepExecutor
+from repro.sim.core import SimulationError
+from repro.sim.engine_fast import ENGINES, FastEnvironment, resolve_engine
+from repro.sim.faults import FaultEngine
+from repro.sim.sanitizer import DmaSanitizer
+from repro.sim.trace import TraceRecorder
+
+
+def spec_for(
+    direction,
+    mode="elem",
+    n_spes=2,
+    element_bytes=16384,
+    n_elements=24,
+    sync_every=None,
+    unrolled=True,
+    partner_logical=None,
+    seed=1000,
+):
+    workload = DmaWorkload(
+        direction=direction,
+        element_bytes=element_bytes,
+        n_elements=n_elements,
+        mode=mode,
+        sync_every=sync_every,
+        partner_logical=partner_logical,
+    )
+    return RunSpec(
+        config=CellConfig.paper_blade(),
+        seed=seed,
+        assignments=tuple((logical, workload) for logical in range(n_spes)),
+        unrolled=unrolled,
+    )
+
+
+class TestResolveEngine:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine must be one of"):
+            resolve_engine("turbo")
+
+    def test_reference_passes_through(self):
+        assert resolve_engine("reference") == "reference"
+
+    def test_fast_without_observers_stays_fast(self):
+        assert resolve_engine("fast") == "fast"
+
+    def test_enabled_observer_downgrades_to_reference(self):
+        # A freshly constructed recorder/engine/sanitizer is enabled
+        # (the shared NULL_* singletons are the disabled ones).
+        assert resolve_engine("fast", trace=TraceRecorder()) == "reference"
+        faults = FaultEngine({"ecc_retry": 0.5}, seed=1)
+        assert resolve_engine("fast", faults=faults) == "reference"
+        assert resolve_engine("fast", sanitizer=DmaSanitizer()) == "reference"
+
+    def test_chip_applies_the_downgrade(self):
+        # CellChip(engine="fast") with an enabled observer silently runs
+        # the reference engine — same results, per-event resolution.
+        faults = FaultEngine({"ecc_retry": 0.5}, seed=1)
+        chip = CellChip(engine="fast", faults=faults)
+        assert chip.engine == "reference"
+        assert not isinstance(chip.env, FastEnvironment)
+
+    def test_fast_environment_refuses_enabled_observers(self):
+        faults = FaultEngine({"ecc_retry": 0.5}, seed=1)
+        with pytest.raises(SimulationError, match="unobserved"):
+            FastEnvironment(faults=faults)
+
+
+class TestUniformBursts:
+    @pytest.mark.parametrize("element_size", [16, 128, 1000, 2048, 4096, 16384])
+    @pytest.mark.parametrize("n_elements", [1, 2, 7, 24, 100])
+    def test_matches_generic_fold(self, element_size, n_elements):
+        quantum = 2048
+        assert uniform_bursts(element_size, n_elements, quantum) == (
+            coalesce_bursts([element_size] * n_elements, quantum)
+        )
+
+
+class TestByteIdentity:
+    """run_spec(spec, engine="fast") == run_spec(spec), across shapes."""
+
+    CASES = [
+        spec_for("get"),
+        spec_for("put"),
+        spec_for("copy"),
+        spec_for("get", mode="list"),
+        spec_for("put", mode="list"),
+        spec_for("copy", mode="list"),
+        # single SPE: long quiet stretches, maximal inline coalescing
+        spec_for("copy", n_spes=1, n_elements=48, seed=7),
+        # full blade under contention
+        spec_for("copy", n_spes=8, n_elements=16, seed=2),
+        # periodic tag synchronisation
+        spec_for("get", n_spes=4, n_elements=32, sync_every=8, seed=3),
+        # rolled issue loop
+        spec_for("put", n_spes=2, unrolled=False, seed=5),
+        # small transfers: the <128 B inefficiency penalty path
+        spec_for("get", n_spes=3, element_bytes=64, n_elements=24, seed=6),
+        # LS-to-LS: partner SPE instead of main memory
+        spec_for("copy", n_spes=1, element_bytes=8192, partner_logical=1,
+                 seed=16),
+        spec_for("get", n_spes=1, mode="list", element_bytes=8192,
+                 partner_logical=1, seed=14),
+    ]
+
+    @pytest.mark.parametrize(
+        "spec",
+        CASES,
+        ids=lambda spec: "{}-{}-{}spe-{}B{}{}{}".format(
+            spec.assignments[0][1].direction,
+            spec.assignments[0][1].mode,
+            len(spec.assignments),
+            spec.assignments[0][1].element_bytes,
+            "-sync" if spec.assignments[0][1].sync_every else "",
+            "-rolled" if not spec.unrolled else "",
+            "-ls" if spec.assignments[0][1].partner_logical is not None else "",
+        ),
+    )
+    def test_fast_equals_reference(self, spec):
+        assert run_spec(spec, engine="fast") == run_spec(spec)
+
+
+class TestExecutorEngine:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine must be one of"):
+            SweepExecutor(jobs=1, engine="turbo")
+
+    def test_engines_are_the_public_tuple(self):
+        assert ENGINES == ("reference", "fast")
+
+    def test_fast_executor_samples_match_reference(self):
+        specs = [spec_for("copy", seed=seed) for seed in (1000, 1001)]
+        with SweepExecutor(jobs=1) as reference:
+            expected = reference.samples(list(specs))
+        with SweepExecutor(jobs=1, engine="fast") as fast:
+            got = fast.samples(list(specs))
+        assert got == expected

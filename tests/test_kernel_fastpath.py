@@ -11,6 +11,11 @@ behavioural edges of that rework:
 * timeout delays are integer cycle counts: integral floats coerce,
   fractional delays and non-numbers are rejected loudly;
 * the unwatched and watched loops process events in the same order.
+
+Every case runs under both engines: the coalescing
+:class:`~repro.sim.engine_fast.FastEnvironment` reuses the reference
+event loop, so the generator-process hot path must behave identically
+there too.
 """
 
 import contextlib
@@ -19,11 +24,18 @@ import pytest
 
 from repro.sim import Environment, Interrupt
 from repro.sim.core import Timeout
+from repro.sim.engine_fast import FastEnvironment
+
+
+@pytest.fixture(params=[Environment, FastEnvironment],
+                ids=["reference", "fast"])
+def env_cls(request):
+    return request.param
 
 
 class TestInterruptBeforeStart:
-    def test_generator_never_starts(self):
-        env = Environment()
+    def test_generator_never_starts(self, env_cls):
+        env = env_cls()
         log = []
 
         def victim(env):
@@ -47,8 +59,8 @@ class TestInterruptBeforeStart:
         assert log == [("interrupted", "too early", 0)]
         assert proc.triggered and not proc.ok
 
-    def test_no_second_resume_from_stale_start(self):
-        env = Environment()
+    def test_no_second_resume_from_stale_start(self, env_cls):
+        env = env_cls()
         resumes = []
 
         def victim(env):
@@ -72,10 +84,10 @@ class TestInterruptBeforeStart:
         # it; the body must observe no resume at all.
         assert resumes == []
 
-    def test_interrupt_then_restartable_environment(self):
+    def test_interrupt_then_restartable_environment(self, env_cls):
         # The cancelled start relay must be inert when it pops: the
         # queue drains cleanly and later processes run normally.
-        env = Environment()
+        env = env_cls()
         ran = []
 
         def victim(env):
@@ -103,33 +115,33 @@ class TestInterruptBeforeStart:
 
 
 class TestTimeoutDelayValidation:
-    def test_integral_float_coerces_to_int(self):
-        env = Environment()
+    def test_integral_float_coerces_to_int(self, env_cls):
+        env = env_cls()
         timeout = env.timeout(5.0)
         assert type(timeout.delay) is int and timeout.delay == 5
 
-    def test_fractional_delay_raises_value_error(self):
-        env = Environment()
+    def test_fractional_delay_raises_value_error(self, env_cls):
+        env = env_cls()
         with pytest.raises(ValueError, match="non-integral"):
             env.timeout(5.5)
 
-    def test_non_numeric_delay_raises_type_error(self):
-        env = Environment()
+    def test_non_numeric_delay_raises_type_error(self, env_cls):
+        env = env_cls()
         with pytest.raises(TypeError, match="integer cycle count"):
             env.timeout("soon")
 
-    def test_negative_delay_still_rejected(self):
-        env = Environment()
+    def test_negative_delay_still_rejected(self, env_cls):
+        env = env_cls()
         with pytest.raises(ValueError, match="negative"):
             env.timeout(-1)
 
-    def test_direct_timeout_construction_validates_too(self):
-        env = Environment()
+    def test_direct_timeout_construction_validates_too(self, env_cls):
+        env = env_cls()
         with pytest.raises(ValueError):
             Timeout(env, 0.25)
 
-    def test_coerced_delay_fires_on_time(self):
-        env = Environment()
+    def test_coerced_delay_fires_on_time(self, env_cls):
+        env = env_cls()
         fired = []
 
         def proc(env):
@@ -151,14 +163,14 @@ class TestWatchedLoopParity:
         for k in (2, 3, 5):
             env.process(producer(env, k))
 
-    def test_same_order_with_and_without_watchdogs(self):
+    def test_same_order_with_and_without_watchdogs(self, env_cls):
         unwatched = []
-        env = Environment()
+        env = env_cls()
         self._workload(env, unwatched)
         env.run()
 
         watched = []
-        env = Environment()
+        env = env_cls()
         self._workload(env, watched)
         env.run(max_events=10_000, stall_after=10_000)
 

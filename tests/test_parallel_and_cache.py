@@ -6,6 +6,7 @@ byte-identical report files and the same validation verdicts as the
 historical serial path.
 """
 
+import json
 import os
 import pickle
 
@@ -14,9 +15,9 @@ import pytest
 from repro import reproduce
 from repro.cell.config import CellConfig
 from repro.core.cache import ResultCache, repro_code_version
-from repro.core.experiment import RunSpec, run_spec
+from repro.core.experiment import ExperimentResult, RunSpec, run_spec
 from repro.core.kernels import DmaWorkload
-from repro.core.results import BandwidthSample
+from repro.core.results import BandwidthSample, BandwidthStats, SweepTable
 from repro.runtime.parallel import DeferredStats, SweepExecutor, default_jobs
 
 
@@ -35,6 +36,35 @@ def make_spec(seed=1000, n_elements=16, element_bytes=16384, n_spes=2):
 def micro_preset(monkeypatch):
     """Shrink the quick preset to a smoke-sized sweep."""
     monkeypatch.setitem(reproduce.PRESETS, "quick", ((16384,), 1, 2 ** 20))
+
+
+class _QueueThenExplode:
+    """Experiment stand-in that queues deferred work, then fails."""
+
+    executor = None
+
+    def __init__(self, specs):
+        self.specs = specs
+
+    def run(self):
+        self.executor.stats(self.specs)
+        raise RuntimeError("mid-sweep failure")
+
+
+class _OneCell:
+    """Experiment stand-in with a single deferred sweep cell."""
+
+    executor = None
+
+    def __init__(self, specs):
+        self.specs = specs
+
+    def run(self):
+        table = SweepTable(name="cell", axes=("k",))
+        table.put((0,), self.executor.stats(self.specs))
+        return ExperimentResult(
+            name="one-cell", description="", tables={"cell": table}
+        )
 
 
 def read_tree(outdir):
@@ -90,6 +120,22 @@ class TestSweepExecutor:
         with SweepExecutor(jobs=2) as executor:
             assert executor.samples(specs) == inline
 
+    def test_failed_experiment_leaves_no_pending_specs(self):
+        """Regression: a raising experiment used to leave its queued
+        specs in ``_pending``, shifting the DeferredStats offsets of
+        every *later* experiment on the same executor — whose cells then
+        resolved against the wrong samples."""
+        bad = [make_spec(seed) for seed in (2000, 2001)]
+        good = [make_spec(seed) for seed in (1000, 1001)]
+        with SweepExecutor(jobs=2) as executor:
+            with pytest.raises(RuntimeError, match="mid-sweep failure"):
+                executor.run(_QueueThenExplode(bad))
+            assert executor._pending == []
+            result = executor.run(_OneCell(good))
+        with SweepExecutor(jobs=1) as serial:
+            expected = BandwidthStats.from_samples(serial.samples(list(good)))
+        assert result.tables["cell"].cells[(0,)] == expected
+
 
 class TestResultCache:
     def test_key_is_stable_across_instances(self, tmp_path):
@@ -132,6 +178,61 @@ class TestResultCache:
             handle.write("{not json")
         assert cache.get(spec) is None
 
+    def test_mistyped_entries_read_as_misses(self, tmp_path):
+        """Regression: entries that parse as JSON but carry the wrong
+        types (a string gbps, a null nbytes, a boolean seed) used to be
+        handed straight to BandwidthSample and poison downstream stats;
+        get() must treat every one of them as a miss."""
+        spec = make_spec()
+        cache = ResultCache(str(tmp_path))
+        path = cache._path(cache.key(spec))
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        good = {"gbps": 1.0, "nbytes": 1, "cycles": 1, "seed": 0}
+        mistyped = [
+            {**good, "gbps": "1.0"},
+            {**good, "nbytes": None},
+            {**good, "cycles": 1.5},
+            {**good, "seed": True},  # bool is an int subclass: rejected
+            [1.0, 1, 1, 0],  # not even an object
+        ]
+        for payload in mistyped:
+            with open(path, "w") as handle:
+                json.dump(payload, handle)
+            assert cache.get(spec) is None
+        assert cache.misses == len(mistyped) and cache.hits == 0
+        # and the well-typed payload still round-trips
+        with open(path, "w") as handle:
+            json.dump(good, handle)
+        assert cache.get(spec) == BandwidthSample(
+            gbps=1.0, nbytes=1, cycles=1, seed=0
+        )
+
+    def test_key_computed_once_per_spec_even_on_miss(self, tmp_path):
+        """Regression: a miss used to compute key(spec) twice (once in
+        get, once in put); the executor now threads one key through
+        both sides of the lookup."""
+
+        class CountingCache(ResultCache):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                self.key_calls = 0
+
+            def key(self, spec):
+                self.key_calls += 1
+                return super().key(spec)
+
+        specs = [make_spec(seed) for seed in (1000, 1001, 1002)]
+        cache = CountingCache(str(tmp_path))
+        with SweepExecutor(jobs=1, cache=cache) as cold:
+            cold.samples(list(specs))
+        assert cold.simulated == len(specs)
+        assert cache.key_calls == len(specs)
+        cache.key_calls = 0
+        with SweepExecutor(jobs=1, cache=cache) as warm:
+            warm.samples(list(specs))
+        assert warm.simulated == 0
+        assert cache.key_calls == len(specs)
+
     def test_repro_code_version_is_stable_in_process(self):
         assert repro_code_version() == repro_code_version()
         assert len(repro_code_version()) == 64
@@ -152,20 +253,52 @@ class TestResultCache:
 class TestReproduceEquivalence:
     """--jobs and the cache must not change a single output byte."""
 
-    def run_all(self, outdir, jobs, cache=None):
-        executor = SweepExecutor(jobs=jobs, cache=cache)
+    def run_all(self, outdir, jobs, cache=None, engine="reference"):
+        executor = SweepExecutor(jobs=jobs, cache=cache, engine=engine)
         try:
             checks = reproduce.run_all("quick", str(outdir), executor=executor)
         finally:
             executor.close()
         return checks, executor
 
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
     def test_serial_and_parallel_outputs_byte_identical(
+        self, tmp_path, micro_preset, engine
+    ):
+        checks1, _ = self.run_all(tmp_path / "serial", jobs=1, engine=engine)
+        checks2, _ = self.run_all(tmp_path / "parallel", jobs=2, engine=engine)
+        assert read_tree(tmp_path / "serial") == read_tree(tmp_path / "parallel")
+        assert [(c.claim_id, c.passed) for c in checks1] == [
+            (c.claim_id, c.passed) for c in checks2
+        ]
+
+    def test_fast_engine_outputs_byte_identical_to_reference(
         self, tmp_path, micro_preset
     ):
-        checks1, _ = self.run_all(tmp_path / "serial", jobs=1)
-        checks2, _ = self.run_all(tmp_path / "parallel", jobs=2)
-        assert read_tree(tmp_path / "serial") == read_tree(tmp_path / "parallel")
+        checks1, _ = self.run_all(tmp_path / "ref", jobs=1)
+        checks2, _ = self.run_all(tmp_path / "fast", jobs=1, engine="fast")
+        assert read_tree(tmp_path / "ref") == read_tree(tmp_path / "fast")
+        assert [(c.claim_id, c.passed) for c in checks1] == [
+            (c.claim_id, c.passed) for c in checks2
+        ]
+
+    def test_fast_engine_cache_interchangeable_with_reference(
+        self, tmp_path, micro_preset
+    ):
+        """The cache key has no engine component: entries written by a
+        fast run must serve a reference rerun byte-identically (and
+        vice versa), because the samples are contractually identical."""
+        cache_dir = str(tmp_path / "cache")
+        checks1, cold = self.run_all(
+            tmp_path / "fast", jobs=1, cache=ResultCache(cache_dir),
+            engine="fast",
+        )
+        assert cold.simulated > 0
+        checks2, warm = self.run_all(
+            tmp_path / "ref", jobs=1, cache=ResultCache(cache_dir)
+        )
+        assert warm.simulated == 0
+        assert read_tree(tmp_path / "fast") == read_tree(tmp_path / "ref")
         assert [(c.claim_id, c.passed) for c in checks1] == [
             (c.claim_id, c.passed) for c in checks2
         ]
