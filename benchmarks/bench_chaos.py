@@ -1,0 +1,57 @@
+"""Chaos recovery benchmark: a pooled sweep under injected host faults.
+
+Where ``bench_fault_tolerance.py`` measures *simulated* SPE loss, this
+benchmark injures the *host*: one pool worker is SIGKILLed and one
+hangs past its timeout during a real sweep of the paper's Fig. 8
+repetitions.  Asserts the recovery contract end to end — the sweep
+completes, every sample is byte-identical to a clean serial run, and
+the recovery overhead stays bounded (detection + pool rebuild +
+re-dispatch, not a restart of the whole sweep).
+
+Run:  pytest benchmarks/bench_chaos.py --benchmark-only -s
+"""
+
+import time
+
+from repro.runtime.parallel import SweepExecutor
+from repro.runtime.resilience import HostRetryPolicy
+
+from tests.chaos.targets import chaos_target
+from tests.test_parallel_and_cache import make_spec
+
+SEEDS = tuple(range(2000, 2008))
+TIMEOUT_S = 5.0
+
+
+def _specs():
+    return [make_spec(seed, n_elements=32, n_spes=2) for seed in SEEDS]
+
+
+def test_chaos_recovery(run_once, tmp_path):
+    def study():
+        with SweepExecutor(jobs=1) as serial:
+            clean_start = time.monotonic()
+            expected = serial.samples(_specs())
+            clean_s = time.monotonic() - clean_start
+        target = chaos_target(
+            tmp_path, kill_seeds=(SEEDS[2],), hang_seeds=(SEEDS[5],)
+        )
+        policy = HostRetryPolicy(timeout_s=TIMEOUT_S, retries=2)
+        with SweepExecutor(jobs=2, policy=policy, target=target) as chaotic:
+            chaos_start = time.monotonic()
+            survived = chaotic.samples(_specs())
+            chaos_s = time.monotonic() - chaos_start
+            retried = chaotic.retried
+        return expected, survived, retried, clean_s, chaos_s
+
+    expected, survived, retried, clean_s, chaos_s = run_once(study)
+    print()
+    print(f"clean serial sweep:   {clean_s:6.2f} s")
+    print(f"chaotic pooled sweep: {chaos_s:6.2f} s "
+          f"(1 kill + 1 hang, {retried} retr(ies))")
+    # The contract, not a vibe: every surviving sample is the clean one.
+    assert survived == expected
+    assert retried >= 2  # both casualties were re-dispatched
+    # Recovery cost is bounded by detection + rebuild, not a re-run of
+    # the world: the hang costs ~TIMEOUT_S, the kill costs a poll tick.
+    assert chaos_s < clean_s + 10 * TIMEOUT_S

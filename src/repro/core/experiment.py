@@ -20,7 +20,7 @@ restores 32 MiB.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from collections.abc import Sequence
 
 from repro.cell.chip import CellChip
@@ -51,6 +51,22 @@ class RunSpec:
     seed: int
     assignments: tuple[Assignment, ...]
     unrolled: bool = True
+
+    def canonical(self) -> dict:
+        """Canonical JSON-able payload of this spec: the exact content
+        the result cache and the sweep journal hash into a key (see
+        :func:`repro.core.cache.spec_key`).  Field names and nesting are
+        part of the on-disk cache format — changing them orphans every
+        existing entry."""
+        return {
+            "config": asdict(self.config),
+            "assignments": [
+                [logical, asdict(workload)]
+                for logical, workload in self.assignments
+            ],
+            "seed": self.seed,
+            "unrolled": self.unrolled,
+        }
 
 
 def run_spec(spec: RunSpec, engine: str = "reference") -> BandwidthSample:

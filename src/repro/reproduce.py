@@ -18,7 +18,22 @@ merge, so reports are byte-identical for every N (``--jobs 1`` is the
 serial path).  Completed repetitions are memoised in ``.repro-cache/``
 keyed by machine config, workloads, seed and code version; a re-run
 after an unrelated edit (or none) skips straight to the reports.
-``--no-cache`` bypasses the cache, ``--cache-dir`` relocates it.
+``--no-cache`` bypasses the cache, ``--cache-dir`` relocates it,
+``--cache-max-mb`` caps it with least-recently-used eviction.
+
+Sweeps survive failure instead of restarting from zero.  Worker
+crashes are detected and re-dispatched (bounded by ``--retries``);
+``--timeout`` adds a per-repetition wall-clock bound that catches hung
+workers; ``--partial`` returns every completed cell plus a structured
+failure report instead of aborting a nearly-done sweep.  ``--resume``
+journals every completed repetition to ``<outdir>/sweep-journal.jsonl``
+(``--journal PATH`` relocates it) and, on a re-run after a crash or
+SIGKILL, replays the journal and re-executes only the remainder —
+byte-identical to an uninterrupted run::
+
+    python -m repro.reproduce --quick --resume          # crash-safe sweep
+    # ... SIGKILL / OOM / power loss ...
+    python -m repro.reproduce --quick --resume          # picks up where it died
 
 ``--trace PATH`` additionally runs a traced showcase workload (memory
 streams plus SPE couples) and writes a Chrome trace-event JSON loadable
@@ -65,7 +80,9 @@ from repro.core.cache import DEFAULT_CACHE_DIR
 from repro.core.experiment import ExperimentResult
 from repro.core.report import format_series_chart, render_result, to_csv
 from repro.core.spe_pairs import SYNC_AFTER_ALL
+from repro.runtime.journal import SweepJournal
 from repro.runtime.parallel import SweepExecutor, default_jobs
+from repro.runtime.resilience import HostRetryPolicy, SweepFailureReport
 
 #: Sweep presets: (element sizes, repetitions, bytes per SPE).
 PRESETS = {
@@ -73,6 +90,66 @@ PRESETS = {
     "default": ((128, 512, 1024, 4096, 16384), 6, 2 ** 20),
     "paper": ((128, 256, 512, 1024, 2048, 4096, 8192, 16384), 10, 2 ** 21),
 }
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}"
+        )
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {text!r}"
+        )
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}"
+        ) from None
+    if not value > 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive number, got {text!r}"
+        )
+    return value
+
+
+def resolve_jobs(requested: int | None) -> int:
+    """The effective worker count: default to every core, reject
+    nonsense, clamp an over-ask to the machine (extra workers would
+    only thrash a sweep of CPU-bound simulations)."""
+    available = default_jobs()
+    if requested is None:
+        return available
+    if requested < 1:
+        raise ValueError(f"--jobs must be a positive integer, got {requested}")
+    if requested > available:
+        print(
+            f"warning: --jobs {requested} exceeds the {available} available "
+            f"CPU core(s); clamping to {available}"
+        )
+        return available
+    return requested
 
 
 def parse_args(argv=None) -> argparse.Namespace:
@@ -109,11 +186,57 @@ def parse_args(argv=None) -> argparse.Namespace:
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=_positive_int,
         default=None,
         metavar="N",
         help="worker processes for the sweeps (default: one per CPU "
-        "core; 1 = serial)",
+        "core; 1 = serial; asks beyond the CPU count are clamped)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-repetition wall-clock timeout for pooled sweeps; a "
+        "hung worker is replaced and its repetition retried (default: "
+        "no timeout)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=_non_negative_int,
+        default=2,
+        metavar="N",
+        help="re-dispatches of a repetition after a worker crash, hang "
+        "or error before it counts as failed (default 2)",
+    )
+    parser.add_argument(
+        "--partial",
+        action="store_true",
+        help="on exhausted retries, keep every completed cell and "
+        "print a structured failure report instead of aborting the "
+        "sweep (claims that lost their data are skipped)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="journal every completed repetition (crash-safe append) "
+        "and replay the journal on re-run, so an interrupted sweep "
+        "re-executes only the remainder",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        default=None,
+        help="sweep-journal location (default with --resume: "
+        "<outdir>/sweep-journal.jsonl); implies --resume",
+    )
+    parser.add_argument(
+        "--cache-max-mb",
+        type=_positive_int,
+        default=None,
+        metavar="MB",
+        help="cap the result cache at this size, evicting "
+        "least-recently-used entries (default: unbounded)",
     )
     parser.add_argument(
         "--engine",
@@ -172,17 +295,29 @@ def run_all(
             return experiment.run()
         return executor.run(experiment)
 
+    def guarded(validate):
+        """Run one validation/analysis step; in partial-results mode a
+        dropped cell (KeyError) skips the step instead of crashing the
+        95% of the sweep that did complete."""
+        try:
+            return validate()
+        except KeyError as error:
+            if executor is not None and executor.failures:
+                print(f"  validation skipped (partial results): {error}")
+                return []
+            raise
+
     print("[1/8] PPE bandwidth (Figures 3, 4, 6)")
     ppe: dict[str, ExperimentResult] = {}
     for level in ("l1", "l2", "mem"):
         ppe[level] = execute(PpeBandwidthExperiment(level))
         _save_result(outdir, ppe[level])
-    checks += validation.check_ppe(ppe)
+    checks += guarded(lambda: validation.check_ppe(ppe))
 
     print("[2/8] SPU <-> local store (section 4.2.2)")
     localstore = execute(SpeLocalStoreExperiment())
     _save_result(outdir, localstore)
-    checks += validation.check_localstore(localstore)
+    checks += guarded(lambda: validation.check_localstore(localstore))
 
     print("[3/8] SPE <-> memory (Figure 8)")
     memory = execute(SpeMemoryExperiment(
@@ -191,7 +326,7 @@ def run_all(
         bytes_per_spe=volume,
     ))
     _save_result(outdir, memory)
-    checks += validation.check_spe_memory(memory)
+    checks += guarded(lambda: validation.check_spe_memory(memory))
     _write(
         outdir,
         "fig08-chart.txt",
@@ -211,7 +346,7 @@ def run_all(
         element_sizes=(16384,), repetitions=repetitions, bytes_per_spe=volume
     ))
     _save_result(outdir, distance)
-    checks += validation.check_pair_distance(distance)
+    checks += guarded(lambda: validation.check_pair_distance(distance))
 
     print("[5/8] sync delay (Figure 10)")
     sync_sizes = tuple(sorted(set(sizes) | {512, 1024, 4096, 16384}))
@@ -222,21 +357,21 @@ def run_all(
         bytes_per_spe=volume,
     ))
     _save_result(outdir, sync)
-    checks += validation.check_pair_sync(sync)
+    checks += guarded(lambda: validation.check_pair_sync(sync))
 
     print("[6/8] couples (Figures 12/13)")
     couples = execute(CouplesExperiment(
         element_sizes=sizes, repetitions=repetitions, bytes_per_spe=volume
     ))
     _save_result(outdir, couples)
-    checks += validation.check_couples(couples)
+    checks += guarded(lambda: validation.check_couples(couples))
 
     print("[7/8] cycle (Figures 15/16)")
     cycle = execute(CycleExperiment(
         element_sizes=sizes, repetitions=repetitions, bytes_per_spe=volume
     ))
     _save_result(outdir, cycle)
-    checks += validation.check_cycle(cycle, couples)
+    checks += guarded(lambda: validation.check_cycle(cycle, couples))
 
     print("[8/8] streaming guideline + section-5 rules")
     streams = StreamingComparison(chunks_per_stream_unit=32).run()
@@ -252,10 +387,10 @@ def run_all(
     advisor = GuidelineAdvisor()
     for level, result in ppe.items():
         advisor.add_ppe(level, result)
-    advisor.add_memory(memory)
-    advisor.add_pair_sync(sync)
-    advisor.add_couples(couples)
-    advisor.add_cycle(cycle)
+    guarded(lambda: advisor.add_memory(memory))
+    guarded(lambda: advisor.add_pair_sync(sync))
+    guarded(lambda: advisor.add_couples(couples))
+    guarded(lambda: advisor.add_cycle(cycle))
     guidelines = "\n".join(str(rule) for rule in advisor.guidelines()) + "\n"
     _write(outdir, "guidelines.txt", guidelines)
 
@@ -423,17 +558,44 @@ def run_faulted(spec: str, seed: int) -> bool:
 def main(argv=None) -> int:
     args = parse_args(argv)
     preset = "quick" if args.quick else "paper" if args.paper_scale else "default"
-    jobs = default_jobs() if args.jobs is None else args.jobs
-    if jobs < 1:
-        print(f"--jobs must be >= 1, got {jobs}")
-        return 2
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    executor = SweepExecutor(jobs=jobs, cache=cache, engine=args.engine)
+    jobs = resolve_jobs(args.jobs)
+    cache = None if args.no_cache else ResultCache(
+        args.cache_dir,
+        max_bytes=None if args.cache_max_mb is None else args.cache_max_mb * 2 ** 20,
+    )
+    journal = None
+    if args.resume or args.journal:
+        journal_path = args.journal or os.path.join(
+            args.outdir, "sweep-journal.jsonl"
+        )
+        os.makedirs(args.outdir, exist_ok=True)
+        journal = SweepJournal(journal_path)
+        print(f"sweep journal: {journal.describe()}")
+    executor = SweepExecutor(
+        jobs=jobs,
+        cache=cache,
+        engine=args.engine,
+        policy=HostRetryPolicy(timeout_s=args.timeout, retries=args.retries),
+        partial_results=args.partial,
+        journal=journal,
+    )
     try:
         checks = run_all(preset, args.outdir, executor=executor)
     finally:
         executor.close()
+        if journal is not None:
+            journal.close()
     print(f"sweep execution: {executor.describe()}")
+    if executor.failures:
+        report = SweepFailureReport(
+            failures=executor.failures,
+            total=executor.simulated + executor.journal_hits
+            + len(executor.failures)
+            + (executor.cache.hits if executor.cache is not None else 0),
+            completed=executor.simulated + executor.journal_hits
+            + (executor.cache.hits if executor.cache is not None else 0),
+        )
+        print(report.summary())
     trace_ok = True
     if args.trace:
         trace_ok = run_traced(preset, args.trace)
@@ -447,6 +609,7 @@ def main(argv=None) -> int:
     print(validation.summarize(checks))
     passed = (
         all(check.passed for check in checks)
+        and not executor.failures
         and trace_ok and faults_ok and sanitize_ok
     )
     return 0 if passed else 1

@@ -25,23 +25,33 @@ baseline an un-tuned runtime would implement — the comparison is the
 point.
 """
 
+from repro.runtime.journal import SweepJournal
 from repro.runtime.offload import OffloadRuntime, RuntimeStats
 from repro.runtime.parallel import DeferredStats, SweepExecutor, default_jobs
 from repro.runtime.resilience import (
     FailureMonitor,
+    HostRetryPolicy,
     InflightTable,
     ResiliencePolicy,
+    SpecFailure,
+    SweepError,
+    SweepFailureReport,
 )
 from repro.runtime.task import Task, TaskGraph, chain, fan_out_fan_in, wavefront
 
 __all__ = [
     "DeferredStats",
     "FailureMonitor",
+    "HostRetryPolicy",
     "InflightTable",
     "OffloadRuntime",
     "ResiliencePolicy",
     "RuntimeStats",
+    "SpecFailure",
+    "SweepError",
     "SweepExecutor",
+    "SweepFailureReport",
+    "SweepJournal",
     "default_jobs",
     "Task",
     "TaskGraph",

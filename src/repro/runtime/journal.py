@@ -1,0 +1,149 @@
+"""Crash-safe sweep journal: an append-only completion log for resume.
+
+The persistent result cache already memoises repetitions across runs,
+but it is global, optional (``--no-cache``), and evictable.  The
+journal is the *per-run* durability story: every completed repetition
+is appended to one JSONL file the moment its sample exists, so a sweep
+killed by SIGKILL, OOM or power loss can be resumed —
+``reproduce --resume`` (or ``SweepExecutor(journal=...)``) replays the
+journalled repetitions without re-simulating and re-executes only the
+remainder.
+
+Format: one JSON object per line::
+
+    {"key": "<sha-256 spec key>", "gbps": ..., "nbytes": ..., "cycles": ..., "seed": ...}
+
+``key`` is :func:`repro.core.cache.spec_key` — identical to the result
+cache's content address, including the code-version component, so a
+journal written by different sources never replays a stale sample: an
+entry from edited code simply stops matching, exactly like a cache
+entry.
+
+Crash safety is the append discipline: each record is written as one
+line, flushed, and (by default) fsynced before the executor moves on.
+A crash mid-append leaves at most one truncated final line, which
+:meth:`SweepJournal.load` skips (counted in ``dropped``) — every record
+before it replays intact.  An unwritable journal degrades to a
+warn-once in-memory log, mirroring the cache's behaviour: losing
+durability must not lose the run.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import warnings
+
+from repro.core.cache import decode_sample, encode_sample, repro_code_version, spec_key
+from repro.core.results import BandwidthSample
+
+
+class SweepJournal:
+    """Append-only log of completed repetitions under one file path.
+
+    Constructing the journal loads whatever the file already holds
+    (nothing, for a fresh run), so "start journalling" and "resume" are
+    the same operation.  ``fsync=False`` trades the power-loss guarantee
+    for speed (crash safety against process death is kept either way).
+    """
+
+    def __init__(self, path: str, code_version: str | None = None,
+                 fsync: bool = True):
+        self.path = path
+        self.code_version = (
+            repro_code_version() if code_version is None else code_version
+        )
+        self.fsync = fsync
+        self.loaded = 0
+        self.dropped = 0
+        self._entries: dict[str, BandwidthSample] = {}
+        self._handle = None
+        self._writable = True
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path) as handle:
+                lines = handle.readlines()
+        except OSError:
+            return  # fresh journal
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except ValueError:
+                self.dropped += 1  # truncated tail or bit-flipped line
+                continue
+            key = payload.get("key") if isinstance(payload, dict) else None
+            sample = decode_sample(payload)
+            if not isinstance(key, str) or len(key) != 64 or sample is None:
+                self.dropped += 1
+                continue
+            self._entries[key] = sample
+            self.loaded += 1
+
+    def key(self, spec) -> str:
+        return spec_key(spec, self.code_version)
+
+    def get(self, spec, key: str | None = None) -> BandwidthSample | None:
+        """The journalled sample of a completed repetition, or None."""
+        if key is None:
+            key = self.key(spec)
+        return self._entries.get(key)
+
+    def record(self, spec, sample: BandwidthSample,
+               key: str | None = None) -> None:
+        """Append one completed repetition (idempotent per key)."""
+        if key is None:
+            key = self.key(spec)
+        if key in self._entries:
+            return
+        self._entries[key] = sample
+        if not self._writable:
+            return
+        line = json.dumps(
+            {"key": key, **encode_sample(sample)},
+            sort_keys=True, separators=(",", ":"),
+        )
+        try:
+            if self._handle is None:
+                parent = os.path.dirname(self.path)
+                if parent:
+                    os.makedirs(parent, exist_ok=True)
+                self._handle = open(self.path, "a")  # noqa: SIM115 - persistent append handle, closed in close()
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+        except OSError as error:
+            self._writable = False
+            warnings.warn(
+                f"sweep journal {self.path!r} is not writable ({error}); "
+                "completions will not survive this process",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def close(self) -> None:
+        if self._handle is not None:
+            with contextlib.suppress(OSError):
+                self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> SweepJournal:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def describe(self) -> str:
+        text = f"{len(self._entries)} entr(ies) at {self.path}"
+        if self.dropped:
+            text += f", {self.dropped} corrupt line(s) skipped"
+        return text

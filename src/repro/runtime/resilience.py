@@ -1,7 +1,19 @@
-"""Recovery machinery for the offload runtime under injected faults.
+"""Recovery machinery for runs that lose workers — simulated or real.
 
-The paper's runtime guidelines assume every SPE answers; this module is
-what keeps a run correct when one doesn't (see :mod:`repro.sim.faults`):
+Two failure domains share this module:
+
+* **inside the simulation** (the original scope): the paper's runtime
+  guidelines assume every SPE answers, and the classes below keep a
+  run correct when one doesn't (see :mod:`repro.sim.faults`);
+* **on the host**: the sweep executor
+  (:mod:`repro.runtime.parallel`) supervises real worker *processes*
+  that can crash, hang or be OOM-killed mid-sweep.
+  :class:`HostRetryPolicy` holds its wall-clock timeout/retry knobs,
+  :class:`SpecFailure` / :class:`SweepFailureReport` are the structured
+  account of what could not be completed, and :class:`SweepError` is
+  what a non-partial sweep raises instead of losing that account.
+
+The simulated-chip machinery:
 
 * :class:`ResiliencePolicy` — the knobs: how long a tag-group wait may
   block before the MFC is re-driven (bounded retry with exponential
@@ -24,11 +36,99 @@ with the SPE.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from collections.abc import Callable
 
 from repro.cell.errors import FaultError
 from repro.sim import Environment, Event, Process
+
+
+@dataclass(frozen=True)
+class HostRetryPolicy:
+    """Host-side supervision knobs for the sweep executor.
+
+    All times are wall-clock seconds (the host, unlike the simulated
+    chip, has no cycle counter).  ``timeout_s`` bounds how long the
+    executor waits for one repetition's result once it starts
+    harvesting it (``None`` = wait forever: hung workers are then only
+    caught by lost-worker detection, which needs the process to die);
+    each retry round multiplies the timeout by ``backoff``.
+    ``retries`` bounds how many times one repetition is re-dispatched
+    after a crash, hang or worker exception before it is declared
+    failed.  The defaults retry but never time out, which cannot change
+    the results of a healthy run (repetitions are pure functions).
+    """
+
+    timeout_s: float | None = None
+    retries: int = 2
+    backoff: float = 2.0
+
+    def __post_init__(self):
+        if self.timeout_s is not None and not self.timeout_s > 0:
+            raise ValueError(f"timeout_s must be > 0 or None, got {self.timeout_s}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 1:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+
+    def timeout_for(self, attempt: int) -> float | None:
+        """The harvest timeout of one attempt (0 = first), backed off."""
+        if self.timeout_s is None:
+            return None
+        return self.timeout_s * self.backoff ** attempt
+
+
+@dataclass
+class SpecFailure:
+    """One repetition the executor could not complete.
+
+    ``cause`` is human-readable (``"no result within 2.0s"``,
+    ``"worker lost (pid change)"``, ``"RuntimeError: ..."``); ``error``
+    keeps the original worker exception object when there was one, so a
+    non-partial sweep can re-raise it unchanged.
+    """
+
+    index: int
+    seed: int
+    attempts: int
+    cause: str
+    error: BaseException | None = None
+
+    def __str__(self) -> str:
+        return (
+            f"repetition {self.index} (seed {self.seed}): {self.cause} "
+            f"after {self.attempts} attempt(s)"
+        )
+
+
+@dataclass
+class SweepFailureReport:
+    """Structured account of a partially-completed sweep."""
+
+    failures: list[SpecFailure] = field(default_factory=list)
+    total: int = 0
+    completed: int = 0
+
+    def summary(self) -> str:
+        lines = [
+            f"sweep incomplete: {self.completed}/{self.total} repetition(s) "
+            f"completed, {len(self.failures)} failed"
+        ]
+        lines += [f"  {failure}" for failure in self.failures]
+        return "\n".join(lines)
+
+
+class SweepError(RuntimeError):
+    """A sweep that exhausted its retries without ``partial_results``.
+
+    Carries the :class:`SweepFailureReport`; every repetition that *did*
+    complete was already journalled/cached before this was raised, so a
+    resumed run re-executes only the remainder.
+    """
+
+    def __init__(self, report: SweepFailureReport):
+        super().__init__(report.summary())
+        self.report = report
 
 
 @dataclass(frozen=True)

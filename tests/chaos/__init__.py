@@ -1,0 +1,10 @@
+"""Chaos harness: crash, hang and corruption injection for the host
+execution stack (sweep executor, journal, result cache).
+
+Everything here is off-by-default tooling — the production modules
+contain no chaos hooks; the tests inject misbehaviour through the
+executor's documented ``target`` override and by corrupting on-disk
+state directly.  The invariant every test asserts is the repo-wide
+one: whatever survives the chaos is byte-identical to a clean serial
+run.
+"""

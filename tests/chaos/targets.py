@@ -1,0 +1,68 @@
+"""Picklable chaos targets: ``run_spec`` wrappers that misbehave on cue.
+
+A :class:`~repro.runtime.parallel.SweepExecutor` accepts a ``target``
+callable in place of :func:`~repro.core.experiment.run_spec`; these
+wrappers are that hook.  They are module-level functions partially
+applied with keyword arguments, so the pool can pickle them, and they
+key their misbehaviour on the spec's seed:
+
+* ``kill_seeds`` — the worker SIGKILLs itself (an OOM-killer stand-in);
+* ``hang_seeds`` — the worker sleeps far past any test timeout;
+* ``raise_seeds`` — the worker raises a RuntimeError;
+* ``flaky`` (default True) — misbehave only on the *first* encounter of
+  a seed, tracked by marker files in ``marker_dir`` (markers live on
+  disk because the encounter happens in a different process each time);
+  with ``flaky=False`` the seed misbehaves on every attempt, which is
+  how the exhausted-retries paths are exercised.
+
+The wrapper runs the real :func:`run_spec` for every seed it leaves
+alone, so surviving samples are exactly the clean run's samples.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import signal
+import time
+
+from repro.core.experiment import run_spec
+
+#: Longer than any executor timeout a test configures, shorter than CI's
+#: per-test watchdog would tolerate leaking (the pool is terminated when
+#: the hang is detected, which ends the sleep early).
+HANG_S = 600.0
+
+
+def chaos_run_spec(spec, marker_dir, kill_seeds=(), hang_seeds=(),
+                   raise_seeds=(), flaky=True):
+    first = True
+    if flaky:
+        marker = os.path.join(marker_dir, f"chaos-{spec.seed}")
+        first = not os.path.exists(marker)
+        if first:
+            with open(marker, "w") as handle:
+                handle.write(str(os.getpid()))
+    armed = first or not flaky
+    if armed and spec.seed in kill_seeds:
+        os.kill(os.getpid(), signal.SIGKILL)
+    if armed and spec.seed in hang_seeds:
+        time.sleep(HANG_S)
+    if armed and spec.seed in raise_seeds:
+        raise RuntimeError(f"chaos: injected failure for seed {spec.seed}")
+    return run_spec(spec)
+
+
+def chaos_target(marker_dir, **kwargs):
+    """A picklable executor ``target`` over :func:`chaos_run_spec`."""
+    return functools.partial(chaos_run_spec, marker_dir=str(marker_dir), **kwargs)
+
+
+def flip_bytes(path, offset=16, count=4):
+    """Corrupt a file in place: overwrite ``count`` bytes at ``offset``
+    (clamped into the file) with values that cannot be valid JSON."""
+    size = os.path.getsize(path)
+    offset = min(offset, max(0, size - count))
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        handle.write(b"\xff" * count)

@@ -1,0 +1,227 @@
+"""Chaos tests: the run-execution stack under crashes, hangs and rot.
+
+Every scenario asserts the repo's standing discipline from the other
+side: not "does the feature work" but "after the worst happens, is
+every surviving byte identical to a clean serial run".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import pytest
+
+import repro
+from repro.core.cache import QUARANTINE_DIR, ResultCache
+from repro.runtime.journal import SweepJournal
+from repro.runtime.parallel import SweepExecutor
+from repro.runtime.resilience import HostRetryPolicy
+
+from tests.chaos.targets import chaos_target, flip_bytes
+from tests.test_parallel_and_cache import make_spec
+
+SEEDS = tuple(range(1000, 1006))
+
+
+def clean_samples(specs):
+    with SweepExecutor(jobs=1) as executor:
+        return executor.samples(list(specs))
+
+
+@pytest.fixture
+def specs():
+    return [make_spec(seed, n_elements=8, n_spes=1) for seed in SEEDS]
+
+
+class TestWorkerLoss:
+    def test_sigkilled_worker_is_redispatched_results_exact(self, specs, tmp_path):
+        """A worker SIGKILLed mid-repetition (the OOM shape) is detected
+        by the pid watch, the casualty re-dispatched, and the final
+        samples are byte-for-byte the clean serial run's."""
+        expected = clean_samples(specs)
+        target = chaos_target(tmp_path, kill_seeds=(1002,))
+        policy = HostRetryPolicy(timeout_s=60.0, retries=2)
+        with SweepExecutor(jobs=2, policy=policy, target=target) as executor:
+            got = executor.samples(list(specs))
+        assert got == expected
+        assert executor.retried >= 1
+
+    def test_kill_without_retries_reports_structured_failure(self, specs, tmp_path):
+        """retries=0 + partial_results: the sweep still returns every
+        completed cell, with the casualty as a None hole and a
+        SpecFailure naming the seed."""
+        expected = clean_samples(specs)
+        target = chaos_target(tmp_path, kill_seeds=(1001,), flaky=False)
+        policy = HostRetryPolicy(timeout_s=30.0, retries=0)
+        with SweepExecutor(jobs=2, policy=policy, target=target,
+                           partial_results=True) as executor:
+            got = executor.samples(list(specs))
+        assert executor.failures, "the lost repetition must be reported"
+        assert all(failure.seed == 1001 for failure in executor.failures)
+        for index, seed in enumerate(SEEDS):
+            if seed == 1001:
+                assert got[index] is None
+            else:
+                assert got[index] == expected[index]
+
+
+class TestHangs:
+    def test_hung_worker_times_out_and_is_replaced(self, specs, tmp_path):
+        """A worker that sleeps forever is cut off by the per-run
+        timeout; the pool is rebuilt and the repetition retried."""
+        expected = clean_samples(specs)
+        target = chaos_target(tmp_path, hang_seeds=(1003,))
+        policy = HostRetryPolicy(timeout_s=3.0, retries=2)
+        start = time.monotonic()
+        with SweepExecutor(jobs=2, policy=policy, target=target) as executor:
+            got = executor.samples(list(specs))
+        assert got == expected
+        assert executor.retried >= 1
+        # The hang was bounded by the timeout, not by HANG_S.
+        assert time.monotonic() - start < 120
+
+
+class TestCacheRot:
+    def test_bit_flipped_cache_entries_self_heal(self, specs, tmp_path):
+        """Bit-flip every cache entry: the warm run quarantines them
+        all, re-simulates, and matches the cold run exactly."""
+        cache_dir = str(tmp_path / "cache")
+        with SweepExecutor(jobs=1, cache=ResultCache(cache_dir)) as cold:
+            expected = cold.samples(list(specs))
+        rng = random.Random(7)
+        entries = [
+            os.path.join(dirpath, name)
+            for dirpath, _dirnames, names in os.walk(cache_dir)
+            if QUARANTINE_DIR not in dirpath
+            for name in names if name.endswith(".json")
+        ]
+        assert len(entries) == len(specs)
+        for path in entries:
+            flip_bytes(path, offset=rng.randrange(8, 40))
+        warm_cache = ResultCache(cache_dir)
+        with SweepExecutor(jobs=1, cache=warm_cache) as warm:
+            got = warm.samples(list(specs))
+        assert got == expected
+        assert warm_cache.corrupt == len(specs)
+        assert warm.simulated == len(specs)
+        quarantined = os.listdir(os.path.join(cache_dir, QUARANTINE_DIR))
+        assert len(quarantined) == len(specs)
+        # And the store healed: a third run is all hits again.
+        third_cache = ResultCache(cache_dir)
+        with SweepExecutor(jobs=1, cache=third_cache) as third:
+            assert third.samples(list(specs)) == expected
+        assert third.simulated == 0 and third_cache.hits == len(specs)
+
+
+class TestChaosStorm:
+    def test_storm_then_resume_completes_byte_identical(self, specs, tmp_path):
+        """The harness showpiece: seeded-random kills, hangs and errors
+        with partial results and a journal; a second, calm run over the
+        same journal completes the remainder.  Union of both runs ==
+        the clean serial run, byte for byte."""
+        expected = clean_samples(specs)
+        rng = random.Random(20260808)
+        victims = rng.sample(SEEDS, 3)
+        target = chaos_target(
+            tmp_path,
+            kill_seeds=(victims[0],),
+            hang_seeds=(victims[1],),
+            raise_seeds=(victims[2],),
+            flaky=False,  # misbehave every attempt: force real failures
+        )
+        journal_path = str(tmp_path / "journal.jsonl")
+        policy = HostRetryPolicy(timeout_s=3.0, retries=1)
+        with SweepExecutor(jobs=2, policy=policy, target=target,
+                           partial_results=True,
+                           journal=journal_path) as stormy:
+            first = stormy.samples(list(specs))
+        assert len(stormy.failures) == 3
+        survivors = [sample for sample in first if sample is not None]
+        assert len(survivors) == len(specs) - 3
+        # Calm follow-up over the same journal: only the casualties run.
+        with SweepExecutor(jobs=2, journal=journal_path) as calm:
+            final = calm.samples(list(specs))
+        assert final == expected
+        assert calm.journal_hits == len(specs) - 3
+        assert calm.simulated == 3
+
+
+class TestCliResume:
+    def test_reproduce_resume_after_sigkill_matches_clean(self, tmp_path):
+        """SIGKILL the whole reproduce process mid-sweep; a --resume
+        re-run must complete and write report files byte-identical to
+        an uninterrupted run (the acceptance criterion)."""
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        driver = tmp_path / "driver.py"
+        driver.write_text(textwrap.dedent(
+            """
+            import sys
+            from repro import reproduce
+            # Shrink the quick preset: enough cells that a 2 s SIGKILL
+            # lands mid-sweep, small enough to finish fast.
+            reproduce.PRESETS["quick"] = ((16384,), 2, 2 ** 20)
+            sys.exit(reproduce.main(sys.argv[1:]))
+            """
+        ))
+        env = {**os.environ, "PYTHONPATH": src}
+
+        def run(outdir, *extra, check_done=True):
+            proc = subprocess.run(
+                [sys.executable, str(driver), "--quick", "--no-cache",
+                 "--jobs", "1", "--outdir", str(outdir), *extra],
+                env=env, cwd=str(tmp_path), capture_output=True, text=True,
+                timeout=600,
+            )
+            if check_done:
+                assert proc.returncode in (0, 1), proc.stderr
+            return proc
+
+        clean = run(tmp_path / "clean")
+
+        interrupted = subprocess.Popen(
+            [sys.executable, str(driver), "--quick", "--no-cache",
+             "--jobs", "1", "--outdir", str(tmp_path / "resumed"),
+             "--resume"],
+            env=env, cwd=str(tmp_path),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        time.sleep(2.0)
+        interrupted.send_signal(signal.SIGKILL)
+        interrupted.wait(timeout=60)
+
+        journal = tmp_path / "resumed" / "sweep-journal.jsonl"
+        resumed = run(tmp_path / "resumed", "--resume")
+        assert resumed.returncode == clean.returncode
+
+        def tree(outdir):
+            out = {}
+            for dirpath, _dirnames, names in os.walk(outdir):
+                for name in names:
+                    if name == "sweep-journal.jsonl":
+                        continue
+                    path = os.path.join(dirpath, name)
+                    with open(path, "rb") as handle:
+                        out[os.path.relpath(path, outdir)] = handle.read()
+            return out
+
+        clean_tree = tree(tmp_path / "clean")
+        assert clean_tree, "the clean run must have written reports"
+        assert tree(tmp_path / "resumed") == clean_tree
+        # The journal recorded completions as valid JSONL (a truncated
+        # tail from the SIGKILL is legal and skipped on load).
+        if journal.exists():
+            replay = SweepJournal(str(journal))
+            assert replay.loaded == len(replay)
+            with open(journal) as handle:
+                complete_lines = [
+                    line for line in handle.read().splitlines() if line
+                ]
+            for line in complete_lines[:-1]:
+                json.loads(line)

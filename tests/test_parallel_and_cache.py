@@ -316,3 +316,130 @@ class TestReproduceEquivalence:
         assert [(c.claim_id, c.passed) for c in checks1] == [
             (c.claim_id, c.passed) for c in checks2
         ]
+
+
+class TestSelfHealingCache:
+    """The hardened cache contract: corruption quarantines, unwritable
+    filesystems degrade warn-once, the size cap evicts LRU-first."""
+
+    def entry_paths(self, cache_dir):
+        from repro.core.cache import QUARANTINE_DIR
+
+        return sorted(
+            os.path.join(dirpath, name)
+            for dirpath, _dirnames, names in os.walk(cache_dir)
+            if QUARANTINE_DIR not in dirpath
+            for name in names
+            if name.endswith(".json")
+        )
+
+    def test_put_oserror_warns_once_then_noops(self, tmp_path, monkeypatch):
+        import warnings as warnings_module
+
+        from repro.core import cache as cache_module
+
+        spec_a, spec_b = make_spec(1), make_spec(2)
+        sample = run_spec(spec_a)
+        cache = ResultCache(str(tmp_path / "cache"), code_version="v1")
+
+        def broken_tempfile(*args, **kwargs):
+            raise OSError(28, "No space left on device")
+
+        # Running as root defeats chmod-based read-only setups, so break
+        # the write path itself.
+        monkeypatch.setattr(
+            cache_module.tempfile, "NamedTemporaryFile", broken_tempfile
+        )
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            cache.put(spec_a, sample)
+            cache.put(spec_b, sample)
+        runtime_warnings = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(runtime_warnings) == 1
+        assert "not writable" in str(runtime_warnings[0].message)
+        assert cache.put_errors == 2
+        assert "2 write error(s)" in cache.describe()
+        # The sweep itself is unharmed: gets still answer (as misses).
+        assert cache.get(spec_a) is None
+
+    def test_corrupt_entry_is_quarantined_and_healed(self, tmp_path):
+        from repro.core.cache import QUARANTINE_DIR
+
+        cache_dir = str(tmp_path / "cache")
+        spec = make_spec(3)
+        sample = run_spec(spec)
+        cache = ResultCache(cache_dir, code_version="v1")
+        cache.put(spec, sample)
+        (entry,) = self.entry_paths(cache_dir)
+        with open(entry, "w") as handle:
+            handle.write('{"gbps": "trash"')
+        healing = ResultCache(cache_dir, code_version="v1")
+        assert healing.get(spec) is None
+        assert healing.corrupt == 1
+        assert "1 quarantined" in healing.describe()
+        assert not os.path.exists(entry)
+        assert os.listdir(os.path.join(cache_dir, QUARANTINE_DIR))
+        # A re-put heals the entry for good.
+        healing.put(spec, sample)
+        assert healing.get(spec) == sample
+
+    def test_mistyped_payload_is_quarantined(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        spec = make_spec(4)
+        cache = ResultCache(cache_dir, code_version="v1")
+        cache.put(spec, run_spec(spec))
+        (entry,) = self.entry_paths(cache_dir)
+        # Valid JSON, wrong shape: gbps must be a float, not a bool.
+        with open(entry, "w") as handle:
+            json.dump({"gbps": True, "nbytes": 1, "cycles": 1, "seed": 4}, handle)
+        cache = ResultCache(cache_dir, code_version="v1")
+        assert cache.get(spec) is None
+        assert cache.corrupt == 1
+
+    def test_max_bytes_evicts_oldest_first(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        specs = [make_spec(seed) for seed in (1, 2, 3, 4)]
+        samples = {spec.seed: run_spec(spec) for spec in specs}
+        probe = ResultCache(cache_dir, code_version="v1")
+        probe.put(specs[0], samples[1])
+        (first_entry,) = self.entry_paths(cache_dir)
+        entry_size = os.path.getsize(first_entry)
+        # Room for three entries; the fourth put must evict the oldest.
+        cache = ResultCache(
+            cache_dir, code_version="v1", max_bytes=3 * entry_size
+        )
+        now = 1_700_000_000
+        os.utime(first_entry, (now, now))
+        for offset, spec in enumerate(specs[1:], start=1):
+            cache.put(spec, samples[spec.seed])
+            newest = [
+                path for path in self.entry_paths(cache_dir)
+                if os.stat(path).st_mtime < now
+            ]
+            for path in newest:
+                os.utime(path, (now + offset, now + offset))
+        assert cache.evictions == 1
+        assert "1 evicted" in cache.describe()
+        survivors = ResultCache(cache_dir, code_version="v1")
+        # Seed 1 (the oldest mtime) was evicted; the newest three live.
+        assert survivors.get(specs[0]) is None
+        for spec in specs[1:]:
+            assert survivors.get(spec) == samples[spec.seed]
+
+    def test_get_touches_entry_under_eviction(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        spec = make_spec(5)
+        cache = ResultCache(cache_dir, code_version="v1", max_bytes=2 ** 20)
+        cache.put(spec, run_spec(spec))
+        (entry,) = self.entry_paths(cache_dir)
+        stale = 1_600_000_000
+        os.utime(entry, (stale, stale))
+        assert cache.get(spec) is not None
+        # The hit refreshed the mtime: the entry is young again for LRU.
+        assert os.stat(entry).st_mtime > stale
+
+    def test_max_bytes_rejects_nonpositive(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(str(tmp_path), max_bytes=0)

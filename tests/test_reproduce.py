@@ -33,7 +33,11 @@ def test_parse_args_jobs_and_cache_flags():
 
 
 def test_main_rejects_nonpositive_jobs(tmp_path):
-    assert reproduce.main(["--jobs", "0", "--outdir", str(tmp_path)]) == 2
+    # argparse rejects 0/negative/non-integer --jobs up front (exit 2).
+    for bad in ("0", "-3", "2.5", "two"):
+        with pytest.raises(SystemExit) as excinfo:
+            reproduce.main(["--jobs", bad, "--outdir", str(tmp_path)])
+        assert excinfo.value.code == 2
 
 
 def test_quick_and_paper_scale_are_exclusive():
