@@ -98,25 +98,34 @@ def measure(
     specs: list[RunSpec],
     events_per_run: int,
     engine: str = "reference",
+    surrogate=None,
 ) -> tuple[dict, list]:
     """Wall-clock one pass over ``specs`` at a worker count; returns the
-    timing row and the samples (so callers can assert engine identity)."""
+    timing row and the samples (so callers can assert engine identity).
+    With ``surrogate`` attached, in-domain repetitions are answered by
+    the fitted model instead of the DES (the ``served`` count says how
+    many were)."""
     with SweepExecutor(jobs=jobs, cache=None, engine=engine) as executor:
+        executor.surrogate = surrogate
         if jobs > 1:
             executor._ensure_pool()  # exclude pool start-up from the timing
         begin = perf_counter()
         samples = executor.samples(specs)
         elapsed = perf_counter() - begin
+        served = executor.surrogate_hits
     assert len(samples) == len(specs)
     total_events = events_per_run * len(specs)
-    return {
+    row = {
         "jobs": jobs,
         "engine": engine,
         "runs": len(specs),
         "seconds": elapsed,
         "events": total_events,
         "events_per_sec": total_events / elapsed,
-    }, samples
+    }
+    if surrogate is not None:
+        row["served"] = served
+    return row, samples
 
 
 def run_benchmark(jobs: int, runs: int, n_elements: int, out: str) -> dict:
@@ -130,6 +139,14 @@ def run_benchmark(jobs: int, runs: int, n_elements: int, out: str) -> dict:
     parallel = (
         measure(jobs, specs, events_per_run)[0] if jobs > 1 else None
     )
+    # The analytic surrogate, fitted on the storm results just
+    # simulated, answering the same sweep in O(1) per repetition.
+    from repro.analysis.surrogate import SurrogateModel
+
+    model = SurrogateModel.fit(specs, serial_samples, code_version="bench")
+    surrogate, _ = measure(
+        1, specs, events_per_run_fast, engine="fast", surrogate=model
+    )
     report = {
         "workload": {
             "shape": "dma-storm",
@@ -142,10 +159,12 @@ def run_benchmark(jobs: int, runs: int, n_elements: int, out: str) -> dict:
         "serial": serial,
         "fast": fast,
         "parallel": parallel,
+        "surrogate": surrogate,
         "speedup": (
             serial["seconds"] / parallel["seconds"] if parallel else None
         ),
         "fast_speedup": serial["seconds"] / fast["seconds"],
+        "surrogate_speedup": serial["seconds"] / surrogate["seconds"],
         "cpu_count": os.cpu_count(),
         "python": sys.version.split()[0],
     }
@@ -161,15 +180,20 @@ def _print_report(report: dict) -> None:
         f"dma-storm: {workload['n_spes']} SPEs x {workload['n_elements']} "
         f"x {workload['element_bytes']} B, {workload['events_per_run']} events/run"
     )
-    for label in ("serial", "fast", "parallel"):
-        row = report[label]
+    for label in ("serial", "fast", "parallel", "surrogate"):
+        row = report.get(label)
         if row is None:
             continue
         print(
-            f"  {label:8s} jobs={row['jobs']}: {row['runs']} runs in "
+            f"  {label:9s} jobs={row['jobs']}: {row['runs']} runs in "
             f"{row['seconds']:.2f} s = {row['events_per_sec']:,.0f} events/s"
         )
     print(f"  fast engine: {report['fast_speedup']:.2f}x over serial reference")
+    print(
+        f"  surrogate: {report['surrogate_speedup']:.1f}x over serial "
+        f"reference ({report['surrogate']['served']}/"
+        f"{report['surrogate']['runs']} served analytically)"
+    )
     if report["speedup"]:
         print(f"  speedup: {report['speedup']:.2f}x on {report['cpu_count']} core(s)")
 
@@ -194,6 +218,11 @@ def test_simkernel_throughput():
         report["workload"]["events_per_run"]
     )
     assert report["fast_speedup"] > 0
+    # The surrogate row: every storm repetition is in the fitted
+    # domain (the model was fitted on this very sweep), so all of them
+    # must be served analytically, and faster than simulating.
+    assert report["surrogate"]["served"] == report["serial"]["runs"]
+    assert report["surrogate_speedup"] > report["fast_speedup"]
     assert os.path.exists("BENCH_simkernel.json")
 
 

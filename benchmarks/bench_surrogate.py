@@ -1,0 +1,189 @@
+"""Bandwidth-surrogate benchmark: fit cost, predict throughput, sweep speedup.
+
+Three numbers, tracked across PRs in ``BENCH_surrogate.json``:
+
+* **fit seconds** — least-squares fitting of every path family of the
+  quick training sweep (pure-python normal equations; the training
+  simulations themselves are timed separately as the DES baseline);
+* **predict queries/sec** — sustained :meth:`SurrogateModel.predict_many`
+  throughput over the fitted domain (the ISSUE floor is 10,000/s on a
+  1-core CI box);
+* **auto-sweep speedup** — wall-clock of the training sweep served by
+  an executor with the surrogate attached versus simulating it with the
+  fast DES engine (the ``--surrogate=auto`` warm-model story; the
+  ISSUE floor is 10x on in-domain cells).
+
+Run standalone (full quick sweep)::
+
+    PYTHONPATH=src python benchmarks/bench_surrogate.py
+    PYTHONPATH=src python benchmarks/bench_surrogate.py --preset default --out /tmp/b.json
+
+or as a pytest smoke (volume-reduced sweep, same floors)::
+
+    pytest benchmarks/bench_surrogate.py -q -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import replace
+from time import perf_counter
+
+from repro.analysis.surrogate import SurrogateModel
+from repro.analysis.surrogate_store import training_specs
+from repro.core.experiment import RunSpec, run_spec
+from repro.runtime.parallel import SweepExecutor
+
+#: predict_many queries timed (batch repeats the sweep's specs).
+PREDICT_QUERIES = 20_000
+
+#: The ISSUE's acceptance floors, asserted by the pytest smoke.
+MIN_PREDICT_QPS = 10_000
+MIN_SWEEP_SPEEDUP = 10.0
+
+
+def sweep_specs(preset: str, max_elements: int | None = None) -> list[RunSpec]:
+    """The preset's training sweep, optionally volume-reduced (the
+    pytest smoke caps commands per SPE so the DES baseline stays
+    seconds, not minutes — the surrogate's own cost is size-blind)."""
+    specs = training_specs(preset)
+    if max_elements is None:
+        return specs
+    return [
+        replace(
+            spec,
+            assignments=tuple(
+                (
+                    logical,
+                    replace(
+                        workload,
+                        n_elements=min(workload.n_elements, max_elements),
+                    ),
+                )
+                for logical, workload in spec.assignments
+            ),
+        )
+        for spec in specs
+    ]
+
+
+def run_benchmark(
+    preset: str, out: str, max_elements: int | None = None
+) -> dict:
+    specs = sweep_specs(preset, max_elements)
+
+    begin = perf_counter()
+    samples = [run_spec(spec, engine="fast") for spec in specs]
+    sim_seconds = perf_counter() - begin
+
+    begin = perf_counter()
+    model = SurrogateModel.fit(specs, samples, code_version="bench")
+    fit_seconds = perf_counter() - begin
+
+    repeats = max(1, PREDICT_QUERIES // len(specs))
+    batch = specs * repeats
+    begin = perf_counter()
+    predictions = model.predict_many(batch)
+    predict_seconds = perf_counter() - begin
+    served = sum(prediction is not None for prediction in predictions)
+
+    # The --surrogate=auto warm-model path: an executor answering the
+    # same sweep from the fitted model (no cache, no pool — the
+    # comparison is model arithmetic vs DES arithmetic).
+    with SweepExecutor(jobs=1, cache=None, engine="fast") as executor:
+        executor.surrogate = model
+        begin = perf_counter()
+        auto_samples = executor.samples(specs)
+        auto_seconds = perf_counter() - begin
+    assert len(auto_samples) == len(specs)
+
+    report = {
+        "preset": preset,
+        "max_elements": max_elements,
+        "sweep": {
+            "specs": len(specs),
+            "paths": model.n_paths,
+            "points": model.report.n_points,
+            "worst_mape": model.report.worst_mape(),
+        },
+        "fit_seconds": fit_seconds,
+        "predict": {
+            "queries": len(batch),
+            "served": served,
+            "seconds": predict_seconds,
+            "queries_per_sec": len(batch) / predict_seconds,
+        },
+        "sweep_seconds_des_fast": sim_seconds,
+        "sweep_seconds_surrogate": auto_seconds,
+        "surrogate_hits": executor.surrogate_hits,
+        "surrogate_fallbacks": executor.surrogate_fallbacks,
+        "auto_sweep_speedup": sim_seconds / auto_seconds,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+    }
+    with open(out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    return report
+
+
+def _print_report(report: dict) -> None:
+    sweep = report["sweep"]
+    predict = report["predict"]
+    print(
+        f"surrogate ({report['preset']} sweep): {sweep['specs']} specs, "
+        f"{sweep['paths']} fitted path(s), "
+        f"worst MAPE {100 * sweep['worst_mape']:.2f}%"
+    )
+    print(f"  fit: {report['fit_seconds']:.3f} s")
+    print(
+        f"  predict_many: {predict['queries']} queries in "
+        f"{predict['seconds']:.3f} s = "
+        f"{predict['queries_per_sec']:,.0f} queries/s "
+        f"({predict['served']} served)"
+    )
+    print(
+        f"  sweep: DES(fast) {report['sweep_seconds_des_fast']:.2f} s vs "
+        f"surrogate {report['sweep_seconds_surrogate']:.2f} s = "
+        f"{report['auto_sweep_speedup']:.1f}x "
+        f"({report['surrogate_hits']} served / "
+        f"{report['surrogate_fallbacks']} fallback(s))"
+    )
+
+
+def test_surrogate_benchmark(tmp_path):
+    """Pytest smoke: the ISSUE's floors on a volume-reduced quick sweep,
+    plus fit-and-store round-trip sanity."""
+    out = str(tmp_path / "BENCH_surrogate.json")
+    report = run_benchmark("quick", out, max_elements=48)
+    print()
+    _print_report(report)
+    assert report["sweep"]["paths"] > 0
+    assert report["sweep"]["worst_mape"] <= 0.02
+    assert report["predict"]["queries_per_sec"] >= MIN_PREDICT_QPS
+    assert report["predict"]["served"] >= report["predict"]["queries"] * 0.9
+    assert report["auto_sweep_speedup"] >= MIN_SWEEP_SPEEDUP
+    assert os.path.exists(out)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="quick",
+                        choices=("quick", "default", "paper"),
+                        help="training-sweep preset (default quick)")
+    parser.add_argument("--max-elements", type=int, default=None,
+                        help="cap DMA commands per SPE (reduced smoke)")
+    parser.add_argument("--out", default="BENCH_surrogate.json",
+                        help="output JSON path (default BENCH_surrogate.json)")
+    args = parser.parse_args(argv)
+    report = run_benchmark(args.preset, args.out, args.max_elements)
+    _print_report(report)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,11 @@
 * :mod:`repro.analysis.saturation` — turns a trace stream
   (:mod:`repro.sim.trace`) into quantified claims about which chip
   mechanism (ring conflicts, bank turnaround, MFC queue) bound a run.
+* :mod:`repro.analysis.surrogate` /
+  :mod:`repro.analysis.surrogate_store` — the O(1) analytic bandwidth
+  surrogate: per-path piecewise-linear models fitted from sweep
+  results, served only inside their validated domain, persisted as
+  versioned JSON keyed by the result cache's code-version digest.
 """
 
 from repro.analysis.ablation import AblationStudy, AblationPoint
@@ -38,23 +43,41 @@ from repro.analysis.stats import (
     speedup_series,
 )
 from repro.analysis.streaming import StreamingComparison, StreamingResult
+from repro.analysis.surrogate import (
+    FitReport,
+    PathModel,
+    PathPiece,
+    SurrogateModel,
+)
+from repro.analysis.surrogate_store import (
+    SurrogateStore,
+    fit_surrogate,
+    training_specs,
+)
 
 __all__ = [
     "AblationPoint",
     "AblationStudy",
     "CommunicationPattern",
+    "FitReport",
     "Guideline",
     "GuidelineAdvisor",
+    "PathModel",
+    "PathPiece",
     "SaturationClaim",
     "SaturationReport",
     "StreamingComparison",
     "StreamingResult",
+    "SurrogateModel",
+    "SurrogateStore",
     "crossover",
     "efficiency",
+    "fit_surrogate",
     "flow_bandwidth_table",
     "mapping_cost",
     "measure_mapping",
     "plan_mapping",
     "scaling_efficiency",
     "speedup_series",
+    "training_specs",
 ]

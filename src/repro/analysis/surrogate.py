@@ -1,0 +1,777 @@
+"""O(1) analytic bandwidth surrogate, fitted from simulation sweeps.
+
+The paper's bandwidth curves are smooth, near-linear functions of
+transfer size, hop count and contention level — the regime where
+Treibig & Hager's bandwidth-limited-loop model fits
+``cycles = α·size + β·overhead + γ`` with R² > 0.99.  This module fits
+exactly that model to :func:`~repro.core.experiment.run_spec` results,
+so that most "what bandwidth does config X get" queries are answered by
+a dot product instead of a discrete-event simulation.
+
+**Path families.**  A :class:`~repro.core.experiment.RunSpec` is
+classified by everything discrete that shapes its bandwidth: the
+machine config, the canonical transfer pattern (memory streams, one
+pair, couples, a cycle), direction, command mode, sync policy, and the
+*physical* route fingerprint its placement seed induces (which SPE
+positions talk to which targets — the model's equivalent of "by hop
+count and bank").  Within one family the only remaining inputs are
+continuous (element size, command count), which is what makes a linear
+law accurate; placements with a different route structure are different
+families, never averaged together.
+
+**Piecewise fits.**  Within a family, ``cycles`` is *piecewise* linear
+in (bytes, commands): issue-bound below some element size, transfer-
+bound above it.  The fitter therefore segments the element-size axis
+adaptively — fit the whole range, and if the mean absolute percentage
+error exceeds the gate, split at the median element size and recurse.
+Each surviving segment is one fitted piece with its own coefficients
+and validity box.
+
+**Validated domain.**  A query is served only inside the fitted hull:
+its family must exist, its element size must fall in a surviving
+piece (pieces trained on fewer than :data:`MIN_INTERP_ELEMS` distinct
+element sizes only serve *exactly* those sizes — interpolation is
+allowed only where the fit was cross-validated across sizes), and its
+(bytes, commands) must lie inside the piece's trained box.  Everything
+else is out of domain and falls back to the simulator
+(:class:`~repro.runtime.parallel.SweepExecutor` wires this up), and the
+fallback's result can be fed back into the training set
+(:meth:`SurrogateModel.observe`) so the domain grows where queries
+actually land.
+
+**Quality gates.**  Fitting holds out every
+:data:`HOLDOUT_EVERY`-th point per family; pieces must reach
+R² ≥ ``min_r2`` and MAPE ≤ ``max_mape`` on their held-out points (and
+in sample) or they are dropped — a dropped piece costs simulator
+fallbacks, never wrong numbers.  The :class:`FitReport` carries the
+per-family statistics.
+
+Everything here is deterministic pure Python: the least-squares solve
+is Gauss–Jordan elimination on the normal equations, the holdout split
+is by sorted position, and the persisted JSON (see
+:class:`~repro.analysis.surrogate_store.SurrogateStore`) is
+byte-identical for identical training sweeps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.cell.config import CellConfig
+from repro.cell.topology import RingTopology, SpeMapping
+from repro.core.experiment import RunSpec
+from repro.core.results import BandwidthSample
+
+#: Names of the fitted basis, in coefficient order:
+#: ``cycles = γ·1 + α·bytes + β·commands``.
+FEATURE_NAMES: tuple[str, ...] = ("intercept", "bytes", "commands")
+
+#: Default holdout: every 4th point per family is held out of the fit
+#: and used only to validate it.
+HOLDOUT_EVERY = 4
+
+#: Families below this many points are fitted without a holdout split
+#: (their domain is tiny anyway; determinism makes in-sample honest).
+MIN_HOLDOUT_POINTS = 5
+
+#: A piece may interpolate between element sizes only when it was
+#: trained on at least this many distinct sizes; below that it serves
+#: exactly the trained sizes.
+MIN_INTERP_ELEMS = 3
+
+#: Default quality gates (see the module docstring).
+MIN_R2 = 0.99
+MAX_MAPE = 0.02
+
+#: Pivots below this (relative to the column scale) are treated as a
+#: rank deficiency: the column's coefficient is pinned to zero.
+_PIVOT_EPS = 1e-12
+
+#: Node label for main-memory targets in route fingerprints.
+_MEM = "MEM"
+
+# -- signature extraction (shared by fit and predict, so memoised) -----------
+
+_topology = RingTopology()
+_config_digests: dict[CellConfig, str] = {}
+_mapping_nodes: dict[tuple[int, int], tuple[str, ...]] = {}
+_hops: dict[tuple[str, str], int] = {}
+
+#: Memo caps: predict-heavy servers sweep many seeds; bound the caches.
+_MEMO_CAP = 200_000
+
+
+def _config_digest(config: CellConfig) -> str:
+    digest = _config_digests.get(config)
+    if digest is None:
+        blob = json.dumps(asdict(config), sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(blob.encode()).hexdigest()[:12]
+        if len(_config_digests) > 64:
+            _config_digests.clear()
+        _config_digests[config] = digest
+    return digest
+
+
+def _nodes_for(seed: int, n_spes: int) -> tuple[str, ...]:
+    key = (seed, n_spes)
+    nodes = _mapping_nodes.get(key)
+    if nodes is None:
+        mapping = SpeMapping.random(seed, n_spes)
+        nodes = tuple(mapping.node(logical) for logical in range(n_spes))
+        if len(_mapping_nodes) > _MEMO_CAP:
+            _mapping_nodes.clear()
+        _mapping_nodes[key] = nodes
+    return nodes
+
+
+def _min_hops(src: str, dst: str) -> int:
+    key = (src, dst)
+    hops = _hops.get(key)
+    if hops is None:
+        direction = _topology.directions_by_distance(src, dst)[0]
+        hops = _topology.hops(src, dst, direction)
+        _hops[key] = hops
+    return hops
+
+
+@dataclass(frozen=True)
+class PathSignature:
+    """One spec's family key plus its continuous coordinates."""
+
+    key: str
+    label: str
+    element_bytes: int
+    total_bytes: int
+    total_commands: int
+
+
+def _shape_kind(assignments: tuple) -> str:
+    """Human label of the transfer pattern (reporting only; the route
+    fingerprint is what actually keys the family)."""
+    partners = [workload.partner_logical for _, workload in assignments]
+    if all(partner is None for partner in partners):
+        return "mem"
+    if any(partner is None for partner in partners):
+        return "mixed"
+    if len(assignments) == 1:
+        return "pair"
+    initiators = {logical for logical, _ in assignments}
+    if initiators.isdisjoint(partners):
+        return "couples"
+    if initiators == set(partners):
+        return "cycle"
+    return "spe-mesh"
+
+
+def signature(spec: RunSpec) -> PathSignature | None:
+    """Classify a spec into a path family, or None when the spec's
+    shape is outside the surrogate's vocabulary (heterogeneous
+    workloads across SPEs) — such specs always simulate."""
+    assignments = spec.assignments
+    if not assignments:
+        return None
+    first = assignments[0][1]
+    for _, workload in assignments[1:]:
+        if (
+            workload.direction != first.direction
+            or workload.element_bytes != first.element_bytes
+            or workload.n_elements != first.n_elements
+            or workload.mode != first.mode
+            or workload.sync_every != first.sync_every
+        ):
+            return None
+    nodes = _nodes_for(spec.seed, spec.config.n_spes)
+    routes = []
+    hop_counts = []
+    for logical, workload in assignments:
+        if not 0 <= logical < len(nodes):
+            return None
+        src = nodes[logical]
+        if workload.partner_logical is None:
+            dst = _MEM
+            hop_counts.append(_min_hops(src, "MIC"))
+        else:
+            if not 0 <= workload.partner_logical < len(nodes):
+                return None
+            dst = nodes[workload.partner_logical]
+            hop_counts.append(_min_hops(src, dst))
+        routes.append(f"{src}>{dst}")
+    routes.sort()
+    kind = _shape_kind(assignments)
+    sync = "end" if first.sync_every is None else str(first.sync_every)
+    label = (
+        f"{kind}:{first.direction}:{first.mode}:n{len(assignments)}"
+        f":sync={sync}:hops={min(hop_counts)}-{max(hop_counts)}"
+    )
+    key = (
+        f"{label}|{','.join(routes)}"
+        f"|cfg={_config_digest(spec.config)}|u={int(spec.unrolled)}"
+    )
+    per_element = 2 if first.direction == "copy" else 1
+    total_commands = per_element * first.n_elements * len(assignments)
+    total_bytes = sum(workload.total_bytes for _, workload in assignments)
+    return PathSignature(
+        key=key,
+        label=label,
+        element_bytes=first.element_bytes,
+        total_bytes=total_bytes,
+        total_commands=total_commands,
+    )
+
+
+# -- deterministic least squares ---------------------------------------------
+
+
+def _lstsq(rows: list[list[float]], ys: list[float]) -> list[float]:
+    """Least-squares coefficients via the normal equations, solved by
+    Gauss–Jordan elimination with partial pivoting.  Rank-deficient
+    columns (constant features, single points) get coefficient 0 —
+    deterministically, so identical inputs give identical bytes out."""
+    n = len(rows[0])
+    normal = [
+        [sum(row[i] * row[j] for row in rows) for j in range(n)]
+        + [sum(row[i] * y for row, y in zip(rows, ys))]
+        for i in range(n)
+    ]
+    scale = max(
+        (abs(value) for equation in normal for value in equation[:-1]),
+        default=0.0,
+    )
+    threshold = _PIVOT_EPS * max(scale, 1.0)
+    for col in range(n):
+        pivot_row = max(range(col, n), key=lambda r: abs(normal[r][col]))
+        normal[col], normal[pivot_row] = normal[pivot_row], normal[col]
+        pivot = normal[col][col]
+        if abs(pivot) <= threshold:
+            continue
+        for row in range(n):
+            if row != col and normal[row][col]:
+                factor = normal[row][col] / pivot
+                normal[row] = [
+                    a - factor * b for a, b in zip(normal[row], normal[col])
+                ]
+    return [
+        normal[i][n] / normal[i][i] if abs(normal[i][i]) > threshold else 0.0
+        for i in range(n)
+    ]
+
+
+def _features(total_bytes: int, total_commands: int) -> list[float]:
+    return [1.0, float(total_bytes), float(total_commands)]
+
+
+def _evaluate(
+    coef: list[float], points: list[tuple[int, int, int, int]], tol: float
+) -> tuple[float, float]:
+    """(r2, mape) of a coefficient vector over (elem, bytes, commands,
+    cycles) points.
+
+    ``tol`` is the accuracy gate (``max_mape``).  When the target's own
+    relative spread is within ``tol`` — a near-constant family, e.g.
+    one transfer shape repeated across placement seeds — textbook R²
+    degenerates (there is no signal to explain, only seed noise, so
+    ``1 - residual/total`` collapses toward 0 for an arbitrarily
+    accurate fit).  Such families score R² = 1 when every prediction is
+    within ``tol`` of its point, 0 otherwise; the MAPE gate still
+    bounds the served error either way.
+    """
+    errors = []
+    residual = 0.0
+    total = 0.0
+    mean = sum(cycles for *_, cycles in points) / len(points)
+    for _, total_bytes, total_commands, cycles in points:
+        predicted = (
+            coef[0] + coef[1] * total_bytes + coef[2] * total_commands
+        )
+        errors.append(abs(predicted - cycles) / cycles)
+        residual += (predicted - cycles) ** 2
+        total += (cycles - mean) ** 2
+    mape = sum(errors) / len(errors)
+    if total <= len(points) * (tol * mean) ** 2:
+        r2 = 1.0 if max(errors) <= tol else 0.0
+    else:
+        r2 = 1.0 - residual / total
+    return r2, mape
+
+
+# -- fitted pieces and per-family models -------------------------------------
+
+
+@dataclass
+class PathPiece:
+    """One element-size segment of a family's piecewise-linear law."""
+
+    coef: tuple[float, float, float]
+    elem_lo: int
+    elem_hi: int
+    #: Exact trained element sizes; None once the piece is allowed to
+    #: interpolate (trained and validated across >= MIN_INTERP_ELEMS).
+    exact_elems: tuple[int, ...] | None
+    bytes_lo: int
+    bytes_hi: int
+    commands_lo: int
+    commands_hi: int
+    n_train: int
+    n_holdout: int
+    r2: float
+    mape: float
+
+    def in_domain(
+        self, element_bytes: int, total_bytes: int, total_commands: int
+    ) -> bool:
+        if self.exact_elems is not None:
+            if element_bytes not in self.exact_elems:
+                return False
+        elif not self.elem_lo <= element_bytes <= self.elem_hi:
+            return False
+        return (
+            self.bytes_lo <= total_bytes <= self.bytes_hi
+            and self.commands_lo <= total_commands <= self.commands_hi
+        )
+
+    def predict_cycles(self, total_bytes: int, total_commands: int) -> int:
+        cycles = (
+            self.coef[0]
+            + self.coef[1] * total_bytes
+            + self.coef[2] * total_commands
+        )
+        return max(1, round(cycles))
+
+
+@dataclass
+class PathModel:
+    """Every surviving piece of one path family, plus its fit stats."""
+
+    key: str
+    label: str
+    pieces: list[PathPiece] = field(default_factory=list)
+    n_train: int = 0
+    n_holdout: int = 0
+    r2: float = 0.0
+    mape: float = 1.0
+
+    def piece_for(
+        self, element_bytes: int, total_bytes: int, total_commands: int
+    ) -> PathPiece | None:
+        for piece in self.pieces:
+            if piece.in_domain(element_bytes, total_bytes, total_commands):
+                return piece
+        return None
+
+
+@dataclass
+class FitReport:
+    """Per-family fit quality, for the reproduce footer and the docs'
+    "which paths are analytic now" story."""
+
+    entries: list[PathModel] = field(default_factory=list)
+    dropped: list[tuple[str, str]] = field(default_factory=list)
+    n_points: int = 0
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.entries)
+
+    def worst_mape(self) -> float:
+        return max((entry.mape for entry in self.entries), default=0.0)
+
+    def summary(self) -> str:
+        fitted = len(self.entries)
+        lines = [
+            f"surrogate fit: {fitted} path(s) from {self.n_points} sweep "
+            f"point(s); {len(self.dropped)} path(s) rejected by quality gates"
+        ]
+        by_label: dict[str, list[PathModel]] = {}
+        for entry in self.entries:
+            by_label.setdefault(entry.label, []).append(entry)
+        for label in sorted(by_label):
+            group = by_label[label]
+            r2 = min(entry.r2 for entry in group)
+            mape = max(entry.mape for entry in group)
+            points = sum(entry.n_train + entry.n_holdout for entry in group)
+            lines.append(
+                f"  {label}: {len(group)} placement variant(s), "
+                f"{points} point(s), R^2 >= {r2:.4f}, MAPE <= {100 * mape:.2f}%"
+            )
+        return "\n".join(lines)
+
+
+def _fit_piece(
+    points: list[tuple[int, int, int, int]], tol: float
+) -> tuple[tuple[float, float, float], float, float]:
+    rows = [_features(b, c) for _, b, c, _ in points]
+    ys = [float(cycles) for *_, cycles in points]
+    coef = _lstsq(rows, ys)
+    r2, mape = _evaluate(coef, points, tol)
+    return (coef[0], coef[1], coef[2]), r2, mape
+
+
+def _segment(
+    points: list[tuple[int, int, int, int]], min_r2: float, max_mape: float
+) -> list[list[tuple[int, int, int, int]]]:
+    """Split a family's training points into element-size segments until
+    each fits within BOTH quality gates (or cannot be split further).
+    Gating on MAPE alone is not enough: a family whose cycle counts vary
+    only a few percent across sizes can pass the 2% MAPE gate with a
+    near-flat fit that explains none of the variance (R² ~ 0.5) — it
+    must still be split until each piece is locally linear."""
+    _, r2, mape = _fit_piece(points, max_mape)
+    elems = sorted({elem for elem, *_ in points})
+    if (mape <= max_mape and r2 >= min_r2) or len(elems) < 2:
+        return [points]
+    cut = elems[len(elems) // 2]
+    low = [point for point in points if point[0] < cut]
+    high = [point for point in points if point[0] >= cut]
+    return _segment(low, min_r2, max_mape) + _segment(high, min_r2, max_mape)
+
+
+def _fit_family(
+    key: str,
+    label: str,
+    points: list[tuple[int, int, int, int]],
+    min_r2: float,
+    max_mape: float,
+) -> PathModel | None:
+    """Fit one family: holdout split, adaptive segmentation, per-piece
+    gates, family-level statistics.  None when nothing survives."""
+    points = sorted(points)
+    if len(points) >= MIN_HOLDOUT_POINTS:
+        holdout = points[HOLDOUT_EVERY - 1 :: HOLDOUT_EVERY]
+        train = [
+            point
+            for index, point in enumerate(points)
+            if index % HOLDOUT_EVERY != HOLDOUT_EVERY - 1
+        ]
+    else:
+        holdout = []
+        train = points
+    model = PathModel(key=key, label=label)
+    held_points: list[tuple[int, int, int, int]] = []
+    held_coefs: list[tuple[float, float, float]] = []
+    for segment in _segment(train, min_r2, max_mape):
+        coef, r2, mape = _fit_piece(segment, max_mape)
+        if mape > max_mape or r2 < min_r2:
+            continue
+        elems = sorted({elem for elem, *_ in segment})
+        piece = PathPiece(
+            coef=coef,
+            elem_lo=elems[0],
+            elem_hi=elems[-1],
+            exact_elems=(
+                tuple(elems) if len(elems) < MIN_INTERP_ELEMS else None
+            ),
+            bytes_lo=min(b for _, b, _, _ in segment),
+            bytes_hi=max(b for _, b, _, _ in segment),
+            commands_lo=min(c for _, _, c, _ in segment),
+            commands_hi=max(c for _, _, c, _ in segment),
+            n_train=len(segment),
+            n_holdout=0,
+            r2=r2,
+            mape=mape,
+        )
+        held = [
+            point
+            for point in holdout
+            if piece.in_domain(point[0], point[1], point[2])
+        ]
+        if held:
+            held_r2, held_mape = _evaluate(list(coef), held, max_mape)
+            if held_mape > max_mape or held_r2 < min_r2:
+                continue
+            piece.n_holdout = len(held)
+            piece.r2 = held_r2
+            piece.mape = held_mape
+            held_points.extend(held)
+            held_coefs.extend([coef] * len(held))
+        model.pieces.append(piece)
+        model.n_train += piece.n_train
+    if not model.pieces:
+        return None
+    model.n_holdout = len(held_points)
+    if held_points:
+        errors = []
+        residual = 0.0
+        mean = sum(cycles for *_, cycles in held_points) / len(held_points)
+        total = 0.0
+        for coef, (_, b, c, cycles) in zip(held_coefs, held_points):
+            predicted = coef[0] + coef[1] * b + coef[2] * c
+            errors.append(abs(predicted - cycles) / cycles)
+            residual += (predicted - cycles) ** 2
+            total += (cycles - mean) ** 2
+        model.mape = sum(errors) / len(errors)
+        if total <= len(held_points) * (max_mape * mean) ** 2:
+            # Same degenerate-variance rule as _evaluate: no signal to
+            # explain, so R² is the pointwise-accuracy verdict.
+            model.r2 = 1.0 if max(errors) <= max_mape else 0.0
+        else:
+            model.r2 = 1.0 - residual / total
+    else:
+        # No holdout (tiny family): report the in-sample piece stats.
+        model.mape = max(piece.mape for piece in model.pieces)
+        model.r2 = min(piece.r2 for piece in model.pieces)
+    return model
+
+
+# -- the model ----------------------------------------------------------------
+
+
+class SurrogateModel:
+    """Per-path analytic bandwidth models with a validated domain.
+
+    Build one with :meth:`fit` (from a training sweep's specs and
+    samples) or load a persisted one through
+    :class:`~repro.analysis.surrogate_store.SurrogateStore`.  Serve
+    queries with :meth:`predict` / :meth:`predict_many`; feed simulated
+    out-of-domain results back with :meth:`observe` and :meth:`refit`.
+    """
+
+    def __init__(
+        self,
+        code_version: str,
+        paths: dict[str, PathModel],
+        points: dict[str, list[list[int]]],
+        labels: dict[str, str],
+        report: FitReport,
+        min_r2: float = MIN_R2,
+        max_mape: float = MAX_MAPE,
+    ):
+        self.code_version = code_version
+        self.paths = paths
+        self.points = points
+        self.labels = labels
+        self.report = report
+        self.min_r2 = min_r2
+        self.max_mape = max_mape
+        #: Observations appended since the last (re)fit.
+        self.pending = 0
+
+    # -- fitting -------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        specs: list[RunSpec],
+        samples: list[BandwidthSample | None],
+        code_version: str | None = None,
+        min_r2: float = MIN_R2,
+        max_mape: float = MAX_MAPE,
+    ) -> SurrogateModel:
+        """Fit from a training sweep: one (spec, sample) pair per
+        completed repetition (None samples — failed repetitions — are
+        skipped)."""
+        if code_version is None:
+            from repro.core.cache import repro_code_version
+
+            code_version = repro_code_version()
+        points: dict[str, list[list[int]]] = {}
+        labels: dict[str, str] = {}
+        for spec, sample in zip(specs, samples):
+            if sample is None:
+                continue
+            sig = signature(spec)
+            if sig is None:
+                continue
+            labels[sig.key] = sig.label
+            points.setdefault(sig.key, []).append(
+                [
+                    sig.element_bytes,
+                    sig.total_bytes,
+                    sig.total_commands,
+                    sample.cycles,
+                ]
+            )
+        model = cls(
+            code_version=code_version,
+            paths={},
+            points=points,
+            labels=labels,
+            report=FitReport(),
+            min_r2=min_r2,
+            max_mape=max_mape,
+        )
+        model.refit()
+        return model
+
+    def refit(self) -> None:
+        """(Re)fit every family from the accumulated training points —
+        called after :meth:`observe` grew the training set."""
+        self.paths = {}
+        report = FitReport()
+        report.n_points = sum(len(rows) for rows in self.points.values())
+        for key in sorted(self.points):
+            rows = [
+                (row[0], row[1], row[2], row[3])
+                for row in sorted(self.points[key])
+            ]
+            label = self.labels.get(key, key)
+            fitted = _fit_family(key, label, rows, self.min_r2, self.max_mape)
+            if fitted is None:
+                report.dropped.append((key, "quality gates"))
+                continue
+            self.paths[key] = fitted
+            report.entries.append(fitted)
+        self.report = report
+        self.pending = 0
+
+    def observe(self, spec: RunSpec, sample: BandwidthSample) -> None:
+        """Add one simulated repetition to the training set (it takes
+        effect at the next :meth:`refit`)."""
+        sig = signature(spec)
+        if sig is None:
+            return
+        self.labels[sig.key] = sig.label
+        self.points.setdefault(sig.key, []).append(
+            [sig.element_bytes, sig.total_bytes, sig.total_commands, sample.cycles]
+        )
+        self.pending += 1
+
+    # -- serving -------------------------------------------------------------
+
+    def predict(self, spec: RunSpec) -> BandwidthSample | None:
+        """The surrogate's answer for a spec, or None when the spec is
+        outside the fitted, validated domain (callers must then fall
+        back to :func:`~repro.core.experiment.run_spec`)."""
+        sig = signature(spec)
+        if sig is None:
+            return None
+        path = self.paths.get(sig.key)
+        if path is None:
+            return None
+        piece = path.piece_for(
+            sig.element_bytes, sig.total_bytes, sig.total_commands
+        )
+        if piece is None:
+            return None
+        cycles = piece.predict_cycles(sig.total_bytes, sig.total_commands)
+        return BandwidthSample(
+            gbps=spec.config.clock.gbps(sig.total_bytes, cycles),
+            nbytes=sig.total_bytes,
+            cycles=cycles,
+            seed=spec.seed,
+        )
+
+    def predict_many(
+        self, specs: list[RunSpec]
+    ) -> list[BandwidthSample | None]:
+        """Batched :meth:`predict`: signatures are computed once per
+        spec and the per-path coefficient lookups are hoisted out of
+        the loop, so large query batches amortise everything but the
+        dot product itself."""
+        out: list[BandwidthSample | None] = [None] * len(specs)
+        paths = self.paths
+        last_key: str | None = None
+        last_path: PathModel | None = None
+        for index, spec in enumerate(specs):
+            sig = signature(spec)
+            if sig is None:
+                continue
+            if sig.key != last_key:
+                last_key = sig.key
+                last_path = paths.get(sig.key)
+            if last_path is None:
+                continue
+            piece = last_path.piece_for(
+                sig.element_bytes, sig.total_bytes, sig.total_commands
+            )
+            if piece is None:
+                continue
+            cycles = piece.predict_cycles(sig.total_bytes, sig.total_commands)
+            out[index] = BandwidthSample(
+                gbps=spec.config.clock.gbps(sig.total_bytes, cycles),
+                nbytes=sig.total_bytes,
+                cycles=cycles,
+                seed=spec.seed,
+            )
+        return out
+
+    def in_domain(self, spec: RunSpec) -> bool:
+        """Whether :meth:`predict` would serve this spec."""
+        sig = signature(spec)
+        if sig is None:
+            return False
+        path = self.paths.get(sig.key)
+        return path is not None and (
+            path.piece_for(sig.element_bytes, sig.total_bytes, sig.total_commands)
+            is not None
+        )
+
+    @property
+    def n_paths(self) -> int:
+        return len(self.paths)
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.paths)} fitted path(s), "
+            f"{sum(len(rows) for rows in self.points.values())} training "
+            f"point(s), code version {self.code_version[:12]}"
+        )
+
+    # -- persistence (see SurrogateStore) ------------------------------------
+
+    def to_payload(self) -> dict:
+        """The versioned JSON payload.  Pure function of the training
+        set and gates: same sweep, same bytes."""
+        return {
+            "format": 1,
+            "code_version": self.code_version,
+            "gates": {"min_r2": self.min_r2, "max_mape": self.max_mape},
+            "labels": {key: self.labels[key] for key in sorted(self.labels)},
+            "points": {
+                key: sorted(self.points[key]) for key in sorted(self.points)
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: object) -> SurrogateModel | None:
+        """Rebuild a model from a payload, or None when the payload is
+        not a valid format-1 model (corrupt files read as "no model",
+        which triggers a refit — never a crash)."""
+        if not isinstance(payload, dict) or payload.get("format") != 1:
+            return None
+        code_version = payload.get("code_version")
+        points = payload.get("points")
+        labels = payload.get("labels")
+        gates = payload.get("gates")
+        if (
+            not isinstance(code_version, str)
+            or not isinstance(points, dict)
+            or not isinstance(labels, dict)
+            or not isinstance(gates, dict)
+        ):
+            return None
+        clean: dict[str, list[list[int]]] = {}
+        for key, rows in points.items():
+            if not isinstance(key, str) or not isinstance(rows, list):
+                return None
+            clean_rows = []
+            for row in rows:
+                if (
+                    not isinstance(row, list)
+                    or len(row) != 4
+                    or not all(
+                        isinstance(value, int) and not isinstance(value, bool)
+                        for value in row
+                    )
+                ):
+                    return None
+                clean_rows.append(list(row))
+            clean[key] = clean_rows
+        min_r2 = gates.get("min_r2")
+        max_mape = gates.get("max_mape")
+        if not isinstance(min_r2, (int, float)) or not isinstance(
+            max_mape, (int, float)
+        ):
+            return None
+        model = cls(
+            code_version=code_version,
+            paths={},
+            points=clean,
+            labels={str(k): str(v) for k, v in labels.items()},
+            report=FitReport(),
+            min_r2=float(min_r2),
+            max_mape=float(max_mape),
+        )
+        model.refit()
+        return model

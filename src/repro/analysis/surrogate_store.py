@@ -1,0 +1,148 @@
+"""Persistence and training-sweep plumbing for the bandwidth surrogate.
+
+:class:`SurrogateStore` keeps one fitted
+:class:`~repro.analysis.surrogate.SurrogateModel` as versioned JSON on
+disk, keyed by the same code-version digest the
+:class:`~repro.core.cache.ResultCache` uses
+(:func:`~repro.core.cache.repro_code_version`): editing any model
+source changes the digest, a stored model stops matching, and
+:meth:`SurrogateStore.load` reports "no model" — the caller refits
+instead of serving numbers a code change may have invalidated.  Saves
+are atomic (same-directory temp file + ``os.replace``) and the payload
+is a canonical JSON rendering of the *training set*, so the same sweep
+always persists byte-identical bytes (fit determinism is tested on
+exactly this property).
+
+:func:`training_specs` builds the surrogate's training sweep: the exact
+:class:`~repro.core.experiment.RunSpec` population the ``reproduce``
+sweep itself would run, collected by driving the real experiment
+classes with a spec-collecting executor (so the training set can never
+drift from the sweep it is meant to answer, and a
+:class:`~repro.runtime.parallel.SweepExecutor` simulating it hits the
+same result cache / journal entries the sweep would).
+
+:func:`fit_surrogate` ties the two together: simulate (or cache-serve)
+the training sweep through an executor, fit, and return the model.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections.abc import Sequence
+
+from repro.analysis.surrogate import SurrogateModel
+from repro.core.cache import repro_code_version
+from repro.core.experiment import RunSpec
+
+#: Default on-disk location of the fitted model, next to the result
+#: cache (the two invalidate together, being keyed by the same digest).
+DEFAULT_SURROGATE_PATH = os.path.join(".repro-cache", "surrogate.json")
+
+
+class SurrogateStore:
+    """Versioned JSON persistence of one fitted surrogate model.
+
+    ``code_version`` defaults to :func:`~repro.core.cache.repro_code_version`;
+    tests pin it to exercise staleness without editing sources.
+    """
+
+    def __init__(self, path: str = DEFAULT_SURROGATE_PATH,
+                 code_version: str | None = None):
+        self.path = path
+        self.code_version = (
+            repro_code_version() if code_version is None else code_version
+        )
+
+    def load(self) -> SurrogateModel | None:
+        """The stored model, or None when there is nothing servable:
+        no file, unreadable/corrupt JSON, an unknown payload format, or
+        — the important case — a model fitted under a **different code
+        version** (stale models must be refitted, never reused)."""
+        try:
+            with open(self.path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        model = SurrogateModel.from_payload(payload)
+        if model is None or model.code_version != self.code_version:
+            return None
+        return model
+
+    def save(self, model: SurrogateModel) -> None:
+        """Atomically persist a model (last writer wins; a crashed run
+        never leaves a truncated file behind)."""
+        directory = os.path.dirname(self.path) or "."
+        os.makedirs(directory, exist_ok=True)
+        blob = json.dumps(
+            model.to_payload(), sort_keys=True, separators=(",", ":")
+        )
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=directory, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                handle.write(blob)
+                handle.write("\n")
+            os.replace(handle.name, self.path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def describe(self) -> str:
+        return f"{self.path} (code version {self.code_version[:12]})"
+
+
+class _SpecCollector:
+    """Executor stand-in that records every spec an experiment would
+    run instead of running it (the cells it returns are placeholders
+    nothing reads — experiments only store stats into tables)."""
+
+    def __init__(self) -> None:
+        self.specs: list[RunSpec] = []
+
+    def stats(self, specs: Sequence[RunSpec]) -> None:
+        self.specs.extend(specs)
+        return None
+
+
+def training_specs(preset: str) -> list[RunSpec]:
+    """Every RunSpec of the ``reproduce`` sweep at a preset, in sweep
+    order — the surrogate's training population.
+
+    Driving the real experiment classes (not a parallel description of
+    them) guarantees the fitted domain covers the sweep the model will
+    be asked to answer.
+    """
+    # Imported late: repro.reproduce imports this module for the
+    # --surrogate wiring, so a module-level import would be circular.
+    from repro.reproduce import sweep_experiments
+
+    collector = _SpecCollector()
+    for experiment in sweep_experiments(preset).values():
+        experiment.executor = collector
+        experiment.run()
+    return collector.specs
+
+
+def fit_surrogate(
+    executor, preset: str, code_version: str | None = None
+) -> SurrogateModel:
+    """Simulate (or cache-serve) the training sweep through an executor
+    and fit a model from it.
+
+    The executor's own surrogate, if any, is detached for the duration:
+    a training sweep must produce simulator truth, not model output.
+    """
+    specs = training_specs(preset)
+    previous = getattr(executor, "surrogate", None)
+    executor.surrogate = None
+    try:
+        samples = executor.samples(specs)
+    finally:
+        executor.surrogate = previous
+    return SurrogateModel.fit(specs, samples, code_version=code_version)

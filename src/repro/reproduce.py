@@ -55,6 +55,20 @@ run hazard-free, and a deliberately unsynchronised DMA pair must be
 flagged.  The sanitizer is a pure observer — with or without it, runs
 are byte-identical.
 
+``--surrogate[=fit|predict|auto]`` puts the analytic bandwidth
+surrogate (:mod:`repro.analysis.surrogate`) in front of the simulator:
+in-domain repetitions are answered by per-path fitted bandwidth laws in
+O(1), out-of-domain ones fall back to the DES (``auto``, the default
+mode, feeds fallbacks back into the training set and refits).  The
+model persists at ``--surrogate-path`` (default
+``<cache-dir>/surrogate.json``) keyed by code version; stale models
+are refitted.  Cached/journalled truth always wins over a prediction,
+and predictions are never persisted::
+
+    python -m repro.reproduce --quick --surrogate          # auto: fit or load, serve, refit
+    python -m repro.reproduce --quick --surrogate=fit      # force a fresh training sweep
+    python -m repro.reproduce --quick --surrogate=predict  # serve from the stored model only
+
 Exit status is non-zero if any paper claim fails to reproduce.
 """
 
@@ -90,6 +104,44 @@ PRESETS = {
     "default": ((128, 512, 1024, 4096, 16384), 6, 2 ** 20),
     "paper": ((128, 256, 512, 1024, 2048, 4096, 8192, 16384), 10, 2 ** 21),
 }
+
+
+def sweep_experiments(preset: str) -> dict:
+    """The five seed-swept DMA experiments of the reproduce sweep, in
+    sweep order, freshly constructed for a preset.
+
+    Single source of the sweep's geometry: :func:`run_all` runs these,
+    and the bandwidth surrogate's training population is collected from
+    these same objects
+    (:func:`repro.analysis.surrogate_store.training_specs`), so the
+    fitted domain can never drift from the sweep it answers.
+    """
+    sizes, repetitions, volume = PRESETS[preset]
+    return {
+        # Memory bandwidth barely depends on placement; fewer
+        # repetitions suffice (see SpeMemoryExperiment).
+        "memory": SpeMemoryExperiment(
+            element_sizes=sizes,
+            repetitions=min(3, repetitions),
+            bytes_per_spe=volume,
+        ),
+        "distance": PairDistanceExperiment(
+            element_sizes=(16384,), repetitions=repetitions,
+            bytes_per_spe=volume,
+        ),
+        "sync": PairSyncExperiment(
+            sync_policies=(1, 2, 4, 16, SYNC_AFTER_ALL),
+            element_sizes=tuple(sorted(set(sizes) | {512, 1024, 4096, 16384})),
+            repetitions=2,
+            bytes_per_spe=volume,
+        ),
+        "couples": CouplesExperiment(
+            element_sizes=sizes, repetitions=repetitions, bytes_per_spe=volume
+        ),
+        "cycle": CycleExperiment(
+            element_sizes=sizes, repetitions=repetitions, bytes_per_spe=volume
+        ),
+    }
 
 
 def _positive_int(text: str) -> int:
@@ -247,6 +299,28 @@ def parse_args(argv=None) -> argparse.Namespace:
         "with trace/fault/sanitizer observers always use reference)",
     )
     parser.add_argument(
+        "--surrogate",
+        nargs="?",
+        const="auto",
+        choices=("fit", "predict", "auto"),
+        default=None,
+        metavar="MODE",
+        help="answer in-domain repetitions from the analytic bandwidth "
+        "surrogate instead of simulating them: 'fit' refits from the "
+        "training sweep unconditionally, 'predict' serves the stored "
+        "model (fitting only when it is missing or stale), 'auto' "
+        "(the default with a bare --surrogate) additionally feeds "
+        "simulated fallbacks back into the model and persists the "
+        "grown fit",
+    )
+    parser.add_argument(
+        "--surrogate-path",
+        default=None,
+        metavar="PATH",
+        help="fitted-model location (default: surrogate.json inside "
+        "the cache directory)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="do not read or write the persistent result cache",
@@ -286,7 +360,7 @@ def run_all(
     and/or the persistent result cache); ``None`` keeps the historical
     inline-serial path.
     """
-    sizes, repetitions, volume = PRESETS[preset]
+    experiments = sweep_experiments(preset)
     os.makedirs(outdir, exist_ok=True)
     checks: list[validation.ClaimCheck] = []
 
@@ -320,11 +394,7 @@ def run_all(
     checks += guarded(lambda: validation.check_localstore(localstore))
 
     print("[3/8] SPE <-> memory (Figure 8)")
-    memory = execute(SpeMemoryExperiment(
-        element_sizes=sizes,
-        repetitions=min(3, repetitions),
-        bytes_per_spe=volume,
-    ))
+    memory = execute(experiments["memory"])
     _save_result(outdir, memory)
     checks += guarded(lambda: validation.check_spe_memory(memory))
     _write(
@@ -342,34 +412,22 @@ def run_all(
     )
 
     print("[4/8] pair distance (Figure 9 setup)")
-    distance = execute(PairDistanceExperiment(
-        element_sizes=(16384,), repetitions=repetitions, bytes_per_spe=volume
-    ))
+    distance = execute(experiments["distance"])
     _save_result(outdir, distance)
     checks += guarded(lambda: validation.check_pair_distance(distance))
 
     print("[5/8] sync delay (Figure 10)")
-    sync_sizes = tuple(sorted(set(sizes) | {512, 1024, 4096, 16384}))
-    sync = execute(PairSyncExperiment(
-        sync_policies=(1, 2, 4, 16, SYNC_AFTER_ALL),
-        element_sizes=sync_sizes,
-        repetitions=2,
-        bytes_per_spe=volume,
-    ))
+    sync = execute(experiments["sync"])
     _save_result(outdir, sync)
     checks += guarded(lambda: validation.check_pair_sync(sync))
 
     print("[6/8] couples (Figures 12/13)")
-    couples = execute(CouplesExperiment(
-        element_sizes=sizes, repetitions=repetitions, bytes_per_spe=volume
-    ))
+    couples = execute(experiments["couples"])
     _save_result(outdir, couples)
     checks += guarded(lambda: validation.check_couples(couples))
 
     print("[7/8] cycle (Figures 15/16)")
-    cycle = execute(CycleExperiment(
-        element_sizes=sizes, repetitions=repetitions, bytes_per_spe=volume
-    ))
+    cycle = execute(experiments["cycle"])
     _save_result(outdir, cycle)
     checks += guarded(lambda: validation.check_cycle(cycle, couples))
 
@@ -580,7 +638,50 @@ def main(argv=None) -> int:
         journal=journal,
     )
     try:
+        if args.surrogate:
+            from repro.analysis.surrogate_store import (
+                SurrogateStore,
+                fit_surrogate,
+            )
+
+            surrogate_path = args.surrogate_path or os.path.join(
+                args.cache_dir, "surrogate.json"
+            )
+            surrogate_store = SurrogateStore(surrogate_path)
+            model = (
+                None if args.surrogate == "fit" else surrogate_store.load()
+            )
+            if model is None:
+                reason = (
+                    "refit requested" if args.surrogate == "fit"
+                    else f"no servable model at {surrogate_path}"
+                )
+                print(
+                    f"surrogate: fitting from the {preset!r} training "
+                    f"sweep ({reason})"
+                )
+                model = fit_surrogate(executor, preset)
+                surrogate_store.save(model)
+                print(model.report.summary())
+            else:
+                print(
+                    f"surrogate: loaded {model.describe()} "
+                    f"from {surrogate_path}"
+                )
+            executor.surrogate = model
         checks = run_all(preset, args.outdir, executor=executor)
+        if (
+            executor.surrogate is not None
+            and args.surrogate == "auto"
+            and executor.surrogate.pending
+        ):
+            grown = executor.surrogate.pending
+            executor.surrogate.refit()
+            surrogate_store.save(executor.surrogate)
+            print(
+                f"surrogate: refitted with {grown} fallback "
+                f"observation(s); now {executor.surrogate.describe()}"
+            )
     finally:
         executor.close()
         if journal is not None:

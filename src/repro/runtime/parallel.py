@@ -21,7 +21,14 @@ deterministic and bit-identical to the serial path:
 * a :class:`~repro.runtime.journal.SweepJournal` can be attached:
   every completed repetition is appended to it the moment its sample
   exists, and journalled repetitions are replayed on a later run — the
-  crash-safe ``--resume`` story.
+  crash-safe ``--resume`` story;
+* a fitted :class:`~repro.analysis.surrogate.SurrogateModel` can be
+  attached (:attr:`SweepExecutor.surrogate`): repetitions inside its
+  validated domain are answered analytically in O(1) — after the
+  journal and cache, before any simulation — while out-of-domain
+  repetitions simulate and feed their truth back into the model's
+  training set.  Predicted samples are never written to the cache or
+  the journal, so both stores stay pure simulator truth.
 
 With ``jobs=1`` no pool is created and repetitions run inline — the
 historical serial path, used as the determinism oracle by the tests.
@@ -189,6 +196,14 @@ class SweepExecutor:
         self.simulated = 0
         self.retried = 0
         self.journal_hits = 0
+        #: Optional :class:`~repro.analysis.surrogate.SurrogateModel`.
+        #: When attached, in-domain repetitions are answered by the
+        #: model (after journal/cache, before any simulation) and
+        #: out-of-domain repetitions simulate as usual, feeding their
+        #: samples back into the model's training set.
+        self.surrogate = None
+        self.surrogate_hits = 0
+        self.surrogate_fallbacks = 0
         self.failures: list[SpecFailure] = []
         self._pending: list[RunSpec] = []
         self._pool = None
@@ -269,7 +284,7 @@ class SweepExecutor:
         propagates.  Holes (``None``) only appear in
         ``partial_results`` mode.
         """
-        cache, journal = self.cache, self.journal
+        cache, journal, surrogate = self.cache, self.journal, self.surrogate
         out: list[BandwidthSample | None] = [None] * len(specs)
         misses: list[int] = []
         # Compute each key once and thread it through get *and* the
@@ -298,6 +313,17 @@ class SweepExecutor:
                     if journal is not None:
                         journal.record(spec, sample, key=jkeys[index])
                     continue
+            if surrogate is not None:
+                sample = surrogate.predict(spec)
+                if sample is not None:
+                    # Served from the fitted model.  Predicted samples
+                    # are NEVER written to the cache or the journal:
+                    # both stores hold simulator truth only, so a
+                    # surrogate-off rerun stays byte-identical.
+                    self.surrogate_hits += 1
+                    out[index] = sample
+                    continue
+                self.surrogate_fallbacks += 1
             misses.append(index)
         if misses:
             work = [(index, specs[index]) for index in misses]
@@ -315,6 +341,10 @@ class SweepExecutor:
                     journal.record(specs[index], sample, key=jkeys[index])
                 if cache is not None:
                     cache.put(specs[index], sample, key=ckeys[index])
+                if surrogate is not None:
+                    # Out-of-domain fallback: the simulated truth grows
+                    # the training set (served at the next refit).
+                    surrogate.observe(specs[index], sample)
             if failures:
                 self._conclude(failures, out, len(specs))
         return out
@@ -526,6 +556,11 @@ class SweepExecutor:
             parts.append(f"retried={self.retried}")
         if self.journal is not None:
             parts.append(f"journal: {self.journal_hits} replayed")
+        if self.surrogate is not None:
+            parts.append(
+                f"surrogate: {self.surrogate_hits} served / "
+                f"{self.surrogate_fallbacks} simulated fallback(s)"
+            )
         if self.cache is not None:
             parts.append(f"cache: {self.cache.describe()}")
         if self.failures:

@@ -36,6 +36,7 @@ oracle, gated by ``tests/test_engine_fast.py``):
 
 from __future__ import annotations
 
+import sys
 from heapq import heappush
 from typing import Any
 from collections.abc import Callable
@@ -47,6 +48,10 @@ from repro.sim.trace import TraceRecorder
 
 #: The engines a driver may request.
 ENGINES = ("reference", "fast")
+
+#: Whether the observer-downgrade warning already fired this process
+#: (one line per run, not one per chip — a sweep builds thousands).
+_downgrade_warned = False
 
 
 def resolve_engine(
@@ -61,13 +66,26 @@ def resolve_engine(
     one by one, so any attached-and-enabled observer (trace recorder,
     fault engine, DMA sanitizer) downgrades ``fast`` to ``reference``
     for the whole run.  Results are identical either way — the fallback
-    only costs speed, never bytes.
+    only costs speed, never bytes — but it is announced once on stderr
+    so nobody mistakes an observed run for a fast-engine benchmark.
     """
+    global _downgrade_warned
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     if engine == "fast":
-        for observer in (trace, faults, sanitizer):
+        for name, observer in (
+            ("trace", trace), ("faults", faults), ("sanitizer", sanitizer)
+        ):
             if observer is not None and observer.enabled:
+                if not _downgrade_warned:
+                    _downgrade_warned = True
+                    print(
+                        "warning: engine 'fast' downgraded to 'reference' "
+                        f"because {name} observation is enabled (observers "
+                        "need per-event resolution; results are identical, "
+                        "only speed differs)",
+                        file=sys.stderr,
+                    )
                 return "reference"
     return engine
 

@@ -68,6 +68,31 @@ class TestResolveEngine:
         assert resolve_engine("fast", faults=faults) == "reference"
         assert resolve_engine("fast", sanitizer=DmaSanitizer()) == "reference"
 
+    def test_downgrade_warns_once_on_stderr(self, capsys):
+        # The downgrade must be announced — once per process, on stderr
+        # — so nobody mistakes an observed run for a fast-engine
+        # benchmark.  Later downgrades stay silent (a sweep resolves
+        # the engine thousands of times).
+        import repro.sim.engine_fast as engine_fast
+
+        engine_fast._downgrade_warned = False
+        assert resolve_engine("fast", trace=TraceRecorder()) == "reference"
+        assert resolve_engine("fast", trace=TraceRecorder()) == "reference"
+        assert (
+            resolve_engine("fast", sanitizer=DmaSanitizer()) == "reference"
+        )
+        err = capsys.readouterr().err
+        assert err.count("downgraded to 'reference'") == 1
+        assert "trace" in err
+
+    def test_no_warning_without_downgrade(self, capsys):
+        import repro.sim.engine_fast as engine_fast
+
+        engine_fast._downgrade_warned = False
+        assert resolve_engine("fast") == "fast"
+        assert resolve_engine("reference", trace=TraceRecorder()) == "reference"
+        assert capsys.readouterr().err == ""
+
     def test_chip_applies_the_downgrade(self):
         # CellChip(engine="fast") with an enabled observer silently runs
         # the reference engine — same results, per-event resolution.

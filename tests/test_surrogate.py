@@ -1,0 +1,322 @@
+"""Gates for the analytic bandwidth surrogate
+(:mod:`repro.analysis.surrogate` / :mod:`repro.analysis.surrogate_store`).
+
+The contract under test:
+
+* **fit determinism** — the same training sweep persists byte-identical
+  model files (the payload is a pure function of the training set);
+* **fit quality** — every fitted path reports R² ≥ 0.99 and
+  MAPE ≤ 2% against held-out DES points for the paper shapes, across
+  the issue-bound/transfer-bound regime break;
+* **validated domain** — out-of-domain specs are refused by the model
+  and simulated by the executor, byte-identical to a surrogate-off run,
+  and their truth feeds the training set;
+* **staleness** — a stored model fitted under a different code version
+  is never served;
+* **purity** — surrogate-served samples are never written to the result
+  cache or the sweep journal.
+"""
+
+import json
+import os
+
+from repro.analysis.surrogate import (
+    SurrogateModel,
+    signature,
+)
+from repro.analysis.surrogate_store import SurrogateStore
+from repro.cell.config import CellConfig
+from repro.core.cache import ResultCache
+from repro.core.experiment import (
+    MAX_COMMANDS,
+    MIN_COMMANDS,
+    RunSpec,
+    run_spec,
+)
+from repro.core.kernels import DmaWorkload
+from repro.runtime.parallel import SweepExecutor
+
+CONFIG = CellConfig.paper_blade()
+
+#: Small per-SPE volume keeps the DES side of these tests fast; the
+#: surrogate is size-blind.
+VOLUME = 2 ** 19
+
+
+def n_elements_for(element_bytes: int) -> int:
+    return max(MIN_COMMANDS, min(MAX_COMMANDS, VOLUME // element_bytes))
+
+
+def spec_for(
+    element_bytes,
+    seed=1000,
+    direction="get",
+    n_spes=1,
+    partner_logical=None,
+    sync_every=None,
+    mode="elem",
+    n_elements=None,
+):
+    workload = DmaWorkload(
+        direction=direction,
+        element_bytes=element_bytes,
+        n_elements=(
+            n_elements_for(element_bytes) if n_elements is None else n_elements
+        ),
+        mode=mode,
+        sync_every=sync_every,
+        partner_logical=partner_logical,
+    )
+    return RunSpec(
+        config=CONFIG,
+        seed=seed,
+        assignments=tuple((logical, workload) for logical in range(n_spes)),
+    )
+
+
+def fit_on(specs, code_version="pinned"):
+    samples = [run_spec(spec, engine="fast") for spec in specs]
+    return SurrogateModel.fit(specs, samples, code_version=code_version), samples
+
+
+#: The paper shapes, crossing the small-element (issue-bound) and
+#: large-element (transfer-bound) regimes that force piecewise fits.
+PAPER_SIZES = (512, 1024, 2048, 4096, 8192, 16384)
+
+
+class TestFitQuality:
+    def test_paper_shapes_meet_the_gates_on_holdout(self):
+        # One memory stream, one contended 8-SPE stream, one SPE pair:
+        # the three path kinds of the paper's DMA figures, each across
+        # the regime break.
+        specs = []
+        for elem in PAPER_SIZES:
+            for seed in (1000, 1001):
+                specs.append(spec_for(elem, seed=seed))
+                specs.append(
+                    spec_for(elem, seed=seed, direction="copy", n_spes=8)
+                )
+                specs.append(
+                    spec_for(
+                        elem, seed=seed, direction="copy", partner_logical=1
+                    )
+                )
+        model, _ = fit_on(specs)
+        assert model.n_paths > 0
+        for entry in model.report.entries:
+            assert entry.r2 >= model.min_r2, entry.label
+            assert entry.mape <= model.max_mape, entry.label
+        # Families with enough points must actually have been
+        # cross-validated, not just fitted in-sample.
+        assert any(entry.n_holdout > 0 for entry in model.report.entries)
+
+    def test_regime_break_forces_piecewise_fit(self):
+        # A single family spanning 512 B..16 KiB cannot be one linear
+        # law (cycles plateau when issue-bound); the adaptive
+        # segmentation must produce several pieces, each in-gate.
+        specs = [spec_for(elem, seed=1000) for elem in PAPER_SIZES]
+        model, samples = fit_on(specs)
+        sig = signature(specs[0])
+        path = model.paths[sig.key]
+        assert len(path.pieces) >= 2
+        for spec, sample in zip(specs, samples):
+            predicted = model.predict(spec)
+            if predicted is None:  # held-out hull edge: fallback, fine
+                continue
+            assert abs(predicted.cycles - sample.cycles) / sample.cycles <= (
+                model.max_mape + 1e-9
+            )
+
+    def test_prediction_bandwidth_is_consistent(self):
+        specs = [spec_for(elem) for elem in (1024, 4096, 16384)]
+        model, _ = fit_on(specs)
+        for spec in specs:
+            predicted = model.predict(spec)
+            assert predicted is not None
+            sig = signature(spec)
+            assert predicted.nbytes == sig.total_bytes
+            assert predicted.seed == spec.seed
+            assert predicted.gbps == spec.config.clock.gbps(
+                predicted.nbytes, predicted.cycles
+            )
+
+
+class TestFitDeterminism:
+    def test_same_sweep_persists_byte_identical_models(self, tmp_path):
+        specs = [
+            spec_for(elem, seed=seed)
+            for elem in (1024, 4096, 16384)
+            for seed in (1000, 1001)
+        ]
+        model_a, _ = fit_on(specs)
+        model_b, _ = fit_on(list(reversed(specs)))
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        SurrogateStore(str(path_a), code_version="pinned").save(model_a)
+        SurrogateStore(str(path_b), code_version="pinned").save(model_b)
+        assert path_a.read_bytes() == path_b.read_bytes()
+
+    def test_predictions_are_deterministic(self):
+        specs = [spec_for(elem) for elem in (1024, 16384)]
+        model_a, _ = fit_on(specs)
+        model_b, _ = fit_on(specs)
+        for spec in specs:
+            assert model_a.predict(spec) == model_b.predict(spec)
+
+
+class TestValidatedDomain:
+    def test_unfitted_family_is_refused(self):
+        model, _ = fit_on([spec_for(1024), spec_for(16384)])
+        # Different direction => different family => no model.
+        assert model.predict(spec_for(1024, direction="put")) is None
+        assert not model.in_domain(spec_for(1024, direction="put"))
+
+    def test_untrained_element_size_is_refused(self):
+        # Two trained sizes are below the interpolation threshold, so
+        # only exactly those sizes are served — 2 KiB (between them)
+        # must fall back to the DES.
+        model, _ = fit_on([spec_for(1024), spec_for(16384)])
+        assert model.predict(spec_for(1024)) is not None
+        assert model.predict(spec_for(2048)) is None
+
+    def test_volume_outside_hull_is_refused(self):
+        model, _ = fit_on([spec_for(1024), spec_for(16384)])
+        doubled = spec_for(1024, n_elements=2 * n_elements_for(1024))
+        assert model.predict(doubled) is None
+
+    def test_heterogeneous_workloads_have_no_signature(self):
+        fast = DmaWorkload(
+            direction="get", element_bytes=1024, n_elements=64
+        )
+        slow = DmaWorkload(
+            direction="get", element_bytes=16384, n_elements=32
+        )
+        spec = RunSpec(
+            config=CONFIG, seed=1000, assignments=((0, fast), (1, slow))
+        )
+        assert signature(spec) is None
+        model, _ = fit_on([spec_for(1024)])
+        assert model.predict(spec) is None
+
+    def test_out_of_domain_fallback_is_byte_identical(self):
+        model, _ = fit_on([spec_for(1024), spec_for(16384)])
+        fallback_specs = [
+            spec_for(2048),
+            spec_for(4096, direction="copy", partner_logical=1),
+        ]
+        with SweepExecutor(jobs=1, cache=None) as executor:
+            baseline = executor.samples(list(fallback_specs))
+        with SweepExecutor(jobs=1, cache=None) as executor:
+            executor.surrogate = model
+            surrogated = executor.samples(list(fallback_specs))
+            assert executor.surrogate_hits == 0
+            assert executor.surrogate_fallbacks == len(fallback_specs)
+        assert surrogated == baseline
+
+    def test_fallback_feeds_the_training_set(self):
+        model, _ = fit_on([spec_for(1024), spec_for(16384)])
+        target = spec_for(2048)
+        assert model.predict(target) is None
+        with SweepExecutor(jobs=1, cache=None) as executor:
+            executor.surrogate = model
+            (sample,) = executor.samples([target])
+        assert model.pending == 1
+        model.refit()
+        predicted = model.predict(target)
+        assert predicted is not None
+        assert predicted.cycles == sample.cycles
+
+
+class TestExecutorIntegration:
+    def test_in_domain_repetitions_are_served_not_simulated(self):
+        specs = [spec_for(1024), spec_for(16384)]
+        model, samples = fit_on(specs)
+        with SweepExecutor(jobs=1, cache=None) as executor:
+            executor.surrogate = model
+            served = executor.samples(list(specs))
+            assert executor.surrogate_hits == len(specs)
+            assert executor.simulated == 0
+            assert "surrogate: 2 served" in executor.describe()
+        for sample, truth in zip(served, samples):
+            assert sample.nbytes == truth.nbytes
+            assert abs(sample.cycles - truth.cycles) / truth.cycles <= 0.02
+
+    def test_served_samples_never_touch_cache_or_journal(self, tmp_path):
+        specs = [spec_for(1024), spec_for(16384)]
+        model, _ = fit_on(specs)
+        cache = ResultCache(str(tmp_path / "cache"), code_version="pinned")
+        journal_path = str(tmp_path / "journal.jsonl")
+        with SweepExecutor(jobs=1, cache=cache, journal=journal_path) as executor:
+            executor.surrogate = model
+            executor.samples(list(specs))
+            assert executor.surrogate_hits == len(specs)
+        entries = [
+            name
+            for _, _, names in os.walk(tmp_path / "cache")
+            for name in names
+            if name.endswith(".json")
+        ]
+        assert entries == []
+        assert (
+            not os.path.exists(journal_path)
+            or open(journal_path).read() == ""
+        )
+
+    def test_cache_hits_win_over_the_surrogate(self, tmp_path):
+        # An exact cached sample must be preferred to a prediction.
+        spec = spec_for(1024)
+        model, _ = fit_on([spec])
+        cache = ResultCache(str(tmp_path), code_version="pinned")
+        truth = run_spec(spec, engine="fast")
+        cache.put(spec, truth)
+        with SweepExecutor(jobs=1, cache=cache) as executor:
+            executor.surrogate = model
+            (sample,) = executor.samples([spec])
+            assert executor.surrogate_hits == 0
+        assert sample == truth
+
+    def test_predict_many_matches_predict(self):
+        specs = [
+            spec_for(elem, seed=seed)
+            for elem in (1024, 2048, 16384)
+            for seed in (1000, 1001)
+        ]
+        model, _ = fit_on([spec_for(1024), spec_for(16384)])
+        assert model.predict_many(specs) == [
+            model.predict(spec) for spec in specs
+        ]
+
+
+class TestStore:
+    def test_round_trip_serves_identically(self, tmp_path):
+        specs = [spec_for(elem) for elem in (1024, 4096, 16384)]
+        model, _ = fit_on(specs)
+        store = SurrogateStore(
+            str(tmp_path / "model.json"), code_version="pinned"
+        )
+        store.save(model)
+        loaded = store.load()
+        assert loaded is not None
+        assert loaded.n_paths == model.n_paths
+        for spec in specs:
+            assert loaded.predict(spec) == model.predict(spec)
+
+    def test_stale_code_version_is_not_served(self, tmp_path):
+        model, _ = fit_on([spec_for(1024)], code_version="old-code")
+        path = str(tmp_path / "model.json")
+        SurrogateStore(path, code_version="old-code").save(model)
+        assert SurrogateStore(path, code_version="old-code").load() is not None
+        # The same file under the current (different) code version must
+        # read as "no model" — refit, never reuse.
+        assert SurrogateStore(path, code_version="new-code").load() is None
+
+    def test_missing_and_corrupt_files_read_as_no_model(self, tmp_path):
+        path = str(tmp_path / "model.json")
+        store = SurrogateStore(path, code_version="pinned")
+        assert store.load() is None
+        with open(path, "w") as handle:
+            handle.write('{"format": 99, "truncated')
+        assert store.load() is None
+        with open(path, "w") as handle:
+            json.dump({"format": 1, "points": "nonsense"}, handle)
+        assert store.load() is None
