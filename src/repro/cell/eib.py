@@ -106,10 +106,10 @@ class Eib:
                 )
         self._out_busy: dict[str, bool] = {node: False for node in topology.order}
         self._in_busy: dict[str, bool] = {node: False for node in topology.order}
-        # Reference waiters are Events; coalescing-engine waiters are
-        # actors.  Both answer succeed(grant), which is all the drain
-        # uses.
-        self._waiters: deque[tuple[Completion, str, str]] = deque()
+        # Reference waiters are (Event, src, dst); coalescing-engine
+        # waiters are (actor, src, dst, leg).  Only one kind ever lives
+        # in the deque — an environment is wholly one engine.
+        self._waiters: deque[tuple] = deque()
         self._span_sets: dict[tuple[str, str, int], frozenset] = {}
         self._rates: dict[tuple[str, str], float] = {}
         # Coalescing-engine memos: the pure-topology part of _try_grant
@@ -118,6 +118,25 @@ class Eib:
         # tables cannot drift from the reference decision code.
         self._fast_choices: dict[tuple[str, str], tuple] = {}
         self._chunk_plans: dict[tuple[str, str, int], tuple] = {}
+        if env.coalescing:
+            # Bitmask twin of the arbitration state, one int op where the
+            # reference keeps sets and dicts.  Spans and nodes each get a
+            # unique bit, so mask disjointness is exactly frozenset
+            # disjointness and a busy-port probe is one AND.  The leg
+            # table folds choices, port bits, chunk plan and the
+            # memory-side flag into one tuple per (src, dst, nbytes).
+            self._fast_occ: list[int] = [0] * len(self.rings)
+            self._fast_nact: list[int] = [0] * len(self.rings)
+            self._fast_max: int = config.eib.max_transfers_per_ring
+            self._fast_out: int = 0
+            self._fast_in: int = 0
+            self._node_bits: dict[str, int] = {
+                node: 1 << i for i, node in enumerate(topology.order)
+            }
+            self._span_bits: dict = {}
+            self._fast_leg_memo: dict[tuple[str, str, int], tuple] = {}
+            self._fast_retry: int = config.eib.conflict_retry_cycles
+            self._contend_memo: dict[tuple, int] = {}
         # Statistics the analysis layer reads.
         self.grants = 0
         self.conflicts = 0
@@ -231,6 +250,50 @@ class Eib:
             plan = tuple(built)
             self._chunk_plans[key] = plan
         return plan
+
+    def fast_leg(self, src: str, dst: str, nbytes: int) -> tuple:
+        """The coalescing engine's whole-leg record, memoised per
+        (src, dst, nbytes)::
+
+            (choices, srcbit, ~srcbit, dstbit, ~dstbit, plan, memory_side)
+
+        where ``choices`` is ``(ring index, span mask, ~span mask, hop
+        latency)`` per candidate in :meth:`fast_path_choices` order and
+        ``plan`` is :meth:`fast_chunks`.  Every mask is derived from the
+        reference span sets with one unique bit per span, so mask
+        disjointness *is* span-set disjointness — the decision table
+        cannot drift from the reference decision code."""
+        key = (src, dst, nbytes)
+        leg = self._fast_leg_memo.get(key)
+        if leg is None:
+            span_bits = self._span_bits
+            built = []
+            for ring, _spans, span_set, latency in self.fast_path_choices(src, dst):
+                mask = 0
+                for span in span_set:
+                    bit = span_bits.get(span)
+                    if bit is None:
+                        bit = 1 << len(span_bits)
+                        span_bits[span] = bit
+                    mask |= bit
+                built.append((self.rings.index(ring), mask, ~mask, latency))
+            srcbit = self._node_bits[src]
+            dstbit = self._node_bits[dst]
+            memory_side = (
+                src in ("MIC", "IOIF0", "IOIF1")
+                or dst in ("MIC", "IOIF0", "IOIF1")
+            )
+            leg = (
+                tuple(built),
+                srcbit,
+                ~srcbit,
+                dstbit,
+                ~dstbit,
+                self.fast_chunks(src, dst, nbytes),
+                memory_side,
+            )
+            self._fast_leg_memo[key] = leg
+        return leg
 
     def utilization(self) -> dict[str, float]:
         """Busy fraction of each ring over the run so far."""
@@ -376,6 +439,93 @@ class Eib:
                     * self._contending_flows(grant)
                 )
             event.succeed(grant)
+
+    def _drain_waiters_fast(self) -> None:
+        """:meth:`_drain_waiters` for coalescing-engine waiters — same
+        FIFO scan, same commit-before-resume discipline, run over the
+        bitmask twin of the arbitration state.  A granted waiter gets
+        ``(ring index, ~span mask, hop latency, penalty)`` as its value;
+        its ``_eib_granted`` continuation is popped off the heap exactly
+        where the reference pops the grant event."""
+        waiters = self._waiters
+        out_mask = self._fast_out
+        in_mask = self._fast_in
+        occ = self._fast_occ
+        nact = self._fast_nact
+        maxt = self._fast_max
+        granted: list[tuple] | None = None
+        taken: set[int] = set()
+        # Scan in place: the common outcome is "nothing grantable", and
+        # leaving the deque untouched then is far cheaper than the
+        # pop-and-reappend rebuild (the result is identical — the old
+        # loop reassembled the same deque minus the granted entries, in
+        # order).
+        for index, waiter in enumerate(waiters):
+            actor, src, dst, leg = waiter
+            srcbit = leg[1]
+            dstbit = leg[3]
+            if out_mask & srcbit | in_mask & dstbit:
+                continue
+            for ri, mask, notmask, latency in leg[0]:
+                if nact[ri] < maxt and not occ[ri] & mask:
+                    occ[ri] |= mask
+                    nact[ri] += 1
+                    out_mask |= srcbit
+                    in_mask |= dstbit
+                    if granted is None:
+                        granted = []
+                    granted.append((actor, ri, notmask, latency, leg, src, dst))
+                    taken.add(index)
+                    break
+        self._fast_out = out_mask
+        self._fast_in = in_mask
+        if granted is None:
+            return
+        self._waiters = deque(
+            waiter
+            for index, waiter in enumerate(waiters)
+            if index not in taken
+        )
+        retry = self._fast_retry
+        rings = self.rings
+        for actor, ri, notmask, latency, leg, src, dst in granted:
+            if leg[6]:
+                penalty = 0
+            else:
+                penalty = retry * self._contending_flows_fast(
+                    src, dst, rings[ri].direction
+                )
+            actor.succeed((ri, notmask, latency, penalty))
+
+    def _contending_flows_fast(self, gsrc: str, gdst: str, direction: int) -> int:
+        """:meth:`_contending_flows` with the per-flow-pair verdict
+        memoised — the verdict is pure topology (the reference helpers
+        compute it on first sight of a pair), only the set of waiting
+        flows changes over time."""
+        flows = {
+            (src, dst)
+            for _actor, src, dst, _leg in self._waiters
+            if (src, dst) != (gsrc, gdst)
+        }
+        count = 0
+        memo = self._contend_memo
+        for src, dst in flows:
+            key = (gsrc, gdst, direction, src, dst)
+            verdict = memo.get(key)
+            if verdict is None:
+                if src == gsrc or dst == gdst:
+                    verdict = 1
+                elif direction in self.topology.directions_by_distance(
+                    src, dst
+                ) and not self._span_set(gsrc, gdst, direction).isdisjoint(
+                    self._span_set(src, dst, direction)
+                ):
+                    verdict = 1
+                else:
+                    verdict = 0
+                memo[key] = verdict
+            count += verdict
+        return count
 
     def _contending_flows(self, grant: TransferGrant) -> int:
         """Distinct other flows still waiting that this grant is holding

@@ -79,7 +79,13 @@ class MemoryBank:
         self.config = config
         self._pending: deque[Any] = deque()
         self._wakeup: Event | None = None
-        self._recent: deque[str] = deque(maxlen=config.memory.requester_window)
+        # The requester-recency window, with the distinct count kept
+        # incrementally (same semantics as a maxlen deque plus
+        # len(set(...)), without the per-service set build).
+        self._recent: deque[str] = deque()
+        self._recent_window = config.memory.requester_window
+        self._recent_counts: dict[str, int] = {}
+        self._recent_distinct = 0
         self._prev_requester: str | None = None
         self._prev_direction: str | None = None
         self.bytes_served = 0
@@ -94,6 +100,10 @@ class MemoryBank:
         self._transfer_memo: dict[tuple[int, bool], int] = {}
         self._turnaround_memo: dict[int, int] = {}
         self._switch_memo: dict[tuple[int, int], int] = {}
+        # Coalescing-engine table: total service cycles keyed by the
+        # full decision input (nbytes, duplex, turnaround kind, spread)
+        # — one lookup where _plan_service takes up to three.
+        self._fast_plan: dict[tuple[int, bool, int, int], int] = {}
         self._sched_window = config.memory.scheduler_window
         if env.coalescing:
             # The coalescing engine drives the bank as a flat actor
@@ -156,26 +166,94 @@ class MemoryBank:
             else:
                 # Idle bank, empty queue: this request is the only
                 # candidate — exactly what _pick would pop.
-                transfer, overhead, _reason = self._plan_service(request)
+                total = self._plan_fast(request)
                 self._fast_current = request
                 self._run_callbacks = self._fast_complete
                 env._sequence = sequence = env._sequence + 1
-                heappush(
-                    queue, (env.now + transfer + overhead, sequence, self)
-                )
+                heappush(queue, (env.now + total, sequence, self))
         else:
             self._pending.append(request)
 
     def _fast_start(self) -> None:
-        request = self._pick()
-        transfer, overhead, _reason = self._plan_service(request)
+        # _pick and _plan_fast inlined: this method runs once per bank
+        # service and the call overhead of the helpers is measurable at
+        # the storm scale.  The logic is line-for-line the same.
+        pending = self._pending
+        prev_requester = self._prev_requester
+        prev_direction = self._prev_direction
+        request = pending[0]
+        if (
+            len(pending) == 1
+            or (
+                request.requester != prev_requester
+                and request.direction != prev_direction
+            )
+        ):
+            # Sole candidate, or the front already scores 0 — the scan
+            # below would pick it and break on its first iteration.
+            pending.popleft()
+        else:
+            window = min(len(pending), self._sched_window)
+            best_index = 0
+            best_score = 4
+            index = 0
+            for candidate in pending:
+                if index == window:
+                    break
+                score = 0
+                if candidate.requester == prev_requester:
+                    score += 2
+                if candidate.direction == prev_direction:
+                    score += 1
+                if score < best_score:
+                    best_index, best_score = index, score
+                    if score == 0:
+                        break
+                index += 1
+            request = pending[best_index]
+            del pending[best_index]
+        # _recent_push, inlined.
+        requester = request.requester
+        recent = self._recent
+        counts = self._recent_counts
+        if len(recent) == self._recent_window:
+            evicted = recent.popleft()
+            left = counts[evicted] - 1
+            if left:
+                counts[evicted] = left
+            else:
+                del counts[evicted]
+                self._recent_distinct -= 1
+        recent.append(requester)
+        if requester in counts:
+            counts[requester] += 1
+        else:
+            counts[requester] = 1
+            self._recent_distinct += 1
+        # _plan_fast decision + memo lookup, inlined.
+        prev = self._prev_requester
+        prev_dir = self._prev_direction
+        duplex = bool(prev_dir) and request.direction != prev_dir
+        if requester == prev:
+            kind = 1
+            spread = 0
+        elif prev is not None:
+            kind = 2
+            spread = self._recent_distinct
+        else:
+            kind = 0
+            spread = 0
+        key = (request.nbytes, duplex, kind, spread)
+        total = self._fast_plan.get(key)
+        if total is None:
+            total = self._plan_fast_miss(key)
         self._fast_current = request
         self._run_callbacks = self._fast_complete
         # Occupancy monitors are a reference-engine observability
         # feature; the fast engine skips them (documented in MODEL.md).
         env = self.env
         env._sequence = sequence = env._sequence + 1
-        heappush(env._queue, (env.now + transfer + overhead, sequence, self))
+        heappush(env._queue, (env.now + total, sequence, self))
 
     def _fast_complete(self) -> None:
         request = self._fast_current
@@ -235,48 +313,77 @@ class MemoryBank:
         del pending[best_index]
         return chosen
 
-    def _plan_service(self, request: Any) -> tuple[int, int, str | None]:
-        """(service cycles, overhead cycles, turnaround reason) for the
-        next command, advancing the recency window and fault state.
-        Shared verbatim by the server generator and the fast path."""
-        self._recent.append(request.requester)
-        duplex = bool(self._prev_direction) and request.direction != self._prev_direction
-        tkey = (request.nbytes, duplex)
+    def _recent_push(self, requester: str) -> None:
+        """Advance the recency window, keeping the distinct-requester
+        count incrementally — identical to appending to a maxlen deque
+        and taking ``len(set(...))`` afterwards."""
+        recent = self._recent
+        counts = self._recent_counts
+        if len(recent) == self._recent_window:
+            evicted = recent.popleft()
+            left = counts[evicted] - 1
+            if left:
+                counts[evicted] = left
+            else:
+                del counts[evicted]
+                self._recent_distinct -= 1
+        recent.append(requester)
+        if requester in counts:
+            counts[requester] += 1
+        else:
+            counts[requester] = 1
+            self._recent_distinct += 1
+
+    def _transfer_cycles(self, nbytes: int, duplex: bool) -> int:
+        tkey = (nbytes, duplex)
         cached = self._transfer_memo.get(tkey)
         if cached is None:
             memcfg = self.config.memory
-            transfer = math.ceil(request.nbytes / self.peak)
+            cached = math.ceil(nbytes / self.peak)
             if duplex:
                 # Read/write alternation overlaps part of the service.
-                transfer = math.ceil(transfer * (1.0 - memcfg.duplex_overlap_fraction))
-            self._transfer_memo[tkey] = transfer
-        else:
-            transfer = cached
+                cached = math.ceil(cached * (1.0 - memcfg.duplex_overlap_fraction))
+            self._transfer_memo[tkey] = cached
+        return cached
+
+    def _turnaround_cycles(self, transfer: int) -> int:
+        cached = self._turnaround_memo.get(transfer)
+        if cached is None:
+            cached = round(
+                self.config.memory.same_requester_turnaround_fraction * transfer
+            )
+            self._turnaround_memo[transfer] = cached
+        return cached
+
+    def _switch_cycles(self, transfer: int, spread: int) -> int:
+        skey = (transfer, spread)
+        cached = self._switch_memo.get(skey)
+        if cached is None:
+            memcfg = self.config.memory
+            fraction = memcfg.requester_switch_fraction * (
+                1.0
+                + memcfg.requester_spread_factor
+                * max(0, spread - memcfg.requester_spread_threshold)
+            )
+            cached = round(fraction * transfer)
+            self._switch_memo[skey] = cached
+        return cached
+
+    def _plan_service(self, request: Any) -> tuple[int, int, str | None]:
+        """(service cycles, overhead cycles, turnaround reason) for the
+        next command, advancing the recency window and fault state.
+        Shared by the server generator and (via :meth:`_plan_fast`'s
+        identical arithmetic helpers) the fast path."""
+        self._recent_push(request.requester)
+        duplex = bool(self._prev_direction) and request.direction != self._prev_direction
+        transfer = self._transfer_cycles(request.nbytes, duplex)
         overhead = 0
         turnaround_reason = None
         if request.requester == self._prev_requester:
-            cached = self._turnaround_memo.get(transfer)
-            if cached is None:
-                cached = round(
-                    self.config.memory.same_requester_turnaround_fraction * transfer
-                )
-                self._turnaround_memo[transfer] = cached
-            overhead = cached
+            overhead = self._turnaround_cycles(transfer)
             turnaround_reason = "same-requester"
         elif self._prev_requester is not None:
-            spread = len(set(self._recent))
-            skey = (transfer, spread)
-            cached = self._switch_memo.get(skey)
-            if cached is None:
-                memcfg = self.config.memory
-                fraction = memcfg.requester_switch_fraction * (
-                    1.0
-                    + memcfg.requester_spread_factor
-                    * max(0, spread - memcfg.requester_spread_threshold)
-                )
-                cached = round(fraction * transfer)
-                self._switch_memo[skey] = cached
-            overhead = cached
+            overhead = self._switch_cycles(transfer, self._recent_distinct)
             turnaround_reason = "switch"
         if self._faulting:
             # ECC scrub-and-retry: the command's data was corrupt
@@ -286,6 +393,45 @@ class MemoryBank:
                 overhead += retry
                 self.fault_cycles += retry
         return transfer, overhead, turnaround_reason
+
+    def _plan_fast(self, request: Any) -> int:
+        """Total service cycles for the fast engine: the decisions and
+        arithmetic of :meth:`_plan_service` collapsed into one memoised
+        lookup keyed by the full decision input.  The fast engine never
+        runs with faults enabled (resolve_engine), so the fault branch
+        is dropped."""
+        self._recent_push(request.requester)
+        prev_requester = self._prev_requester
+        prev_direction = self._prev_direction
+        duplex = bool(prev_direction) and request.direction != prev_direction
+        if request.requester == prev_requester:
+            kind = 1
+            spread = 0
+        elif prev_requester is not None:
+            kind = 2
+            spread = self._recent_distinct
+        else:
+            kind = 0
+            spread = 0
+        key = (request.nbytes, duplex, kind, spread)
+        total = self._fast_plan.get(key)
+        if total is None:
+            total = self._plan_fast_miss(key)
+        return total
+
+    def _plan_fast_miss(self, key: tuple[int, bool, int, int]) -> int:
+        """Cold path of the fast-plan memo: compose the total from the
+        same arithmetic helpers the reference planner uses."""
+        nbytes, duplex, kind, spread = key
+        transfer = self._transfer_cycles(nbytes, duplex)
+        if kind == 1:
+            total = transfer + self._turnaround_cycles(transfer)
+        elif kind == 2:
+            total = transfer + self._switch_cycles(transfer, spread)
+        else:
+            total = transfer
+        self._fast_plan[key] = total
+        return total
 
     def _finish_service(self, request: Any) -> None:
         """Post-service bookkeeping, shared by both engines."""
@@ -363,6 +509,10 @@ class MemorySystem:
         # in for which 64 KB page of its buffer a command touches.
         self._placement_accumulator: dict[str, float] = {}
         self._placement_fraction = config.memory.local_placement_fraction
+        # Placement decisions taken per requester — the fast-forward
+        # engine replays exactly this many accumulator updates per
+        # warped period (repro.sim.fastforward).
+        self._placement_calls: dict[str, int] = {}
 
     @property
     def banks(self) -> tuple["MemoryBank", "MemoryBank"]:
@@ -371,6 +521,9 @@ class MemorySystem:
     def assign_bank(self, requester: str) -> MemoryBank:
         """Bank holding the page the requester's next command touches."""
         fraction = self._placement_fraction
+        self._placement_calls[requester] = (
+            self._placement_calls.get(requester, 0) + 1
+        )
         # Start so the first page lands locally (Linux first-touch).
         acc = self._placement_accumulator.get(requester, 1.0 - fraction) + fraction
         if acc >= 1.0 - 1e-12:

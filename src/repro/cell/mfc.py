@@ -143,9 +143,10 @@ class Mfc:
             self._fast_eib = chip.eib
             self._fast_memory = chip.memory
             self._fast_mem_cycles: dict[int, int] = {}
-            # (src, dst, nbytes) -> (chunk plan, path choices): one
-            # lookup per EIB leg instead of two into the Eib memos.
-            self._fast_legs: dict[tuple[str, str, int], tuple] = {}
+            # Retired FastDmaCommand shells for reuse: a finished
+            # command is fully dead (no heap entry, no waiter list holds
+            # it), so the next issue restarts it instead of allocating.
+            self._fast_pool: list[FastDmaCommand] = []
         else:
             self._fast_slots = None
 
@@ -646,24 +647,83 @@ class _FastMover(FastActor):
         "requester",
         "direction",
         "done",
+        "_eib",
         "_eib_src",
         "_eib_dst",
         "_eib_after",
+        "_eib_leg",
         "_eib_plan",
         "_eib_choices",
+        "_eib_srcbit",
+        "_eib_dstbit",
+        "_eib_nsrc",
+        "_eib_ndst",
         "_eib_i",
-        "_eib_ring",
-        "_eib_span_set",
+        "_eib_ri",
+        "_eib_notmask",
         "_eib_wait_started",
     )
 
     # -- Mfc._move ---------------------------------------------------------------
 
     def _move_begin(self) -> None:
+        # _mv_paced and MemorySystem.assign_bank fused into the entry
+        # state: the common large-transfer path reaches the bank submit
+        # or the EIB leg without an intermediate frame.
+        mfc = self.mfc
         if self.nbytes < EFFICIENT_MIN_BYTES:
-            self._after(self.mfc._fast_small_penalty, self._mv_paced)
+            self._after(mfc._fast_small_penalty, self._mv_paced)
+            return
+        if self._mv_target is TargetKind.MAIN_MEMORY:
+            nbytes = self.nbytes
+            cycles = mfc._fast_mem_cycles.get(nbytes)
+            if cycles is None:
+                cycles = math.ceil(nbytes / mfc._fast_mem_rate)
+                mfc._fast_mem_cycles[nbytes] = cycles
+            env = self.env
+            now = env.now
+            free = mfc._memory_path_free_at
+            if free > now:
+                mfc._memory_path_free_at = free + cycles
+                # _after inlined.
+                self._run_callbacks = self._mv_route
+                env._sequence = sequence = env._sequence + 1
+                heappush(env._queue, (free, sequence, self))
+                return
+            mfc._memory_path_free_at = now + cycles
+            # _mv_route fused: the pacer granted dispatch immediately.
+            # assign_bank (Bresenham first-touch placement), inlined —
+            # including its per-requester call count, which fast-forward
+            # replays (repro.sim.fastforward).
+            memory = mfc._fast_memory
+            node = mfc.node
+            calls = memory._placement_calls
+            calls[node] = calls.get(node, 0) + 1
+            fraction = memory._placement_fraction
+            acc = (
+                memory._placement_accumulator.get(node, 1.0 - fraction)
+                + fraction
+            )
+            if acc >= 1.0 - 1e-12:
+                acc -= 1.0
+                bank = memory.local_bank
+            else:
+                bank = memory.remote_bank
+            memory._placement_accumulator[node] = acc
+            self._mv_bank = bank
+            if self._mv_direction is DmaDirection.GET:
+                self.direction = READ
+                self._run_callbacks = self._mv_read_done
+                bank.submit_fast(self)
+            else:
+                self._eib_begin(mfc.node, bank.node, self._mv_put_bank)
         else:
-            self._mv_paced()
+            if self._mv_remote == mfc.node:
+                raise CellError("LS-to-LS DMA with itself")
+            if self._mv_direction is DmaDirection.GET:
+                self._eib_begin(self._mv_remote, mfc.node, self._mv_done)
+            else:
+                self._eib_begin(mfc.node, self._mv_remote, self._mv_done)
 
     def _mv_paced(self) -> None:
         mfc = self.mfc
@@ -675,12 +735,12 @@ class _FastMover(FastActor):
                 mfc._fast_mem_cycles[nbytes] = cycles
             now = self.env.now
             free = mfc._memory_path_free_at
-            start = now if now > free else free
-            mfc._memory_path_free_at = start + cycles
-            if start > now:
-                self._after(start - now, self._mv_route)
-            else:
-                self._mv_route()
+            if free > now:
+                mfc._memory_path_free_at = free + cycles
+                self._after(free - now, self._mv_route)
+                return
+            mfc._memory_path_free_at = now + cycles
+            self._mv_route()
         else:
             if self._mv_remote == mfc.node:
                 raise CellError("LS-to-LS DMA with itself")
@@ -718,39 +778,45 @@ class _FastMover(FastActor):
         self._eib_src = src
         self._eib_dst = dst
         self._eib_after = after
-        mfc = self.mfc
+        eib = self._eib
         key = (src, dst, self.nbytes)
-        leg = mfc._fast_legs.get(key)
+        leg = eib._fast_leg_memo.get(key)
         if leg is None:
-            eib = mfc._fast_eib
-            leg = (
-                eib.fast_chunks(src, dst, self.nbytes),
-                eib.fast_path_choices(src, dst),
-            )
-            mfc._fast_legs[key] = leg
-        self._eib_plan, self._eib_choices = leg
+            leg = eib.fast_leg(src, dst, self.nbytes)
+        self._eib_leg = leg
+        (
+            self._eib_choices,
+            self._eib_srcbit,
+            self._eib_nsrc,
+            self._eib_dstbit,
+            self._eib_ndst,
+            self._eib_plan,
+            _memory_side,
+        ) = leg
         self._eib_i = 0
         self._eib_chunk()
 
     def _eib_chunk(self) -> None:
-        eib = self.mfc._fast_eib
-        src = self._eib_src
-        dst = self._eib_dst
+        eib = self._eib
         eib.grants += 1
-        if not (eib._out_busy[src] or eib._in_busy[dst]):
-            for ring, _spans, span_set, latency in self._eib_choices:
-                if (
-                    len(ring._active) < ring.max_transfers
-                    and ring._occupied.isdisjoint(span_set)
-                ):
+        srcbit = self._eib_srcbit
+        dstbit = self._eib_dstbit
+        # Eib._try_grant over the bitmask twin: port probe is one AND
+        # per side, ring probe one AND per candidate.
+        if not (eib._fast_out & srcbit | eib._fast_in & dstbit):
+            occ = eib._fast_occ
+            nact = eib._fast_nact
+            maxt = eib._fast_max
+            for ri, mask, notmask, latency in self._eib_choices:
+                if nact[ri] < maxt and not occ[ri] & mask:
                     # Eib._commit, minus trace and occupancy monitors
                     # (a reference-engine observability feature).
-                    ring._active.append(span_set)
-                    ring._occupied |= span_set
-                    eib._out_busy[src] = True
-                    eib._in_busy[dst] = True
-                    self._eib_ring = ring
-                    self._eib_span_set = span_set
+                    occ[ri] |= mask
+                    nact[ri] += 1
+                    eib._fast_out |= srcbit
+                    eib._fast_in |= dstbit
+                    self._eib_ri = ri
+                    self._eib_notmask = notmask
                     # Hold the path for hop latency + chunk cycles (the
                     # chunk cycles include the fixed arbitration cost).
                     plan = self._eib_plan
@@ -790,36 +856,33 @@ class _FastMover(FastActor):
                     heappush(queue, (env.now + hold, sequence, self))
                     return
         eib.conflicts += 1
-        eib._waiters.append((self, src, dst))
+        eib._waiters.append((self, self._eib_src, self._eib_dst, self._eib_leg))
         self._eib_wait_started = self.env.now
         self._park(self._eib_granted)
 
     def _eib_granted(self) -> None:
-        # Committed for us by Eib._drain_waiters; unpack the grant.
-        eib = self.mfc._fast_eib
-        eib.wait_cycles += self.env.now - self._eib_wait_started
-        grant = self._value
-        self._eib_ring = grant.ring
-        self._eib_span_set = grant.span_set
+        # Committed for us by Eib._drain_waiters_fast; unpack the grant.
+        eib = self._eib
+        env = self.env
+        eib.wait_cycles += env.now - self._eib_wait_started
+        ri, notmask, latency, penalty = self._value
+        self._eib_ri = ri
+        self._eib_notmask = notmask
         self._after(
-            grant.penalty_cycles
-            + len(grant.spans) * HOP_LATENCY_CYCLES
-            + self._eib_plan[self._eib_i],
+            penalty + latency + self._eib_plan[self._eib_i],
             self._eib_chunk_done,
         )
 
     def _eib_chunk_done(self) -> None:
-        eib = self.mfc._fast_eib
-        # Eib._release, minus trace and monitors (active span sets are
-        # pairwise disjoint, so subtraction equals the union rebuild).
-        ring = self._eib_ring
-        span_set = self._eib_span_set
-        ring._active.remove(span_set)
-        ring._occupied -= span_set
-        eib._out_busy[self._eib_src] = False
-        eib._in_busy[self._eib_dst] = False
+        eib = self._eib
+        # Eib._release, minus trace and monitors, over the bitmask twin.
+        ri = self._eib_ri
+        eib._fast_occ[ri] &= self._eib_notmask
+        eib._fast_nact[ri] -= 1
+        eib._fast_out &= self._eib_nsrc
+        eib._fast_in &= self._eib_ndst
         if eib._waiters:
-            eib._drain_waiters()
+            eib._drain_waiters_fast()
         i = self._eib_i + 1
         if i < len(self._eib_plan):
             self._eib_i = i
@@ -841,6 +904,7 @@ class FastDmaCommand(_FastMover):
         self.env = env
         self._value = None
         self.mfc = mfc
+        self._eib = mfc._fast_eib
         self.tag = tag
         self._mv_direction = direction
         self._mv_target = target
@@ -861,17 +925,74 @@ class FastDmaCommand(_FastMover):
         else:
             self._move_begin()
 
+    def _restart(self, direction, target, remote_node, nbytes, tag) -> None:
+        """Reissue a retired shell: the constructor minus the fields
+        that survive retirement (env, mfc, requester, done)."""
+        self.tag = tag
+        self._mv_direction = direction
+        self._mv_target = target
+        self._mv_remote = remote_node
+        self.nbytes = nbytes
+        env = self.env
+        queue = env._queue
+        if queue and queue[0][0] == env.now:
+            self._run_callbacks = self._move_begin
+            env._sequence = sequence = env._sequence + 1
+            heappush(queue, (env.now, sequence, self))
+        else:
+            self._move_begin()
+
     def _mv_done(self) -> None:
         # The base _mv_done plus the completion-latency slot, fused.
         mfc = self.mfc
         mfc.bytes_transferred += self.nbytes
-        self._run_callbacks = self._complete
         env = self.env
-        env._sequence = sequence = env._sequence + 1
-        heappush(env._queue, (env.now + mfc._fast_completion, sequence, self))
+        queue = env._queue
+        target = env.now + mfc._fast_completion
+        if not queue or queue[0][0] > target:
+            # Tail-warp: this push would be the strictly earliest event
+            # (no tie possible), and every frame between the heap pop
+            # and here is in tail position (_eib_chunk_done ends with
+            # _eib_after(); MemoryBank._fast_complete ends with the
+            # requester's continuation), so advancing the clock and
+            # completing inline is indistinguishable from popping the
+            # slot — the run loop reassigns ``now`` on the next pop and
+            # reads nothing else.
+            env.now = target
+            self._complete()
+        else:
+            self._run_callbacks = self._complete
+            env._sequence = sequence = env._sequence + 1
+            heappush(queue, (target, sequence, self))
 
     def _complete(self) -> None:
-        self.mfc._finish_fast(self)
+        # _finish_fast inlined (same body, same branch guard); the shell
+        # is retired to the pool only after the slot hand-off so a woken
+        # kernel that issues immediately picks up a *different* shell —
+        # same behaviour as the unfused call sequence.
+        mfc = self.mfc
+        slots = mfc._fast_slots
+        env = self.env
+        queue = env._queue
+        if slots.queue and not (queue and queue[0][0] == env.now):
+            tag = self.tag
+            outstanding = mfc._outstanding
+            outstanding[tag] -= 1
+            if outstanding[tag] < 0:
+                raise CellError(f"tag group {tag} under-run")
+            mfc._tag_completed[tag] += 1
+            mfc._total_completed += 1
+            mfc.commands_completed += 1
+            if mfc._tag_waiters:
+                mfc._wake_tag_waiters()
+            if mfc._order_waiters:
+                mfc._wake_order_waiters()
+            waiter: Any = slots.queue.popleft()
+            waiter._run_callbacks()
+            mfc._fast_pool.append(self)
+        else:
+            mfc._finish(self, None, slots)
+            mfc._fast_pool.append(self)
 
 
 class FastDmaList(FastActor):
@@ -972,10 +1093,12 @@ class _FastListBurst(_FastMover):
     def __init__(self, env, dma_list: FastDmaList, nbytes: int):
         self.env = env
         self._value = None
-        self.mfc = dma_list.mfc
+        mfc = dma_list.mfc
+        self.mfc = mfc
+        self._eib = mfc._fast_eib
         self.dma_list = dma_list
         self.nbytes = nbytes
-        self.requester = self.mfc.node
+        self.requester = mfc.node
         self.done = self
         # The executor's start relay (see FastDmaCommand).
         self._hop(self._start)

@@ -69,6 +69,30 @@ class RunSpec:
         }
 
 
+@dataclass(frozen=True)
+class EngineReport:
+    """One repetition's sample plus the engine's event accounting.
+
+    ``events_popped`` counts heap pops the engine actually performed;
+    ``events_elided`` counts pops the steady-state fast-forward skipped
+    by warping whole periods (zero on the reference engine and on any
+    run where no warp fired).  ``events_modeled`` — their sum — is the
+    comparable work measure across engines: a warped run models the
+    same periods it would otherwise have simulated.  Picklable, so pool
+    workers can return it directly.
+    """
+
+    sample: BandwidthSample
+    events_popped: int
+    events_elided: int = 0
+    windows_warped: int = 0
+    cycles_warped: int = 0
+
+    @property
+    def events_modeled(self) -> int:
+        return self.events_popped + self.events_elided
+
+
 def run_spec(spec: RunSpec, engine: str = "reference") -> BandwidthSample:
     """Run one repetition on a fresh chip; the module-level entry point
     worker processes import by name.
@@ -82,6 +106,11 @@ def run_spec(spec: RunSpec, engine: str = "reference") -> BandwidthSample:
     heap schedule — see :mod:`repro.sim.engine_fast`), which is why the
     result cache keys on the spec alone.
     """
+    return run_spec_report(spec, engine).sample
+
+
+def run_spec_report(spec: RunSpec, engine: str = "reference") -> EngineReport:
+    """:func:`run_spec` with the engine's event accounting attached."""
     if not spec.assignments:
         raise ConfigError("no SPE assignments")
     mapping = SpeMapping.random(spec.seed, spec.config.n_spes)
@@ -106,11 +135,22 @@ def run_spec(spec: RunSpec, engine: str = "reference") -> BandwidthSample:
     chip.run()
     total_bytes = sum(out["bytes"] for out in outs)
     elapsed = max(out["end"] for out in outs) - min(out["start"] for out in outs)
-    return BandwidthSample(
+    sample = BandwidthSample(
         gbps=spec.config.clock.gbps(total_bytes, elapsed),
         nbytes=total_bytes,
         cycles=elapsed,
         seed=spec.seed,
+    )
+    env = chip.env
+    fastforward = getattr(env, "fastforward", None)
+    if fastforward is None:
+        return EngineReport(sample=sample, events_popped=env.events_popped)
+    return EngineReport(
+        sample=sample,
+        events_popped=env.events_popped,
+        events_elided=fastforward.events_elided,
+        windows_warped=fastforward.windows_warped,
+        cycles_warped=fastforward.cycles_warped,
     )
 
 #: Fewest commands a timed region may contain (steady-state guarantee).

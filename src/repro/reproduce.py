@@ -331,10 +331,31 @@ def parse_args(argv=None) -> argparse.Namespace:
         metavar="PATH",
         help=f"result-cache directory (default {DEFAULT_CACHE_DIR})",
     )
+    parser.add_argument(
+        "--profile",
+        nargs="?",
+        const="cumulative",
+        choices=("cumulative", "tottime"),
+        default=None,
+        metavar="SORT",
+        help="run under cProfile and print the top 25 functions to "
+        "stderr, sorted by cumulative time (the default with a bare "
+        "--profile) or by tottime",
+    )
+    parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="PATH",
+        help="additionally dump the raw cProfile stats to this file "
+        "(loadable with pstats; implies --profile)",
+    )
     scale = parser.add_mutually_exclusive_group()
     scale.add_argument("--quick", action="store_true")
     scale.add_argument("--paper-scale", action="store_true")
-    return parser.parse_args(argv)
+    args = parser.parse_args(argv)
+    if args.profile_out is not None and args.profile is None:
+        args.profile = "cumulative"
+    return args
 
 
 def _write(outdir: str, name: str, text: str) -> None:
@@ -615,6 +636,30 @@ def run_faulted(spec: str, seed: int) -> bool:
 
 def main(argv=None) -> int:
     args = parse_args(argv)
+    if args.profile is None:
+        return _main(args)
+    # Profiled run: wrap the whole pipeline, report to stderr so the
+    # validation summary on stdout stays machine-readable.
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return _main(args)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats(args.profile).print_stats(25)
+        if args.profile_out is not None:
+            profiler.dump_stats(args.profile_out)
+            print(
+                f"profile stats written to {args.profile_out}",
+                file=sys.stderr,
+            )
+
+
+def _main(args: argparse.Namespace) -> int:
     preset = "quick" if args.quick else "paper" if args.paper_scale else "default"
     jobs = resolve_jobs(args.jobs)
     cache = None if args.no_cache else ResultCache(

@@ -81,7 +81,13 @@ import os
 import time
 from collections.abc import Callable, Sequence
 
-from repro.core.experiment import Experiment, ExperimentResult, RunSpec, run_spec
+from repro.core.experiment import (
+    EngineReport,
+    Experiment,
+    ExperimentResult,
+    RunSpec,
+    run_spec_report,
+)
 from repro.core.results import BandwidthSample, BandwidthStats
 from repro.runtime.journal import SweepJournal
 from repro.runtime.resilience import (
@@ -188,12 +194,20 @@ class SweepExecutor:
         if target is not None:
             self._run_spec = target
         else:
-            # functools.partial keeps the callable picklable for the pool.
+            # functools.partial keeps the callable picklable for the
+            # pool.  The report variant carries the engine's event
+            # accounting back with the sample; _harvest unwraps it.
             self._run_spec = (
-                run_spec if engine == "reference"
-                else functools.partial(run_spec, engine=engine)
+                run_spec_report if engine == "reference"
+                else functools.partial(run_spec_report, engine=engine)
             )
         self.simulated = 0
+        #: Event accounting aggregated over simulated repetitions
+        #: (journal/cache/surrogate hits run no engine, so they add
+        #: nothing here).
+        self.events_popped = 0
+        self.events_elided = 0
+        self.windows_warped = 0
         self.retried = 0
         self.journal_hits = 0
         #: Optional :class:`~repro.analysis.surrogate.SurrogateModel`.
@@ -336,6 +350,7 @@ class SweepExecutor:
                 sample = results.get(index)
                 if sample is None:
                     continue
+                sample = self._harvest(sample)
                 out[index] = sample
                 if journal is not None:
                     journal.record(specs[index], sample, key=jkeys[index])
@@ -348,6 +363,18 @@ class SweepExecutor:
             if failures:
                 self._conclude(failures, out, len(specs))
         return out
+
+    def _harvest(self, result):
+        """Unwrap an :class:`~repro.core.experiment.EngineReport` into
+        its sample, folding the event accounting into the executor's
+        totals.  A ``target`` override may return bare samples — those
+        pass through untouched."""
+        if isinstance(result, EngineReport):
+            self.events_popped += result.events_popped
+            self.events_elided += result.events_elided
+            self.windows_warped += result.windows_warped
+            return result.sample
+        return result
 
     def _conclude(self, failures: list[SpecFailure],
                   out: list[BandwidthSample | None], total: int) -> None:
@@ -552,6 +579,17 @@ class SweepExecutor:
 
     def describe(self) -> str:
         parts = [f"jobs={self.jobs}", f"simulated={self.simulated}"]
+        if self.events_popped or self.events_elided:
+            events = (
+                f"events: {self.events_popped + self.events_elided:,} "
+                f"modeled / {self.events_popped:,} popped"
+            )
+            if self.events_elided:
+                events += (
+                    f" ({self.events_elided:,} fast-forwarded across "
+                    f"{self.windows_warped} warp(s))"
+                )
+            parts.append(events)
         if self.retried:
             parts.append(f"retried={self.retried}")
         if self.journal is not None:

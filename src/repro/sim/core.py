@@ -495,6 +495,11 @@ class Environment:
             self.sanitizer.bind(self)
         self._queue: list = []
         self._sequence = 0
+        # Heap pops actually executed by the run loops — the engine's
+        # cost denominator.  The reference engine models one occurrence
+        # per pop, so here popped == modeled; coalescing engines pop
+        # fewer events than they model.
+        self.events_popped = 0
         self._proc_count = 0
         self._active_process: Process | None = None
         self._failed_events: list[Event] = []
@@ -542,7 +547,31 @@ class Environment:
         """Process a single event."""
         time, _seq, event = heappop(self._queue)
         self.now = time
+        self.events_popped += 1
         event._run_callbacks()
+
+    def warp(self, delta: int) -> None:
+        """Advance ``now`` and every scheduled event by ``delta`` cycles.
+
+        The steady-state fast-forward hook: a uniform time shift leaves
+        every pairwise comparison in the heap unchanged (times move
+        together, sequence numbers do not move at all), so the heap
+        invariant and the pop order are preserved exactly — the future
+        of a shifted schedule is the future of the original schedule,
+        shifted.  Callers are responsible for shifting any model state
+        that carries absolute times (pacers, wait-start stamps)."""
+        if delta < 0:
+            raise ValueError(f"warp must be non-negative, got {delta}")
+        if not delta:
+            return
+        self.now += delta
+        # Shift in place: the run loop holds a reference to this exact
+        # list object across the warp, so rebinding would strand it.
+        queue = self._queue
+        queue[:] = [
+            (time + delta, sequence, item)
+            for time, sequence, item in queue
+        ]
 
     def run(
         self,
@@ -575,17 +604,22 @@ class Environment:
         # processing order is identical to the watched loop.
         queue = self._queue
         pop = heappop
+        popped = 0
         if isinstance(until, Event):
             stop_event = until
-            while stop_event._value is _PENDING:
-                if not queue:
-                    raise SimulationError(
-                        "event queue drained before the awaited event fired"
-                        + self._blocked_report()
-                    )
-                time, _seq, event = pop(queue)
-                self.now = time
-                event._run_callbacks()
+            try:
+                while stop_event._value is _PENDING:
+                    if not queue:
+                        raise SimulationError(
+                            "event queue drained before the awaited event fired"
+                            + self._blocked_report()
+                        )
+                    time, _seq, event = pop(queue)
+                    self.now = time
+                    popped += 1
+                    event._run_callbacks()
+            finally:
+                self.events_popped += popped
             self._raise_orphaned_failures()
             if not stop_event._ok:
                 stop_event._defused = True
@@ -593,10 +627,14 @@ class Environment:
             return stop_event._value
 
         if until is None:
-            while queue:
-                time, _seq, event = pop(queue)
-                self.now = time
-                event._run_callbacks()
+            try:
+                while queue:
+                    time, _seq, event = pop(queue)
+                    self.now = time
+                    popped += 1
+                    event._run_callbacks()
+            finally:
+                self.events_popped += popped
             self._raise_orphaned_failures()
             if self._blocked():
                 raise SimulationError(
@@ -606,15 +644,19 @@ class Environment:
             return None
 
         horizon = int(until)
-        while queue:
-            if queue[0][0] > horizon:
+        try:
+            while queue:
+                if queue[0][0] > horizon:
+                    self.now = horizon
+                    break
+                time, _seq, event = pop(queue)
+                self.now = time
+                popped += 1
+                event._run_callbacks()
+            else:
                 self.now = horizon
-                break
-            time, _seq, event = pop(queue)
-            self.now = time
-            event._run_callbacks()
-        else:
-            self.now = horizon
+        finally:
+            self.events_popped += popped
         self._raise_orphaned_failures()
         return None
 

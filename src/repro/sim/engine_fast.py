@@ -14,13 +14,20 @@ Equivalence contract (the reference engine is the byte-identical
 oracle, gated by ``tests/test_engine_fast.py``):
 
 * every actor occupies exactly the heap slots the generator pipeline
-  occupied — same times, same relative order — except for three
+  occupied — same times, same relative order — except for
   *proven-exact* coalescings: no-op pops are elided (process
   terminations, already-granted request events whose pop runs no
   callbacks), adjacent same-pop push pairs (a pre-granted request's
-  succeed plus the resume relay) merge into one slot, and an actor may
+  succeed plus the resume relay) merge into one slot, an actor may
   run a zero-delay hop inline when nothing else is scheduled at the
-  current time;
+  current time, an uncontended EIB leg's chunk train collapses to one
+  slot, and an all-tail continuation chain may *tail-warp* — advance
+  ``now`` to a strictly-earliest target and run inline (see
+  :meth:`FastActor._after`);
+* on top of per-slot coalescing, :mod:`repro.sim.fastforward` detects
+  a periodic steady state at a kernel anchor and warps whole periods
+  in O(1) — heap times shift uniformly, counters advance linearly,
+  placement accumulators are replayed bit-exactly;
 * model *decisions* (bank scheduling, EIB arbitration, pacing) run the
   reference code itself — the fast paths call ``Eib._try_grant`` /
   ``_commit`` / ``_release``, ``MemoryBank._pick`` / ``_plan_service``
@@ -41,7 +48,10 @@ from heapq import heappush
 from typing import Any
 from collections.abc import Callable
 
+from heapq import heappop
+
 from repro.sim.core import Environment, SimulationError
+from repro.sim.fastforward import FastForward
 from repro.sim.faults import FaultEngine
 from repro.sim.sanitizer import DmaSanitizer
 from repro.sim.trace import TraceRecorder
@@ -124,13 +134,19 @@ class FastActor:
     def _after(self, delay: int, continuation: Callable[[], None]) -> None:
         """Run ``continuation`` ``delay`` cycles from now (one heap slot).
 
-        A non-zero delay always takes a real heap slot.  (Advancing the
-        clock and inlining the continuation — a "time warp" — is NOT
-        exact even when the slot would be the next pop: the warped chain
-        returns into ancestor frames that then read the mutated ``now``,
-        e.g. a kernel issuing its next command after an inlined DMA
-        ctor.  Only zero-delay hops, which leave ``now`` untouched, may
-        be inlined; see :meth:`_hop`.)
+        A non-zero delay takes a real heap slot *unless the push site
+        qualifies for a tail warp*.  Advancing the clock and inlining
+        the continuation is exact only when (a) the slot would be the
+        strictly earliest heap entry (``queue[0][0] > target`` — ties
+        excluded, because a tied entry with a lower sequence number
+        must pop first) and (b) every frame between the run loop's pop
+        and the push site is in tail position, so the warped chain
+        never returns into a frame that reads the mutated ``now``.
+        Sites that satisfy (b) structurally implement the warp inline
+        (``FastDmaCommand._mv_done``, the kernel issue/sync delays);
+        everything else uses this helper, which never warps.  Only
+        zero-delay hops, which leave ``now`` untouched, may be inlined
+        without the tail-position proof; see :meth:`_hop`.
         """
         self._run_callbacks = continuation
         env = self.env
@@ -186,10 +202,68 @@ class FastEnvironment(Environment):
         # diagnostic (actors are not processes, so the base _blocked()
         # cannot see them).
         self._fast_kernels: list[Any] = []
+        # Steady-state fast-forward (repro.sim.fastforward): the first
+        # registered kernel anchors detection; the run loop checks the
+        # pending flag between pops, never inside a callback.
+        self._ff_on = True
+        self._ff_pending = False
+        self._ff: FastForward | None = None
 
-    def register_kernel(self, kernel: Any) -> None:
-        """Track a top-level actor with a ``finished`` flag and ``name``."""
+    def register_kernel(self, kernel: Any) -> bool:
+        """Track a top-level actor with a ``finished`` flag and ``name``.
+
+        Returns whether this kernel is the fast-forward anchor (the
+        first registered one — one anchor per run keeps the fingerprint
+        capture cost bounded)."""
         self._fast_kernels.append(kernel)
+        return len(self._fast_kernels) == 1
+
+    @property
+    def fastforward(self) -> FastForward | None:
+        """The fast-forward engine, if any anchor ever fired."""
+        return self._ff
+
+    def run(
+        self,
+        until: Any | None = None,
+        max_events: int | None = None,
+        stall_after: int | None = None,
+    ) -> Any:
+        """The unwatched drain loop with the fast-forward check between
+        pops; every other mode defers to the reference loop (watched
+        runs need per-event resolution, ``until`` runs are bounded and
+        not worth warping)."""
+        if until is not None or max_events is not None or stall_after is not None:
+            return super().run(until, max_events, stall_after)
+        queue = self._queue
+        pop = heappop
+        popped = 0
+        try:
+            while queue:
+                if self._ff_pending:
+                    self._ff_pending = False
+                    ff = self._ff
+                    if ff is None:
+                        ff = self._ff = FastForward(self)
+                    # Flush the local pop count so the fingerprint
+                    # entries record real per-period pop deltas
+                    # (events_elided accounting).
+                    self.events_popped += popped
+                    popped = 0
+                    ff.attempt()
+                time, _seq, event = pop(queue)
+                self.now = time
+                popped += 1
+                event._run_callbacks()
+        finally:
+            self.events_popped += popped
+        self._raise_orphaned_failures()
+        if self._blocked():
+            raise SimulationError(
+                "event queue drained with processes still waiting "
+                "(deadlock)" + self._blocked_report(),
+            )
+        return None
 
     def _blocked(self) -> list:
         blocked = super()._blocked()

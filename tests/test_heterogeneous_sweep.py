@@ -1,0 +1,153 @@
+"""Heterogeneous sweeps through the fast engine.
+
+The fast engine's exactness gate (tests/test_engine_fast.py) covers the
+pinned shapes one by one; these tests drive *mixed* sweeps — different
+shapes, SPE counts, directions, modes and sync cadences in one
+executor pass — where some repetitions trigger the steady-state
+fast-forward and others make it bail, and assert the whole batch stays
+byte-identical to the reference engine, including through the
+crash-safe journal replay path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cell.config import CellConfig
+from repro.core.experiment import RunSpec, run_spec, run_spec_report
+from repro.core.kernels import DmaWorkload
+from repro.runtime.journal import SweepJournal
+from repro.runtime.parallel import SweepExecutor
+
+
+def _spec(assignments, seed=1000, unrolled=True):
+    return RunSpec(
+        config=CellConfig.paper_blade(),
+        seed=seed,
+        assignments=tuple(assignments),
+        unrolled=unrolled,
+    )
+
+
+def _storm(seed, n_elements=64):
+    workload = DmaWorkload("copy", 4096, n_elements)
+    return _spec(
+        [(logical, workload) for logical in range(8)], seed=seed
+    )
+
+
+#: The mixed sweep: periodic single streams (the fast-forward fires),
+#: the 8-SPE storm (aperiodic — the capture budget makes it bail),
+#: sync-cadenced, list-mode, LS-to-LS pair and two-kernel shapes.
+HETEROGENEOUS = [
+    _spec([(0, DmaWorkload("get", 4096, 256))]),
+    _spec([(0, DmaWorkload("put", 4096, 256))], seed=1001),
+    _spec([(0, DmaWorkload("copy", 4096, 192))], seed=1002),
+    _spec([(0, DmaWorkload("get", 4096, 256, sync_every=8))], seed=1003),
+    _spec([(0, DmaWorkload("get", 4096, 128, mode="list"))], seed=1004),
+    _spec([(0, DmaWorkload("get", 4096, 256, partner_logical=1))], seed=1005),
+    _spec(
+        [
+            (0, DmaWorkload("get", 4096, 192)),
+            (1, DmaWorkload("put", 8192, 96)),
+        ],
+        seed=1006,
+    ),
+    _spec([(0, DmaWorkload("get", 16384, 128))], seed=1007),
+    _spec([(0, DmaWorkload("get", 128, 512))], seed=1008),
+    _storm(1009),
+]
+
+
+def test_mixed_shapes_are_byte_identical():
+    """Every heterogeneous repetition: fast == reference, sample for
+    sample."""
+    for spec in HETEROGENEOUS:
+        assert run_spec(spec, "fast") == run_spec(spec, "reference"), (
+            f"fast engine diverged on {spec.assignments}"
+        )
+
+
+def test_fastforward_fires_and_bails_across_the_mix():
+    """The mix must exercise both fast-forward outcomes: the periodic
+    streams warp, the chaotic storm gives up within its capture
+    budget."""
+    fired = 0
+    bailed = 0
+    for spec in HETEROGENEOUS:
+        report = run_spec_report(spec, "fast")
+        if report.windows_warped:
+            fired += 1
+            assert report.events_elided > 0
+            assert report.cycles_warped > 0
+        else:
+            bailed += 1
+            assert report.events_elided == 0
+    assert fired >= 3, "expected the periodic shapes to warp"
+    assert bailed >= 1, "expected at least the storm to bail"
+
+
+def test_storm_bails_within_budget():
+    """The aperiodic storm never warps — and its report says so."""
+    report = run_spec_report(_storm(1000), "fast")
+    assert report.windows_warped == 0
+    assert report.events_elided == 0
+    assert report.events_popped == report.events_modeled
+
+
+def test_executor_sweep_matches_reference_engine():
+    """One SweepExecutor pass over the whole mix, fast vs reference."""
+    with SweepExecutor(jobs=1, cache=None, engine="fast") as fast:
+        fast_samples = fast.samples(list(HETEROGENEOUS))
+        assert fast.events_elided > 0  # some repetition warped
+        assert fast.windows_warped > 0
+        popped = fast.events_popped
+    with SweepExecutor(jobs=1, cache=None, engine="reference") as ref:
+        ref_samples = ref.samples(list(HETEROGENEOUS))
+        assert ref.events_elided == 0
+        assert ref.events_popped > popped  # coalescing + warps pop less
+    assert fast_samples == ref_samples
+
+
+def test_journal_replay_is_byte_identical_across_engines(tmp_path):
+    """A fast-engine sweep journaled and replayed serves the exact
+    samples a reference sweep produces — the --resume contract."""
+    path = str(tmp_path / "journal.jsonl")
+    with SweepJournal(path) as journal:
+        with SweepExecutor(
+            jobs=1, cache=None, engine="fast", journal=journal
+        ) as executor:
+            first = executor.samples(list(HETEROGENEOUS))
+            assert executor.simulated == len(HETEROGENEOUS)
+    # Replay: everything served from the journal, nothing simulated.
+    with SweepJournal(path) as journal:
+        with SweepExecutor(
+            jobs=1, cache=None, engine="reference", journal=journal
+        ) as executor:
+            replayed = executor.samples(list(HETEROGENEOUS))
+            assert executor.simulated == 0
+            assert executor.journal_hits == len(HETEROGENEOUS)
+            # Journal hits run no engine, so no event accounting.
+            assert executor.events_popped == 0
+    assert replayed == first
+    assert first == [run_spec(spec, "reference") for spec in HETEROGENEOUS]
+
+
+@pytest.mark.parametrize("sync_every", [1, 4, 32])
+def test_sync_cadences_stay_identical(sync_every):
+    """Sync boundaries interact with the warp margin (the fingerprint
+    carries _since_sync only under a cadence) — every cadence must stay
+    exact."""
+    spec = _spec(
+        [(0, DmaWorkload("get", 4096, 192, sync_every=sync_every))]
+    )
+    assert run_spec(spec, "fast") == run_spec(spec, "reference")
+
+
+def test_unrolled_and_rolled_loops_stay_identical():
+    """The warp must respect the kernel's loop structure flag."""
+    for unrolled in (True, False):
+        spec = _spec(
+            [(0, DmaWorkload("get", 4096, 256))], unrolled=unrolled
+        )
+        assert run_spec(spec, "fast") == run_spec(spec, "reference")
