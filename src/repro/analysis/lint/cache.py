@@ -1,0 +1,128 @@
+"""Content-hash result cache for the lint engine.
+
+Linting is a pure function of ``(file content, rule catalog, rule
+selection)`` — suppressions and dataflow findings all derive from the
+source text alone — so results are cached under
+``.repro-cache/lint/<catalog-version>/`` keyed on the SHA-256 of the
+file content plus the selected rule ids.  The catalog version is itself
+a SHA-256 over the lint package's own sources: editing any rule, the
+dataflow engine, or this file moves every key, so stale results cannot
+survive an engine change.  Entries from older catalog versions are
+swept opportunistically (the same self-healing idiom as the sweep
+result cache).
+
+The pre-commit hook's cost is then O(changed files): unchanged files
+hit the cache and cost one hash + one small JSON read.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from collections.abc import Iterable
+
+from repro.analysis.lint.findings import Finding
+
+__all__ = ["LintCache", "catalog_version", "DEFAULT_LINT_CACHE_DIR"]
+
+DEFAULT_LINT_CACHE_DIR = os.path.join(".repro-cache", "lint")
+
+_catalog_version: str | None = None
+
+
+def catalog_version() -> str:
+    """SHA-256 over the lint package's source files (memoised)."""
+    global _catalog_version
+    if _catalog_version is None:
+        package_dir = os.path.dirname(os.path.abspath(__file__))
+        digest = hashlib.sha256()
+        for name in sorted(os.listdir(package_dir)):
+            if not name.endswith(".py"):
+                continue
+            digest.update(name.encode())
+            with open(os.path.join(package_dir, name), "rb") as handle:
+                digest.update(handle.read())
+        _catalog_version = digest.hexdigest()[:16]
+    return _catalog_version
+
+
+class LintCache:
+    """File-level finding cache; every operation is best-effort — a
+    broken or unwritable cache degrades to a cold lint, never an error."""
+
+    def __init__(self, root: str = DEFAULT_LINT_CACHE_DIR) -> None:
+        self.root = root
+        self.version = catalog_version()
+        self.dir = os.path.join(root, self.version)
+        self.hits = 0
+        self.misses = 0
+        self._sweep_stale()
+
+    def _sweep_stale(self) -> None:
+        try:
+            for name in os.listdir(self.root):
+                if name == self.version:
+                    continue
+                stale = os.path.join(self.root, name)
+                if os.path.isdir(stale):
+                    shutil.rmtree(stale, ignore_errors=True)
+        except OSError:
+            pass
+
+    def _key(self, source: str, rules: Iterable) -> str:
+        digest = hashlib.sha256(source.encode("utf-8", "surrogatepass"))
+        for rule_id in sorted(rule.id for rule in rules):
+            digest.update(rule_id.encode())
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.dir, f"{key}.json")
+
+    def get(
+        self, path: str, source: str, rules: Iterable
+    ) -> list[Finding] | None:
+        """Cached findings for this content + rule set, or None.
+
+        ``path`` re-anchors the findings: the same content linted under
+        two names yields the same findings at the current name.
+        """
+        try:
+            with open(
+                self._entry_path(self._key(source, rules)), encoding="utf-8"
+            ) as handle:
+                data = json.load(handle)
+            findings = [
+                Finding.from_json({**entry, "path": path})
+                for entry in data["findings"]
+            ]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings
+
+    def put(
+        self,
+        path: str,
+        source: str,
+        rules: Iterable,
+        findings: list[Finding],
+    ) -> None:
+        del path  # findings are stored path-less and re-anchored on get
+        entry = {
+            "findings": [
+                {k: v for k, v in f.to_json().items() if k != "path"}
+                for f in findings
+            ],
+        }
+        try:
+            os.makedirs(self.dir, exist_ok=True)
+            target = self._entry_path(self._key(source, rules))
+            temporary = f"{target}.tmp.{os.getpid()}"
+            with open(temporary, "w", encoding="utf-8") as handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(temporary, target)
+        except OSError:
+            pass

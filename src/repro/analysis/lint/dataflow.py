@@ -1,0 +1,492 @@
+"""The abstract domain of the simlint dataflow engine.
+
+Two pieces:
+
+* :class:`Interval` — the classic integer-interval lattice with the
+  constant-propagation singletons as its precise bottom edge.  All the
+  SL6xx rules' arithmetic (local-store offsets, sizes, buffer-rotation
+  indices, loop trip counts) is interval arithmetic over this type.
+* :func:`eval_expr` — abstract evaluation of a Python expression under a
+  variable environment plus a module model (module-level constants and
+  per-function return summaries from :mod:`.summaries`).
+
+The analysis only ever *loses* precision safely: anything it cannot
+evaluate is :data:`TOP` (``(-inf, +inf)``), and every rule built on top
+fires on *provable* facts only — an unknown offset can never produce a
+finding, so imprecision shows up as silence, not noise.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.analysis.lint.summaries import ModuleModel
+
+__all__ = [
+    "Interval",
+    "TOP",
+    "Env",
+    "eval_expr",
+    "join_env",
+    "widen_env",
+    "bind_for_target",
+    "range_bounds",
+    "range_trip_count",
+    "analyze_intervals",
+]
+
+#: How many times a loop head is re-joined before widening to infinity.
+WIDEN_AFTER = 3
+
+#: Recursion depth cap for call summaries inside expressions.
+MAX_CALL_DEPTH = 3
+
+
+@dataclass(frozen=True)
+class Interval:
+    """``[lo, hi]`` over the integers; ``None`` bounds are infinities."""
+
+    lo: int | None
+    hi: int | None
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def const(value: int) -> Interval:
+        return Interval(value, value)
+
+    @staticmethod
+    def range(lo: int | None, hi: int | None) -> Interval:
+        return Interval(lo, hi)
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo is None and self.hi is None
+
+    @property
+    def is_const(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    @property
+    def value(self) -> int:
+        """The single value of a constant interval."""
+        if not self.is_const:
+            raise ValueError(f"{self} is not a constant")
+        assert self.lo is not None
+        return self.lo
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lo = "-inf" if self.lo is None else str(self.lo)
+        hi = "+inf" if self.hi is None else str(self.hi)
+        return f"[{lo}, {hi}]"
+
+    # -- lattice --------------------------------------------------------------
+
+    def join(self, other: Interval) -> Interval:
+        lo = None if self.lo is None or other.lo is None else min(self.lo, other.lo)
+        hi = None if self.hi is None or other.hi is None else max(self.hi, other.hi)
+        return Interval(lo, hi)
+
+    def widen(self, newer: Interval) -> Interval:
+        """Classic interval widening: a bound that moved goes to infinity."""
+        lo = self.lo
+        if lo is not None and (newer.lo is None or newer.lo < lo):
+            lo = None
+        hi = self.hi
+        if hi is not None and (newer.hi is None or newer.hi > hi):
+            hi = None
+        return Interval(lo, hi)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def add(self, other: Interval) -> Interval:
+        lo = None if self.lo is None or other.lo is None else self.lo + other.lo
+        hi = None if self.hi is None or other.hi is None else self.hi + other.hi
+        return Interval(lo, hi)
+
+    def neg(self) -> Interval:
+        lo = None if self.hi is None else -self.hi
+        hi = None if self.lo is None else -self.lo
+        return Interval(lo, hi)
+
+    def sub(self, other: Interval) -> Interval:
+        return self.add(other.neg())
+
+    def mul(self, other: Interval) -> Interval:
+        if self.is_const and other.is_const:
+            return Interval.const(self.value * other.value)
+        # General interval multiplication only when all bounds are finite.
+        if None in (self.lo, self.hi, other.lo, other.hi):
+            # One special case stays precise: scaling by a non-negative
+            # constant keeps the known bound directions.
+            for a, b in ((self, other), (other, self)):
+                if a.is_const and a.value >= 0:
+                    lo = None if b.lo is None else b.lo * a.value
+                    hi = None if b.hi is None else b.hi * a.value
+                    return Interval(lo, hi)
+            return TOP
+        products = [
+            self.lo * other.lo, self.lo * other.hi,
+            self.hi * other.lo, self.hi * other.hi,
+        ]
+        return Interval(min(products), max(products))
+
+    def floordiv(self, other: Interval) -> Interval:
+        if other.is_const and other.value != 0:
+            divisor = other.value
+            if divisor > 0:
+                lo = None if self.lo is None else self.lo // divisor
+                hi = None if self.hi is None else self.hi // divisor
+                return Interval(lo, hi)
+        return TOP
+
+    def mod(self, other: Interval) -> Interval:
+        if other.is_const and other.value > 0:
+            modulus = other.value
+            if (
+                self.lo is not None and self.hi is not None
+                and self.lo >= 0 and self.hi < modulus
+            ):
+                return self  # already inside [0, modulus)
+            if self.is_const:
+                return Interval.const(self.value % modulus)
+            return Interval(0, modulus - 1)
+        return TOP
+
+    def binop(self, op: ast.operator, other: Interval) -> Interval:
+        if isinstance(op, ast.Add):
+            return self.add(other)
+        if isinstance(op, ast.Sub):
+            return self.sub(other)
+        if isinstance(op, ast.Mult):
+            return self.mul(other)
+        if isinstance(op, ast.FloorDiv):
+            return self.floordiv(other)
+        if isinstance(op, ast.Mod):
+            return self.mod(other)
+        if isinstance(op, ast.LShift) and self.is_const and other.is_const:
+            if other.value >= 0:
+                return Interval.const(self.value << other.value)
+        if isinstance(op, ast.RShift) and self.is_const and other.is_const:
+            if other.value >= 0:
+                return Interval.const(self.value >> other.value)
+        if self.is_const and other.is_const:
+            if isinstance(op, ast.BitAnd):
+                return Interval.const(self.value & other.value)
+            if isinstance(op, ast.BitOr):
+                return Interval.const(self.value | other.value)
+            if isinstance(op, ast.BitXor):
+                return Interval.const(self.value ^ other.value)
+            if isinstance(op, ast.Pow) and other.value >= 0:
+                return Interval.const(self.value ** other.value)
+        return TOP
+
+
+#: The unknown integer.
+TOP = Interval(None, None)
+
+#: A variable environment: name -> interval (missing = unknown).
+Env = dict[str, Interval]
+
+
+def join_env(a: Env, b: Env) -> Env:
+    """Pointwise join; a variable defined on one path only is unknown."""
+    joined: Env = {}
+    for name, value in a.items():
+        other = b.get(name)
+        joined[name] = value.join(other) if other is not None else TOP
+    for name in b:
+        if name not in a:
+            joined[name] = TOP
+    return joined
+
+
+def widen_env(old: Env, new: Env) -> Env:
+    widened: Env = {}
+    for name, value in new.items():
+        previous = old.get(name)
+        widened[name] = previous.widen(value) if previous is not None else value
+    return widened
+
+
+# ---------------------------------------------------------------------------
+# Abstract expression evaluation
+# ---------------------------------------------------------------------------
+
+def eval_expr(
+    expr: ast.expr | None,
+    env: Env,
+    module: ModuleModel | None = None,
+    depth: int = 0,
+) -> Interval:
+    """The interval of ``expr`` under ``env`` (TOP when unknown)."""
+    if expr is None:
+        return TOP
+    if isinstance(expr, ast.Constant):
+        if type(expr.value) is int:
+            return Interval.const(expr.value)
+        return TOP
+    if isinstance(expr, ast.Name):
+        value = env.get(expr.id)
+        if value is not None:
+            return value
+        if module is not None:
+            return module.constant_interval(expr.id)
+        return TOP
+    if isinstance(expr, ast.UnaryOp):
+        operand = eval_expr(expr.operand, env, module, depth)
+        if isinstance(expr.op, ast.USub):
+            return operand.neg()
+        if isinstance(expr.op, ast.UAdd):
+            return operand
+        if isinstance(expr.op, ast.Invert) and operand.is_const:
+            return Interval.const(~operand.value)
+        return TOP
+    if isinstance(expr, ast.BinOp):
+        left = eval_expr(expr.left, env, module, depth)
+        right = eval_expr(expr.right, env, module, depth)
+        return left.binop(expr.op, right)
+    if isinstance(expr, ast.IfExp):
+        return eval_expr(expr.body, env, module, depth).join(
+            eval_expr(expr.orelse, env, module, depth)
+        )
+    if isinstance(expr, ast.Subscript):
+        return _eval_subscript(expr, env, module, depth)
+    if isinstance(expr, ast.Call):
+        return _eval_call(expr, env, module, depth)
+    return TOP
+
+
+def _eval_subscript(
+    expr: ast.Subscript, env: Env, module: ModuleModel | None, depth: int
+) -> Interval:
+    """``TUPLE[i]`` over module-level constant tuples: a constant index
+    gives that element; an unknown index the join of all elements."""
+    if module is None or not isinstance(expr.value, ast.Name):
+        return TOP
+    elements = module.constant_tuple(expr.value.id)
+    if elements is None:
+        return TOP
+    index = eval_expr(expr.slice, env, module, depth)
+    if index.is_const and -len(elements) <= index.value < len(elements):
+        return Interval.const(elements[index.value])
+    joined = Interval.const(elements[0])
+    for element in elements[1:]:
+        joined = joined.join(Interval.const(element))
+    return joined
+
+
+def _eval_call(
+    expr: ast.Call, env: Env, module: ModuleModel | None, depth: int
+) -> Interval:
+    func = expr.func
+    name = func.id if isinstance(func, ast.Name) else None
+    args = [eval_expr(arg, env, module, depth) for arg in expr.args]
+    if name in ("min", "max") and args and not expr.keywords:
+        if all(a.lo is not None and a.hi is not None for a in args):
+            pick = min if name == "min" else max
+            assert all(a.lo is not None and a.hi is not None for a in args)
+            return Interval(
+                pick(a.lo for a in args),  # type: ignore[type-var]
+                pick(a.hi for a in args),  # type: ignore[type-var]
+            )
+        return TOP
+    if name == "abs" and len(args) == 1 and args[0].is_const:
+        return Interval.const(abs(args[0].value))
+    if name == "len":
+        return Interval(0, None)
+    if (
+        name is not None
+        and module is not None
+        and depth < MAX_CALL_DEPTH
+    ):
+        return module.return_interval(name, expr, env, depth + 1)
+    return TOP
+
+
+# ---------------------------------------------------------------------------
+# Loop helpers
+# ---------------------------------------------------------------------------
+
+def range_bounds(
+    iterator: ast.expr, env: Env, module: ModuleModel | None = None
+) -> Interval | None:
+    """The interval a ``for`` target covers when iterating ``range(...)``
+    with statically-bounded arguments; None when not a bounded range."""
+    if not (
+        isinstance(iterator, ast.Call)
+        and isinstance(iterator.func, ast.Name)
+        and iterator.func.id == "range"
+        and not iterator.keywords
+        and 1 <= len(iterator.args) <= 3
+    ):
+        return None
+    args = [eval_expr(arg, env, module) for arg in iterator.args]
+    if len(args) == 1:
+        start, stop, step = Interval.const(0), args[0], Interval.const(1)
+    elif len(args) == 2:
+        start, stop, step = args[0], args[1], Interval.const(1)
+    else:
+        start, stop, step = args
+    if not (step.is_const and step.value != 0):
+        return None
+    if step.value > 0:
+        if start.lo is None or stop.hi is None:
+            return None
+        return Interval(start.lo, stop.hi - 1)
+    if start.hi is None or stop.lo is None:
+        return None
+    return Interval(stop.lo + 1, start.hi)
+
+
+def range_trip_count(
+    iterator: ast.expr, env: Env, module: ModuleModel | None = None
+) -> Interval | None:
+    """Iteration-count interval of ``range(...)``; None when unbounded."""
+    if not (
+        isinstance(iterator, ast.Call)
+        and isinstance(iterator.func, ast.Name)
+        and iterator.func.id == "range"
+        and not iterator.keywords
+        and 1 <= len(iterator.args) <= 3
+    ):
+        return None
+    args = [eval_expr(arg, env, module) for arg in iterator.args]
+    if len(args) == 1:
+        start, stop, step = Interval.const(0), args[0], Interval.const(1)
+    elif len(args) == 2:
+        start, stop, step = args[0], args[1], Interval.const(1)
+    else:
+        start, stop, step = args
+    if not (step.is_const and step.value != 0):
+        return None
+    step_value = abs(step.value)
+    if step.value < 0:
+        start, stop = stop.neg(), start.neg()
+    span_lo = (
+        None if start.hi is None or stop.lo is None else stop.lo - start.hi
+    )
+    span_hi = (
+        None if start.lo is None or stop.hi is None else stop.hi - start.lo
+    )
+    lo = None if span_lo is None else max(0, -(-span_lo // step_value))
+    hi = None if span_hi is None else max(0, -(-span_hi // step_value))
+    return Interval(lo, hi)
+
+
+def bind_for_target(
+    target: ast.expr, iterator: ast.expr, env: Env,
+    module: ModuleModel | None = None,
+) -> None:
+    """Bind a ``for`` target in ``env``: ``range`` bounds when known,
+    TOP otherwise (tuple targets get TOP elementwise)."""
+    bounds = range_bounds(iterator, env, module)
+    if isinstance(target, ast.Name):
+        env[target.id] = bounds if bounds is not None else TOP
+        return
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name):
+            env[node.id] = TOP
+
+
+def transfer_stmt(
+    stmt: ast.stmt, env: Env, module: ModuleModel | None = None
+) -> None:
+    """Update ``env`` in place for one simple statement."""
+    if isinstance(stmt, ast.Assign):
+        value = eval_expr(stmt.value, env, module)
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                env[target.id] = value
+            elif isinstance(target, (ast.Tuple, ast.List)):
+                _bind_tuple_target(target, stmt.value, env, module)
+            else:
+                for node in ast.walk(target):
+                    if isinstance(node, ast.Name):
+                        env.pop(node.id, None)
+    elif isinstance(stmt, ast.AnnAssign):
+        if isinstance(stmt.target, ast.Name):
+            env[stmt.target.id] = eval_expr(stmt.value, env, module)
+    elif isinstance(stmt, ast.AugAssign):
+        if isinstance(stmt.target, ast.Name):
+            current = env.get(stmt.target.id, TOP)
+            env[stmt.target.id] = current.binop(
+                stmt.op, eval_expr(stmt.value, env, module)
+            )
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                env.pop(target.id, None)
+
+
+def _bind_tuple_target(
+    target: ast.Tuple | ast.List,
+    value: ast.expr,
+    env: Env,
+    module: ModuleModel | None,
+) -> None:
+    values: list[ast.expr] | None = None
+    if isinstance(value, (ast.Tuple, ast.List)) and len(value.elts) == len(
+        target.elts
+    ):
+        values = value.elts
+    for index, element in enumerate(target.elts):
+        if isinstance(element, ast.Name):
+            env[element.id] = (
+                eval_expr(values[index], env, module)
+                if values is not None
+                else TOP
+            )
+        else:
+            for node in ast.walk(element):
+                if isinstance(node, ast.Name):
+                    env[node.id] = TOP
+
+
+# ---------------------------------------------------------------------------
+# A plain interval fixpoint over a CFG (exposed for tests; the SL6xx
+# checker embeds the same loop with its richer DMA state)
+# ---------------------------------------------------------------------------
+
+def analyze_intervals(
+    cfg, init: Env | None = None, module: ModuleModel | None = None,
+    max_passes: int = 64,
+):
+    """Fixpoint interval analysis; returns ``{block_id: in_env}``."""
+    from repro.analysis.lint.cfg import CFG  # noqa: F401 - typing aid
+
+    in_envs: dict[int, Env] = {cfg.entry: dict(init or {})}
+    order = cfg.rpo()
+    joins: dict[int, int] = {}
+    for _ in range(max_passes):
+        changed = False
+        for block_id in order:
+            if block_id not in in_envs:
+                continue
+            env = dict(in_envs[block_id])
+            block = cfg.block(block_id)
+            if block.loop is not None and isinstance(block.loop, ast.For):
+                bind_for_target(block.loop.target, block.loop.iter, env, module)
+            for stmt in block.stmts:
+                transfer_stmt(stmt, env, module)
+            for succ in block.succs:
+                if succ not in in_envs:
+                    in_envs[succ] = dict(env)
+                    changed = True
+                    continue
+                merged = join_env(in_envs[succ], env)
+                if cfg.block(succ).is_loop_head:
+                    joins[succ] = joins.get(succ, 0) + 1
+                    if joins[succ] > WIDEN_AFTER:
+                        merged = widen_env(in_envs[succ], merged)
+                if merged != in_envs[succ]:
+                    in_envs[succ] = merged
+                    changed = True
+        if not changed:
+            break
+    return in_envs

@@ -6,21 +6,47 @@ Three entry points:
 * :func:`lint_source` — one source string (fixtures and tests);
 * :func:`lint_callable` — a live function object (``inspect``-based, so a
   test can assert a kernel it just defined is clean).
+
+The engine owns the cross-cutting mechanics the rules never see:
+
+* the finding stream is **deduplicated and stably ordered** — two rules
+  (or one rule visiting a call twice) reporting the same
+  ``(rule, path, line, col)`` collapse to one finding, and the output
+  order is a pure function of the findings, never of dict iteration;
+* **inline suppressions** — ``# simlint: ignore[SL302] -- reason`` on
+  the offending line drops matching findings; a suppression without a
+  reason is itself a finding (SL801), and one that suppresses nothing
+  is too (SL802), so stale suppressions cannot accumulate;
+* **baselines** — a frozen snapshot of known findings; only findings
+  not in the baseline survive, so legacy debt and new regressions are
+  distinguishable.
 """
 
 from __future__ import annotations
 
 import ast
 import inspect
+import io
+import json
 import os
+import re
 import textwrap
+import tokenize
 from collections.abc import Callable, Iterable
+from dataclasses import dataclass, replace
 
 from repro.analysis.lint.findings import Finding
 from repro.analysis.lint.rules import RULES, FunctionInfo, Rule, RuleContext
 
 #: Directories never descended into.
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".repro-cache"})
+
+#: Matches the suppression directive inside a comment token: the word
+#: ``simlint:`` then ``ignore`` with bracketed rules, optionally a
+#: ``--``-separated reason.
+_SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*ignore\[([^\]]*)\]\s*(?:--\s*(?P<reason>.*\S))?"
+)
 
 
 class LintError(ValueError):
@@ -98,6 +124,194 @@ def select_rules(
     return chosen
 
 
+# ---------------------------------------------------------------------------
+# Inline suppressions
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# simlint: ignore[...]`` comment."""
+
+    line: int
+    col: int
+    prefixes: tuple[str, ...]
+    reason: str | None
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.line == self.line and any(
+            finding.rule.startswith(prefix) or finding.name == prefix
+            for prefix in self.prefixes
+        )
+
+
+def _scan_suppressions(source: str) -> list[Suppression]:
+    """Find ``# simlint: ignore[...]`` comments via the tokenizer, so
+    the directive syntax quoted inside strings and docstrings (this
+    project documents it in a few) never counts as a suppression."""
+    suppressions: list[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            token for token in tokens if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenizeError, SyntaxError, ValueError):
+        return []
+    for token in comments:
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        prefixes = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        suppressions.append(
+            Suppression(
+                line=token.start[0],
+                col=token.start[1] + match.start(),
+                prefixes=prefixes,
+                reason=match.group("reason"),
+            )
+        )
+    return suppressions
+
+
+def _apply_suppressions(
+    findings: list[Finding],
+    suppressions: list[Suppression],
+    path: str,
+    active: Iterable[Rule],
+) -> list[Finding]:
+    active_ids = {rule.id for rule in active}
+    active_names = {rule.name for rule in active}
+    kept: list[Finding] = []
+    used: set[int] = set()
+    valid: list[tuple[int, Suppression]] = []
+    for index, suppression in enumerate(suppressions):
+        if not suppression.prefixes or not suppression.reason:
+            if "SL801" in active_ids:
+                findings = findings + [_meta_finding(
+                    "SL801", path, suppression,
+                    "suppression must name rules and give a reason: "
+                    "`# simlint: ignore[SL302] -- why it is safe here`",
+                )]
+            continue
+        valid.append((index, suppression))
+    for finding in findings:
+        suppressed = False
+        for index, suppression in valid:
+            if finding.rule in ("SL801", "SL802"):
+                continue  # meta findings cannot be inline-suppressed
+            if suppression.covers(finding):
+                used.add(index)
+                suppressed = True
+        if not suppressed:
+            kept.append(finding)
+    for index, suppression in valid:
+        if index in used:
+            continue
+        # Only call a suppression unused when the active rule set could
+        # actually have produced the findings it names — under --select,
+        # silence about unselected rules is not staleness.
+        checkable = all(
+            any(rule_id.startswith(prefix) for rule_id in active_ids)
+            or prefix in active_names
+            for prefix in suppression.prefixes
+        )
+        if checkable and "SL802" in active_ids:
+            kept.append(_meta_finding(
+                "SL802", path, suppression,
+                f"suppression of [{', '.join(suppression.prefixes)}] "
+                f"matches no finding on this line: remove it",
+            ))
+    return kept
+
+
+def _meta_finding(
+    rule_id: str, path: str, suppression: Suppression, message: str
+) -> Finding:
+    rule = RULES[rule_id]
+    return Finding(
+        rule=rule.id,
+        name=rule.name,
+        severity=rule.severity,
+        path=path,
+        line=suppression.line,
+        col=suppression.col,
+        message=message,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+def load_baseline(path: str) -> set[tuple[str, str, int, int]]:
+    """Load a baseline file: the fingerprints of frozen findings."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        raise LintError(f"cannot read baseline {path}: {error}") from error
+    entries = data.get("findings") if isinstance(data, dict) else data
+    if not isinstance(entries, list):
+        raise LintError(f"baseline {path}: expected a list of findings")
+    fingerprints: set[tuple[str, str, int, int]] = set()
+    for entry in entries:
+        try:
+            fingerprints.add(
+                (entry["path"], entry["rule"], entry["line"], entry["col"])
+            )
+        except (TypeError, KeyError) as error:
+            raise LintError(
+                f"baseline {path}: malformed entry {entry!r}"
+            ) from error
+    return fingerprints
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> None:
+    """Freeze ``findings`` into a baseline file."""
+    payload = {
+        "format": "simlint-baseline-v1",
+        "findings": [
+            {
+                "path": f.path, "rule": f.rule, "line": f.line, "col": f.col,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def apply_baseline(
+    findings: Iterable[Finding], baseline: set[tuple[str, str, int, int]]
+) -> list[Finding]:
+    """Keep only findings not frozen in the baseline."""
+    return [f for f in findings if f.fingerprint not in baseline]
+
+
+# ---------------------------------------------------------------------------
+# Core entry points
+# ---------------------------------------------------------------------------
+
+def _dedup_sorted(findings: list[Finding]) -> list[Finding]:
+    """Stable sorted order, one finding per (path, line, col, rule).
+
+    The sort key is a pure function of each finding — never dict or
+    visitor iteration order — and ties between distinct messages at one
+    location break on the message text, so the survivor of a dedup is
+    deterministic too.
+    """
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    deduped: list[Finding] = []
+    for finding in findings:
+        if deduped and deduped[-1].fingerprint == finding.fingerprint:
+            continue
+        deduped.append(finding)
+    return deduped
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -111,20 +325,35 @@ def lint_source(
     context = RuleContext(
         tree=tree, path=path, functions=_classify_functions(tree)
     )
+    active = list(rules) if rules is not None else list(RULES.values())
     findings: list[Finding] = []
-    for rule in rules if rules is not None else RULES.values():
+    for rule in active:
         findings.extend(rule.check(context))
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return findings
+    suppressions = _scan_suppressions(source)
+    if suppressions:
+        findings = _apply_suppressions(findings, suppressions, path, active)
+    return _dedup_sorted(findings)
 
 
-def lint_file(path: str, rules: Iterable[Rule] | None = None) -> list[Finding]:
+def lint_file(
+    path: str,
+    rules: Iterable[Rule] | None = None,
+    cache=None,
+) -> list[Finding]:
     try:
         with open(path, encoding="utf-8") as handle:
             source = handle.read()
     except OSError as error:
         raise LintError(f"cannot read {path}: {error}") from error
-    return lint_source(source, path=path, rules=rules)
+    if cache is None:
+        return lint_source(source, path=path, rules=rules)
+    active = list(rules) if rules is not None else list(RULES.values())
+    cached = cache.get(path, source, active)
+    if cached is not None:
+        return cached
+    findings = lint_source(source, path=path, rules=active)
+    cache.put(path, source, active, findings)
+    return findings
 
 
 def iter_python_files(paths: Iterable[str]) -> list[str]:
@@ -149,13 +378,15 @@ def iter_python_files(paths: Iterable[str]) -> list[str]:
 
 
 def lint_paths(
-    paths: Iterable[str], rules: Iterable[Rule] | None = None
+    paths: Iterable[str],
+    rules: Iterable[Rule] | None = None,
+    cache=None,
 ) -> list[Finding]:
     """Lint every ``.py`` file under ``paths`` (files or directories)."""
     rules = list(rules) if rules is not None else list(RULES.values())
     findings: list[Finding] = []
     for path in iter_python_files(paths):
-        findings.extend(lint_file(path, rules=rules))
+        findings.extend(lint_file(path, rules=rules, cache=cache))
     return findings
 
 
@@ -173,14 +404,11 @@ def lint_callable(
     findings = lint_source(source, path=path, rules=rules)
     offset = start - 1
     return [
-        Finding(
-            rule=f.rule,
-            name=f.name,
-            severity=f.severity,
-            path=f.path,
+        replace(
+            f,
+            path=path,
             line=f.line + offset,
-            col=f.col,
-            message=f.message,
+            steps=tuple((line + offset, note) for line, note in f.steps),
         )
         for f in findings
     ]

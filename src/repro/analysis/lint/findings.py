@@ -3,14 +3,17 @@
 A :class:`Finding` is one diagnostic anchored to a source location; the
 engine collects them across files and the CLI renders them as
 ``path:line:col: SEVERITY RULE message`` lines (the format editors and CI
-annotations already understand).
+annotations already understand).  Dataflow findings (the SL6xx family)
+additionally carry ``steps`` — the offending path as ``(line, note)``
+pairs — which ``--explain RULE`` renders as ``file:line`` step lists.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
+
 
 class Severity(enum.IntEnum):
     """How bad a finding is.  Ordered so thresholds compare naturally."""
@@ -43,6 +46,9 @@ class Finding:
     line: int
     col: int
     message: str
+    #: Offending path for dataflow findings: ``(line, note)`` steps in
+    #: source order, all within ``path`` (the analysis is per-module).
+    steps: tuple[tuple[int, str], ...] = field(default=(), compare=False)
 
     def format(self) -> str:
         return (
@@ -50,8 +56,33 @@ class Finding:
             f"{self.severity} {self.rule} [{self.name}] {self.message}"
         )
 
+    def explain(self) -> list[str]:
+        """The offending path as ``file:line`` step lines."""
+        return [
+            f"    step {index}: {self.path}:{line}  {note}"
+            for index, (line, note) in enumerate(self.steps, start=1)
+        ]
+
+    def format_github(self) -> str:
+        """A GitHub Actions workflow-command annotation."""
+        kind = "error" if self.severity >= Severity.ERROR else "warning"
+        # Workflow commands terminate the message at a newline; the
+        # properties must not contain commas or colons from the path.
+        message = f"{self.rule} [{self.name}] {self.message}".replace(
+            "\n", " "
+        )
+        return (
+            f"::{kind} file={self.path},line={self.line},"
+            f"col={self.col + 1},title=simlint {self.rule}::{message}"
+        )
+
+    @property
+    def fingerprint(self) -> tuple[str, str, int, int]:
+        """Identity used by baselines and dedup: location + rule."""
+        return (self.path, self.rule, self.line, self.col)
+
     def to_json(self) -> dict[str, Any]:
-        return {
+        data: dict[str, Any] = {
             "rule": self.rule,
             "name": self.name,
             "severity": str(self.severity),
@@ -60,3 +91,25 @@ class Finding:
             "col": self.col,
             "message": self.message,
         }
+        if self.steps:
+            data["steps"] = [
+                {"line": line, "note": note} for line, note in self.steps
+            ]
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> Finding:
+        """Inverse of :meth:`to_json` (result cache, baselines)."""
+        return cls(
+            rule=data["rule"],
+            name=data["name"],
+            severity=Severity.parse(data["severity"]),
+            path=data["path"],
+            line=data["line"],
+            col=data["col"],
+            message=data["message"],
+            steps=tuple(
+                (step["line"], step["note"])
+                for step in data.get("steps", ())
+            ),
+        )

@@ -13,7 +13,13 @@ Rule numbering groups by theme:
 * ``SL2xx`` — simulation-process liveness (zero-time livelocks);
 * ``SL3xx`` — DMA size/alignment legality and efficiency;
 * ``SL4xx`` — kernel-time integrality (cycle counts are integers);
-* ``SL5xx`` — determinism (no wall clocks or unseeded RNGs in sim code).
+* ``SL5xx`` — determinism (no wall clocks or unseeded RNGs in sim code);
+* ``SL6xx`` — dataflow hazard proofs (the static shadow of the runtime
+  ``DmaSanitizer``: buffer overlap, tag lifecycle, double-buffer phase),
+  computed by the CFG + interval engine in :mod:`.cfg`/:mod:`.dataflow`/
+  :mod:`.summaries`/:mod:`.hazards`;
+* ``SL8xx`` — lint hygiene (invalid or stale suppression comments),
+  emitted by the engine itself.
 """
 
 from __future__ import annotations
@@ -86,6 +92,9 @@ class RuleContext:
     tree: ast.Module
     path: str
     functions: list[FunctionInfo] = field(default_factory=list)
+    #: Dataflow findings (SL6xx), computed once per module on first
+    #: demand and shared by the three SL6xx rule entries.
+    _dataflow: list[Finding] | None = field(default=None, repr=False)
 
 
 @dataclass(frozen=True)
@@ -705,6 +714,91 @@ def check_nondeterminism(context: RuleContext) -> list[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# SL601 / SL602 / SL603: dataflow hazard proofs
+# ---------------------------------------------------------------------------
+
+def _dataflow_findings(context: RuleContext) -> list[Finding]:
+    """Run the CFG + interval hazard analysis once per module and share
+    the results across the three SL6xx rule entries.
+
+    Helpers (leading underscore) are folded into their callers via
+    module summaries rather than analysed standalone — a helper's
+    caller owns the synchronisation context, so judging its body in
+    isolation would only manufacture noise.
+    """
+    if context._dataflow is None:
+        # Imported here so the catalog stays importable even while the
+        # dataflow engine itself is being linted/reloaded.
+        from repro.analysis.lint.hazards import check_function
+        from repro.analysis.lint.summaries import ModuleModel
+
+        model = ModuleModel(context.tree, context.path)
+        findings: list[Finding] = []
+        for info in context.functions:
+            if not info.is_sim or info.is_helper:
+                continue
+            spu_param = (
+                info.first_param
+                if info.first_param in ("spu", "env")
+                else None
+            )
+            for raw in check_function(info.node, model, spu_param):
+                rule = RULES[raw.rule]
+                findings.append(
+                    Finding(
+                        rule=rule.id,
+                        name=rule.name,
+                        severity=rule.severity,
+                        path=context.path,
+                        line=raw.line,
+                        col=raw.col,
+                        message=raw.message,
+                        steps=tuple(
+                            (step.line, step.note) for step in raw.steps
+                        ),
+                    )
+                )
+        context._dataflow = findings
+    return context._dataflow
+
+
+def check_ls_buffer_overlap(context: RuleContext) -> list[Finding]:
+    """SL601: two transfers with provably intersecting
+    ``[local_offset, local_offset + size)`` ranges concurrently in
+    flight on one MFC, at least one a GET, with no fence/barrier/
+    ``wait_tags`` ordering them — the static counterpart of the runtime
+    ``DmaSanitizer`` race check."""
+    return [f for f in _dataflow_findings(context) if f.rule == "SL601"]
+
+
+def check_tag_lifecycle(context: RuleContext) -> list[Finding]:
+    """SL602: tag-group lifecycle errors — a wait on a tag group no path
+    ever issues on (dead wait), or GETs and PUTs concurrently in flight
+    on one tag group (the paper gives writes their own group so "quiet"
+    has one meaning)."""
+    return [f for f in _dataflow_findings(context) if f.rule == "SL602"]
+
+
+def check_double_buffer_phase(context: RuleContext) -> list[Finding]:
+    """SL603: rotation arithmetic (``base + (i % K) * stride``) in a
+    loop that provably runs more than K iterations with no wait in the
+    body — some iteration reuses the in-flight window."""
+    return [f for f in _dataflow_findings(context) if f.rule == "SL603"]
+
+
+# ---------------------------------------------------------------------------
+# SL801 / SL802: suppression hygiene (emitted by the engine)
+# ---------------------------------------------------------------------------
+
+def _engine_emitted(context: RuleContext) -> list[Finding]:
+    """SL801/SL802 findings are produced by the engine's suppression
+    pass, which sees the raw source text; the registry entries exist so
+    the ids are selectable, documented, and carry severities."""
+    del context
+    return []
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
 
@@ -757,6 +851,31 @@ RULES: dict[str, Rule] = {
             "SL501", "nondeterminism", Severity.ERROR,
             "wall clock or unseeded RNG inside sim code",
             check_nondeterminism,
+        ),
+        Rule(
+            "SL601", "ls-buffer-overlap", Severity.ERROR,
+            "overlapping local-store ranges concurrently in flight",
+            check_ls_buffer_overlap,
+        ),
+        Rule(
+            "SL602", "tag-lifecycle", Severity.ERROR,
+            "tag-group lifecycle error (dead wait / mixed directions)",
+            check_tag_lifecycle,
+        ),
+        Rule(
+            "SL603", "double-buffer-phase", Severity.ERROR,
+            "buffer rotation can alias the in-flight window",
+            check_double_buffer_phase,
+        ),
+        Rule(
+            "SL801", "invalid-suppression", Severity.ERROR,
+            "suppression comment without rules or reason",
+            _engine_emitted,
+        ),
+        Rule(
+            "SL802", "unused-suppression", Severity.WARNING,
+            "suppression that matches no finding",
+            _engine_emitted,
         ),
     )
 }

@@ -9,10 +9,15 @@ clean run gates CI the same way the test suite does::
     python -m repro.lint --select SL2,SL5 src
     python -m repro.lint --list-rules
     python -m repro.lint --format json examples
+    python -m repro.lint --format github src        # CI annotations
+    python -m repro.lint --explain SL601 examples   # show hazard paths
+    python -m repro.lint --baseline lint-baseline.json src
+    python -m repro.lint --update-baseline lint-baseline.json src
 
 ``--min-severity error`` reports (and fails on) errors only;
 ``--select``/``--ignore`` take rule-id prefixes (``SL3`` covers SL301
-and SL302) or rule names (``yieldless-loop``).
+and SL302) or rule names (``yieldless-loop``).  Results are cached per
+file content under ``.repro-cache/lint/`` (``--no-cache`` disables).
 """
 
 from __future__ import annotations
@@ -24,10 +29,14 @@ import sys
 from repro.analysis.lint import (
     RULES,
     Finding,
+    LintCache,
     LintError,
     Severity,
+    apply_baseline,
     lint_paths,
+    load_baseline,
     select_rules,
+    write_baseline,
 )
 
 
@@ -52,8 +61,27 @@ def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         help="report findings at or above this severity (default: warning)",
     )
     parser.add_argument(
-        "--format", default="text", choices=["text", "json"],
+        "--format", default="text", choices=["text", "json", "github"],
         dest="output_format", help="diagnostic output format",
+    )
+    parser.add_argument(
+        "--explain", default=None, metavar="RULE",
+        help="print the offending path (file:line steps) for findings "
+        "of this rule id",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppress findings recorded in this baseline file; only "
+        "new findings fail the run",
+    )
+    parser.add_argument(
+        "--update-baseline", default=None, metavar="FILE",
+        help="write the current findings to FILE as the new baseline "
+        "and exit 0",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the content-hash result cache",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -71,14 +99,22 @@ def _split(arg: str | None) -> list[str] | None:
 def list_rules() -> str:
     return "\n".join(
         f"{rule.id}  {rule.name:<22} {str(rule.severity):<7} {rule.summary}"
-        for rule in RULES.values()
+        for rule in sorted(RULES.values(), key=lambda rule: rule.id)
     )
 
 
-def render(findings: list[Finding], output_format: str) -> str:
+def render(
+    findings: list[Finding], output_format: str, explain: str | None = None
+) -> str:
     if output_format == "json":
         return json.dumps([f.to_json() for f in findings], indent=2)
-    lines = [finding.format() for finding in findings]
+    if output_format == "github":
+        return "\n".join(f.format_github() for f in findings)
+    lines: list[str] = []
+    for finding in findings:
+        lines.append(finding.format())
+        if explain is not None and finding.rule == explain and finding.steps:
+            lines.extend(finding.explain())
     errors = sum(1 for f in findings if f.severity >= Severity.ERROR)
     warnings = len(findings) - errors
     lines.append(
@@ -95,16 +131,31 @@ def main(argv: list[str] | None = None) -> int:
     if not args.paths:
         print("error: no paths given (or use --list-rules)", file=sys.stderr)
         return 2
+    if args.explain is not None and args.explain not in RULES:
+        print(f"error: --explain {args.explain!r}: unknown rule",
+              file=sys.stderr)
+        return 2
     threshold = Severity.parse(args.min_severity)
     try:
         rules = select_rules(_split(args.select), _split(args.ignore))
-        findings = lint_paths(args.paths, rules=rules)
+        cache = None if args.no_cache else LintCache()
+        findings = lint_paths(args.paths, rules=rules, cache=cache)
+        if args.update_baseline is not None:
+            findings = [f for f in findings if f.severity >= threshold]
+            write_baseline(args.update_baseline, findings)
+            print(
+                f"baseline: froze {len(findings)} finding(s) into "
+                f"{args.update_baseline}"
+            )
+            return 0
+        if args.baseline is not None:
+            findings = apply_baseline(findings, load_baseline(args.baseline))
     except LintError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     findings = [f for f in findings if f.severity >= threshold]
     if findings or args.output_format == "text":
-        print(render(findings, args.output_format))
+        print(render(findings, args.output_format, args.explain))
     return 1 if findings else 0
 
 

@@ -533,6 +533,17 @@ def run_traced(preset: str, path: str, seed: int = 1000) -> bool:
     return True
 
 
+def racy_pair_program(spu, out):
+    # Two GETs into the same LS bytes, same tag group, no wait between
+    # them: the canonical unsynchronised DMA pair.  Module-level (not
+    # nested in run_sanitized) so the static/runtime cross-validation
+    # test can lint exactly the program the runtime sanitizer flags.
+    yield from spu.mfc_get(size=4096, tag=0)
+    yield from spu.mfc_get(size=4096, tag=0)
+    yield from spu.wait_tags([0])
+    out["done"] = True
+
+
 def run_sanitized(preset: str, seed: int = 1000) -> bool:
     """Run the DMA hazard sanitizer showcase (``--sanitize``).
 
@@ -581,17 +592,9 @@ def run_sanitized(preset: str, seed: int = 1000) -> bool:
         print("  FAIL: the shipped kernels must run hazard-free")
         ok = False
 
-    def racy_pair(spu, out):
-        # Two GETs into the same LS bytes, same tag group, no wait
-        # between them: the canonical unsynchronised DMA pair.
-        yield from spu.mfc_get(size=4096, tag=0)
-        yield from spu.mfc_get(size=4096, tag=0)
-        yield from spu.wait_tags([0])
-        out["done"] = True
-
     racy_sanitizer = DmaSanitizer()
     racy_chip = CellChip(sanitizer=racy_sanitizer)
-    SpeContext(racy_chip, 0).load(racy_pair, {})
+    SpeContext(racy_chip, 0).load(racy_pair_program, {})
     racy_chip.run()
     print(f"racy pair: {racy_sanitizer.report()}")
     if not racy_sanitizer.findings:

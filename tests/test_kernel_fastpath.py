@@ -117,13 +117,13 @@ class TestInterruptBeforeStart:
 class TestTimeoutDelayValidation:
     def test_integral_float_coerces_to_int(self, env_cls):
         env = env_cls()
-        timeout = env.timeout(5.0)
+        timeout = env.timeout(5.0)  # simlint: ignore[SL401] -- integral float coercion is the behaviour under test
         assert type(timeout.delay) is int and timeout.delay == 5
 
     def test_fractional_delay_raises_value_error(self, env_cls):
         env = env_cls()
         with pytest.raises(ValueError, match="non-integral"):
-            env.timeout(5.5)
+            env.timeout(5.5)  # simlint: ignore[SL401] -- fractional delay rejection is the behaviour under test
 
     def test_non_numeric_delay_raises_type_error(self, env_cls):
         env = env_cls()
@@ -145,7 +145,7 @@ class TestTimeoutDelayValidation:
         fired = []
 
         def proc(env):
-            yield env.timeout(10.0)
+            yield env.timeout(10.0)  # simlint: ignore[SL401] -- integral float coercion is the behaviour under test
             fired.append(env.now)
 
         env.process(proc(env))

@@ -66,7 +66,7 @@ def test_rolled_loop_pays_more_issue_cost(config):
 
 def test_list_issue_validates_element_count(chip):
     def program(spu, partner):
-        yield from spu.mfc_getl(
+        yield from spu.mfc_getl(  # simlint: ignore[SL102] -- list is deliberately oversized: the MFC must reject it before any wait
             element_size=128,
             n_elements=chip.config.mfc.list_max_elements + 1,
             remote_spe=partner,
@@ -93,7 +93,7 @@ def test_put_and_putl_reach_partner(chip):
 def test_memory_transfers_without_partner(chip):
     def program(spu):
         yield from spu.mfc_get(size=2048, tag=3)
-        yield from spu.mfc_put(size=2048, tag=3)
+        yield from spu.mfc_put(size=2048, tag=3)  # simlint: ignore[SL601,SL602] -- offsets default to 0: this test counts bytes, not LS layout
         yield from spu.wait_tags([3])
 
     SpeContext(chip, 0).load(program)

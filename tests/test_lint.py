@@ -481,3 +481,320 @@ def test_shipped_examples_and_kernels_are_clean():
     ]
     findings = lint_paths(targets)
     assert findings == [], "\n".join(f.format() for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# Inline suppressions (appended: the baseline freezes line numbers above)
+# ---------------------------------------------------------------------------
+
+SUPPRESSED = """
+def program(spu):
+    yield from spu.mfc_get(size=64, tag=0)  # simlint: ignore[SL302] -- fixture
+    yield from spu.wait_tags([0])
+"""
+
+
+def test_suppression_with_reason_drops_the_finding():
+    assert lint_source(SUPPRESSED) == []
+
+
+def test_suppression_without_reason_is_sl801():
+    source = """
+def program(spu):
+    yield from spu.mfc_get(size=64, tag=0)  # simlint: ignore[SL302]
+    yield from spu.wait_tags([0])
+"""
+    findings = lint_source(source)
+    assert "SL801" in rule_ids(findings)
+    # The directive is invalid, so the original finding survives too.
+    assert "SL302" in rule_ids(findings)
+
+
+def test_suppression_without_rules_is_sl801():
+    source = """
+def program(spu):
+    yield from spu.mfc_get(size=4096, tag=0)  # simlint: ignore[] -- why
+    yield from spu.wait_tags([0])
+"""
+    assert rule_ids(lint_source(source)) == ["SL801"]
+
+
+def test_unused_suppression_is_sl802():
+    source = """
+def program(spu):
+    yield from spu.mfc_get(size=4096, tag=0)  # simlint: ignore[SL302] -- stale
+    yield from spu.wait_tags([0])
+"""
+    findings = lint_source(source)
+    assert rule_ids(findings) == ["SL802"]
+    assert findings[0].severity == Severity.WARNING
+    assert "matches no finding" in findings[0].message
+
+
+def test_unused_suppression_not_flagged_when_rule_unselected():
+    # Under --select SL1, silence about SL302 is not staleness.
+    findings = lint_source(SUPPRESSED, rules=select_rules(["SL1", "SL8"]))
+    assert findings == []
+
+
+def test_suppression_in_docstring_is_not_honoured():
+    source = '''
+def program(spu):
+    """Documented directive: # simlint: ignore[SL302] -- quoted."""
+    yield from spu.mfc_get(size=64, tag=0)
+    yield from spu.wait_tags([0])
+'''
+    assert "SL302" in rule_ids(lint_source(source))
+
+
+def test_suppression_covers_multiple_rules():
+    source = """
+def program(spu):
+    yield from spu.mfc_get(size=64, tag=3)
+    yield spu.compute(10)  # simlint: ignore[SL101,SL302] -- fixture
+    yield from spu.wait_tags([3])
+"""
+    # SL101 anchors at the compute line and is covered; SL302 anchors at
+    # the get line and is not.
+    assert rule_ids(lint_source(source)) == ["SL302"]
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+def test_baseline_round_trip_via_cli(racy_file, tmp_path, capsys):
+    baseline = str(tmp_path / "baseline.json")
+    assert lint_main(["--update-baseline", baseline, racy_file]) == 0
+    # Every frozen finding is filtered: the run is clean.
+    assert lint_main(["--baseline", baseline, racy_file]) == 0
+    capsys.readouterr()
+
+
+def test_baseline_keeps_new_findings(racy_file, tmp_path, capsys):
+    from repro.analysis.lint import apply_baseline, load_baseline
+
+    baseline = str(tmp_path / "baseline.json")
+    assert lint_main(
+        ["--select", "SL302", "--update-baseline", baseline, racy_file]
+    ) == 0
+    capsys.readouterr()
+    findings = lint_paths([racy_file])
+    survivors = apply_baseline(findings, load_baseline(baseline))
+    assert "SL302" not in rule_ids(survivors)
+    assert "SL101" in rule_ids(survivors)
+
+
+def test_malformed_baseline_is_a_usage_error(racy_file, tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert lint_main(["--baseline", str(bad), racy_file]) == 2
+    bad.write_text('{"findings": [{"rule": "SL101"}]}')
+    assert lint_main(["--baseline", str(bad), racy_file]) == 2
+    bad.write_text('{"findings": "nope"}')
+    assert lint_main(["--baseline", str(bad), racy_file]) == 2
+    capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# Ordering and dedup
+# ---------------------------------------------------------------------------
+
+def test_dedup_collapses_identical_fingerprints():
+    from repro.analysis.lint.engine import _dedup_sorted
+    from repro.analysis.lint.findings import Finding
+
+    def finding(path, line, col, rule, message):
+        return Finding(
+            rule=rule, name="x", severity=Severity.ERROR,
+            path=path, line=line, col=col, message=message,
+        )
+
+    duplicated = [
+        finding("b.py", 3, 0, "SL101", "again"),
+        finding("a.py", 9, 4, "SL301", "later line"),
+        finding("b.py", 3, 0, "SL101", "again"),
+        finding("a.py", 2, 0, "SL302", "earlier line"),
+    ]
+    deduped = _dedup_sorted(duplicated)
+    assert [(f.path, f.line, f.rule) for f in deduped] == [
+        ("a.py", 2, "SL302"), ("a.py", 9, "SL301"), ("b.py", 3, "SL101"),
+    ]
+
+
+def test_dedup_survivor_is_deterministic():
+    from repro.analysis.lint.engine import _dedup_sorted
+    from repro.analysis.lint.findings import Finding
+
+    def finding(message):
+        return Finding(
+            rule="SL101", name="x", severity=Severity.ERROR,
+            path="a.py", line=1, col=0, message=message,
+        )
+
+    forward = _dedup_sorted([finding("aaa"), finding("bbb")])
+    backward = _dedup_sorted([finding("bbb"), finding("aaa")])
+    assert [f.message for f in forward] == [f.message for f in backward]
+
+
+# ---------------------------------------------------------------------------
+# Output formats and --explain
+# ---------------------------------------------------------------------------
+
+def test_cli_format_github_annotations(racy_file, capsys):
+    assert lint_main(["--format", "github", racy_file]) == 1
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if line]
+    assert lines, out
+    for line in lines:
+        assert line.startswith("::error ") or line.startswith("::warning ")
+        assert "file=" in line and "line=" in line and "col=" in line
+        assert "title=simlint SL" in line
+    assert any("::error " in line and "SL101" in line for line in lines)
+
+
+def test_cli_format_github_prints_nothing_when_clean(clean_file, capsys):
+    assert lint_main(["--format", "github", clean_file]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_cli_explain_prints_hazard_steps(tmp_path, capsys):
+    overlap = tmp_path / "overlap.py"
+    overlap.write_text(
+        "def program(spu, out):\n"
+        "    spu.mfc_get(4096, tag=0, local_offset=0)\n"
+        "    spu.mfc_get(4096, tag=1, local_offset=2048)\n"
+        "    spu.wait_tags([0, 1])\n"
+    )
+    assert lint_main(["--explain", "SL601", str(overlap)]) == 1
+    out = capsys.readouterr().out
+    assert "SL601" in out
+    assert "step 1:" in out and "step 2:" in out
+    assert f"{overlap}:2" in out and f"{overlap}:3" in out
+
+
+def test_cli_explain_unknown_rule_is_usage_error(racy_file, capsys):
+    assert lint_main(["--explain", "SL999", racy_file]) == 2
+    capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+
+def test_cache_cold_then_warm_smoke(tmp_path):
+    import time
+
+    from repro.analysis.lint import LintCache
+    from repro.analysis.lint.cache import catalog_version
+
+    target = tmp_path / "kernel.py"
+    target.write_text(
+        "def program(spu):\n"
+        "    yield from spu.mfc_get(size=64, tag=0)\n"
+        "    yield spu.compute(10)\n"
+        "    yield from spu.wait_tags([0])\n"
+    )
+    cache = LintCache(root=str(tmp_path / "cache"))
+    t0 = time.perf_counter()
+    cold = lint_paths([str(target)], cache=cache)
+    cold_elapsed = time.perf_counter() - t0
+    assert cache.misses == 1 and cache.hits == 0
+
+    t0 = time.perf_counter()
+    warm = lint_paths([str(target)], cache=cache)
+    warm_elapsed = time.perf_counter() - t0
+    assert cache.hits == 1
+    assert [f.fingerprint for f in warm] == [f.fingerprint for f in cold]
+    assert [f.message for f in warm] == [f.message for f in cold]
+    # The warm hit skips parsing and every rule: it must not be an
+    # order-of-magnitude slower than the cold run (generous bound so a
+    # loaded CI box cannot flake this).
+    assert warm_elapsed < max(cold_elapsed * 2.0, 0.25), (
+        cold_elapsed, warm_elapsed
+    )
+    # The cache is keyed by the live catalog version.
+    assert (tmp_path / "cache" / catalog_version()).is_dir()
+
+
+def test_cache_invalidates_on_content_change(tmp_path):
+    from repro.analysis.lint import LintCache
+
+    target = tmp_path / "kernel.py"
+    target.write_text(
+        "def program(spu):\n"
+        "    yield from spu.mfc_get(size=4096, tag=0)\n"
+        "    yield from spu.wait_tags([0])\n"
+    )
+    cache = LintCache(root=str(tmp_path / "cache"))
+    assert lint_paths([str(target)], cache=cache) == []
+    target.write_text(
+        "def program(spu):\n"
+        "    yield from spu.mfc_get(size=64, tag=0)\n"
+        "    yield from spu.wait_tags([0])\n"
+    )
+    findings = lint_paths([str(target)], cache=cache)
+    assert "SL302" in rule_ids(findings)
+    assert cache.misses == 2
+
+
+def test_cache_is_keyed_by_rule_selection(tmp_path):
+    from repro.analysis.lint import LintCache
+
+    target = tmp_path / "kernel.py"
+    target.write_text(
+        "def program(spu):\n"
+        "    yield from spu.mfc_get(size=64, tag=0)\n"
+        "    yield spu.compute(10)\n"
+        "    yield from spu.wait_tags([0])\n"
+    )
+    cache = LintCache(root=str(tmp_path / "cache"))
+    all_rules = lint_paths([str(target)], cache=cache)
+    narrowed = lint_paths(
+        [str(target)], rules=select_rules(["SL302"]), cache=cache
+    )
+    assert rule_ids(narrowed) == ["SL302"]
+    assert len(all_rules) > len(narrowed)
+
+
+def test_cache_get_reanchors_findings_to_the_queried_path(tmp_path):
+    from repro.analysis.lint import LintCache
+
+    source = (
+        "def program(spu):\n"
+        "    yield from spu.mfc_get(size=64, tag=0)\n"
+        "    yield from spu.wait_tags([0])\n"
+    )
+    first = tmp_path / "a.py"
+    second = tmp_path / "b.py"
+    first.write_text(source)
+    second.write_text(source)
+    cache = LintCache(root=str(tmp_path / "cache"))
+    lint_paths([str(first)], cache=cache)
+    findings = lint_paths([str(second)], cache=cache)
+    assert cache.hits == 1  # same content, same rules: shared entry
+    assert findings[0].path == str(second)
+
+
+# ---------------------------------------------------------------------------
+# lint_callable carries dataflow steps with real line numbers
+# ---------------------------------------------------------------------------
+
+def test_lint_callable_offsets_explain_steps():
+    import inspect
+
+    from repro.reproduce import racy_pair_program
+
+    findings = [
+        f for f in lint_callable(
+            racy_pair_program, rules=select_rules(["SL601"])
+        )
+    ]
+    assert rule_ids(findings) == ["SL601"]
+    _lines, start = inspect.getsourcelines(racy_pair_program)
+    finding = findings[0]
+    assert finding.line >= start
+    assert finding.steps
+    for line, note in finding.steps:
+        assert line >= start
+        assert note

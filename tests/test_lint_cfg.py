@@ -1,0 +1,263 @@
+"""CFG construction: blocks, edges, back edges, handlers, exits."""
+
+import ast
+
+import pytest
+
+from repro.analysis.lint import build_cfg
+
+
+def cfg_of(source):
+    tree = ast.parse(source)
+    fn = tree.body[0]
+    assert isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(fn)
+
+
+def reachable(cfg):
+    seen = {cfg.entry}
+    stack = [cfg.entry]
+    while stack:
+        for succ in cfg.block(stack.pop()).succs:
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+def test_straight_line_is_one_path_to_exit():
+    cfg = cfg_of("def f():\n    a = 1\n    b = 2\n")
+    assert cfg.exit in reachable(cfg)
+    entry = cfg.block(cfg.entry)
+    assert [s.lineno for s in entry.stmts] == [2, 3]
+
+
+def test_if_branches_join():
+    cfg = cfg_of(
+        "def f(x):\n"
+        "    if x:\n"
+        "        a = 1\n"
+        "    else:\n"
+        "        a = 2\n"
+        "    b = 3\n"
+    )
+    # The join block (holding b = 3) has two predecessors.
+    join = next(
+        block for block in cfg.blocks.values()
+        if any(s.lineno == 6 for s in block.stmts)
+    )
+    assert len(join.preds) == 2
+
+
+def test_if_without_else_falls_through():
+    cfg = cfg_of("def f(x):\n    if x:\n        a = 1\n    b = 2\n")
+    join = next(
+        block for block in cfg.blocks.values()
+        if any(s.lineno == 4 for s in block.stmts)
+    )
+    assert len(join.preds) == 2  # then-branch and the test block itself
+
+
+def test_while_loop_has_back_edge_and_exit_edge():
+    cfg = cfg_of("def f(x):\n    while x:\n        x -= 1\n    y = 1\n")
+    head = next(b for b in cfg.blocks.values() if b.is_loop_head)
+    assert isinstance(head.loop, ast.While)
+    # Head reaches both the body and the after-loop block.
+    assert len(head.succs) == 2
+    # Some successor chain leads back to the head (the back edge).
+    assert head.id in {
+        succ for block in cfg.blocks.values() for succ in block.succs
+        if block.id != head.id or True
+    }
+    assert any(
+        head.id in cfg.block(b).succs
+        for b in cfg.blocks
+        if b != head.id
+    )
+
+
+def test_for_loop_head_carries_the_for_node():
+    cfg = cfg_of("def f():\n    for i in range(4):\n        pass\n")
+    head = next(b for b in cfg.blocks.values() if b.is_loop_head)
+    assert isinstance(head.loop, ast.For)
+    assert head.loop.lineno == 2
+    assert head.first_line() == 2
+
+
+def test_break_edges_to_after_loop():
+    cfg = cfg_of(
+        "def f():\n"
+        "    for i in range(4):\n"
+        "        if i:\n"
+        "            break\n"
+        "        a = 1\n"
+        "    done = 1\n"
+    )
+    after = next(
+        block for block in cfg.blocks.values()
+        if any(s.lineno == 6 for s in block.stmts)
+    )
+    break_block = next(
+        block for block in cfg.blocks.values()
+        if any(isinstance(s, ast.Break) for s in block.stmts)
+    )
+    assert after.id in break_block.succs
+
+
+def test_continue_edges_back_to_head():
+    cfg = cfg_of(
+        "def f():\n"
+        "    for i in range(4):\n"
+        "        if i:\n"
+        "            continue\n"
+        "        a = 1\n"
+    )
+    head = next(b for b in cfg.blocks.values() if b.is_loop_head)
+    continue_block = next(
+        block for block in cfg.blocks.values()
+        if any(isinstance(s, ast.Continue) for s in block.stmts)
+    )
+    assert head.id in continue_block.succs
+
+
+def test_return_edges_to_exit_and_cuts_fallthrough():
+    cfg = cfg_of(
+        "def f(x):\n"
+        "    if x:\n"
+        "        return 1\n"
+        "    return 2\n"
+    )
+    for block in cfg.blocks.values():
+        for stmt in block.stmts:
+            if isinstance(stmt, ast.Return):
+                assert cfg.exit in block.succs
+
+
+def test_try_body_statements_edge_to_every_handler():
+    cfg = cfg_of(
+        "def f():\n"
+        "    try:\n"
+        "        a = 1\n"
+        "        b = 2\n"
+        "    except ValueError:\n"
+        "        c = 3\n"
+        "    except KeyError:\n"
+        "        d = 4\n"
+        "    e = 5\n"
+    )
+    handler_heads = [
+        block.id for block in cfg.blocks.values()
+        if any(s.lineno in (6, 8) for s in block.stmts)
+    ]
+    assert len(handler_heads) == 2
+    body = next(
+        block for block in cfg.blocks.values()
+        if any(s.lineno == 3 for s in block.stmts)
+    )
+    for head in handler_heads:
+        assert head in body.succs
+    # All paths join on e = 5.
+    join = next(
+        block for block in cfg.blocks.values()
+        if any(s.lineno == 9 for s in block.stmts)
+    )
+    assert len(join.preds) >= 3
+
+
+def test_try_finally_joins_live_paths():
+    cfg = cfg_of(
+        "def f():\n"
+        "    try:\n"
+        "        a = 1\n"
+        "    finally:\n"
+        "        b = 2\n"
+        "    c = 3\n"
+    )
+    final = next(
+        block for block in cfg.blocks.values()
+        if any(s.lineno == 5 for s in block.stmts)
+    )
+    assert final.id in reachable(cfg)
+    # The continuation after the try either shares the finally's block
+    # (straight-line merge) or is one of its successors.
+    lines = [s.lineno for s in final.stmts]
+    if 6 in lines:
+        assert lines.index(5) < lines.index(6)
+    else:
+        after = next(
+            block for block in cfg.blocks.values()
+            if any(s.lineno == 6 for s in block.stmts)
+        )
+        assert after.id in final.succs
+
+
+def test_with_body_stays_inline():
+    cfg = cfg_of(
+        "def f(cm):\n"
+        "    with cm() as x:\n"
+        "        a = 1\n"
+        "    b = 2\n"
+    )
+    entry = cfg.block(cfg.entry)
+    # Context expression, body, and continuation are all sequential.
+    assert [s.lineno for s in entry.stmts] == [2, 3, 4]
+
+
+def test_nested_loops_have_two_heads():
+    cfg = cfg_of(
+        "def f():\n"
+        "    for i in range(4):\n"
+        "        for j in range(4):\n"
+        "            a = i + j\n"
+    )
+    heads = [b for b in cfg.blocks.values() if b.is_loop_head]
+    assert sorted(h.loop.lineno for h in heads) == [2, 3]
+
+
+def test_rpo_starts_at_entry_and_orders_heads_before_bodies():
+    cfg = cfg_of(
+        "def f(x):\n"
+        "    while x:\n"
+        "        x -= 1\n"
+        "    y = 1\n"
+    )
+    order = cfg.rpo()
+    assert order[0] == cfg.entry
+    head = next(b.id for b in cfg.blocks.values() if b.is_loop_head)
+    body = next(
+        b.id for b in cfg.blocks.values()
+        if any(s.lineno == 3 for s in b.stmts)
+    )
+    assert order.index(head) < order.index(body)
+
+
+def test_unreachable_code_is_parked_not_crashing():
+    cfg = cfg_of(
+        "def f():\n"
+        "    return 1\n"
+        "    dead = 2\n"
+    )
+    dead = next(
+        block for block in cfg.blocks.values()
+        if any(s.lineno == 3 for s in block.stmts)
+    )
+    assert dead.preds == []
+    assert dead.id not in reachable(cfg)
+
+
+def test_match_statement_branches_and_joins():
+    pytest.importorskip("ast", reason="match requires 3.10+")
+    cfg = cfg_of(
+        "def f(x):\n"
+        "    match x:\n"
+        "        case 1:\n"
+        "            a = 1\n"
+        "        case _:\n"
+        "            a = 2\n"
+        "    b = 3\n"
+    )
+    join = next(
+        block for block in cfg.blocks.values()
+        if any(s.lineno == 7 for s in block.stmts)
+    )
+    assert len(join.preds) >= 2

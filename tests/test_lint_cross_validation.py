@@ -1,0 +1,88 @@
+"""Static/runtime cross-validation: every DMA hazard the runtime
+sanitizer reports when executing ``racy_pair_program`` must be covered
+by a static SL601 finding on the same source, and the clean showcase
+must be hazard-free in both worlds."""
+
+import re
+
+from repro.analysis.lint import lint_callable, lint_paths, select_rules
+from repro.cell.chip import CellChip
+from repro.core.kernels import DmaWorkload, dma_stream_kernel
+from repro.libspe import SpeContext
+from repro.reproduce import racy_pair_program
+from repro.sim import DmaSanitizer
+
+
+def run_under_sanitizer(program, *args):
+    sanitizer = DmaSanitizer()
+    chip = CellChip(sanitizer=sanitizer)
+    SpeContext(chip, 0).load(program, *args)
+    chip.run()
+    return sanitizer
+
+
+def sl601_findings(program):
+    return [
+        f for f in lint_callable(program, rules=select_rules(["SL601"]))
+        if f.rule == "SL601"
+    ]
+
+
+def finding_ranges(finding):
+    """The LS byte ranges quoted in an SL601 message, as (lo, hi) pairs."""
+    return [
+        (int(lo), int(hi))
+        for lo, hi in re.findall(r"\[(\d+), (\d+)\)", finding.message)
+    ]
+
+
+def test_every_runtime_hazard_is_covered_by_an_sl601_finding():
+    sanitizer = run_under_sanitizer(racy_pair_program, {})
+    assert sanitizer.findings, "the seeded racy pair must trip the sanitizer"
+
+    statics = sl601_findings(racy_pair_program)
+    assert statics, "SL601 must flag the same program statically"
+
+    for hazard in sanitizer.findings:
+        assert hazard.space.startswith("ls:"), hazard
+        covered = any(
+            any(lo <= hazard.lo and hazard.hi <= hi for lo, hi in
+                finding_ranges(finding))
+            for finding in statics
+        )
+        assert covered, (
+            f"runtime hazard [{hazard.lo}, {hazard.hi}) has no static "
+            f"SL601 counterpart in {statics}"
+        )
+
+
+def test_static_findings_anchor_inside_the_racy_program():
+    import inspect
+
+    statics = sl601_findings(racy_pair_program)
+    source_lines, start = inspect.getsourcelines(racy_pair_program)
+    end = start + len(source_lines)
+    for finding in statics:
+        assert finding.path.endswith("reproduce.py")
+        assert start <= finding.line < end
+        for line, _note in finding.steps:
+            assert start <= line < end
+
+
+def test_clean_double_buffered_kernel_is_clean_in_both_worlds():
+    # The shipped streaming kernel, as exercised by the --sanitize
+    # showcase: hazard-free at runtime and SL601-clean statically.
+    workload = DmaWorkload(direction="get", element_bytes=4096, n_elements=32)
+    sanitizer = DmaSanitizer()
+    chip = CellChip(sanitizer=sanitizer)
+    SpeContext(chip, 0).load(dma_stream_kernel, workload, {}, None)
+    chip.run()
+    assert sanitizer.findings == []
+    assert sanitizer.commands_checked > 0
+
+    assert sl601_findings(dma_stream_kernel) == []
+
+
+def test_shipped_examples_are_sl601_clean():
+    findings = lint_paths(["examples"], rules=select_rules(["SL6"]))
+    assert [f for f in findings if f.rule.startswith("SL6")] == []

@@ -1,0 +1,352 @@
+"""Interval domain, abstract evaluation, and interprocedural summaries."""
+
+import ast
+
+from repro.analysis.lint import (
+    TOP,
+    Interval,
+    ModuleModel,
+    analyze_intervals,
+    build_cfg,
+    eval_expr,
+)
+from repro.analysis.lint.dataflow import (
+    join_env,
+    range_bounds,
+    range_trip_count,
+    transfer_stmt,
+    widen_env,
+)
+from repro.analysis.lint.summaries import IssueEffect, WaitEffect
+
+
+def interval_of(source_expr, env=None, module=None):
+    return eval_expr(
+        ast.parse(source_expr, mode="eval").body, env or {}, module
+    )
+
+
+def model_of(source):
+    return ModuleModel(ast.parse(source))
+
+
+# ---------------------------------------------------------------------------
+# Interval lattice
+# ---------------------------------------------------------------------------
+
+def test_join_takes_the_hull():
+    assert Interval.const(3).join(Interval.const(7)) == Interval(3, 7)
+    assert Interval(0, 5).join(Interval(2, 9)) == Interval(0, 9)
+
+
+def test_join_with_top_is_top():
+    assert Interval.const(3).join(TOP).is_top
+    assert TOP.join(Interval.const(3)).is_top
+
+
+def test_widen_sends_moving_bounds_to_infinity():
+    old, new = Interval(0, 4), Interval(0, 8)
+    widened = old.widen(new)
+    assert widened.lo == 0 and widened.hi is None
+    # A stable bound survives widening.
+    assert Interval(0, 4).widen(Interval(0, 4)) == Interval(0, 4)
+    assert Interval(0, 4).widen(Interval(-2, 4)).lo is None
+
+
+def test_arithmetic_on_constants_is_exact():
+    two, three = Interval.const(2), Interval.const(3)
+    assert two.add(three) == Interval.const(5)
+    assert two.sub(three) == Interval.const(-1)
+    assert two.mul(three) == Interval.const(6)
+    assert Interval.const(7).floordiv(two) == Interval.const(3)
+    assert Interval.const(7).mod(three) == Interval.const(1)
+
+
+def test_mod_by_positive_constant_bounds_to_modulus():
+    assert Interval(0, None).mod(Interval.const(4)) == Interval(0, 3)
+    # Already inside [0, k): stays as-is (keeps singleton precision).
+    assert Interval(1, 2).mod(Interval.const(4)) == Interval(1, 2)
+    # Unknown modulus: everything is possible.
+    assert Interval.const(5).mod(TOP).is_top
+
+
+def test_mul_by_nonnegative_constant_scales_partial_bounds():
+    assert Interval(0, None).mul(Interval.const(4)) == Interval(0, None)
+    assert Interval(0, 3).mul(Interval.const(128)) == Interval(0, 384)
+
+
+def test_interval_env_join_and_widen():
+    joined = join_env({"a": Interval.const(1)}, {"a": Interval.const(5)})
+    assert joined["a"] == Interval(1, 5)
+    # A variable bound on only one path is unknown at the join.
+    one_sided = join_env({"a": Interval.const(1)}, {})
+    assert one_sided["a"].is_top
+    widened = widen_env(
+        {"a": Interval(0, 4)}, {"a": Interval(0, 8)}
+    )
+    assert widened["a"] == Interval(0, None)
+
+
+# ---------------------------------------------------------------------------
+# Abstract expression evaluation
+# ---------------------------------------------------------------------------
+
+def test_eval_constants_and_arithmetic():
+    assert interval_of("16384 // 2") == Interval.const(8192)
+    assert interval_of("-(4 * 3)") == Interval.const(-12)
+    assert interval_of("1 << 10") == Interval.const(1024)
+
+
+def test_eval_names_come_from_env_then_module_constants():
+    module = model_of("NBUF = 2\n")
+    assert interval_of("NBUF", module=module) == Interval.const(2)
+    assert interval_of(
+        "NBUF", env={"NBUF": Interval.const(9)}, module=module
+    ) == Interval.const(9)
+    assert interval_of("mystery", module=module).is_top
+
+
+def test_eval_module_constant_tuple_subscripts():
+    module = model_of("TAGS = (3, 5)\n")
+    assert interval_of("TAGS[0]", module=module) == Interval.const(3)
+    assert interval_of("TAGS[1]", module=module) == Interval.const(5)
+    # Unknown index: join of all elements.
+    assert interval_of(
+        "TAGS[i]", env={"i": TOP}, module=module
+    ) == Interval(3, 5)
+
+
+def test_eval_ifexp_joins_and_builtins_fold():
+    assert interval_of("4 if x else 6", env={"x": TOP}) == Interval(4, 6)
+    assert interval_of("min(4, 9)") == Interval.const(4)
+    assert interval_of("max(4, 9)") == Interval.const(9)
+    assert interval_of("abs(-5)") == Interval.const(5)
+    assert interval_of("len(data)", env={}).lo == 0
+
+
+def test_eval_unknown_calls_are_top():
+    assert interval_of("window.offset(3)").is_top
+    assert interval_of("helper(1)").is_top  # no module model
+
+
+# ---------------------------------------------------------------------------
+# Loop helpers
+# ---------------------------------------------------------------------------
+
+def iterator_of(source):
+    loop = ast.parse(source).body[0]
+    assert isinstance(loop, ast.For)
+    return loop.iter
+
+
+def test_range_bounds_cover_start_stop_step():
+    assert range_bounds(iterator_of("for i in range(8): pass"), {}) == \
+        Interval(0, 7)
+    assert range_bounds(iterator_of("for i in range(2, 8): pass"), {}) == \
+        Interval(2, 7)
+    assert range_bounds(iterator_of("for i in range(8, 0, -2): pass"), {}) \
+        == Interval(1, 8)
+    assert range_bounds(iterator_of("for i in items: pass"), {}) is None
+
+
+def test_range_trip_count_exact_and_bounded():
+    assert range_trip_count(iterator_of("for i in range(8): pass"), {}) == \
+        Interval.const(8)
+    assert range_trip_count(iterator_of("for i in range(2, 8, 2): pass"),
+                            {}) == Interval.const(3)
+    bounded = range_trip_count(
+        iterator_of("for i in range(n): pass"), {"n": Interval(4, 16)}
+    )
+    assert bounded == Interval(4, 16)
+    assert range_trip_count(
+        iterator_of("for i in range(n): pass"), {"n": TOP}
+    ) is None or range_trip_count(
+        iterator_of("for i in range(n): pass"), {"n": TOP}
+    ).lo is None
+
+
+def test_transfer_stmt_assign_augassign_tuple():
+    env = {}
+    module = None
+    transfer_stmt(ast.parse("x = 4").body[0], env, module)
+    assert env["x"] == Interval.const(4)
+    transfer_stmt(ast.parse("x += 2").body[0], env, module)
+    assert env["x"] == Interval.const(6)
+    transfer_stmt(ast.parse("a, b = 1, x").body[0], env, module)
+    assert env["a"] == Interval.const(1)
+    assert env["b"] == Interval.const(6)
+    transfer_stmt(ast.parse("del x").body[0], env, module)
+    assert "x" not in env
+
+
+# ---------------------------------------------------------------------------
+# Fixpoint over a CFG
+# ---------------------------------------------------------------------------
+
+def fixpoint_envs(source):
+    tree = ast.parse(source)
+    fn = tree.body[0]
+    cfg = build_cfg(fn)
+    return cfg, analyze_intervals(cfg, module=ModuleModel(tree))
+
+
+def test_fixpoint_propagates_constants_through_branches():
+    cfg, envs = fixpoint_envs(
+        "def f(x):\n"
+        "    a = 4\n"
+        "    if x:\n"
+        "        b = a * 2\n"
+        "    else:\n"
+        "        b = a * 4\n"
+        "    c = b\n"
+    )
+    exit_env = envs[cfg.exit]
+    assert exit_env["a"] == Interval.const(4)
+    assert exit_env["b"] == Interval(8, 16)
+    assert exit_env["c"] == Interval(8, 16)
+
+
+def test_fixpoint_binds_for_targets_to_range_bounds():
+    cfg, envs = fixpoint_envs(
+        "def f():\n"
+        "    for i in range(8):\n"
+        "        j = i * 2\n"
+    )
+    body = next(
+        b for b in cfg.blocks.values() if any(
+            s.lineno == 3 for s in b.stmts
+        )
+    )
+    env = envs[body.id]
+    assert env["i"] == Interval(0, 7)
+
+
+def test_fixpoint_widens_a_counting_loop_instead_of_diverging():
+    cfg, envs = fixpoint_envs(
+        "def f(x):\n"
+        "    n = 0\n"
+        "    while x:\n"
+        "        n = n + 1\n"
+        "    y = n\n"
+    )
+    exit_env = envs[cfg.exit]
+    # n grows unboundedly: widening must send the upper bound to +inf
+    # while the stable lower bound (0) survives.
+    assert exit_env["n"].lo == 0
+    assert exit_env["n"].hi is None
+
+
+# ---------------------------------------------------------------------------
+# Interprocedural summaries
+# ---------------------------------------------------------------------------
+
+def test_return_interval_binds_call_arguments():
+    module = model_of(
+        "def double(x):\n"
+        "    return x * 2\n"
+    )
+    call = ast.parse("double(8)", mode="eval").body
+    assert module.return_interval("double", call, {}) == Interval.const(16)
+
+
+def test_return_interval_joins_branches_and_uses_defaults():
+    module = model_of(
+        "def pick(flag, fallback=6):\n"
+        "    if flag:\n"
+        "        return 4\n"
+        "    return fallback\n"
+    )
+    call = ast.parse("pick(f)", mode="eval").body
+    assert module.return_interval("pick", call, {}) == Interval(4, 6)
+    call2 = ast.parse("pick(f, fallback=10)", mode="eval").body
+    assert module.return_interval("pick", call2, {}) == Interval(4, 10)
+
+
+def test_return_interval_threads_through_eval_expr():
+    module = model_of(
+        "HALF = 8192\n"
+        "def window(i):\n"
+        "    return (i % 2) * HALF\n"
+    )
+    value = interval_of(
+        "window(i)", env={"i": Interval(0, 63)}, module=module
+    )
+    assert value == Interval(0, 8192)
+
+
+def test_recursion_and_depth_cap_return_top():
+    module = model_of(
+        "def a(x):\n"
+        "    return a(x)\n"
+    )
+    call = ast.parse("a(1)", mode="eval").body
+    assert module.return_interval("a", call, {}).is_top
+
+
+def test_dma_effects_linearise_a_helper_body():
+    module = model_of(
+        "def _fill(spu, base):\n"
+        "    spu.mfc_get(4096, tag=1, local_offset=base)\n"
+        "    spu.wait_tags([1])\n"
+    )
+    call = ast.parse("_fill(spu, 8192)", mode="eval").body
+    effects = module.dma_effects("_fill", call, {})
+    assert [type(e) for e in effects] == [IssueEffect, WaitEffect]
+    issue, wait = effects
+    assert issue.kind == "get"
+    assert issue.local == Interval.const(8192)
+    assert issue.tag == Interval.const(1)
+    assert wait.tags == (1,)
+
+
+def test_dma_effects_mark_branch_and_loop_context():
+    module = model_of(
+        "def _maybe(spu, flag):\n"
+        "    if flag:\n"
+        "        spu.mfc_get(4096, tag=0)\n"
+        "    for _ in range(4):\n"
+        "        spu.mfc_put(4096, tag=2)\n"
+    )
+    call = ast.parse("_maybe(spu, f)", mode="eval").body
+    effects = module.dma_effects("_maybe", call, {})
+    conditional_get = next(e for e in effects if e.kind == "get")
+    repeated_put = next(e for e in effects if e.kind == "put")
+    assert conditional_get.conditional
+    assert repeated_put.repeated
+
+
+def test_dma_effects_give_up_on_unknown_spu_escapes():
+    module = model_of(
+        "def _laundered(spu):\n"
+        "    mystery(spu)\n"
+    )
+    call = ast.parse("_laundered(spu)", mode="eval").body
+    assert module.dma_effects("_laundered", call, {}) is None
+
+
+def test_dma_effects_expand_nested_helpers():
+    module = model_of(
+        "def _inner(spu, off):\n"
+        "    spu.mfc_get(2048, tag=0, local_offset=off)\n"
+        "def _outer(spu):\n"
+        "    _inner(spu, 4096)\n"
+    )
+    call = ast.parse("_outer(spu)", mode="eval").body
+    effects = module.dma_effects("_outer", call, {})
+    assert len(effects) == 1
+    assert effects[0].local == Interval.const(4096)
+
+
+def test_module_constants_collect_ints_and_tuples():
+    module = model_of(
+        "NBUF = 2\n"
+        "NEG = -3\n"
+        "TAGS = (0, 1)\n"
+        "NAME = 'x'\n"
+        "MIXED = (1, 'a')\n"
+    )
+    assert module.constant_interval("NBUF") == Interval.const(2)
+    assert module.constant_interval("NEG") == Interval.const(-3)
+    assert module.constant_tuple("TAGS") == (0, 1)
+    assert module.constant_interval("NAME").is_top
+    assert module.constant_tuple("MIXED") is None

@@ -1,0 +1,392 @@
+"""Seeded hazard fixtures for the SL6xx dataflow rules: one true
+positive and near-miss clean programs per rule, interprocedural cases,
+and the --explain path output."""
+
+from repro.analysis.lint import lint_source, select_rules
+
+
+def rule_ids(findings):
+    return [finding.rule for finding in findings]
+
+
+def lint_only(source, *prefixes):
+    return lint_source(source, rules=select_rules(list(prefixes)))
+
+
+# ---------------------------------------------------------------------------
+# SL601: local-store buffer overlap
+# ---------------------------------------------------------------------------
+
+OVERLAP = """
+def program(spu, out):
+    spu.mfc_get(4096, tag=0, local_offset=0)
+    spu.mfc_get(4096, tag=1, local_offset=2048)
+    spu.wait_tags([0, 1])
+"""
+
+
+def test_sl601_fires_on_overlapping_inflight_gets():
+    findings = lint_only(OVERLAP, "SL601")
+    assert rule_ids(findings) == ["SL601"]
+    assert "[0, 4096)" in findings[0].message
+    assert "[2048, 6144)" in findings[0].message
+
+
+def test_sl601_explain_steps_trace_both_issues():
+    finding = lint_only(OVERLAP, "SL601")[0]
+    assert [line for line, _note in finding.steps] == [3, 4]
+    assert "still in flight" in finding.steps[0][1]
+
+
+def test_sl601_clean_when_ranges_are_disjoint():
+    source = """
+def program(spu, out):
+    spu.mfc_get(4096, tag=0, local_offset=0)
+    spu.mfc_get(4096, tag=1, local_offset=4096)
+    spu.wait_tags([0, 1])
+"""
+    assert lint_only(source, "SL601") == []
+
+
+def test_sl601_clean_when_wait_orders_the_pair():
+    source = """
+def program(spu, out):
+    spu.mfc_get(4096, tag=0, local_offset=0)
+    spu.wait_tags([0])
+    spu.mfc_get(4096, tag=1, local_offset=0)
+    spu.wait_tags([1])
+"""
+    assert lint_only(source, "SL601") == []
+
+
+def test_sl601_clean_when_fenced_on_the_same_tag_group():
+    source = """
+def program(spu, out):
+    spu.mfc_get(4096, tag=0, local_offset=0)
+    spu.mfc_getf(4096, tag=0, local_offset=0)
+    spu.wait_tags([0])
+"""
+    assert lint_only(source, "SL601") == []
+
+
+def test_sl601_fires_when_fence_is_on_another_tag_group():
+    source = """
+def program(spu, out):
+    spu.mfc_get(4096, tag=0, local_offset=0)
+    spu.mfc_getf(4096, tag=7, local_offset=0)
+    spu.wait_tags([0, 7])
+"""
+    assert rule_ids(lint_only(source, "SL601")) == ["SL601"]
+
+
+def test_sl601_clean_on_barrier():
+    source = """
+def program(spu, out):
+    spu.mfc_get(4096, tag=0, local_offset=0)
+    spu.mfc_getb(4096, tag=7, local_offset=0)
+    spu.wait_tags([0, 7])
+"""
+    assert lint_only(source, "SL601") == []
+
+
+def test_sl601_silent_when_offsets_are_unknown():
+    # Imprecision must be silence: window.offset() is opaque.
+    source = """
+def program(spu, out, window):
+    spu.mfc_get(4096, tag=0, local_offset=window.offset(0))
+    spu.mfc_get(4096, tag=1, local_offset=window.offset(1))
+    spu.wait_tags([0, 1])
+"""
+    assert lint_only(source, "SL601") == []
+
+
+def test_sl601_put_put_overlap_is_not_a_race():
+    # Both PUTs read the local store; no writer, no race.
+    source = """
+def program(spu, out):
+    spu.mfc_put(4096, tag=0, local_offset=0)
+    spu.mfc_put(4096, tag=1, local_offset=0)
+    spu.wait_tags([0, 1])
+"""
+    assert lint_only(source, "SL601") == []
+
+
+def test_sl601_sees_constants_propagated_through_locals():
+    source = """
+def program(spu, out):
+    half = 8192
+    base = half // 2
+    spu.mfc_get(4096, tag=0, local_offset=base)
+    spu.mfc_get(4096, tag=1, local_offset=base + 1024)
+    spu.wait_tags([0, 1])
+"""
+    findings = lint_only(source, "SL601")
+    assert rule_ids(findings) == ["SL601"]
+    assert "[4096, 8192)" in findings[0].message
+
+
+def test_sl601_threads_module_helper_summaries():
+    # The overlapping issue happens inside a module-local helper: the
+    # caller's analysis must fold the helper's effects in.
+    source = """
+def _fill(spu, base):
+    spu.mfc_get(4096, tag=1, local_offset=base)
+
+def program(spu, out):
+    spu.mfc_get(4096, tag=0, local_offset=0)
+    _fill(spu, 2048)
+    spu.wait_tags([0, 1])
+"""
+    findings = lint_only(source, "SL601")
+    assert rule_ids(findings) == ["SL601"]
+    # Anchored at the helper's issue line (same module).
+    assert findings[0].line == 3
+
+
+def test_sl601_helper_wait_clears_state_interprocedurally():
+    source = """
+def _drain(spu):
+    spu.wait_tags([0])
+
+def program(spu, out):
+    spu.mfc_get(4096, tag=0, local_offset=0)
+    _drain(spu)
+    spu.mfc_get(4096, tag=1, local_offset=0)
+    spu.wait_tags([1])
+"""
+    assert lint_only(source, "SL601") == []
+
+
+def test_sl601_unknown_call_receiving_spu_silences_the_analysis():
+    # An unresolvable callee that gets the SPU handle may have waited:
+    # the analysis must drop its claims rather than guess.
+    source = """
+def program(spu, out, mystery):
+    spu.mfc_get(4096, tag=0, local_offset=0)
+    mystery(spu)
+    spu.mfc_get(4096, tag=1, local_offset=0)
+    spu.wait_tags([0, 1])
+"""
+    assert lint_only(source, "SL601") == []
+
+
+def test_sl601_branch_local_hazard_is_found_on_that_path():
+    source = """
+def program(spu, out, flag):
+    spu.mfc_get(4096, tag=0, local_offset=0)
+    if flag:
+        spu.mfc_get(4096, tag=1, local_offset=1024)
+    spu.wait_tags([0, 1])
+"""
+    findings = lint_only(source, "SL601")
+    assert rule_ids(findings) == ["SL601"]
+    assert findings[0].line == 5
+
+
+# ---------------------------------------------------------------------------
+# SL602: tag-group lifecycle
+# ---------------------------------------------------------------------------
+
+def test_sl602_dead_wait_on_never_issued_tag():
+    source = """
+def program(spu, out):
+    spu.mfc_get(4096, tag=0, local_offset=0)
+    spu.wait_tags([0, 3])
+"""
+    findings = lint_only(source, "SL602")
+    assert rule_ids(findings) == ["SL602"]
+    assert "tag group 3" in findings[0].message
+
+
+def test_sl602_clean_when_tag_issued_on_some_path():
+    source = """
+def program(spu, out, flag):
+    if flag:
+        spu.mfc_get(4096, tag=3, local_offset=0)
+    spu.wait_tags([3])
+"""
+    assert lint_only(source, "SL602") == []
+
+
+def test_sl602_dead_wait_silent_without_any_issue():
+    # A wait-only function synchronises its caller's transfers; the
+    # intraprocedural view cannot call that dead.
+    source = """
+def program(spu, out):
+    spu.wait_tags([3])
+"""
+    assert lint_only(source, "SL602") == []
+
+
+def test_sl602_dead_wait_silent_when_tags_are_unknown():
+    source = """
+def program(spu, out, tag):
+    spu.mfc_get(4096, tag=tag, local_offset=0)
+    spu.wait_tags([3])
+"""
+    assert lint_only(source, "SL602") == []
+
+
+def test_sl602_direction_mix_on_one_tag_group():
+    source = """
+def program(spu, out):
+    spu.mfc_get(4096, tag=0, local_offset=0)
+    spu.mfc_put(4096, tag=0, local_offset=8192)
+    spu.wait_tags([0])
+"""
+    findings = lint_only(source, "SL602")
+    assert rule_ids(findings) == ["SL602"]
+    assert "conflates" in findings[0].message
+
+
+def test_sl602_clean_when_directions_use_separate_groups():
+    source = """
+def program(spu, out):
+    spu.mfc_get(4096, tag=0, local_offset=0)
+    spu.mfc_put(4096, tag=2, local_offset=8192)
+    spu.wait_tags([0, 2])
+"""
+    assert lint_only(source, "SL602") == []
+
+
+def test_sl602_clean_when_wait_separates_directions():
+    source = """
+def program(spu, out):
+    spu.mfc_get(4096, tag=0, local_offset=0)
+    spu.wait_tags([0])
+    spu.mfc_put(4096, tag=0, local_offset=8192)
+    spu.wait_tags([0])
+"""
+    assert lint_only(source, "SL602") == []
+
+
+def test_sl602_wait_at_loop_top_for_previous_iteration_is_clean():
+    # The classic delayed-sync idiom: wait at the top of iteration i for
+    # the command issued at the bottom of iteration i-1.  Judging before
+    # the back edge has delivered that issue would call this dead.
+    source = """
+def program(spu, out):
+    for i in range(8):
+        spu.wait_tags([0])
+        spu.mfc_get(4096, tag=0, local_offset=0)
+    spu.wait_tags([0])
+"""
+    assert lint_only(source, "SL602") == []
+
+
+# ---------------------------------------------------------------------------
+# SL603: double-buffer phase violations
+# ---------------------------------------------------------------------------
+
+ROTATION = """
+def program(spu, out):
+    for i in range(64):
+        spu.mfc_get(4096, tag=i % 2, local_offset=(i % 2) * 4096)
+    spu.wait_tags([0, 1])
+"""
+
+
+def test_sl603_fires_on_unwaited_rotation():
+    findings = lint_only(ROTATION, "SL603")
+    assert rule_ids(findings) == ["SL603"]
+    assert "2 window(s)" in findings[0].message
+    assert "64 iterations" in findings[0].message
+
+
+def test_sl603_explain_names_loop_and_rotation():
+    finding = lint_only(ROTATION, "SL603")[0]
+    assert [line for line, _note in finding.steps] == [3, 4]
+
+
+def test_sl603_clean_with_wait_in_the_loop_body():
+    source = """
+def program(spu, out):
+    for i in range(64):
+        spu.mfc_get(4096, tag=i % 2, local_offset=(i % 2) * 4096)
+        spu.wait_tags([i % 2])
+"""
+    assert lint_only(source, "SL603") == []
+
+
+def test_sl603_clean_when_trip_count_fits_the_window():
+    source = """
+def program(spu, out):
+    for i in range(2):
+        spu.mfc_get(4096, tag=i % 2, local_offset=(i % 2) * 4096)
+    spu.wait_tags([0, 1])
+"""
+    assert lint_only(source, "SL603") == []
+
+
+def test_sl603_silent_when_window_count_is_unknown():
+    source = """
+def program(spu, out, nbuf):
+    for i in range(64):
+        spu.mfc_get(4096, tag=0, local_offset=(i % nbuf) * 4096)
+    spu.wait_tags([0])
+"""
+    assert lint_only(source, "SL603") == []
+
+
+def test_sl603_uses_module_constants_for_the_window_count():
+    source = """
+NBUF = 2
+
+def program(spu, out):
+    for i in range(64):
+        spu.mfc_get(4096, tag=0, local_offset=(i % NBUF) * 4096)
+    spu.wait_tags([0])
+"""
+    assert rule_ids(lint_only(source, "SL603")) == ["SL603"]
+
+
+def test_sl603_helper_wait_in_body_counts_as_coverage():
+    source = """
+def _sync(spu, tag):
+    spu.wait_tags([tag])
+
+def program(spu, out):
+    for i in range(64):
+        spu.mfc_get(4096, tag=0, local_offset=(i % 2) * 4096)
+        _sync(spu, 0)
+"""
+    assert lint_only(source, "SL603") == []
+
+
+def test_sl603_constant_modulo_is_indexing_not_rotation():
+    # 7 % 4 is a constant offset, not per-iteration rotation.
+    source = """
+def program(spu, out):
+    for i in range(64):
+        spu.mfc_get(4096, tag=0, local_offset=(7 % 4) * 4096)
+        spu.wait_tags([0])
+"""
+    assert lint_only(source, "SL603") == []
+
+
+# ---------------------------------------------------------------------------
+# Cross-cutting behaviour
+# ---------------------------------------------------------------------------
+
+def test_helpers_are_not_analysed_standalone():
+    # The helper alone looks racy, but its caller owns the sync context;
+    # only non-helper entry points are judged directly.
+    source = """
+def _racy_looking(spu, base):
+    spu.mfc_get(4096, tag=0, local_offset=base)
+    spu.mfc_get(4096, tag=1, local_offset=base)
+"""
+    assert lint_only(source, "SL6") == []
+
+
+def test_all_three_rules_coexist_in_one_function():
+    source = """
+def program(spu, out):
+    spu.mfc_get(4096, tag=0, local_offset=0)
+    spu.mfc_put(4096, tag=0, local_offset=2048)
+    for i in range(64):
+        spu.mfc_get(4096, tag=4, local_offset=(i % 2) * 16384)
+    spu.wait_tags([0, 4, 9])
+"""
+    findings = lint_only(source, "SL6")
+    assert sorted(set(rule_ids(findings))) == ["SL601", "SL602", "SL603"]

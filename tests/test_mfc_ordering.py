@@ -30,7 +30,7 @@ def track_completions(chip, program):
 def test_unfenced_small_command_overtakes_big_one(chip):
     def program(spu, log):
         yield from spu.mfc_get(size=16384, tag=0, remote_spe=spu.spe.chip.spe(1))
-        yield from spu.mfc_get(size=128, tag=1, remote_spe=spu.spe.chip.spe(1))
+        yield from spu.mfc_get(size=128, tag=1, remote_spe=spu.spe.chip.spe(1))  # simlint: ignore[SL601] -- offsets default to 0: this test measures overtaking, not LS layout
         yield from spu.wait_tags([1])
         log.append(("small", spu.read_decrementer()))
         yield from spu.wait_tags([0])
@@ -65,7 +65,7 @@ def test_fence_orders_within_tag_group_only(chip):
         # the fence only orders against earlier tag-1 commands (none),
         # so it still overtakes the big tag-0 transfer.
         yield from spu.mfc_get(size=16384, tag=0, remote_spe=partner)
-        yield from spu.mfc_getf(size=128, tag=1, remote_spe=partner)
+        yield from spu.mfc_getf(size=128, tag=1, remote_spe=partner)  # simlint: ignore[SL601] -- offsets default to 0: this test measures fence scope, not LS layout
         yield from spu.wait_tags([1])
         log.append(("small", spu.read_decrementer()))
         yield from spu.wait_tags([0])
@@ -88,7 +88,7 @@ def test_fence_orders_same_tag_commands(chip):
     def unordered(spu, log):
         partner = spu.spe.chip.spe(1)
         yield from spu.mfc_get(size=16384, tag=3, remote_spe=partner)
-        yield from spu.mfc_put(size=128, tag=3, remote_spe=partner)
+        yield from spu.mfc_put(size=128, tag=3, remote_spe=partner)  # simlint: ignore[SL601,SL602] -- same-tag get/put overlap is the fence behaviour under test
         yield from spu.wait_tags([3])
         log.append(("done", spu.read_decrementer()))
 

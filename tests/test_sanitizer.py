@@ -32,7 +32,7 @@ def run_program(program, *args, sanitizer=None, trace=None, faults=None,
 
 def racy_getget(spu, out):
     yield from spu.mfc_get(size=4096, tag=0)
-    yield from spu.mfc_get(size=4096, tag=0)
+    yield from spu.mfc_get(size=4096, tag=0)  # simlint: ignore[SL601] -- deliberate race: fixture for the runtime sanitizer
     yield from spu.wait_tags([0])
     out["done"] = True
 
@@ -101,7 +101,7 @@ def test_fence_does_not_cover_other_tag_groups():
     # here is in a different group, so the overlap is still a race.
     def program(spu, out):
         yield from spu.mfc_get(size=4096, tag=0)
-        yield from spu.mfc_getf(size=4096, tag=7)
+        yield from spu.mfc_getf(size=4096, tag=7)  # simlint: ignore[SL601] -- deliberate race: fence on the wrong tag group
         yield from spu.wait_tags([0, 7])
 
     sanitizer = DmaSanitizer()
@@ -114,7 +114,7 @@ def test_get_put_overlap_is_a_write_read_race():
     # the GET may still be in flight.
     def program(spu, out):
         yield from spu.mfc_get(size=4096, tag=0)
-        yield from spu.mfc_put(size=4096, tag=1, remote_offset=8192)
+        yield from spu.mfc_put(size=4096, tag=1, remote_offset=8192)  # simlint: ignore[SL601] -- deliberate race: write-read overlap under test
         yield from spu.wait_tags([0, 1])
 
     sanitizer = DmaSanitizer()
@@ -186,7 +186,7 @@ def test_allocation_names_in_reports():
     def program(spu, out):
         spu.spe.local_store.alloc(4096, name="inbuf")
         yield from spu.mfc_get(size=4096, tag=0)
-        yield from spu.mfc_get(size=4096, tag=0)
+        yield from spu.mfc_get(size=4096, tag=0)  # simlint: ignore[SL601] -- deliberate race: exercises allocation names in reports
         yield from spu.wait_tags([0])
 
     sanitizer = DmaSanitizer()
